@@ -1,0 +1,68 @@
+// Reproduces paper Figure 6: "Pruning the Search Space of Split-Node
+// Assignments". The Figure 2 block is extended with a COMPL sink that only
+// unit U1 executes; the explorer's incremental costs are traced per split
+// node and the pruned branches marked with X, matching the paper's walk:
+//   SUB@U1 cost 0 (kept) / SUB@U2 cost 1 (pruned X)
+//   MUL@U2 and MUL@U3 tie (both kept)
+//   ADD@U1 cost 2 vs ADD@U2 cost 4 / ADD@U3 cost 3 (pruned X)
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace aviv;
+  try {
+    const BlockDag dag = loadBlock("fig6");
+    const Machine machine = loadMachine("arch1");
+    const MachineDatabases dbs(machine);
+
+    CodegenOptions options;  // pruning on, no beam cap so ties survive
+    options.assignBeamWidth = 0;
+    options.assignKeepBest = 1 << 20;
+    const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+
+    AssignmentExplorer explorer(snd, options);
+    std::vector<ExploreTraceEntry> trace;
+    ExploreStats stats;
+    const auto assignments = explorer.explore(&stats, &trace);
+
+    std::printf("Figure 6 — pruning the split-node assignment search\n");
+    std::printf("(block fig6: y = COMPL((a+b) - c*d); COMPL only on U1; "
+                "transfer and foregone-parallelism cost 1 each)\n\n");
+
+    NodeId lastIr = kNoNode;
+    int lastState = -1;
+    for (const ExploreTraceEntry& entry : trace) {
+      if (entry.ir != lastIr || entry.stateIdx != lastState) {
+        std::printf("split node %-18s [partial assignment #%d]\n",
+                    dag.describe(entry.ir).c_str(), entry.stateIdx);
+        lastIr = entry.ir;
+        lastState = entry.stateIdx;
+      }
+      std::printf("    %-10s incremental cost %.1f %s\n",
+                  snd.describe(entry.alt).c_str(), entry.incrementalCost,
+                  entry.kept ? "" : "   X (pruned)");
+    }
+
+    std::printf("\nSurviving complete assignments: %zu of %zu possible\n",
+                stats.completeAssignments, [&] {
+                  size_t product = 1;
+                  for (NodeId id = 0; id < dag.size(); ++id)
+                    if (isMachineOp(dag.node(id).op))
+                      product *= snd.altsOf(id).size();
+                  return product;
+                }());
+    for (const Assignment& a : assignments) {
+      std::printf("  cost %.1f:", a.cost);
+      for (NodeId id = 0; id < dag.size(); ++id) {
+        if (a.chosenAlt[id] == kNoSnd) continue;
+        std::printf(" %s", snd.describe(a.chosenAlt[id]).c_str());
+      }
+      std::printf("\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig6_assignment_pruning: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,137 @@
+// Performance microbenchmarks (google-benchmark) for the expensive stages
+// of the AVIV flow, on the paper's blocks and on synthetic DAGs of growing
+// size. The paper observes that "generating all of the maximal cliques is
+// the most time consuming portion of our algorithm" — BM_CliqueGeneration
+// vs the rest quantifies that on our implementation, and the LevelWindow
+// variants show the Section IV-C.2 remedy.
+#include <benchmark/benchmark.h>
+
+#include "core/assign_explore.h"
+#include "core/assigned.h"
+#include "core/clique.h"
+#include "core/codegen.h"
+#include "core/parallel_matrix.h"
+#include "ir/parser.h"
+#include "ir/random_dag.h"
+#include "isdl/parser.h"
+
+namespace {
+
+using namespace aviv;
+
+const Machine& arch1() {
+  static const Machine machine = loadMachine("arch1");
+  return machine;
+}
+const MachineDatabases& arch1Dbs() {
+  static const MachineDatabases dbs(arch1());
+  return dbs;
+}
+
+BlockDag syntheticDag(int ops) {
+  RandomDagSpec spec;
+  spec.numOps = ops;
+  spec.numInputs = std::max(2, ops / 3);
+  spec.seed = 42;
+  return makeRandomDag(spec);
+}
+
+void BM_SplitNodeBuild(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  const CodegenOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SplitNodeDag::build(dag, arch1(), arch1Dbs(), options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SplitNodeBuild)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_AssignmentExploration(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  const CodegenOptions options = CodegenOptions::heuristicsOn();
+  const SplitNodeDag snd =
+      SplitNodeDag::build(dag, arch1(), arch1Dbs(), options);
+  for (auto _ : state) {
+    AssignmentExplorer explorer(snd, options);
+    benchmark::DoNotOptimize(explorer.explore());
+  }
+}
+BENCHMARK(BM_AssignmentExploration)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CliqueGeneration(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  const CodegenOptions options;
+  const SplitNodeDag snd =
+      SplitNodeDag::build(dag, arch1(), arch1Dbs(), options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+  DynBitset active(graph.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generateMaximalCliques(matrix, active, 1u << 20));
+  }
+}
+BENCHMARK(BM_CliqueGeneration)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CliqueGenerationLevelWindow(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  const CodegenOptions options;
+  const SplitNodeDag snd =
+      SplitNodeDag::build(dag, arch1(), arch1Dbs(), options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, /*levelWindow=*/2);
+  DynBitset active(graph.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generateMaximalCliques(matrix, active, 1u << 20));
+  }
+}
+BENCHMARK(BM_CliqueGenerationLevelWindow)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FullCoverHeuristicsOn(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  // Synthetic DAGs mark every sink as an output; store outputs to memory so
+  // arbitrary output counts stay register-feasible.
+  CodegenOptions options = CodegenOptions::heuristicsOn();
+  options.outputsToMemory = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coverBlock(dag, arch1(), arch1Dbs(), options));
+  }
+}
+BENCHMARK(BM_FullCoverHeuristicsOn)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PaperBlocks(benchmark::State& state) {
+  static const char* names[] = {"ex1", "ex2", "ex3", "ex4", "ex5"};
+  const BlockDag dag = loadBlock(names[state.range(0)]);
+  const CodegenOptions options = CodegenOptions::heuristicsOn();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coverBlock(dag, arch1(), arch1Dbs(), options));
+  }
+  state.SetLabel(names[state.range(0)]);
+}
+BENCHMARK(BM_PaperBlocks)->DenseRange(0, 4);
+
+void BM_ReferenceBronKerbosch(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  const CodegenOptions options;
+  const SplitNodeDag snd =
+      SplitNodeDag::build(dag, arch1(), arch1Dbs(), options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+  DynBitset active(graph.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(referenceMaximalCliques(matrix, active));
+  }
+}
+BENCHMARK(BM_ReferenceBronKerbosch)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Reproduces paper Table II: "Code Generation Experiments for the Target
+// Architecture II" — arch1 with SUB removed from U1 and U3 deleted
+// (Section VI's retargetability demonstration). Ex1-Ex5 with 4 registers
+// per file; no heuristics-off column in the paper's Table II, so it is off
+// by default here too (enable with --hoff).
+#include "bench_common.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace aviv;
+  using namespace aviv::bench;
+  try {
+    CliFlags flags(argc, argv);
+    const bool hoff = flags.getBool("hoff", false);
+    const double hoffLimit = flags.getDouble("hoff-time-limit", 120.0);
+    const double optimalLimit = flags.getDouble("optimal-time-limit", 120.0);
+    flags.finish();
+
+    const Machine machine = loadMachine("arch2");
+    std::vector<TableRow> rows;
+    const std::vector<std::pair<std::string, std::string>> base = {
+        {"Ex1", "ex1"}, {"Ex2", "ex2"}, {"Ex3", "ex3"},
+        {"Ex4", "ex4"}, {"Ex5", "ex5"}};
+    for (const auto& [label, block] : base) {
+      rows.push_back(
+          runTableRow(label, block, machine, 4, hoff, hoffLimit, optimalLimit));
+    }
+    printTable("Table II — Code Generation Experiments for Target "
+               "Architecture II (arch2: U1 loses SUB, U3 removed)",
+               rows, hoff);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "table2_arch2: %s\n", e.what());
+    return 1;
+  }
+}

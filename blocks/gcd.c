@@ -1,0 +1,8 @@
+// MiniC sample: subtraction-based Euclid (compile with avivc blocks/gcd.c).
+// Inputs must be positive.
+int gcd(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  return a;
+}

@@ -1,0 +1,145 @@
+// arch_explore — the paper's motivating use case (Sections I and VI): use
+// retargetable code generation to explore the processor design space. Takes
+// the benchmark blocks and compiles them for a family of architecture
+// variants — the shipped machines plus programmatic mutations (register
+// counts, deleting a unit, removing an operation) — and reports the code
+// size each variant needs, "until the best one is found".
+//
+//   $ arch_explore [--regs 4]
+#include <cstdio>
+
+#include "asmgen/binary.h"
+#include "driver/codegen.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace aviv;
+
+// Deletes one unit from a machine (re-building, since ids shift).
+Machine withoutUnit(const Machine& base, const std::string& unitName) {
+  Machine out(base.name() + "-no-" + unitName);
+  for (const RegFile& rf : base.regFiles()) out.addRegFile(rf);
+  for (const Memory& mem : base.memories()) out.addMemory(mem);
+  for (const Bus& bus : base.buses()) out.addBus(bus);
+  for (const FunctionalUnit& unit : base.units())
+    if (unit.name != unitName) out.addUnit(unit);
+  for (const TransferPath& path : base.transfers()) out.addTransfer(path);
+  // Constraints referencing the deleted unit are dropped.
+  for (const Constraint& c : base.constraints()) {
+    bool keep = true;
+    for (const OpSel& sel : c.together)
+      keep &= base.unit(sel.unit).name != unitName;
+    if (!keep) continue;
+    Constraint remapped = c;
+    for (OpSel& sel : remapped.together)
+      sel.unit = *out.findUnit(base.unit(sel.unit).name);
+    out.addConstraint(remapped);
+  }
+  out.validate();
+  return out;
+}
+
+// Removes one operation kind from one unit.
+Machine withoutOp(const Machine& base, const std::string& unitName, Op op) {
+  Machine rebuilt(base.name() + "-" + unitName + "-no-" +
+                  std::string(opName(op)));
+  for (const RegFile& rf : base.regFiles()) rebuilt.addRegFile(rf);
+  for (const Memory& mem : base.memories()) rebuilt.addMemory(mem);
+  for (const Bus& bus : base.buses()) rebuilt.addBus(bus);
+  for (const FunctionalUnit& unit : base.units()) {
+    FunctionalUnit copy = unit;
+    if (unit.name == unitName) {
+      copy.ops.clear();
+      for (const UnitOp& uop : unit.ops)
+        if (uop.op != op) copy.ops.push_back(uop);
+    }
+    rebuilt.addUnit(std::move(copy));
+  }
+  for (const TransferPath& path : base.transfers()) rebuilt.addTransfer(path);
+  for (const Constraint& c : base.constraints()) rebuilt.addConstraint(c);
+  rebuilt.validate();
+  return rebuilt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliFlags flags(argc, argv);
+    const int regs = static_cast<int>(flags.getInt("regs", 4));
+    flags.finish();
+
+    std::vector<Machine> variants;
+    variants.push_back(loadMachine("arch1").withRegisterCount(regs));
+    variants.push_back(loadMachine("arch2").withRegisterCount(regs));
+    variants.push_back(loadMachine("arch3").withRegisterCount(regs));
+    variants.push_back(loadMachine("arch4").withRegisterCount(regs));
+    variants.push_back(withoutUnit(variants[0], "U3"));
+    variants.push_back(withoutOp(variants[0], "U2", Op::kMul));
+    variants.push_back(variants[0].withRegisterCount(2));
+
+    const std::vector<std::string> blocks = {"ex1", "ex2", "ex3", "ex4",
+                                             "ex5"};
+    std::vector<std::string> headers = {"Architecture", "Units"};
+    for (const std::string& block : blocks) headers.push_back(block);
+    headers.push_back("total");
+    headers.push_back("instr bits");
+    headers.push_back("ROM bytes");
+    TextTable table(headers);
+
+    std::printf("Architecture exploration: code size (VLIW instructions) "
+                "per benchmark block\n\n");
+    int bestTotal = INT32_MAX;
+    std::string bestName;
+    for (const Machine& machine : variants) {
+      CodeGenerator generator(machine);
+      std::vector<std::string> row = {machine.name(),
+                                      std::to_string(machine.units().size())};
+      int total = 0;
+      size_t romBytes = 0;
+      bool feasible = true;
+      for (const std::string& blockName : blocks) {
+        const BlockDag dag = loadBlock(blockName);
+        try {
+          SymbolTable symbols;
+          const CompiledBlock compiled = generator.compileBlock(dag, symbols);
+          total += compiled.numInstructions();
+          romBytes +=
+              assembleBinary(compiled.image, machine, symbols).romBytes();
+          std::string cell = std::to_string(compiled.numInstructions());
+          if (compiled.core.stats.cover.spillsInserted > 0)
+            cell += "+" +
+                    std::to_string(compiled.core.stats.cover.spillsInserted) +
+                    "sp";
+          row.push_back(cell);
+        } catch (const Error&) {
+          row.push_back("infeasible");
+          feasible = false;
+        }
+      }
+      row.push_back(feasible ? std::to_string(total) : "-");
+      row.push_back(std::to_string(BinaryFormat(machine).bitsPerInstruction()));
+      row.push_back(feasible ? std::to_string(romBytes) : "-");
+      table.addRow(std::move(row));
+      if (feasible && total < bestTotal) {
+        bestTotal = total;
+        bestName = machine.name();
+      }
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nSmallest total code size: %s (%d instructions for the "
+                "whole suite)\n",
+                bestName.c_str(), bestTotal);
+    std::printf("As in the paper's Table II: removing functional units "
+                "often degrades code size only modestly — the Split-Node "
+                "DAG reroutes work to the remaining units.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arch_explore: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,199 @@
+// avivc — the AVIV command-line compiler: the Fig 1 toolchain in one
+// binary. Compiles a block/program source file for an ISDL machine, prints
+// the VLIW assembly, optionally writes an object file (AVIVBIN) and runs
+// the result on the instruction-level simulator against the reference
+// interpreter.
+//
+//   avivc <file.blk|file.c> --machine <name|path.isdl> [options]
+//
+// .blk sources use the block language; .c sources use the MiniC front end
+// (docs/blocklang.md, src/frontend/minic.h).
+//
+// Options:
+//   --machine <m>        shipped machine name or a path to an .isdl file
+//   --regs <n>           override every register file's size
+//   --o <file>           write the (first block's) AVIVBIN object file
+//   --asm                print assembly (default on)
+//   --bin-stats          print instruction-word format and ROM bytes
+//   --simulate k=v,...   run with the given inputs and print outputs
+//   --trace              with --simulate: print a per-slot execution log
+//   --verify <n>         check n random-input runs against the interpreter
+//   --heuristics on|off  assignment search mode (default on)
+//   --no-peephole        skip the peephole pass
+//   --const-pool         materialize constants via data memory
+//   --outputs-mem        store block outputs to data memory
+#include <cstdio>
+#include <iostream>
+
+#include "asmgen/binary.h"
+#include "driver/codegen.h"
+#include "frontend/minic.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "sim/simulator.h"
+#include "support/cli.h"
+#include "support/io.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace aviv;
+
+Machine resolveMachine(const std::string& spec) {
+  if (endsWith(spec, ".isdl")) return parseMachine(readFile(spec));
+  return loadMachine(spec);
+}
+
+std::map<std::string, int64_t> parseBindings(const std::string& spec) {
+  std::map<std::string, int64_t> values;
+  if (spec.empty()) return values;
+  for (const std::string& item : split(spec, ',')) {
+    const auto parts = split(item, '=');
+    if (parts.size() != 2)
+      throw Error("--simulate expects k=v,...; got '" + item + "'");
+    values[std::string(trim(parts[0]))] =
+        std::stoll(std::string(trim(parts[1])));
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliFlags flags(argc, argv);
+    if (flags.positional().size() != 1)
+      throw Error("usage: avivc <file.blk> --machine <name|file.isdl> "
+                  "[--regs N] [--o out.avivbin] [--simulate k=v,...] "
+                  "[--verify N] [--heuristics on|off] [--no-peephole] "
+                  "[--const-pool] [--outputs-mem] [--bin-stats]");
+    const std::string sourcePath = flags.positional()[0];
+    Machine machine = resolveMachine(flags.getString("machine", "arch1"));
+    const int regs = static_cast<int>(flags.getInt("regs", 0));
+    if (regs > 0) machine = machine.withRegisterCount(regs);
+    const std::string objectPath = flags.getString("o", "");
+    const bool printAsm = flags.getBool("asm", true);
+    const bool binStats = flags.getBool("bin-stats", false);
+    const std::string simulate = flags.getString("simulate", "");
+    const bool traceRun = flags.getBool("trace", false);
+    const int verifyRuns = static_cast<int>(flags.getInt("verify", 0));
+    const std::string heuristics = flags.getString("heuristics", "on");
+    DriverOptions options;
+    options.core = heuristics == "off" ? CodegenOptions::heuristicsOff()
+                                       : CodegenOptions::heuristicsOn();
+    options.runPeephole = !flags.getBool("no-peephole", false);
+    options.core.constantsInMemory = flags.getBool("const-pool", false);
+    options.core.outputsToMemory = flags.getBool("outputs-mem", false);
+    flags.finish();
+
+    const Program program = [&] {
+      if (endsWith(sourcePath, ".c"))
+        return parseMiniC(readFile(sourcePath)).program;
+      return parseProgram(readFile(sourcePath), sourcePath);
+    }();
+    CodeGenerator generator(machine, options);
+    const bool multiBlock = program.numBlocks() > 1;
+
+    if (multiBlock) {
+      const CompiledProgram compiled = generator.compileProgram(program);
+      std::printf("; program '%s' on %s: %d instructions total "
+                  "(%zu blocks + control)\n\n",
+                  program.name().c_str(), machine.name().c_str(),
+                  compiled.totalInstructions(), compiled.blocks.size());
+      if (printAsm) {
+        for (const CompiledBlock& block : compiled.blocks)
+          std::printf("%s\n", block.image.asmText(machine).c_str());
+      }
+      if (!simulate.empty()) {
+        const auto inputs = parseBindings(simulate);
+        const auto outputs = simulateProgram(machine, compiled, inputs);
+        for (const auto& [name, value] : outputs)
+          std::printf("%s = %lld\n", name.c_str(),
+                      static_cast<long long>(value));
+      }
+      if (verifyRuns > 0) {
+        Rng rng(1);
+        std::map<std::string, int64_t> inputs;
+        for (int run = 0; run < verifyRuns; ++run) {
+          for (const std::string& name : program.block(0).inputNames())
+            inputs[name] = rng.intIn(-100, 100);
+          const auto expected = evalProgram(program, inputs);
+          const auto actual = simulateProgram(machine, compiled, inputs);
+          for (const auto& [name, value] : expected) {
+            if (actual.count(name) && actual.at(name) != value) {
+              std::printf("VERIFY FAILED: %s\n", name.c_str());
+              return 1;
+            }
+          }
+        }
+        std::printf("; verified %d random-input runs against the reference "
+                    "interpreter\n",
+                    verifyRuns);
+      }
+      if (!objectPath.empty())
+        std::fprintf(stderr,
+                     "avivc: --o only supports single-block sources\n");
+      return 0;
+    }
+
+    // Single block: full toolchain including the assembler.
+    const BlockDag& block = program.block(0);
+    SymbolTable symbols;
+    const CompiledBlock compiled = generator.compileBlock(block, symbols);
+    if (printAsm)
+      std::printf("%s\n", compiled.image.asmText(machine).c_str());
+
+    const BinaryImage binary =
+        assembleBinary(compiled.image, machine, symbols);
+    if (binStats) {
+      const BinaryFormat format(machine);
+      std::printf("%s", format.describe().c_str());
+      std::printf("ROM: %d instructions x %d bits = %zu bytes\n\n",
+                  binary.numInstructions, binary.bitsPerInstruction,
+                  binary.romBytes());
+    }
+    if (!objectPath.empty()) {
+      writeFile(objectPath, serializeBinary(binary));
+      std::printf("; object written to %s (%zu ROM bytes)\n",
+                  objectPath.c_str(), binary.romBytes());
+    }
+
+    const Simulator sim(machine);
+    if (!simulate.empty()) {
+      const auto inputs = parseBindings(simulate);
+      MachineState state = sim.initialState();
+      sim.writeVars(state, symbols, inputs);
+      sim.loadConstPool(state, compiled.image);
+      const auto outputs =
+          sim.runBlock(compiled.image, state, nullptr,
+                       traceRun ? &std::cout : nullptr);
+      for (const auto& [name, value] : outputs)
+        std::printf("%s = %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+    }
+    if (verifyRuns > 0) {
+      // Verify the *disassembled binary*, exercising the whole Fig 1 loop.
+      const CodeImage decoded = disassembleBinary(binary, machine);
+      Rng rng(1);
+      for (int run = 0; run < verifyRuns; ++run) {
+        std::map<std::string, int64_t> inputs;
+        for (const std::string& name : block.inputNames())
+          inputs[name] = rng.intIn(-100, 100);
+        if (sim.runBlockFresh(decoded, symbols, inputs) !=
+            evalDagOutputs(block, inputs)) {
+          std::printf("VERIFY FAILED on run %d\n", run);
+          return 1;
+        }
+      }
+      std::printf("; verified %d random-input runs of the assembled binary "
+                  "against the reference interpreter\n",
+                  verifyRuns);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "avivc: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,114 @@
+// isdl_tool — inspects an ISDL machine description the way AVIV's front end
+// does (paper Section II): parses it, prints the machine summary, and dumps
+// the derived databases — the operation correlation database, the expanded
+// (multi-step) transfer database, and the constraint database. Optionally
+// emits the Split-Node DAG of a block as Graphviz DOT.
+//
+//   $ isdl_tool [--machine arch3] [--block fig2] [--dot out.dot]
+#include <cstdio>
+
+#include "core/splitnode.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "support/cli.h"
+#include "support/io.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace aviv;
+  try {
+    CliFlags flags(argc, argv);
+    const std::string machineName = flags.getString("machine", "arch3");
+    const std::string blockName = flags.getString("block", "");
+    const std::string dotPath = flags.getString("dot", "");
+    flags.finish();
+
+    const Machine machine = loadMachine(machineName);
+    const MachineDatabases dbs(machine);
+    std::printf("%s\n", machine.summary().c_str());
+
+    std::printf("Operation correlation database (SUIF op -> target ops):\n");
+    for (int i = 0; i < kNumOps; ++i) {
+      const Op op = static_cast<Op>(i);
+      if (!isMachineOp(op)) continue;
+      const auto& impls = dbs.ops.implsFor(op);
+      if (impls.empty()) continue;
+      std::printf("  %-6s ->", std::string(opName(op)).c_str());
+      for (const OpImpl& impl : impls)
+        std::printf(" %s", machine.unit(impl.unit).name.c_str());
+      std::printf("\n");
+    }
+
+    std::printf("\nExpanded transfer database (minimal routes, incl. "
+                "multi-step):\n");
+    std::vector<Loc> locs;
+    for (size_t i = 0; i < machine.regFiles().size(); ++i)
+      locs.push_back(Loc::regFile(static_cast<RegFileId>(i)));
+    for (size_t i = 0; i < machine.memories().size(); ++i)
+      locs.push_back(Loc::memory(static_cast<MemoryId>(i)));
+    for (const Loc& from : locs) {
+      for (const Loc& to : locs) {
+        if (from == to) continue;
+        const int cost = dbs.transfers.cost(from, to);
+        if (cost >= TransferDatabase::kUnreachable) {
+          std::printf("  %-4s -> %-4s  unreachable\n",
+                      machine.locName(from).c_str(),
+                      machine.locName(to).c_str());
+          continue;
+        }
+        const auto& routes = dbs.transfers.routes(from, to);
+        std::printf("  %-4s -> %-4s  %d hop%s, %zu route%s:",
+                    machine.locName(from).c_str(),
+                    machine.locName(to).c_str(), cost, cost == 1 ? "" : "s",
+                    routes.size(), routes.size() == 1 ? "" : "s");
+        for (const TransferRoute& route : routes) {
+          std::printf(" [");
+          for (size_t h = 0; h < route.pathIds.size(); ++h) {
+            const TransferPath& p =
+                machine.transfers()[static_cast<size_t>(route.pathIds[h])];
+            if (h != 0) std::printf(" ");
+            std::printf("%s:%s->%s", machine.bus(p.bus).name.c_str(),
+                        machine.locName(p.from).c_str(),
+                        machine.locName(p.to).c_str());
+          }
+          std::printf("]");
+        }
+        std::printf("\n");
+      }
+    }
+
+    if (machine.constraints().empty()) {
+      std::printf("\nNo constraints (all operation groupings orthogonal).\n");
+    } else {
+      std::printf("\nConstraints (illegal instruction combinations):\n");
+      for (const Constraint& c : machine.constraints()) {
+        std::printf("  illegal together:");
+        for (const OpSel& sel : c.together)
+          std::printf(" %s.%s", machine.unit(sel.unit).name.c_str(),
+                      std::string(opName(sel.op)).c_str());
+        if (!c.note.empty()) std::printf("   (%s)", c.note.c_str());
+        std::printf("\n");
+      }
+    }
+
+    if (!blockName.empty()) {
+      const BlockDag dag = loadBlock(blockName);
+      const SplitNodeDag snd =
+          SplitNodeDag::build(dag, machine, dbs, CodegenOptions{});
+      std::printf("\nSplit-Node DAG of block '%s' on %s: %zu nodes "
+                  "(%zu leaves, %zu splits, %zu alternatives, %zu "
+                  "transfers)\n",
+                  blockName.c_str(), machine.name().c_str(), snd.size(),
+                  snd.numLeafNodes(), snd.numSplitNodes(), snd.numAltNodes(),
+                  snd.numTransferNodes());
+      if (!dotPath.empty()) {
+        writeFile(dotPath, snd.dot());
+        std::printf("DOT written to %s\n", dotPath.c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "isdl_tool: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,479 @@
+#include "asmgen/binary.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+// Bits needed to represent values 0..n-1 (at least 1).
+int ceilLog2(int n) {
+  int bits = 1;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+size_t locIndexOf(const Machine& machine, Loc loc) {
+  return loc.isRegFile() ? loc.index
+                         : machine.regFiles().size() + loc.index;
+}
+
+Loc locOf(const Machine& machine, size_t idx) {
+  if (idx < machine.regFiles().size())
+    return Loc::regFile(static_cast<RegFileId>(idx));
+  const size_t mem = idx - machine.regFiles().size();
+  AVIV_CHECK(mem < machine.memories().size());
+  return Loc::memory(static_cast<MemoryId>(mem));
+}
+
+class BitWriter {
+ public:
+  void write(uint64_t value, int bits) {
+    AVIV_CHECK(bits > 0 && bits <= 64);
+    for (int i = 0; i < bits; ++i) {
+      const size_t word = pos_ / 64;
+      if (word >= words_.size()) words_.push_back(0);
+      if ((value >> i) & 1) words_[word] |= uint64_t{1} << (pos_ % 64);
+      ++pos_;
+    }
+  }
+  void padTo(size_t bits) {
+    AVIV_CHECK(pos_ <= bits);
+    while (pos_ < bits) write(0, 1);
+  }
+  [[nodiscard]] std::vector<uint64_t> take() { return std::move(words_); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t pos_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const uint64_t* words, size_t numWords)
+      : words_(words), numWords_(numWords) {}
+
+  uint64_t read(int bits) {
+    AVIV_CHECK(bits > 0 && bits <= 64);
+    uint64_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      const size_t word = pos_ / 64;
+      AVIV_CHECK(word < numWords_);
+      value |= ((words_[word] >> (pos_ % 64)) & 1) << i;
+      ++pos_;
+    }
+    return value;
+  }
+  void seek(size_t bit) { pos_ = bit; }
+
+ private:
+  const uint64_t* words_;
+  size_t numWords_;
+  size_t pos_ = 0;
+};
+
+int64_t signExtend(uint64_t value, int bits) {
+  const uint64_t sign = uint64_t{1} << (bits - 1);
+  return static_cast<int64_t>((value ^ sign)) - static_cast<int64_t>(sign);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// BinaryFormat
+// ---------------------------------------------------------------------
+
+BinaryFormat::BinaryFormat(const Machine& machine) : machine_(&machine) {
+  int offset = 0;
+
+  int maxIdxBits = 1;
+  for (const RegFile& rf : machine.regFiles())
+    maxIdxBits = std::max(maxIdxBits, ceilLog2(rf.numRegs));
+  for (const Memory& mem : machine.memories())
+    maxIdxBits = std::max(maxIdxBits, ceilLog2(mem.sizeWords));
+  const int locBits = ceilLog2(static_cast<int>(
+      machine.regFiles().size() + machine.memories().size()));
+
+  for (UnitId u = 0; u < machine.units().size(); ++u) {
+    const FunctionalUnit& unit = machine.unit(u);
+    UnitSlot slot;
+    slot.offset = offset;
+    slot.opcodeBits = ceilLog2(static_cast<int>(unit.ops.size()));
+    slot.dstBits = ceilLog2(machine.regFile(unit.regFile).numRegs);
+    for (const UnitOp& op : unit.ops)
+      slot.operandCount = std::max(slot.operandCount, opArity(op.op));
+    slot.srcFieldBits =
+        std::max(ceilLog2(machine.regFile(unit.regFile).numRegs), kImmBits);
+    slot.totalBits = 1 + slot.opcodeBits + slot.dstBits +
+                     slot.operandCount * (1 + slot.srcFieldBits);
+    offset += slot.totalBits;
+    unitSlots_.push_back(slot);
+  }
+
+  for (BusId b = 0; b < machine.buses().size(); ++b) {
+    std::vector<BusSlot> slots;
+    for (int k = 0; k < machine.bus(b).capacity; ++k) {
+      BusSlot slot;
+      slot.offset = offset;
+      slot.locBits = locBits;
+      slot.idxBits = maxIdxBits;
+      slot.totalBits = 1 + 2 * (slot.locBits + slot.idxBits);
+      offset += slot.totalBits;
+      slots.push_back(slot);
+    }
+    busSlots_.push_back(std::move(slots));
+  }
+  bitsPerInstr_ = offset;
+}
+
+const BinaryFormat::BusSlot& BinaryFormat::busSlot(BusId bus, int k) const {
+  AVIV_CHECK(bus < busSlots_.size());
+  AVIV_CHECK(k >= 0 && static_cast<size_t>(k) < busSlots_[bus].size());
+  return busSlots_[bus][static_cast<size_t>(k)];
+}
+
+int BinaryFormat::busSlotCount(BusId bus) const {
+  AVIV_CHECK(bus < busSlots_.size());
+  return static_cast<int>(busSlots_[bus].size());
+}
+
+std::string BinaryFormat::describe() const {
+  std::string s = "instruction word: " + std::to_string(bitsPerInstr_) +
+                  " bits (" + std::to_string(wordsPerInstruction()) +
+                  " x 64-bit words)\n";
+  for (UnitId u = 0; u < machine_->units().size(); ++u) {
+    const UnitSlot& slot = unitSlots_[u];
+    s += "  [" + std::to_string(slot.offset) + "..] unit " +
+         machine_->unit(u).name + ": present(1) opcode(" +
+         std::to_string(slot.opcodeBits) + ") dst(" +
+         std::to_string(slot.dstBits) + ") + " +
+         std::to_string(slot.operandCount) + " x {imm(1) src(" +
+         std::to_string(slot.srcFieldBits) + ")}\n";
+  }
+  for (BusId b = 0; b < machine_->buses().size(); ++b) {
+    for (int k = 0; k < busSlotCount(b); ++k) {
+      const BusSlot& slot = busSlot(b, k);
+      s += "  [" + std::to_string(slot.offset) + "..] bus " +
+           machine_->bus(b).name + " slot " + std::to_string(k) +
+           ": present(1) 2 x {loc(" + std::to_string(slot.locBits) +
+           ") idx(" + std::to_string(slot.idxBits) + ")}\n";
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------
+
+BinaryImage assembleBinary(const CodeImage& image, const Machine& machine,
+                           const SymbolTable& symbols) {
+  const BinaryFormat format(machine);
+  BinaryImage binary;
+  binary.blockName = image.blockName;
+  binary.machineName = machine.name();
+  binary.bitsPerInstruction = format.bitsPerInstruction();
+  binary.numInstructions = image.numInstructions();
+  binary.outputs = image.outputs;
+  binary.spillBase = image.spillBase;
+  binary.numSpillSlots = image.numSpillSlots;
+  binary.constPool = image.constPool;
+  for (const auto& [name, addr] : symbols.all())
+    binary.symbols.emplace_back(name, addr);
+
+  for (const EncInstr& instr : image.instrs) {
+    BitWriter writer;
+    // Deterministic slot assembly: gather per-unit / per-bus occupancy.
+    std::vector<const EncOp*> opOfUnit(machine.units().size(), nullptr);
+    for (const EncOp& op : instr.ops) {
+      AVIV_CHECK_MSG(opOfUnit[op.unit] == nullptr, "two ops on one unit");
+      opOfUnit[op.unit] = &op;
+    }
+    std::vector<std::vector<const EncXfer*>> xfersOfBus(
+        machine.buses().size());
+    for (const EncXfer& xfer : instr.xfers)
+      xfersOfBus[xfer.bus].push_back(&xfer);
+
+    for (UnitId u = 0; u < machine.units().size(); ++u) {
+      const auto& slot = format.unitSlot(u);
+      const EncOp* op = opOfUnit[u];
+      if (op == nullptr) {
+        writer.write(0, slot.totalBits);  // absent: all-zero slot
+        continue;
+      }
+      writer.write(1, 1);
+      // Opcode: index of the (op kind) in the unit's repertoire.
+      const auto opcode = machine.unit(u).findOp(op->op);
+      AVIV_CHECK(opcode.has_value());
+      writer.write(static_cast<uint64_t>(*opcode), slot.opcodeBits);
+      writer.write(static_cast<uint64_t>(op->dstReg), slot.dstBits);
+      for (int i = 0; i < slot.operandCount; ++i) {
+        if (i < static_cast<int>(op->srcs.size())) {
+          const EncOperand& src = op->srcs[static_cast<size_t>(i)];
+          writer.write(src.isImm ? 1 : 0, 1);
+          if (src.isImm) {
+            if (src.imm < -(1 << (kImmBits - 1)) ||
+                src.imm >= (1 << (kImmBits - 1)))
+              throw Error("immediate " + std::to_string(src.imm) +
+                          " exceeds the " + std::to_string(kImmBits) +
+                          "-bit encoding range (enable the constant pool: "
+                          "CodegenOptions::constantsInMemory)");
+            writer.write(static_cast<uint64_t>(src.imm) &
+                             ((uint64_t{1} << slot.srcFieldBits) - 1),
+                         slot.srcFieldBits);
+          } else {
+            writer.write(static_cast<uint64_t>(src.reg), slot.srcFieldBits);
+          }
+        } else {
+          writer.write(0, 1 + slot.srcFieldBits);
+        }
+      }
+    }
+
+    for (BusId b = 0; b < machine.buses().size(); ++b) {
+      const auto& xfers = xfersOfBus[b];
+      AVIV_CHECK_MSG(static_cast<int>(xfers.size()) <= format.busSlotCount(b),
+                     "bus oversubscribed during assembly");
+      for (int k = 0; k < format.busSlotCount(b); ++k) {
+        const auto& slot = format.busSlot(b, k);
+        if (k >= static_cast<int>(xfers.size())) {
+          writer.write(0, slot.totalBits);
+          continue;
+        }
+        const EncXfer& xfer = *xfers[static_cast<size_t>(k)];
+        writer.write(1, 1);
+        writer.write(locIndexOf(machine, xfer.from), slot.locBits);
+        writer.write(static_cast<uint64_t>(
+                         xfer.from.isRegFile() ? xfer.srcReg : xfer.memAddr),
+                     slot.idxBits);
+        writer.write(locIndexOf(machine, xfer.to), slot.locBits);
+        writer.write(static_cast<uint64_t>(
+                         xfer.to.isRegFile() ? xfer.dstReg : xfer.memAddr),
+                     slot.idxBits);
+      }
+    }
+
+    writer.padTo(static_cast<size_t>(format.wordsPerInstruction()) * 64);
+    const auto words = writer.take();
+    AVIV_CHECK(static_cast<int>(words.size()) ==
+               format.wordsPerInstruction());
+    binary.code.insert(binary.code.end(), words.begin(), words.end());
+  }
+  return binary;
+}
+
+// ---------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------
+
+CodeImage disassembleBinary(const BinaryImage& binary,
+                            const Machine& machine) {
+  if (binary.machineName != machine.name())
+    throw Error("binary was assembled for machine '" + binary.machineName +
+                "', not '" + machine.name() + "'");
+  const BinaryFormat format(machine);
+  if (binary.bitsPerInstruction != format.bitsPerInstruction())
+    throw Error("binary instruction width mismatch (stale machine "
+                "description?)");
+
+  // Reverse symbol map for listing comments.
+  std::map<int, std::string> nameOfAddr;
+  for (const auto& [name, addr] : binary.symbols) nameOfAddr[addr] = name;
+  auto commentFor = [&](int addr) -> std::string {
+    if (addr >= binary.spillBase)
+      return "spill" + std::to_string(addr - binary.spillBase);
+    const auto it = nameOfAddr.find(addr);
+    return it == nameOfAddr.end() ? std::string{} : it->second;
+  };
+
+  CodeImage image;
+  image.blockName = binary.blockName;
+  image.machineName = binary.machineName;
+  image.outputs = binary.outputs;
+  image.spillBase = binary.spillBase;
+  image.numSpillSlots = binary.numSpillSlots;
+  image.constPool = binary.constPool;
+
+  const int wordsPer = format.wordsPerInstruction();
+  AVIV_CHECK(binary.code.size() ==
+             static_cast<size_t>(binary.numInstructions) *
+                 static_cast<size_t>(wordsPer));
+
+  for (int c = 0; c < binary.numInstructions; ++c) {
+    BitReader reader(binary.code.data() +
+                         static_cast<size_t>(c) * static_cast<size_t>(wordsPer),
+                     static_cast<size_t>(wordsPer));
+    EncInstr instr;
+    for (UnitId u = 0; u < machine.units().size(); ++u) {
+      const auto& slot = format.unitSlot(u);
+      reader.seek(static_cast<size_t>(slot.offset));
+      if (reader.read(1) == 0) continue;
+      EncOp op;
+      op.unit = u;
+      const auto opcode = reader.read(slot.opcodeBits);
+      if (opcode >= machine.unit(u).ops.size())
+        throw Error("corrupt binary: bad opcode on unit " +
+                    machine.unit(u).name);
+      const UnitOp& unitOp = machine.unit(u).ops[opcode];
+      op.op = unitOp.op;
+      op.mnemonic = unitOp.mnemonic;
+      op.dstReg = static_cast<int>(reader.read(slot.dstBits));
+      for (int i = 0; i < opArity(op.op); ++i) {
+        EncOperand src;
+        src.isImm = reader.read(1) != 0;
+        const uint64_t raw = reader.read(slot.srcFieldBits);
+        if (src.isImm)
+          src.imm = signExtend(raw, slot.srcFieldBits);
+        else
+          src.reg = static_cast<int>(raw);
+        op.srcs.push_back(src);
+      }
+      instr.ops.push_back(std::move(op));
+    }
+    for (BusId b = 0; b < machine.buses().size(); ++b) {
+      for (int k = 0; k < format.busSlotCount(b); ++k) {
+        const auto& slot = format.busSlot(b, k);
+        reader.seek(static_cast<size_t>(slot.offset));
+        if (reader.read(1) == 0) continue;
+        EncXfer xfer;
+        xfer.bus = b;
+        xfer.from = locOf(machine, reader.read(slot.locBits));
+        const int srcIdx = static_cast<int>(reader.read(slot.idxBits));
+        xfer.to = locOf(machine, reader.read(slot.locBits));
+        const int dstIdx = static_cast<int>(reader.read(slot.idxBits));
+        if (xfer.from.isRegFile())
+          xfer.srcReg = srcIdx;
+        else
+          xfer.memAddr = srcIdx;
+        if (xfer.to.isRegFile())
+          xfer.dstReg = dstIdx;
+        else
+          xfer.memAddr = dstIdx;
+        if (xfer.memAddr >= 0) xfer.comment = commentFor(xfer.memAddr);
+        instr.xfers.push_back(std::move(xfer));
+      }
+    }
+    image.instrs.push_back(std::move(instr));
+  }
+  return image;
+}
+
+// ---------------------------------------------------------------------
+// Object-file serialization
+// ---------------------------------------------------------------------
+
+std::string serializeBinary(const BinaryImage& binary) {
+  std::ostringstream out;
+  out << "AVIVBIN 1\n";
+  out << "machine " << binary.machineName << "\n";
+  out << "block " << binary.blockName << "\n";
+  out << "bits " << binary.bitsPerInstruction << "\n";
+  out << "instrs " << binary.numInstructions << "\n";
+  out << "spill " << binary.spillBase << " " << binary.numSpillSlots << "\n";
+  out << "symbols " << binary.symbols.size() << "\n";
+  for (const auto& [name, addr] : binary.symbols)
+    out << name << " " << addr << "\n";
+  out << "outputs " << binary.outputs.size() << "\n";
+  for (const OutputBinding& b : binary.outputs) {
+    if (b.inMemory)
+      out << b.name << " mem " << b.memAddr << "\n";
+    else
+      out << b.name << " reg " << b.loc.index << " " << b.reg << "\n";
+  }
+  out << "pool " << binary.constPool.size() << "\n";
+  for (const auto& [addr, value] : binary.constPool)
+    out << addr << " " << value << "\n";
+  out << "code " << binary.code.size() << "\n";
+  out << std::hex;
+  for (uint64_t word : binary.code) out << "0x" << word << "\n";
+  return out.str();
+}
+
+BinaryImage parseBinary(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  auto expect = [&](const std::string& expected) {
+    in >> keyword;
+    if (!in || keyword != expected)
+      throw Error("malformed AVIV binary: expected '" + expected + "'");
+  };
+
+  BinaryImage binary;
+  int version = 0;
+  expect("AVIVBIN");
+  in >> version;
+  if (!in || version != 1)
+    throw Error("unsupported AVIV binary version");
+  expect("machine");
+  in >> binary.machineName;
+  expect("block");
+  in >> binary.blockName;
+  expect("bits");
+  in >> binary.bitsPerInstruction;
+  expect("instrs");
+  in >> binary.numInstructions;
+  expect("spill");
+  in >> binary.spillBase >> binary.numSpillSlots;
+
+  expect("symbols");
+  size_t numSymbols = 0;
+  in >> numSymbols;
+  for (size_t i = 0; i < numSymbols; ++i) {
+    std::string name;
+    int addr = 0;
+    in >> name >> addr;
+    if (!in) throw Error("malformed AVIV binary: symbol table");
+    binary.symbols.emplace_back(name, addr);
+  }
+
+  expect("outputs");
+  size_t numOutputs = 0;
+  in >> numOutputs;
+  for (size_t i = 0; i < numOutputs; ++i) {
+    OutputBinding b;
+    std::string kind;
+    in >> b.name >> kind;
+    if (kind == "mem") {
+      b.inMemory = true;
+      in >> b.memAddr;
+    } else if (kind == "reg") {
+      uint16_t index = 0;
+      in >> index >> b.reg;
+      b.loc = Loc::regFile(index);
+    } else {
+      throw Error("malformed AVIV binary: output binding kind '" + kind +
+                  "'");
+    }
+    if (!in) throw Error("malformed AVIV binary: outputs");
+    binary.outputs.push_back(std::move(b));
+  }
+
+  expect("pool");
+  size_t poolSize = 0;
+  in >> poolSize;
+  for (size_t i = 0; i < poolSize; ++i) {
+    int addr = 0;
+    int64_t value = 0;
+    in >> addr >> value;
+    if (!in) throw Error("malformed AVIV binary: constant pool");
+    binary.constPool.emplace_back(addr, value);
+  }
+
+  expect("code");
+  size_t numWords = 0;
+  in >> numWords;
+  in >> std::hex;
+  for (size_t i = 0; i < numWords; ++i) {
+    uint64_t word = 0;
+    in >> word;
+    if (!in) throw Error("malformed AVIV binary: code section");
+    binary.code.push_back(word);
+  }
+  return binary;
+}
+
+}  // namespace aviv

@@ -1,0 +1,117 @@
+// Binary instruction encoding — the paper's Fig 1 assembler leg: "the
+// automatically generated assembler transforms the code produced by the
+// compiler to a binary file that is used as input to an instruction-level
+// simulator".
+//
+// The instruction word format is derived from the machine description, the
+// way ISDL's format section would drive an assembler generator:
+//
+//   word := [unit slot]*  [bus slot]*      (fixed layout, LSB first)
+//   unit slot := present(1) opcode(ceil lg #ops) dst(ceil lg regs)
+//                { isImm(1) src(max(ceil lg regs, kImmBits)) } per operand
+//   bus slot  := present(1) srcLoc(ceil lg #locs) srcIdx(addr/reg bits)
+//                dstLoc(...) dstIdx(...)
+//
+// Operand counts per unit slot are sized for the unit's widest op.
+// Immediates are kImmBits-bit signed; larger constants must go through the
+// constant pool (CodegenOptions::constantsInMemory). A bus with capacity c
+// contributes c slots.
+//
+// BinaryImage also carries the loader metadata (symbol addresses, output
+// bindings, spill area) a real object file would hold; serialize/parse give
+// a stable on-disk format and decode() reconstructs a CodeImage that must
+// round-trip bit-exactly (tested) and simulate identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmgen/code_image.h"
+#include "isdl/machine.h"
+
+namespace aviv {
+
+inline constexpr int kImmBits = 16;
+
+// Bit-level layout computed from a machine.
+class BinaryFormat {
+ public:
+  explicit BinaryFormat(const Machine& machine);
+
+  [[nodiscard]] int bitsPerInstruction() const { return bitsPerInstr_; }
+  [[nodiscard]] int wordsPerInstruction() const {
+    return (bitsPerInstr_ + 63) / 64;
+  }
+  // Human-readable field map (for documentation / debugging).
+  [[nodiscard]] std::string describe() const;
+
+  // --- layout queries used by encoder/decoder -------------------------
+  struct UnitSlot {
+    int offset = 0;       // bit offset of the present flag
+    int opcodeBits = 0;
+    int dstBits = 0;
+    int operandCount = 0;
+    int srcFieldBits = 0;  // per operand, excluding the isImm flag
+    int totalBits = 0;
+  };
+  struct BusSlot {
+    int offset = 0;
+    int locBits = 0;
+    int idxBits = 0;  // max(reg bits, memory address bits)
+    int totalBits = 0;
+  };
+  [[nodiscard]] const UnitSlot& unitSlot(UnitId unit) const {
+    return unitSlots_[unit];
+  }
+  // Slot `k` of bus `bus` (k < capacity).
+  [[nodiscard]] const BusSlot& busSlot(BusId bus, int k) const;
+  [[nodiscard]] int busSlotCount(BusId bus) const;
+
+  [[nodiscard]] const Machine& machine() const { return *machine_; }
+
+ private:
+  const Machine* machine_;
+  std::vector<UnitSlot> unitSlots_;
+  std::vector<std::vector<BusSlot>> busSlots_;  // per bus, per capacity slot
+  int bitsPerInstr_ = 0;
+};
+
+struct BinaryImage {
+  std::string blockName;
+  std::string machineName;
+  int bitsPerInstruction = 0;
+  std::vector<uint64_t> code;  // wordsPerInstruction() per instruction
+  int numInstructions = 0;
+
+  // Loader metadata.
+  std::vector<std::pair<std::string, int>> symbols;  // name -> DM address
+  std::vector<OutputBinding> outputs;
+  int spillBase = 0;
+  int numSpillSlots = 0;
+  std::vector<std::pair<int, int64_t>> constPool;
+
+  // ROM footprint in bytes (the paper's optimization target).
+  [[nodiscard]] size_t romBytes() const {
+    return static_cast<size_t>(numInstructions) *
+           static_cast<size_t>((bitsPerInstruction + 7) / 8);
+  }
+};
+
+// Encodes a CodeImage. Throws aviv::Error if an immediate exceeds kImmBits
+// signed range (route large constants through the constant pool).
+[[nodiscard]] BinaryImage assembleBinary(const CodeImage& image,
+                                         const Machine& machine,
+                                         const SymbolTable& symbols);
+
+// Reconstructs a CodeImage (including mnemonics) from a binary. The result
+// must be semantically identical to the original; asmText round-trips.
+[[nodiscard]] CodeImage disassembleBinary(const BinaryImage& binary,
+                                          const Machine& machine);
+
+// Stable textual serialization of a BinaryImage ("object file") and its
+// inverse. Throws aviv::Error on malformed input.
+[[nodiscard]] std::string serializeBinary(const BinaryImage& binary);
+[[nodiscard]] BinaryImage parseBinary(const std::string& text);
+
+}  // namespace aviv

@@ -1,0 +1,69 @@
+#include "asmgen/code_image.h"
+
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+std::string regName(const Machine& machine, Loc loc, int reg) {
+  AVIV_CHECK(loc.isRegFile());
+  return machine.regFile(loc.index).name + ".r" + std::to_string(reg);
+}
+
+std::string memRef(const Machine& machine, Loc loc, int addr,
+                   const std::string& comment) {
+  AVIV_CHECK(loc.isMemory());
+  std::string s =
+      machine.memory(loc.index).name + "[" + std::to_string(addr) + "]";
+  if (!comment.empty()) s += "{" + comment + "}";
+  return s;
+}
+
+}  // namespace
+
+std::string CodeImage::asmText(const Machine& machine) const {
+  std::string out = "; block " + blockName + " on " + machineName + " — " +
+                    std::to_string(instrs.size()) + " instructions\n";
+  for (size_t c = 0; c < instrs.size(); ++c) {
+    const EncInstr& instr = instrs[c];
+    std::string line = "i" + std::to_string(c) + ": {";
+    bool first = true;
+    for (const EncOp& op : instr.ops) {
+      if (!first) line += " |";
+      first = false;
+      line += " " + machine.unit(op.unit).name + ": " + op.mnemonic + " " +
+              regName(machine, machine.unitLoc(op.unit), op.dstReg);
+      for (const EncOperand& src : op.srcs) {
+        line += ", ";
+        line += src.isImm ? "#" + std::to_string(src.imm)
+                          : regName(machine, machine.unitLoc(op.unit), src.reg);
+      }
+    }
+    for (const EncXfer& xfer : instr.xfers) {
+      if (!first) line += " |";
+      first = false;
+      line += " " + machine.bus(xfer.bus).name + ": mov ";
+      line += xfer.to.isRegFile()
+                  ? regName(machine, xfer.to, xfer.dstReg)
+                  : memRef(machine, xfer.to, xfer.memAddr, xfer.comment);
+      line += ", ";
+      line += xfer.from.isRegFile()
+                  ? regName(machine, xfer.from, xfer.srcReg)
+                  : memRef(machine, xfer.from, xfer.memAddr, xfer.comment);
+    }
+    line += " }";
+    out += line + "\n";
+  }
+  for (const OutputBinding& binding : outputs) {
+    out += "; output " + binding.name + " in ";
+    out += binding.inMemory
+               ? memRef(machine, Loc::memory(machine.dataMemory()),
+                        binding.memAddr, "")
+               : regName(machine, binding.loc, binding.reg);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aviv

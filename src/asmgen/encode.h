@@ -1,0 +1,21 @@
+// Encoding: AssignedGraph + Schedule + RegAssignment -> CodeImage.
+// Assigns data-memory addresses for named variables through the shared
+// SymbolTable and places spill slots at the top of data memory (re-used
+// across blocks — spilled values never live across block boundaries).
+#pragma once
+
+#include "asmgen/code_image.h"
+#include "core/assigned.h"
+#include "core/cover.h"
+#include "regalloc/regalloc.h"
+
+namespace aviv {
+
+// Throws aviv::Error when data memory is too small for the variables plus
+// spill slots.
+[[nodiscard]] CodeImage encodeBlock(const AssignedGraph& graph,
+                                    const Schedule& schedule,
+                                    const RegAssignment& regs,
+                                    SymbolTable& symbols);
+
+}  // namespace aviv

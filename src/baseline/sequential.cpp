@@ -1,0 +1,154 @@
+#include "baseline/sequential.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/legality.h"
+#include "core/spill.h"
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+// Phase 1: local, transfer-blind unit selection with load balancing.
+Assignment selectUnitsLocally(const SplitNodeDag& snd) {
+  const BlockDag& ir = snd.ir();
+  const Machine& machine = snd.machine();
+  Assignment assignment;
+  assignment.chosenAlt.assign(ir.size(), kNoSnd);
+
+  std::vector<int> unitLoad(machine.units().size(), 0);
+  std::vector<bool> covered(ir.size(), false);
+  for (NodeId id = 0; id < ir.size(); ++id) {
+    if (isLeafOp(ir.node(id).op) || covered[id]) continue;
+    const auto& alts = snd.altsOf(id);
+    SndId best = kNoSnd;
+    // Prefer complex alternatives (they cover more IR nodes), then the
+    // least-loaded unit; ties by lowest alternative id.
+    auto key = [&](SndId alt) {
+      const SndNode& a = snd.node(alt);
+      return std::make_tuple(-static_cast<int>(a.covers.size()),
+                             unitLoad[a.unit], alt);
+    };
+    for (SndId alt : alts) {
+      if (best == kNoSnd || key(alt) < key(best)) best = alt;
+    }
+    AVIV_CHECK(best != kNoSnd);
+    assignment.chosenAlt[id] = best;
+    unitLoad[snd.node(best).unit] += 1;
+    for (size_t c = 1; c < snd.node(best).covers.size(); ++c)
+      covered[snd.node(best).covers[c]] = true;
+  }
+  // A complex alternative may have fused an interior node that was visited
+  // (and assigned) earlier in id order; drop the now-duplicate standalone
+  // implementation.
+  for (NodeId id = 0; id < ir.size(); ++id)
+    if (covered[id]) assignment.chosenAlt[id] = kNoSnd;
+  return assignment;
+}
+
+}  // namespace
+
+BaselineResult sequentialCodegen(const BlockDag& ir, const Machine& machine,
+                                 const MachineDatabases& dbs,
+                                 const CodegenOptions& options) {
+  for (const RegFile& rf : machine.regFiles()) {
+    if (rf.numRegs < 2)
+      throw Error("machine '" + machine.name() + "': register file " +
+                  rf.name + " has fewer than 2 registers");
+  }
+  // Same dead-code-free precondition as coverBlock.
+  {
+    std::vector<bool> live(ir.size(), false);
+    for (const auto& [name, id] : ir.outputs()) live[id] = true;
+    for (NodeId id = ir.size(); id-- > 0;) {
+      for (NodeId operand : ir.node(id).operands)
+        if (live[id]) live[operand] = true;
+    }
+    for (NodeId id = 0; id < ir.size(); ++id)
+      if (isMachineOp(ir.node(id).op) && !live[id])
+        throw Error("block '" + ir.name() +
+                    "': dead operations — run eliminateDeadCode first");
+  }
+  const SplitNodeDag snd = SplitNodeDag::build(ir, machine, dbs, options);
+  Assignment assignment = selectUnitsLocally(snd);
+  AssignedGraph graph = AssignedGraph::materialize(snd, assignment, options);
+
+  // Phase 2/3: list scheduling with spills.
+  Schedule schedule;
+  DynBitset covered(graph.size());
+  auto markDeleted = [&] {
+    for (AgId id = 0; id < graph.size(); ++id)
+      if (graph.node(id).deleted()) covered.set(id);
+  };
+  markDeleted();
+  SpillState spillState;
+  int spills = 0;
+  const size_t spillGuard = 4 * graph.size() + 64;
+  std::vector<int> heights = graph.levelsFromTop();
+
+  while (covered.count() < graph.size()) {
+    // Ready nodes by critical-path priority.
+    std::vector<AgId> ready;
+    for (AgId id = 0; id < graph.size(); ++id) {
+      if (covered.test(id)) continue;
+      bool allPreds = true;
+      for (AgId pred : graph.node(id).preds) allPreds &= covered.test(pred);
+      if (allPreds) ready.push_back(id);
+    }
+    AVIV_CHECK_MSG(!ready.empty(), "baseline scheduling deadlock");
+    std::stable_sort(ready.begin(), ready.end(), [&](AgId a, AgId b) {
+      return heights[a] > heights[b];
+    });
+
+    // Greedy slot filling.
+    std::vector<AgId> instr;
+    DynBitset members(graph.size());
+    for (AgId id : ready) {
+      // Structural compatibility with already-picked members.
+      bool ok = true;
+      for (AgId other : instr) {
+        const AgNode& a = graph.node(id);
+        const AgNode& b = graph.node(other);
+        if (a.kind == AgKind::kOp && b.kind == AgKind::kOp &&
+            a.unit == b.unit)
+          ok = false;
+        // Ready nodes are mutually independent by construction.
+      }
+      if (!ok) continue;
+      instr.push_back(id);
+      DynBitset candidate = members;
+      candidate.set(id);
+      std::sort(instr.begin(), instr.end());
+      if (!cliqueIsLegal(candidate, graph, dbs.constraints) ||
+          !pressureWithinLimits(graph,
+                                bankPressure(graph, covered, &candidate))) {
+        instr.erase(std::remove(instr.begin(), instr.end(), id), instr.end());
+        continue;
+      }
+      members = std::move(candidate);
+    }
+
+    if (instr.empty()) {
+      if (spills >= static_cast<int>(spillGuard))
+        throw Error("block '" + ir.name() + "' on machine '" +
+                    machine.name() +
+                    "': baseline assignment cannot satisfy register limits");
+      performSpill(graph, dbs.transfers, covered, spillState);
+      spills += 1;
+      covered.resize(graph.size(), false);
+      markDeleted();
+      heights = graph.levelsFromTop();
+      continue;
+    }
+    covered |= members;
+    schedule.instrs.push_back(std::move(instr));
+  }
+
+  verifySchedule(graph, schedule, dbs.constraints);
+  return {std::move(assignment), std::move(graph), std::move(schedule),
+          spills};
+}
+
+}  // namespace aviv

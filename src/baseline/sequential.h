@@ -1,0 +1,38 @@
+// Phase-ordered baseline code generator — the "most current code generation
+// systems address them sequentially" strawman the paper argues against.
+//
+// Phase 1 (instruction selection): each IR operation independently picks a
+//   functional unit by local load balancing, without seeing the transfers or
+//   the schedule that choice will force.
+// Phase 2 (scheduling): classic critical-path list scheduling of the
+//   resulting operation + transfer graph, one cycle at a time.
+// Phase 3 (register limits): when no ready node fits the banks, the same
+//   Fig 9 spill machinery runs.
+//
+// Everything downstream (register allocation, encoding, simulation) is the
+// shared AVIV infrastructure, so code-size differences are attributable to
+// the phase ordering alone. Used by the ablation benches.
+#pragma once
+
+#include "core/assigned.h"
+#include "core/cover.h"
+#include "core/options.h"
+#include "core/splitnode.h"
+
+namespace aviv {
+
+struct BaselineResult {
+  Assignment assignment;
+  AssignedGraph graph;
+  Schedule schedule;
+  int spillsInserted = 0;
+};
+
+// Throws aviv::Error when the fixed assignment cannot satisfy the register
+// limits (callers may retry with outputsToMemory, like the driver does).
+[[nodiscard]] BaselineResult sequentialCodegen(const BlockDag& ir,
+                                               const Machine& machine,
+                                               const MachineDatabases& dbs,
+                                               const CodegenOptions& options);
+
+}  // namespace aviv

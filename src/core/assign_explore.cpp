@@ -1,0 +1,232 @@
+#include "core/assign_explore.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bitset.h"
+#include "support/error.h"
+
+namespace aviv {
+
+SndId Assignment::producerAltOf(NodeId irNode, const SplitNodeDag& snd) const {
+  if (isLeafOp(snd.ir().node(irNode).op)) return kNoSnd;
+  if (chosenAlt[irNode] != kNoSnd) return chosenAlt[irNode];
+  // Fused into a consumer's complex alternative; find it. The pattern
+  // matcher guarantees the (single) user holds the covering alt.
+  const auto users = snd.ir().computeUsers();
+  AVIV_CHECK(users[irNode].size() == 1);
+  const NodeId root = users[irNode][0];
+  const SndId alt = chosenAlt[root];
+  AVIV_CHECK(alt != kNoSnd);
+  const auto& covers = snd.node(alt).covers;
+  AVIV_CHECK(std::find(covers.begin(), covers.end(), irNode) != covers.end());
+  return alt;
+}
+
+AssignmentExplorer::AssignmentExplorer(const SplitNodeDag& snd,
+                                       const CodegenOptions& options)
+    : snd_(snd), options_(options) {}
+
+namespace {
+
+struct State {
+  std::vector<SndId> chosenAlt;   // per IR node
+  std::vector<uint8_t> covered;   // per IR node: fused into a complex alt
+  double cost = 0.0;
+};
+
+// Descendant reachability over the IR DAG (node -> nodes depending on it).
+std::vector<DynBitset> computeReachability(const BlockDag& ir) {
+  std::vector<DynBitset> reach(ir.size(), DynBitset(ir.size()));
+  const auto users = ir.computeUsers();
+  // Reverse id order: users have larger ids, so their sets are final.
+  for (size_t i = ir.size(); i-- > 0;) {
+    for (NodeId user : users[i]) {
+      reach[i].set(user);
+      reach[i] |= reach[user];
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<Assignment> AssignmentExplorer::explore(
+    ExploreStats* stats, std::vector<ExploreTraceEntry>* trace) const {
+  const BlockDag& ir = snd_.ir();
+  const Machine& machine = snd_.machine();
+  const TransferDatabase& xferDb = snd_.databases().transfers;
+  const Loc dataMem = machine.dataMemoryLoc();
+
+  // Visit order: increasing level from the top (consumers first); ties by
+  // fewest alternatives first (most-constrained-first), which also matches
+  // the paper's Fig 6 walk (MUL before ADD).
+  std::vector<NodeId> order;
+  for (NodeId id = 0; id < ir.size(); ++id)
+    if (isMachineOp(ir.node(id).op)) order.push_back(id);
+  const auto levels = ir.levelsFromTop();
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (levels[a] != levels[b]) return levels[a] < levels[b];
+    return snd_.altsOf(a).size() < snd_.altsOf(b).size();
+  });
+
+  const auto reach = computeReachability(ir);
+  const auto users = ir.computeUsers();
+
+  ExploreStats localStats;
+  ExploreStats& st = stats != nullptr ? *stats : localStats;
+  st = ExploreStats{};
+
+  std::vector<State> states(1);
+  states[0].chosenAlt.assign(ir.size(), kNoSnd);
+  states[0].covered.assign(ir.size(), 0);
+
+  // The alternative that consumes irNode's value on behalf of user u under
+  // a given state (u itself, or the complex alt covering u).
+  auto consumingAlt = [&](const State& s, NodeId u) -> SndId {
+    if (s.chosenAlt[u] != kNoSnd) return s.chosenAlt[u];
+    if (!s.covered[u]) return kNoSnd;  // not processed yet (cannot happen)
+    AVIV_CHECK(users[u].size() == 1);
+    return s.chosenAlt[users[u][0]];
+  };
+
+  auto incrementalCost = [&](const State& s, NodeId n, SndId altId) {
+    const SndNode& alt = snd_.node(altId);
+    const Loc myLoc = machine.unitLoc(alt.unit);
+    double cost = 0.0;
+
+    // (a) transfers to already-assigned consumers of n's value.
+    for (NodeId u : users[n]) {
+      const SndId consumer = consumingAlt(s, u);
+      if (consumer == kNoSnd) continue;
+      if (consumer == altId) continue;  // u fused into this very alt
+      const SndNode& consumerAlt = snd_.node(consumer);
+      // Count once per appearance of n among the consumer's operands.
+      int uses = 0;
+      for (NodeId operand : consumerAlt.operandIr) uses += operand == n;
+      if (uses == 0) continue;  // n only feeds the fused-away interior
+      const Loc consLoc = machine.unitLoc(consumerAlt.unit);
+      cost += options_.transferCostWeight *
+              static_cast<double>(xferDb.cost(myLoc, consLoc));
+    }
+
+    // (b) loads of named-variable operands from data memory. For complex
+    // alternatives only the root node's own operands count: the fused
+    // interior node's operand loads occur in the plain future too (at the
+    // interior node), so charging them here would bias against fusion.
+    const auto& rootOperands = ir.node(n).operands;
+    for (NodeId operand : alt.operandIr) {
+      const Op operandOp = ir.node(operand).op;
+      const bool loadsFromMemory =
+          operandOp == Op::kInput ||
+          (operandOp == Op::kConst && options_.constantsInMemory);
+      if (!loadsFromMemory) continue;
+      if (alt.covers.size() > 1 &&
+          std::find(rootOperands.begin(), rootOperands.end(), operand) ==
+              rootOperands.end())
+        continue;
+      cost += options_.transferCostWeight *
+              static_cast<double>(xferDb.cost(dataMem, myLoc));
+    }
+
+    // (c) foregone parallelism: independent, already-assigned operations
+    // forced onto the same unit.
+    for (NodeId m : order) {
+      const SndId other = s.chosenAlt[m];
+      if (other == kNoSnd || m == n) continue;
+      if (snd_.node(other).unit != alt.unit) continue;
+      const bool dependent = reach[m].test(n) || reach[n].test(m);
+      if (!dependent) cost += options_.parallelismCostWeight;
+    }
+
+    // (d) complex instructions cover extra nodes with the same instruction.
+    cost -= options_.complexCoverBonus *
+            static_cast<double>(alt.covers.size() - 1);
+
+    // (e) optional register-pressure awareness (paper Section VI, ongoing
+    // work): a crude per-bank producer count against the bank size.
+    if (options_.registerAwareAssignment) {
+      const RegFileId bank = machine.unit(alt.unit).regFile;
+      int producers = 1;
+      for (NodeId m : order) {
+        const SndId other = s.chosenAlt[m];
+        if (other != kNoSnd && m != n &&
+            machine.unit(snd_.node(other).unit).regFile == bank)
+          ++producers;
+      }
+      const int excess = producers - machine.regFile(bank).numRegs;
+      if (excess > 0)
+        cost += options_.registerPressurePenalty * static_cast<double>(excess);
+    }
+    return cost;
+  };
+
+  for (const NodeId n : order) {
+    std::vector<State> next;
+    next.reserve(states.size());
+    for (size_t si = 0; si < states.size(); ++si) {
+      State& s = states[si];
+      if (s.covered[n]) {
+        next.push_back(std::move(s));
+        continue;
+      }
+      const auto& alts = snd_.altsOf(n);
+      std::vector<double> inc(alts.size());
+      double minInc = 1e300;
+      for (size_t a = 0; a < alts.size(); ++a) {
+        inc[a] = incrementalCost(s, n, alts[a]);
+        minInc = std::min(minInc, inc[a]);
+        ++st.statesExpanded;
+      }
+      for (size_t a = 0; a < alts.size(); ++a) {
+        const bool keep = !options_.assignPruneIncremental ||
+                          inc[a] <= minInc + options_.assignPruneSlack + 1e-9;
+        if (trace != nullptr) {
+          trace->push_back({static_cast<int>(si), n, alts[a], inc[a], keep});
+        }
+        if (!keep) continue;
+        State branch = s;  // copy (the moved-from case is the last keep)
+        branch.chosenAlt[n] = alts[a];
+        branch.cost += inc[a];
+        for (size_t c = 1; c < snd_.node(alts[a]).covers.size(); ++c)
+          branch.covered[snd_.node(alts[a]).covers[c]] = 1;
+        next.push_back(std::move(branch));
+      }
+    }
+    states = std::move(next);
+    AVIV_CHECK(!states.empty());
+
+    const size_t cap = options_.assignBeamWidth > 0
+                           ? static_cast<size_t>(options_.assignBeamWidth)
+                           : options_.maxAssignments;
+    if (states.size() > cap) {
+      std::stable_sort(states.begin(), states.end(),
+                       [](const State& a, const State& b) {
+                         return a.cost < b.cost;
+                       });
+      states.resize(cap);
+      st.capped = true;
+    }
+  }
+
+  st.completeAssignments = states.size();
+  std::stable_sort(
+      states.begin(), states.end(),
+      [](const State& a, const State& b) { return a.cost < b.cost; });
+  const size_t keep = std::min<size_t>(
+      states.size(),
+      options_.assignKeepBest > 0 ? static_cast<size_t>(options_.assignKeepBest)
+                                  : states.size());
+
+  std::vector<Assignment> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    Assignment a;
+    a.chosenAlt = std::move(states[i].chosenAlt);
+    a.cost = states[i].cost;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace aviv

@@ -1,0 +1,165 @@
+#include "core/clique.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+struct Generator {
+  const ParallelismMatrix& matrix;
+  const DynBitset& active;
+  size_t maxCliques;
+  CliqueGenStats* stats;
+  std::vector<DynBitset> out;
+
+  // Restricted parallel row: neighbours within the active set.
+  [[nodiscard]] DynBitset activeRow(size_t i) const {
+    DynBitset row = matrix.row(i);
+    row &= active;
+    return row;
+  }
+
+  // Paper Fig 8. `clique` is the current clique; `cand` the nodes parallel
+  // with every clique member; `index` the largest seed/branch node so far.
+  void gen(DynBitset clique, DynBitset cand, size_t index) {
+    if (stats != nullptr) ++stats->recursions;
+    if (out.size() >= maxCliques) {
+      if (stats != nullptr) stats->capped = true;
+      return;
+    }
+
+    // First loop: absorb nodes that preclude no other candidate.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = cand.findFirst(); i < cand.size();
+           i = cand.findFirst(i + 1)) {
+        // "adding i will not preclude adding any other node": every other
+        // candidate is parallel with i.
+        DynBitset precluded = cand;
+        precluded.andNot(matrix.row(i));
+        precluded.reset(i);
+        if (precluded.any()) continue;
+        if (i < index) {
+          // Pruning condition: every maximal clique through this branch was
+          // already generated starting from i.
+          if (stats != nullptr) ++stats->pruned;
+          return;
+        }
+        clique.set(i);
+        cand.reset(i);
+        changed = true;
+      }
+    }
+
+    if (cand.none()) {
+      out.push_back(clique);
+      return;
+    }
+
+    // Second loop: branch on each remaining candidate.
+    for (size_t i = cand.findFirst(); i < cand.size();
+         i = cand.findFirst(i + 1)) {
+      DynBitset nextClique = clique;
+      nextClique.set(i);
+      DynBitset nextCand = cand;
+      nextCand &= matrix.row(i);
+      gen(std::move(nextClique), std::move(nextCand), std::max(i, index));
+      if (out.size() >= maxCliques) return;
+    }
+  }
+
+  void run() {
+    for (size_t seed = active.findFirst(); seed < active.size();
+         seed = active.findFirst(seed + 1)) {
+      DynBitset clique(active.size());
+      clique.set(seed);
+      gen(std::move(clique), activeRow(seed), seed);
+      if (out.size() >= maxCliques) {
+        if (stats != nullptr && active.findFirst(seed + 1) < active.size())
+          stats->capped = true;
+        break;
+      }
+    }
+  }
+};
+
+void sortAndDedup(std::vector<DynBitset>& cliques) {
+  std::sort(cliques.begin(), cliques.end(),
+            [](const DynBitset& a, const DynBitset& b) { return a.lexLess(b); });
+  cliques.erase(std::unique(cliques.begin(), cliques.end()), cliques.end());
+}
+
+}  // namespace
+
+std::vector<DynBitset> generateMaximalCliques(const ParallelismMatrix& matrix,
+                                              const DynBitset& active,
+                                              size_t maxCliques,
+                                              CliqueGenStats* stats) {
+  AVIV_CHECK(active.size() == matrix.size());
+  Generator gen{matrix, active, maxCliques, stats, {}};
+  gen.run();
+  sortAndDedup(gen.out);
+  if (stats != nullptr) stats->emitted = gen.out.size();
+  return gen.out;
+}
+
+namespace {
+
+void bronKerbosch(const ParallelismMatrix& matrix, DynBitset r, DynBitset p,
+                  DynBitset x, std::vector<DynBitset>& out) {
+  if (p.none() && x.none()) {
+    out.push_back(std::move(r));
+    return;
+  }
+  // Pivot: candidate from p | x with the most neighbours in p.
+  DynBitset px = p;
+  px |= x;
+  size_t pivot = px.findFirst();
+  size_t bestDeg = 0;
+  for (size_t u = px.findFirst(); u < px.size(); u = px.findFirst(u + 1)) {
+    const size_t deg = p.intersectCount(matrix.row(u));
+    if (deg >= bestDeg) {
+      bestDeg = deg;
+      pivot = u;
+    }
+  }
+  DynBitset branch = p;
+  branch.andNot(matrix.row(pivot));
+  for (size_t v = branch.findFirst(); v < branch.size();
+       v = branch.findFirst(v + 1)) {
+    DynBitset r2 = r;
+    r2.set(v);
+    DynBitset p2 = p;
+    p2 &= matrix.row(v);
+    DynBitset x2 = x;
+    x2 &= matrix.row(v);
+    bronKerbosch(matrix, std::move(r2), std::move(p2), std::move(x2), out);
+    p.reset(v);
+    x.set(v);
+  }
+}
+
+}  // namespace
+
+std::vector<DynBitset> referenceMaximalCliques(const ParallelismMatrix& matrix,
+                                               const DynBitset& active) {
+  AVIV_CHECK(active.size() == matrix.size());
+  std::vector<DynBitset> out;
+  DynBitset p = active;
+  // Restrict rows to active implicitly by intersecting p/x with active rows:
+  // start from p = active and never add non-active nodes.
+  bronKerbosch(matrix, DynBitset(active.size()), std::move(p),
+               DynBitset(active.size()), out);
+  // Bron-Kerbosch over the full rows can include non-active neighbours in
+  // its maximality notion; rows already exclude deleted nodes, and callers
+  // pass active = uncovered. Intersect defensively and re-dedup.
+  for (DynBitset& clique : out) clique &= active;
+  sortAndDedup(out);
+  return out;
+}
+
+}  // namespace aviv

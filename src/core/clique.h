@@ -1,0 +1,38 @@
+// Maximal-clique generation over the pairwise-parallelism matrix — the
+// paper's Fig 8 algorithm, verbatim: a growth loop that first absorbs every
+// candidate whose addition precludes no other candidate (with the `i <
+// index` pruning that stops branches whose cliques were already produced
+// from a smaller seed), then branches on each remaining candidate.
+//
+// Every VLIW instruction the covering engine may emit is one of these
+// cliques (possibly shrunk). referenceMaximalCliques is an independent
+// Bron-Kerbosch implementation used by the property tests to prove the
+// Fig 8 pruning loses nothing.
+#pragma once
+
+#include <vector>
+
+#include "core/parallel_matrix.h"
+#include "support/bitset.h"
+
+namespace aviv {
+
+struct CliqueGenStats {
+  size_t emitted = 0;      // maximal cliques produced (after dedup)
+  size_t recursions = 0;   // gen_max_clique invocations
+  size_t pruned = 0;       // branches cut by the i < index condition
+  bool capped = false;     // hit maxCliques
+};
+
+// All maximal cliques of parallel nodes among `active`. Results are
+// deduplicated and deterministically ordered. `maxCliques` bounds runaway
+// generation (sets stats->capped).
+[[nodiscard]] std::vector<DynBitset> generateMaximalCliques(
+    const ParallelismMatrix& matrix, const DynBitset& active,
+    size_t maxCliques, CliqueGenStats* stats = nullptr);
+
+// Reference Bron-Kerbosch (with pivoting) for property tests.
+[[nodiscard]] std::vector<DynBitset> referenceMaximalCliques(
+    const ParallelismMatrix& matrix, const DynBitset& active);
+
+}  // namespace aviv

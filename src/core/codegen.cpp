@@ -1,0 +1,131 @@
+#include "core/codegen.h"
+
+#include <optional>
+
+#include "support/error.h"
+#include "support/timer.h"
+
+namespace aviv {
+
+namespace {
+
+// The covering/allocation machinery assumes every operation's value is
+// consumed or live-out (the front end's DCE guarantees it; Section II).
+void requireNoDeadOps(const BlockDag& ir) {
+  std::vector<bool> live(ir.size(), false);
+  for (const auto& [name, id] : ir.outputs()) live[id] = true;
+  for (NodeId id = ir.size(); id-- > 0;) {
+    for (NodeId operand : ir.node(id).operands)
+      if (live[id]) live[operand] = true;
+  }
+  for (NodeId id = 0; id < ir.size(); ++id) {
+    if (isMachineOp(ir.node(id).op) && !live[id])
+      throw Error("block '" + ir.name() + "': " + ir.describe(id) +
+                  " is dead (not reachable from any output) — run "
+                  "eliminateDeadCode before compiling");
+  }
+}
+
+}  // namespace
+
+CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
+                      const MachineDatabases& dbs,
+                      const CodegenOptions& options) {
+  WallTimer timer;
+  requireNoDeadOps(ir);
+  // Register requirements below two per bank cannot even hold a binary
+  // operation's operands; reject early with a clear message.
+  for (const RegFile& rf : machine.regFiles()) {
+    if (rf.numRegs < 2)
+      throw Error("machine '" + machine.name() + "': register file " +
+                  rf.name + " has fewer than 2 registers");
+  }
+
+  const SplitNodeDag snd = SplitNodeDag::build(ir, machine, dbs, options);
+
+  CoreStats stats;
+  stats.irNodes = ir.size();
+  stats.sndNodes = snd.size();
+
+  // Adaptive shortcut: enumerate tiny assignment spaces outright.
+  CodegenOptions exploreOptions = options;
+  if (options.smallSpaceExhaustive > 0) {
+    size_t space = 1;
+    for (NodeId id = 0; id < ir.size(); ++id) {
+      if (isLeafOp(ir.node(id).op)) continue;
+      space *= snd.altsOf(id).size();
+      if (space > options.smallSpaceExhaustive) break;
+    }
+    if (space <= options.smallSpaceExhaustive) {
+      exploreOptions.assignPruneIncremental = false;
+      exploreOptions.assignBeamWidth = 0;
+      exploreOptions.assignKeepBest = 1 << 30;
+    }
+  }
+  AssignmentExplorer explorer(snd, exploreOptions);
+  const std::vector<Assignment> assignments = explorer.explore(&stats.explore);
+  AVIV_CHECK(!assignments.empty());
+
+  std::optional<CoreResult> best;
+  std::string lastFailure;
+  auto tryAssignments = [&](const std::vector<Assignment>& candidates) {
+    for (const Assignment& assignment : candidates) {
+      if (options.timeLimitSeconds > 0 && best.has_value() &&
+          timer.seconds() > options.timeLimitSeconds) {
+        stats.timedOut = true;
+        break;
+      }
+      AssignedGraph graph =
+          AssignedGraph::materialize(snd, assignment, options);
+      CoveringEngine engine(graph, dbs.transfers, dbs.constraints, options);
+      CoverStats coverStats;
+      Schedule schedule;
+      try {
+        schedule = engine.run(&coverStats);
+      } catch (const Error& e) {
+        // This assignment cannot satisfy the register limits; try others.
+        lastFailure = e.what();
+        continue;
+      }
+      stats.assignmentsCovered += 1;
+
+      const bool better =
+          !best.has_value() ||
+          schedule.numInstructions() < best->schedule.numInstructions() ||
+          (schedule.numInstructions() == best->schedule.numInstructions() &&
+           coverStats.spillsInserted < best->stats.cover.spillsInserted);
+      if (better) {
+        CoreStats winnerStats = stats;
+        winnerStats.cover = coverStats;
+        best.emplace(CoreResult{assignment, std::move(graph),
+                                std::move(schedule), winnerStats});
+      }
+    }
+  };
+  tryAssignments(assignments);
+
+  if (!best.has_value()) {
+    // Every selected assignment was register-infeasible (the paper's cost
+    // function does not see register limits; Section VI names this as
+    // ongoing work). Widen the search before giving up.
+    CodegenOptions wide = options;
+    wide.assignPruneIncremental = false;
+    wide.assignBeamWidth = 256;
+    wide.assignKeepBest = 64;
+    AssignmentExplorer wideExplorer(snd, wide);
+    tryAssignments(wideExplorer.explore());
+  }
+  if (!best.has_value())
+    throw Error("block '" + ir.name() + "' on machine '" + machine.name() +
+                "': no feasible schedule found (" + lastFailure + ")");
+  // Refresh the shared counters accumulated after the winner was recorded.
+  best->stats.irNodes = stats.irNodes;
+  best->stats.sndNodes = stats.sndNodes;
+  best->stats.explore = stats.explore;
+  best->stats.assignmentsCovered = stats.assignmentsCovered;
+  best->stats.timedOut = stats.timedOut;
+  best->stats.seconds = timer.seconds();
+  return std::move(*best);
+}
+
+}  // namespace aviv

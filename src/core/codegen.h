@@ -1,0 +1,47 @@
+// Core covering pipeline (paper Fig 5, "Overall Algorithm for Covering the
+// Split-Node DAG"):
+//
+//   1. build the Split-Node DAG,
+//   2. explore split-node functional-unit assignments and select several of
+//      the lowest-cost ones,
+//   3. for each selected assignment: insert required transfers, generate
+//      maximal groupings, cover with a minimal-cost legal set (inserting
+//      loads/spills as register limits demand),
+//   4. the assignment whose covering needed the fewest instructions wins.
+//
+// Detailed register allocation and peephole optimization (Sections IV-F/G)
+// run afterwards — see regalloc/ and the driver.
+#pragma once
+
+#include "core/assign_explore.h"
+#include "core/assigned.h"
+#include "core/cover.h"
+#include "core/options.h"
+#include "core/splitnode.h"
+
+namespace aviv {
+
+struct CoreStats {
+  size_t irNodes = 0;
+  size_t sndNodes = 0;  // Split-Node DAG size (Table I column)
+  ExploreStats explore;
+  size_t assignmentsCovered = 0;  // assignments taken through full covering
+  CoverStats cover;               // of the winning assignment
+  bool timedOut = false;
+  double seconds = 0.0;
+};
+
+struct CoreResult {
+  Assignment assignment;
+  AssignedGraph graph;  // winning assignment, spills applied
+  Schedule schedule;
+  CoreStats stats;
+};
+
+// Runs steps 1-4 above. Lifetimes: `ir`, `machine` and `dbs` must outlive
+// the returned result (the graph references them).
+[[nodiscard]] CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
+                                    const MachineDatabases& dbs,
+                                    const CodegenOptions& options);
+
+}  // namespace aviv

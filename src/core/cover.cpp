@@ -1,0 +1,331 @@
+#include "core/cover.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/clique.h"
+#include "core/legality.h"
+#include "core/spill.h"
+#include "core/parallel_matrix.h"
+#include "support/error.h"
+
+namespace aviv {
+
+std::vector<int> Schedule::cycles(size_t graphSize) const {
+  std::vector<int> cycle(graphSize, -1);
+  for (size_t c = 0; c < instrs.size(); ++c)
+    for (AgId id : instrs[c]) cycle[id] = static_cast<int>(c);
+  return cycle;
+}
+
+CoveringEngine::CoveringEngine(AssignedGraph& graph,
+                               const TransferDatabase& xferDb,
+                               const ConstraintDatabase& constraints,
+                               const CodegenOptions& options)
+    : graph_(graph),
+      xferDb_(xferDb),
+      constraints_(constraints),
+      options_(options) {}
+
+namespace {
+
+// Live-out values (block outputs) never die.
+DynBitset liveOutSet(const AssignedGraph& graph) {
+  DynBitset liveOut(graph.size());
+  for (const auto& [name, def] : graph.outputDefs())
+    if (def != kNoAg) liveOut.set(def);
+  return liveOut;
+}
+
+}  // namespace
+
+Schedule CoveringEngine::run(CoverStats* stats) {
+  CoverStats localStats;
+  CoverStats& st = stats != nullptr ? *stats : localStats;
+  st = CoverStats{};
+
+  Schedule schedule;
+  DynBitset covered(graph_.size());
+  for (AgId id = 0; id < graph_.size(); ++id)
+    if (graph_.node(id).deleted()) covered.set(id);
+
+  SpillState spillState;
+  std::vector<DynBitset> cliques;
+  std::vector<int> heights;  // level from top: critical-path priority
+  bool rebuild = true;
+  const size_t spillGuard = 4 * graph_.size() + 64;
+
+  while (true) {
+    if (covered.count() == graph_.size()) break;
+
+    if (rebuild) {
+      const ParallelismMatrix matrix(graph_, options_.cliqueLevelWindow);
+      DynBitset active(graph_.size(), true);
+      active.andNot(covered);
+      CliqueGenStats genStats;
+      cliques = enforceLegality(
+          generateMaximalCliques(matrix, active, options_.maxCliquesPerRound,
+                                 &genStats),
+          graph_, constraints_);
+      // If the generation cap truncated the clique set, guarantee coverage
+      // with singletons so every node remains schedulable.
+      if (genStats.capped) {
+        DynBitset inSomeClique(graph_.size());
+        for (const DynBitset& clique : cliques) inSomeClique |= clique;
+        active.forEach([&](size_t i) {
+          if (inSomeClique.test(i)) return;
+          DynBitset singleton(graph_.size());
+          singleton.set(i);
+          cliques.push_back(std::move(singleton));
+        });
+      }
+      st.cliquesGenerated += cliques.size();
+      st.cliqueRounds += 1;
+      heights = graph_.levelsFromTop();
+      rebuild = false;
+    }
+
+    // Ready nodes: uncovered with all predecessors covered.
+    DynBitset ready(graph_.size());
+    for (AgId id = 0; id < graph_.size(); ++id) {
+      if (covered.test(id)) continue;
+      bool allPreds = true;
+      for (AgId pred : graph_.node(id).preds) allPreds &= covered.test(pred);
+      if (allPreds) ready.set(id);
+    }
+    AVIV_CHECK_MSG(ready.any(), "covering deadlock: uncovered nodes but none ready");
+
+
+    // Candidate selection: largest number of ready uncovered nodes whose
+    // register requirements fit. A maximal clique whose full ready set
+    // would exceed a bank is shrunk to its largest fitting subset (operation
+    // nodes preferred — they kill operands — then transfers).
+    struct Candidate {
+      size_t cliqueIdx;
+      DynBitset members;  // fitting subset of clique ∩ ready ∩ uncovered
+      size_t score;
+    };
+    std::vector<Candidate> candidates;
+    bool anyReadyClique = false;
+    for (size_t ci = 0; ci < cliques.size(); ++ci) {
+      DynBitset eligible = cliques[ci];
+      eligible.andNot(covered);
+      eligible &= ready;
+      if (eligible.none()) continue;
+      anyReadyClique = true;
+
+      DynBitset members(graph_.size());
+      if (pressureWithinLimits(graph_,
+                             bankPressure(graph_, covered, &eligible))) {
+        members = eligible;
+      } else {
+        // Greedy fit: ops first (they retire operand values), then
+        // transfers, in id order.
+        std::vector<AgId> tryOrder;
+        eligible.forEach([&](size_t i) {
+          if (graph_.node(static_cast<AgId>(i)).kind == AgKind::kOp)
+            tryOrder.push_back(static_cast<AgId>(i));
+        });
+        eligible.forEach([&](size_t i) {
+          if (graph_.node(static_cast<AgId>(i)).kind != AgKind::kOp)
+            tryOrder.push_back(static_cast<AgId>(i));
+        });
+        for (AgId id : tryOrder) {
+          members.set(id);
+          if (!pressureWithinLimits(graph_,
+                                    bankPressure(graph_, covered, &members)))
+            members.reset(id);
+        }
+      }
+      const size_t score = members.count();
+      if (score == 0) continue;
+      candidates.push_back({ci, std::move(members), score});
+    }
+
+    if (!candidates.empty()) {
+      // Max score first.
+      size_t bestScore = 0;
+      for (const Candidate& c : candidates)
+        bestScore = std::max(bestScore, c.score);
+      std::vector<const Candidate*> tied;
+      for (const Candidate& c : candidates)
+        if (c.score == bestScore) tied.push_back(&c);
+
+      // Section IV-D tie-break: a one-step lookahead estimating how well the
+      // rest can be covered, refined by critical-path height so operand
+      // chains that gate the most downstream work are started first.
+      auto lookaheadScore = [&](const Candidate& cand) -> size_t {
+        DynBitset coveredAfter = covered;
+        coveredAfter |= cand.members;
+        DynBitset readyAfter(graph_.size());
+        for (AgId id = 0; id < graph_.size(); ++id) {
+          if (coveredAfter.test(id)) continue;
+          bool allPreds = true;
+          for (AgId pred : graph_.node(id).preds)
+            allPreds &= coveredAfter.test(pred);
+          if (allPreds) readyAfter.set(id);
+        }
+        size_t next = 0;
+        for (const DynBitset& clique : cliques) {
+          DynBitset m = clique;
+          m.andNot(coveredAfter);
+          m &= readyAfter;
+          next = std::max(next, m.count());
+        }
+        return next;
+      };
+      auto heightKey = [&](const Candidate& cand) {
+        int maxHeight = 0;
+        long sumHeight = 0;
+        cand.members.forEach([&](size_t i) {
+          maxHeight = std::max(maxHeight, heights[i]);
+          sumHeight += heights[i];
+        });
+        return std::make_pair(maxHeight, sumHeight);
+      };
+
+      const Candidate* chosen = tied.front();
+      if (tied.size() > 1) {
+        size_t bestNext = options_.coverLookahead ? lookaheadScore(*chosen) : 0;
+        auto bestHeight = heightKey(*chosen);
+        for (size_t t = 1; t < tied.size(); ++t) {
+          const Candidate* cand = tied[t];
+          const size_t next =
+              options_.coverLookahead ? lookaheadScore(*cand) : 0;
+          const auto height = heightKey(*cand);
+          if (std::tie(next, height) > std::tie(bestNext, bestHeight)) {
+            bestNext = next;
+            bestHeight = height;
+            chosen = cand;
+          }
+        }
+      }
+
+      std::vector<AgId> instr;
+      chosen->members.forEach(
+          [&](size_t i) { instr.push_back(static_cast<AgId>(i)); });
+      covered |= chosen->members;
+      schedule.instrs.push_back(std::move(instr));
+      continue;
+    }
+
+    // No selectable clique: all remaining groupings would exceed register
+    // resources (Section IV-D spill path).
+    if (std::getenv("AVIV_COVER_DEBUG") != nullptr) {
+      fprintf(stderr, "[cover] spill needed; covered=%zu/%zu ready=%zu\n",
+              covered.count(), covered.size(), ready.count());
+      ready.forEach([&](size_t i) {
+        fprintf(stderr, "[cover]   ready %s\n",
+                graph_.describe(static_cast<AgId>(i)).c_str());
+      });
+    }
+    AVIV_CHECK_MSG(anyReadyClique,
+                   "ready nodes exist but no clique contains one");
+    if (st.spillsInserted >= static_cast<int>(spillGuard))
+      throw Error("block '" + graph_.ir().name() + "' on machine '" +
+                  graph_.machine().name() +
+                  "': this functional-unit assignment cannot satisfy the "
+                  "register limits (spill limit reached)");
+
+    performSpill(graph_, xferDb_, covered, spillState);
+    st.spillsInserted += 1;
+
+    // Graph grew: extend the bookkeeping (scheduled bits are preserved by
+    // the resize; new nodes start uncovered; deletions become covered).
+    covered.resize(graph_.size(), false);
+    for (AgId id = 0; id < graph_.size(); ++id)
+      if (graph_.node(id).deleted()) covered.set(id);
+    graph_.verify();
+    rebuild = true;
+  }
+
+  verifySchedule(graph_, schedule, constraints_);
+  return schedule;
+}
+
+void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
+                    const ConstraintDatabase& constraints) {
+  const Machine& machine = graph.machine();
+  const auto cycle = schedule.cycles(graph.size());
+
+  // Every active node exactly once.
+  std::vector<int> seen(graph.size(), 0);
+  for (const auto& instr : schedule.instrs)
+    for (AgId id : instr) seen[id] += 1;
+  for (AgId id = 0; id < graph.size(); ++id) {
+    const bool active = !graph.node(id).deleted();
+    AVIV_CHECK_MSG(seen[id] == (active ? 1 : 0),
+                   graph.describe(id) << " scheduled " << seen[id]
+                                      << " times");
+  }
+
+  for (size_t c = 0; c < schedule.instrs.size(); ++c) {
+    const auto& instr = schedule.instrs[c];
+    // Dependencies strictly earlier.
+    for (AgId id : instr) {
+      for (AgId pred : graph.node(id).preds) {
+        AVIV_CHECK_MSG(cycle[pred] >= 0 &&
+                           cycle[pred] < static_cast<int>(c),
+                       graph.describe(id) << " scheduled before its operand "
+                                          << graph.describe(pred));
+      }
+    }
+    // Unit exclusivity.
+    std::set<UnitId> units;
+    std::map<BusId, int> busLoad;
+    std::vector<OpSel> sels;
+    for (AgId id : instr) {
+      const AgNode& n = graph.node(id);
+      if (n.kind == AgKind::kOp) {
+        AVIV_CHECK_MSG(units.insert(n.unit).second,
+                       "two ops on unit " << machine.unit(n.unit).name
+                                          << " in instruction " << c);
+        sels.push_back({n.unit, n.machineOp});
+      } else if (n.isTransferish()) {
+        busLoad[graph.busOf(id)] += 1;
+      }
+    }
+    for (const auto& [bus, load] : busLoad)
+      AVIV_CHECK_MSG(load <= machine.bus(bus).capacity,
+                     "bus " << machine.bus(bus).name << " oversubscribed in "
+                            << c);
+    AVIV_CHECK_MSG(constraints.allows(sels),
+                   "ISDL constraint violated in instruction " << c);
+  }
+
+  // Register pressure: per-bank live counts after each cycle.
+  DynBitset liveOut = liveOutSet(graph);
+  std::vector<int> lastUse(graph.size(), -1);
+  for (AgId id = 0; id < graph.size(); ++id) {
+    for (AgId pred : graph.node(id).preds)
+      lastUse[pred] = std::max(lastUse[pred], cycle[id]);
+  }
+  for (size_t c = 0; c < schedule.instrs.size(); ++c) {
+    std::vector<int> pressure(machine.regFiles().size(), 0);
+    for (AgId id = 0; id < graph.size(); ++id) {
+      const AgNode& n = graph.node(id);
+      if (!n.definesRegister() || cycle[id] < 0) continue;
+      const bool born = cycle[id] <= static_cast<int>(c);
+      const bool aliveLater =
+          liveOut.test(id) || lastUse[id] > static_cast<int>(c);
+      // Dead defs (evicted reloads) occupy a register at their write
+      // instant even though nothing reads them afterwards.
+      const bool deadDefHere = cycle[id] == static_cast<int>(c) &&
+                               lastUse[id] < 0 && !liveOut.test(id);
+      if ((born && aliveLater) || deadDefHere)
+        pressure[n.defLoc.index] += 1;
+    }
+    for (size_t bank = 0; bank < pressure.size(); ++bank)
+      AVIV_CHECK_MSG(
+          pressure[bank] <=
+              machine.regFile(static_cast<RegFileId>(bank)).numRegs,
+          "bank " << machine.regFile(static_cast<RegFileId>(bank)).name
+                  << " exceeds its registers after instruction " << c);
+  }
+}
+
+}  // namespace aviv

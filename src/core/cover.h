@@ -1,0 +1,65 @@
+// The covering engine (paper Sections IV-D and IV-E): selects a minimum-
+// cost set of maximal cliques covering every node of an assignment, which
+// simultaneously fixes the VLIW instruction grouping, the schedule (cliques
+// are selected bottom-up, producers before consumers), and the register-bank
+// allocation feasibility (a running liveness upper bound per bank; when all
+// remaining selectable cliques would exceed a bank, a victim value is
+// spilled: a store chain is appended, pending consumers are rewired onto
+// reload chains, redundant transfers are deleted — Fig 9 — and the cliques
+// are regenerated).
+#pragma once
+
+#include <vector>
+
+#include "core/assigned.h"
+#include "core/options.h"
+#include "isdl/databases.h"
+#include "support/bitset.h"
+
+namespace aviv {
+
+// The covering solution: one inner vector per VLIW instruction, in schedule
+// order; members are AgNode ids (ascending within an instruction).
+struct Schedule {
+  std::vector<std::vector<AgId>> instrs;
+
+  [[nodiscard]] int numInstructions() const {
+    return static_cast<int>(instrs.size());
+  }
+  // cycle[agId] = instruction index; -1 for unscheduled/deleted nodes.
+  [[nodiscard]] std::vector<int> cycles(size_t graphSize) const;
+};
+
+struct CoverStats {
+  size_t cliquesGenerated = 0;  // across all regeneration rounds
+  size_t cliqueRounds = 0;
+  int spillsInserted = 0;  // victim values spilled (Table I "#Spills")
+};
+
+class CoveringEngine {
+ public:
+  // `graph` is mutated when spills are inserted. `xferDb` provides spill
+  // store/load routes.
+  CoveringEngine(AssignedGraph& graph, const TransferDatabase& xferDb,
+                 const ConstraintDatabase& constraints,
+                 const CodegenOptions& options);
+
+  // Runs the covering; throws aviv::Error when the register files are too
+  // small to hold the block's outputs / any feasible schedule.
+  [[nodiscard]] Schedule run(CoverStats* stats = nullptr);
+
+ private:
+  AssignedGraph& graph_;
+  const TransferDatabase& xferDb_;
+  const ConstraintDatabase& constraints_;
+  const CodegenOptions& options_;
+};
+
+// Asserts (AVIV_CHECK) that `schedule` is a valid execution of `graph`:
+// every active node exactly once, dependencies strictly earlier, unit/bus/
+// constraint legality per instruction, and per-bank register pressure within
+// the machine's register counts.
+void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
+                    const ConstraintDatabase& constraints);
+
+}  // namespace aviv

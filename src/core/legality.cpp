@@ -1,0 +1,103 @@
+#include "core/legality.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+// Returns kNoAg when legal, else a node whose removal repairs (part of) the
+// violation.
+AgId findViolatingNode(const DynBitset& clique, const AssignedGraph& graph,
+                       const ConstraintDatabase& constraints) {
+  // Bus capacities.
+  std::map<BusId, std::vector<AgId>> busLoad;
+  clique.forEach([&](size_t i) {
+    const AgId id = static_cast<AgId>(i);
+    if (graph.node(id).isTransferish()) busLoad[graph.busOf(id)].push_back(id);
+  });
+  for (const auto& [bus, users] : busLoad) {
+    if (static_cast<int>(users.size()) > graph.machine().bus(bus).capacity)
+      return users.back();
+  }
+
+  // ISDL constraints over the operation selections.
+  if (constraints.size() > 0) {
+    std::vector<OpSel> sels;
+    std::vector<AgId> selNodes;
+    clique.forEach([&](size_t i) {
+      const AgNode& n = graph.node(static_cast<AgId>(i));
+      if (n.kind == AgKind::kOp) {
+        sels.push_back({n.unit, n.machineOp});
+        selNodes.push_back(static_cast<AgId>(i));
+      }
+    });
+    if (const Constraint* violated = constraints.firstViolated(sels)) {
+      // Drop the last clique member participating in the constraint.
+      for (size_t i = selNodes.size(); i-- > 0;) {
+        for (const OpSel& sel : violated->together) {
+          if (sels[i] == sel) return selNodes[i];
+        }
+      }
+      AVIV_UNREACHABLE("violated constraint without participating node");
+    }
+  }
+  return kNoAg;
+}
+
+}  // namespace
+
+bool cliqueIsLegal(const DynBitset& clique, const AssignedGraph& graph,
+                   const ConstraintDatabase& constraints) {
+  return findViolatingNode(clique, graph, constraints) == kNoAg;
+}
+
+std::vector<DynBitset> enforceLegality(std::vector<DynBitset> cliques,
+                                       const AssignedGraph& graph,
+                                       const ConstraintDatabase& constraints) {
+  std::vector<DynBitset> legal;
+  // Worklist: split until every piece is legal.
+  while (!cliques.empty()) {
+    DynBitset clique = std::move(cliques.back());
+    cliques.pop_back();
+    const AgId offender = findViolatingNode(clique, graph, constraints);
+    if (offender == kNoAg) {
+      legal.push_back(std::move(clique));
+      continue;
+    }
+    AVIV_CHECK(clique.count() >= 2);
+    // Split into {clique - offender} and {offender} — both strictly
+    // smaller, so this terminates; singletons are always legal.
+    DynBitset rest = clique;
+    rest.reset(offender);
+    DynBitset alone(clique.size());
+    alone.set(offender);
+    cliques.push_back(std::move(rest));
+    cliques.push_back(std::move(alone));
+  }
+
+  // Dedup + drop strict subsets (splitting can produce both).
+  std::sort(legal.begin(), legal.end(),
+            [](const DynBitset& a, const DynBitset& b) {
+              if (a.count() != b.count()) return a.count() > b.count();
+              return a.lexLess(b);
+            });
+  legal.erase(std::unique(legal.begin(), legal.end()), legal.end());
+  std::vector<DynBitset> result;
+  for (const DynBitset& clique : legal) {
+    bool subset = false;
+    for (const DynBitset& kept : result) {
+      if (clique.isSubsetOf(kept)) {
+        subset = true;
+        break;
+      }
+    }
+    if (!subset) result.push_back(clique);
+  }
+  return result;
+}
+
+}  // namespace aviv

@@ -1,0 +1,102 @@
+// Knobs for the AVIV covering flow. Defaults match the paper's
+// "heuristics on" configuration; the Table I/II benches flip them to
+// reproduce the parenthesized heuristics-off columns, and the ablation bench
+// sweeps them.
+#pragma once
+
+#include <cstddef>
+
+namespace aviv {
+
+struct CodegenOptions {
+  // --- Section IV-A: split-node functional-unit assignment exploration ---
+  // Keep only minimum-incremental-cost alternatives at each split node
+  // (the paper's pruning, Fig 6). When false every alternative is explored.
+  bool assignPruneIncremental = true;
+  // Slack added to the minimum incremental cost when pruning: alternatives
+  // with cost <= min + slack survive. 0 is the paper's strict pruning;
+  // small positive values trade exploration time for occasionally better
+  // assignments (see the ablation bench).
+  double assignPruneSlack = 0.0;
+  // Cap on concurrently-kept partial assignments (branch-and-bound beam).
+  // <= 0 disables the cap.
+  int assignBeamWidth = 32;
+  // How many of the lowest-cost complete assignments are explored in detail
+  // ("select several lowest cost assignments").
+  int assignKeepBest = 4;
+  // Hard safety cap on complete assignments enumerated in heuristics-off
+  // mode (the count grows multiplicatively, Section IV-A).
+  size_t maxAssignments = 2'000'000;
+  // When the total number of possible assignments (product of per-node
+  // alternative counts) is at most this, skip the pruning and enumerate
+  // them all — the pruning exists to curb multiplicative growth, and
+  // covering a few hundred assignments is cheaper than mispruning. 0
+  // disables the shortcut (strict paper behavior).
+  size_t smallSpaceExhaustive = 512;
+  // Cost weight for one required data transfer (paper uses 1).
+  double transferCostWeight = 1.0;
+  // Cost weight for one precluded parallel-execution pair (paper uses 1).
+  double parallelismCostWeight = 1.0;
+  // Bonus per extra IR node covered by a complex instruction alternative.
+  double complexCoverBonus = 1.0;
+  // Paper Section VI "ongoing work" extension: penalize assignments likely
+  // to exceed register resources already during assignment exploration.
+  bool registerAwareAssignment = false;
+  double registerPressurePenalty = 2.0;
+
+  // --- Section III-B: complex instruction pattern matching ---
+  bool enableComplexPatterns = true;
+
+  // --- Section IV-C: maximal clique generation ---
+  // Level-window heuristic (IV-C.2): only merge nodes whose levels from top
+  // AND bottom differ by at most this much. < 0 disables the heuristic.
+  int cliqueLevelWindow = -1;
+  // Safety cap on generated cliques per covering round.
+  size_t maxCliquesPerRound = 250'000;
+
+  // --- Section IV-D: covering ---
+  // Lookahead tie-break among equally-covering cliques.
+  bool coverLookahead = true;
+
+  // Wall-clock budget for exploring the selected assignments in detail
+  // (0 = unlimited). When exceeded, the best solution found so far is
+  // returned and the stats flag it; used to keep heuristics-off runs
+  // bounded.
+  double timeLimitSeconds = 0.0;
+
+  // Materialize constants through a data-memory constant pool instead of
+  // inline immediates: each distinct constant gets a pool cell and uses are
+  // bus loads, like named variables. Required when immediates exceed the
+  // binary encoding's field width, and models DSPs without immediate
+  // operands.
+  bool constantsInMemory = false;
+
+  // --- output placement ---
+  // Store block outputs back to data memory (required for multi-block
+  // programs whose successor blocks reload them); when false outputs stay
+  // in registers and the CodeImage records their final location.
+  bool outputsToMemory = false;
+
+  // Convenience: the paper's "heuristics turned off" configuration
+  // (exhaustive assignment enumeration, no level window). Note this is
+  // still not an exact algorithm — the covering schedule search remains
+  // greedy, exactly as the paper states.
+  [[nodiscard]] static CodegenOptions heuristicsOff() {
+    CodegenOptions opts;
+    opts.assignPruneIncremental = false;
+    opts.assignBeamWidth = 0;
+    opts.assignKeepBest = 1 << 30;
+    opts.cliqueLevelWindow = -1;
+    return opts;
+  }
+
+  // The paper's default heuristic configuration with the clique
+  // level-window reduction enabled.
+  [[nodiscard]] static CodegenOptions heuristicsOn() {
+    CodegenOptions opts;
+    opts.cliqueLevelWindow = 2;
+    return opts;
+  }
+};
+
+}  // namespace aviv

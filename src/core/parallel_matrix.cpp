@@ -1,0 +1,68 @@
+#include "core/parallel_matrix.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/table.h"
+
+namespace aviv {
+
+ParallelismMatrix::ParallelismMatrix(const AssignedGraph& graph,
+                                     int levelWindow) {
+  const size_t n = graph.size();
+  rows_.assign(n, DynBitset(n));
+  const auto desc = graph.computeDescendants();
+  std::vector<int> top;
+  std::vector<int> bottom;
+  if (levelWindow >= 0) {
+    top = graph.levelsFromTop();
+    bottom = graph.levelsFromBottom();
+  }
+
+  const Machine& machine = graph.machine();
+  for (AgId a = 0; a < n; ++a) {
+    const AgNode& na = graph.node(a);
+    if (na.deleted()) continue;
+    for (AgId b = a + 1; b < n; ++b) {
+      const AgNode& nb = graph.node(b);
+      if (nb.deleted()) continue;
+      if (desc[a].test(b) || desc[b].test(a)) continue;
+      if (na.kind == AgKind::kOp && nb.kind == AgKind::kOp &&
+          na.unit == nb.unit)
+        continue;
+      if (na.isTransferish() && nb.isTransferish()) {
+        const BusId busA = graph.busOf(a);
+        const BusId busB = graph.busOf(b);
+        if (busA == busB && machine.bus(busA).capacity <= 1) continue;
+      }
+      if (levelWindow >= 0) {
+        if (std::abs(top[a] - top[b]) > levelWindow ||
+            std::abs(bottom[a] - bottom[b]) > levelWindow)
+          continue;
+      }
+      rows_[a].set(b);
+      rows_[b].set(a);
+    }
+  }
+}
+
+std::string ParallelismMatrix::str(
+    const std::vector<AgId>& subset,
+    const std::vector<std::string>& labels) const {
+  AVIV_CHECK(subset.size() == labels.size());
+  std::vector<std::string> headers{""};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  TextTable table(headers);
+  for (size_t i = 0; i < subset.size(); ++i) {
+    std::vector<std::string> row{labels[i]};
+    for (size_t j = 0; j < subset.size(); ++j) {
+      const bool conflict =
+          i != j ? !parallel(subset[i], subset[j]) : false;
+      row.push_back(conflict ? "1" : "0");
+    }
+    table.addRow(std::move(row));
+  }
+  return table.str();
+}
+
+}  // namespace aviv

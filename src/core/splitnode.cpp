@@ -1,0 +1,394 @@
+#include "core/splitnode.h"
+
+#include <algorithm>
+
+#include "support/dot.h"
+#include "support/error.h"
+
+namespace aviv {
+
+// ---------------------------------------------------------------------
+// Complex-instruction pattern matching (Section III-B)
+// ---------------------------------------------------------------------
+
+std::vector<PatternMatch> matchComplexPatterns(const BlockDag& ir,
+                                               const OpDatabase& ops) {
+  std::vector<PatternMatch> matches;
+  const auto users = ir.computeUsers();
+
+  std::vector<bool> isOutput(ir.size(), false);
+  for (const auto& [name, id] : ir.outputs()) isOutput[id] = true;
+
+  // An interior node can be fused away only if the pattern root is its sole
+  // consumer and its value is not observable (not an output).
+  auto fusable = [&](NodeId interior, NodeId root) {
+    return users[interior].size() == 1 && users[interior][0] == root &&
+           !isOutput[interior];
+  };
+
+  for (NodeId id = 0; id < ir.size(); ++id) {
+    const DagNode& n = ir.node(id);
+    if (n.op == Op::kAdd && ops.isImplementable(Op::kMac)) {
+      // MAC r = a*b + x: either operand may be the multiply.
+      for (int mulSide = 0; mulSide < 2; ++mulSide) {
+        const NodeId mul = n.operands[static_cast<size_t>(mulSide)];
+        const NodeId other = n.operands[static_cast<size_t>(1 - mulSide)];
+        if (ir.node(mul).op != Op::kMul || !fusable(mul, id)) continue;
+        if (mulSide == 1 && n.operands[0] == n.operands[1])
+          continue;  // add(m, m): both sides match the same fusion
+        PatternMatch m;
+        m.machineOp = Op::kMac;
+        m.root = id;
+        m.covers = {id, mul};
+        m.operands = {ir.node(mul).operands[0], ir.node(mul).operands[1],
+                      other};
+        matches.push_back(std::move(m));
+      }
+    }
+    if (n.op == Op::kSub && ops.isImplementable(Op::kMsu)) {
+      // MSU r = x - a*b: only the subtrahend may be the multiply.
+      const NodeId mul = n.operands[1];
+      const NodeId other = n.operands[0];
+      if (ir.node(mul).op == Op::kMul && fusable(mul, id)) {
+        PatternMatch m;
+        m.machineOp = Op::kMsu;
+        m.root = id;
+        m.covers = {id, mul};
+        m.operands = {ir.node(mul).operands[0], ir.node(mul).operands[1],
+                      other};
+        matches.push_back(std::move(m));
+      }
+    }
+  }
+  return matches;
+}
+
+// ---------------------------------------------------------------------
+// SplitNodeDag
+// ---------------------------------------------------------------------
+
+SndId SplitNodeDag::append(SndNode node) {
+  const auto id = static_cast<SndId>(nodes_.size());
+  counts_[static_cast<size_t>(node.kind)]++;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+namespace {
+
+// An alternative whose distinct register-resident operands outnumber the
+// unit's register file can never be scheduled (the operands cannot coexist
+// in the bank), so it is dropped at build time.
+bool altFitsRegisterFile(const BlockDag& ir, const Machine& machine,
+                         UnitId unit, const std::vector<NodeId>& operandIr,
+                         bool constantsInMemory) {
+  std::vector<NodeId> distinct;
+  for (NodeId operand : operandIr) {
+    if (ir.node(operand).op == Op::kConst && !constantsInMemory)
+      continue;  // inline immediate
+    if (std::find(distinct.begin(), distinct.end(), operand) ==
+        distinct.end())
+      distinct.push_back(operand);
+  }
+  return static_cast<int>(distinct.size()) <=
+         machine.regFile(machine.unit(unit).regFile).numRegs;
+}
+
+}  // namespace
+
+SplitNodeDag SplitNodeDag::build(const BlockDag& ir, const Machine& machine,
+                                 const MachineDatabases& dbs,
+                                 const CodegenOptions& options) {
+  SplitNodeDag snd;
+  snd.ir_ = &ir;
+  snd.machine_ = &machine;
+  snd.dbs_ = &dbs;
+  snd.leafOf_.assign(ir.size(), kNoSnd);
+  snd.splitOf_.assign(ir.size(), kNoSnd);
+  snd.altsOf_.assign(ir.size(), {});
+
+  // Leaves and split nodes + plain alternatives.
+  for (NodeId id = 0; id < ir.size(); ++id) {
+    const DagNode& n = ir.node(id);
+    if (isLeafOp(n.op)) {
+      SndNode leaf;
+      leaf.kind = SndKind::kLeaf;
+      leaf.ir = id;
+      snd.leafOf_[id] = snd.append(std::move(leaf));
+      continue;
+    }
+    SndNode split;
+    split.kind = SndKind::kSplit;
+    split.ir = id;
+    snd.splitOf_[id] = snd.append(std::move(split));
+
+    const auto& impls = dbs.ops.implsFor(n.op);
+    if (impls.empty())
+      throw Error("no functional unit of machine '" + machine.name() +
+                  "' implements " + std::string(opName(n.op)) +
+                  " (required by " + ir.describe(id) + " in block '" +
+                  ir.name() + "')");
+    for (const OpImpl& impl : impls) {
+      if (!altFitsRegisterFile(ir, machine, impl.unit, n.operands,
+                               options.constantsInMemory))
+        continue;
+      SndNode alt;
+      alt.kind = SndKind::kAlt;
+      alt.ir = id;
+      alt.unit = impl.unit;
+      alt.machineOp = n.op;
+      alt.unitOpIdx = impl.opIndex;
+      alt.covers = {id};
+      alt.operandIr = n.operands;
+      snd.altsOf_[id].push_back(snd.append(std::move(alt)));
+    }
+    if (snd.altsOf_[id].empty())
+      throw Error("machine '" + machine.name() + "': no register file large "
+                  "enough to hold the operands of " + ir.describe(id) +
+                  " in block '" + ir.name() + "'");
+  }
+
+  // Complex-instruction alternatives.
+  if (options.enableComplexPatterns) {
+    for (const PatternMatch& match : matchComplexPatterns(ir, dbs.ops)) {
+      for (const OpImpl& impl : dbs.ops.implsFor(match.machineOp)) {
+        if (!altFitsRegisterFile(ir, machine, impl.unit, match.operands,
+                                 options.constantsInMemory))
+          continue;
+        SndNode alt;
+        alt.kind = SndKind::kAlt;
+        alt.ir = match.root;
+        alt.unit = impl.unit;
+        alt.machineOp = match.machineOp;
+        alt.unitOpIdx = impl.opIndex;
+        alt.covers = match.covers;
+        alt.operandIr = match.operands;
+        snd.altsOf_[match.root].push_back(snd.append(std::move(alt)));
+      }
+    }
+  }
+
+  // Transfer chains: for every consumer alternative and every operand
+  // producer alternative/leaf, one chain per minimal route between their
+  // storages.
+  const Loc dataMem = machine.dataMemoryLoc();
+  const size_t numAltsTotal = snd.nodes_.size();
+  for (SndId consumer = 0; consumer < numAltsTotal; ++consumer) {
+    if (snd.nodes_[consumer].kind != SndKind::kAlt) continue;
+    const Loc consLoc = machine.unitLoc(snd.nodes_[consumer].unit);
+    for (const NodeId operand : snd.nodes_[consumer].operandIr) {
+      const DagNode& opNode = ir.node(operand);
+      if (opNode.op == Op::kConst && !options.constantsInMemory)
+        continue;  // inline immediate
+
+      std::vector<SndId> producers;
+      if (isLeafOp(opNode.op)) {
+        producers.push_back(snd.leafOf_[operand]);
+      } else {
+        producers = snd.altsOf_[operand];
+      }
+      for (const SndId producer : producers) {
+        const Loc prodLoc = snd.producerLoc(producer);
+        if (prodLoc == consLoc) continue;
+        const auto key = std::make_pair(producer, consumer);
+        if (snd.chains_.count(key)) continue;  // operand repeated
+        if (!dbs.transfers.reachable(prodLoc, consLoc))
+          throw Error("machine '" + machine.name() + "' has no route from " +
+                      machine.locName(prodLoc) + " to " +
+                      machine.locName(consLoc) + " (needed to feed " +
+                      snd.describe(consumer) + ")");
+        std::vector<TransferChain> chainList;
+        const auto& routes = dbs.transfers.routes(prodLoc, consLoc);
+        for (size_t r = 0; r < routes.size(); ++r) {
+          TransferChain chain;
+          chain.routeIdx = static_cast<int>(r);
+          for (size_t hop = 0; hop < routes[r].pathIds.size(); ++hop) {
+            SndNode xfer;
+            xfer.kind = SndKind::kTransfer;
+            xfer.ir = operand;
+            xfer.pathId = routes[r].pathIds[hop];
+            xfer.producer = producer;
+            xfer.consumer = consumer;
+            xfer.routeIdx = static_cast<int>(r);
+            xfer.hopIdx = static_cast<int>(hop);
+            chain.hops.push_back(snd.append(std::move(xfer)));
+          }
+          chainList.push_back(std::move(chain));
+        }
+        snd.chains_[key] = std::move(chainList);
+      }
+    }
+  }
+  (void)dataMem;
+  snd.verify();
+  return snd;
+}
+
+const SndNode& SplitNodeDag::node(SndId id) const {
+  AVIV_CHECK(id < nodes_.size());
+  return nodes_[id];
+}
+
+SndId SplitNodeDag::leafOf(NodeId irNode) const {
+  AVIV_CHECK(irNode < leafOf_.size());
+  return leafOf_[irNode];
+}
+
+SndId SplitNodeDag::splitOf(NodeId irNode) const {
+  AVIV_CHECK(irNode < splitOf_.size());
+  return splitOf_[irNode];
+}
+
+const std::vector<SndId>& SplitNodeDag::altsOf(NodeId irNode) const {
+  AVIV_CHECK(irNode < altsOf_.size());
+  return altsOf_[irNode];
+}
+
+const std::vector<TransferChain>& SplitNodeDag::chains(SndId producer,
+                                                       SndId consumer) const {
+  static const std::vector<TransferChain> kEmpty;
+  const auto it = chains_.find(std::make_pair(producer, consumer));
+  return it == chains_.end() ? kEmpty : it->second;
+}
+
+Loc SplitNodeDag::producerLoc(SndId id) const {
+  const SndNode& n = node(id);
+  switch (n.kind) {
+    case SndKind::kLeaf:
+      // Named inputs always live in data memory; constants do too when the
+      // constant pool is enabled (the only case this is queried for them).
+      return machine_->dataMemoryLoc();
+    case SndKind::kAlt:
+      return machine_->unitLoc(n.unit);
+    case SndKind::kTransfer:
+      return machine_->transfers()[static_cast<size_t>(n.pathId)].to;
+    case SndKind::kSplit:
+      break;
+  }
+  AVIV_UNREACHABLE("producerLoc of split node");
+}
+
+std::string SplitNodeDag::describe(SndId id) const {
+  const SndNode& n = node(id);
+  switch (n.kind) {
+    case SndKind::kLeaf:
+      return "leaf(" + ir_->describe(n.ir) + ")";
+    case SndKind::kSplit:
+      return "split(" + ir_->describe(n.ir) + ")";
+    case SndKind::kAlt: {
+      std::string s = std::string(opName(n.machineOp)) + "@" +
+                      machine_->unit(n.unit).name;
+      if (n.covers.size() > 1) {
+        s += "[covers";
+        for (NodeId c : n.covers) s += " n" + std::to_string(c);
+        s += "]";
+      }
+      return s;
+    }
+    case SndKind::kTransfer: {
+      const TransferPath& p =
+          machine_->transfers()[static_cast<size_t>(n.pathId)];
+      return "xfer " + machine_->locName(p.from) + "->" +
+             machine_->locName(p.to) + " (n" + std::to_string(n.ir) + ")";
+    }
+  }
+  return "<snd>";
+}
+
+std::string SplitNodeDag::dot() const {
+  DotWriter dw("snd_" + ir_->name());
+  dw.addRaw("rankdir=BT;");
+  auto name = [](SndId id) { return "s" + std::to_string(id); };
+  for (SndId id = 0; id < nodes_.size(); ++id) {
+    const SndNode& n = nodes_[id];
+    std::string attrs;
+    switch (n.kind) {
+      case SndKind::kLeaf:
+        attrs = "shape=plaintext, label=\"" +
+                DotWriter::escape(ir_->node(n.ir).name) + "\"";
+        break;
+      case SndKind::kSplit:
+        attrs = "shape=diamond, label=\"" +
+                DotWriter::escape(std::string(opName(ir_->node(n.ir).op))) +
+                "\"";
+        break;
+      case SndKind::kAlt:
+        attrs = "shape=ellipse, label=\"" + DotWriter::escape(describe(id)) +
+                "\"";
+        break;
+      case SndKind::kTransfer:
+        attrs = "shape=box, style=dashed, label=\"T\"";
+        break;
+    }
+    dw.addNode(name(id), attrs);
+  }
+  // Split -> alternatives.
+  for (NodeId irNode = 0; irNode < ir_->size(); ++irNode) {
+    for (SndId alt : altsOf_[irNode]) dw.addEdge(name(alt), name(splitOf_[irNode]));
+  }
+  // Producer -> (chain ->) consumer edges.
+  for (const auto& [key, chainList] : chains_) {
+    const auto [producer, consumer] = key;
+    for (const TransferChain& chain : chainList) {
+      SndId prev = producer;
+      for (SndId hop : chain.hops) {
+        dw.addEdge(name(prev), name(hop), "style=dashed");
+        prev = hop;
+      }
+      dw.addEdge(name(prev), name(consumer), "style=dashed");
+    }
+  }
+  // Direct same-storage operand edges (producer feeds consumer without
+  // transfer): drawn through the operand's split node for readability.
+  for (SndId consumer = 0; consumer < nodes_.size(); ++consumer) {
+    if (nodes_[consumer].kind != SndKind::kAlt) continue;
+    for (NodeId operand : nodes_[consumer].operandIr) {
+      if (isLeafOp(ir_->node(operand).op)) continue;
+      dw.addEdge(name(splitOf_[operand]), name(consumer));
+    }
+  }
+  return dw.str();
+}
+
+void SplitNodeDag::verify() const {
+  for (NodeId irNode = 0; irNode < ir_->size(); ++irNode) {
+    const bool leaf = isLeafOp(ir_->node(irNode).op);
+    AVIV_CHECK((leafOf_[irNode] != kNoSnd) == leaf);
+    AVIV_CHECK((splitOf_[irNode] != kNoSnd) == !leaf);
+    // Every split node has at least one alternative.
+    if (!leaf) AVIV_CHECK_MSG(!altsOf_[irNode].empty(),
+                              "no alternative for " << ir_->describe(irNode));
+    for (SndId alt : altsOf_[irNode]) {
+      const SndNode& a = node(alt);
+      AVIV_CHECK(a.kind == SndKind::kAlt);
+      AVIV_CHECK(!a.covers.empty() && a.covers[0] == irNode);
+      AVIV_CHECK(static_cast<int>(a.operandIr.size()) ==
+                 opArity(a.machineOp));
+      // The unit really implements the op.
+      const FunctionalUnit& unit = machine_->unit(a.unit);
+      AVIV_CHECK(static_cast<size_t>(a.unitOpIdx) < unit.ops.size());
+      AVIV_CHECK(unit.ops[static_cast<size_t>(a.unitOpIdx)].op ==
+                 a.machineOp);
+    }
+  }
+  // Transfer chains hop continuously from producer storage to consumer
+  // storage.
+  for (const auto& [key, chainList] : chains_) {
+    const auto [producer, consumer] = key;
+    const Loc from = producerLoc(producer);
+    const Loc to = machine_->unitLoc(node(consumer).unit);
+    for (const TransferChain& chain : chainList) {
+      AVIV_CHECK(!chain.hops.empty());
+      Loc cur = from;
+      for (SndId hop : chain.hops) {
+        const TransferPath& p =
+            machine_->transfers()[static_cast<size_t>(node(hop).pathId)];
+        AVIV_CHECK(p.from == cur);
+        cur = p.to;
+      }
+      AVIV_CHECK(cur == to);
+    }
+  }
+}
+
+}  // namespace aviv

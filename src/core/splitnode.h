@@ -1,0 +1,141 @@
+// The Split-Node DAG (paper Section III) — the representation that encodes
+// ALL possible implementations of a basic block on the target processor:
+//
+//   * a *leaf node* per IR leaf (named input / constant);
+//   * a *split node* per IR operation node;
+//   * an *alternative node* (the paper's "immediate descendants of a split
+//     node") per (split node, target operation) pair — one for every
+//     functional unit that can perform the operation, plus one per matched
+//     complex instruction (Section III-B) which covers several IR nodes;
+//   * *data transfer nodes* on every producer-alternative -> consumer-
+//     alternative edge whose endpoints live in different storages, one per
+//     hop of every minimal route from the TransferDatabase (multi-level
+//     paths included, exactly as Section III-B requires).
+//
+// The structure is immutable after build; the assignment explorer, transfer
+// selector, and materializer read it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "ir/dag.h"
+#include "isdl/databases.h"
+#include "isdl/machine.h"
+
+namespace aviv {
+
+using SndId = uint32_t;
+inline constexpr SndId kNoSnd = 0xffffffffu;
+
+enum class SndKind : uint8_t { kLeaf, kSplit, kAlt, kTransfer };
+
+struct SndNode {
+  SndKind kind = SndKind::kLeaf;
+  // kLeaf/kSplit: the IR node. kAlt: the root IR node implemented.
+  // kTransfer: the IR node whose value is being moved.
+  NodeId ir = kNoNode;
+
+  // kAlt only.
+  UnitId unit = kNoId16;
+  Op machineOp = Op::kAdd;
+  int unitOpIdx = -1;
+  // IR nodes this alternative covers; size 1 for plain alternatives, > 1
+  // for complex instructions (covers[0] is the root).
+  std::vector<NodeId> covers;
+  // IR operands the alternative consumes (== the IR node's operands for
+  // plain alternatives; the fused pattern's external operands for complex).
+  std::vector<NodeId> operandIr;
+
+  // kTransfer only.
+  int pathId = -1;           // index into Machine::transfers()
+  SndId producer = kNoSnd;   // producing alt/leaf node
+  SndId consumer = kNoSnd;   // consuming alt node
+  int routeIdx = -1;         // which minimal route
+  int hopIdx = -1;           // position within the route
+};
+
+// One multi-hop transfer chain (all hops of one route) between a producer
+// alternative/leaf and a consumer alternative.
+struct TransferChain {
+  int routeIdx = 0;
+  std::vector<SndId> hops;  // in movement order
+};
+
+class SplitNodeDag {
+ public:
+  // Builds the Split-Node DAG. Throws aviv::Error when the block cannot be
+  // implemented on the machine (an op no unit performs, or a required
+  // storage-to-storage move with no route).
+  static SplitNodeDag build(const BlockDag& ir, const Machine& machine,
+                            const MachineDatabases& dbs,
+                            const CodegenOptions& options);
+
+  [[nodiscard]] const BlockDag& ir() const { return *ir_; }
+  [[nodiscard]] const Machine& machine() const { return *machine_; }
+  [[nodiscard]] const MachineDatabases& databases() const { return *dbs_; }
+
+  [[nodiscard]] size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const SndNode& node(SndId id) const;
+
+  // Leaf SND node of an IR leaf; kNoSnd for op nodes.
+  [[nodiscard]] SndId leafOf(NodeId irNode) const;
+  // Split SND node of an IR op node; kNoSnd for leaves.
+  [[nodiscard]] SndId splitOf(NodeId irNode) const;
+  // All alternatives rooted at the given IR op node (plain + complex).
+  [[nodiscard]] const std::vector<SndId>& altsOf(NodeId irNode) const;
+
+  // All minimal-route transfer chains for moving `producer`'s value into
+  // `consumer`'s unit storage. Empty when no transfer is needed (same
+  // storage). producer is an alt or leaf SND id; consumer an alt SND id.
+  [[nodiscard]] const std::vector<TransferChain>& chains(SndId producer,
+                                                         SndId consumer) const;
+
+  [[nodiscard]] size_t numLeafNodes() const { return counts_[0]; }
+  [[nodiscard]] size_t numSplitNodes() const { return counts_[1]; }
+  [[nodiscard]] size_t numAltNodes() const { return counts_[2]; }
+  [[nodiscard]] size_t numTransferNodes() const { return counts_[3]; }
+
+  // Storage the value of `alt` (alt/leaf id) is produced into.
+  [[nodiscard]] Loc producerLoc(SndId id) const;
+
+  // Human-readable node label ("ADD@U2", "xfer RF1->RF2", ...).
+  [[nodiscard]] std::string describe(SndId id) const;
+  // Graphviz rendering (paper Fig 4 reproduction).
+  [[nodiscard]] std::string dot() const;
+
+  void verify() const;
+
+ private:
+  SplitNodeDag() = default;
+  SndId append(SndNode node);
+
+  const BlockDag* ir_ = nullptr;
+  const Machine* machine_ = nullptr;
+  const MachineDatabases* dbs_ = nullptr;
+  std::vector<SndNode> nodes_;
+  std::vector<SndId> leafOf_;   // per IR node
+  std::vector<SndId> splitOf_;  // per IR node
+  std::vector<std::vector<SndId>> altsOf_;  // per IR node
+  std::map<std::pair<SndId, SndId>, std::vector<TransferChain>> chains_;
+  size_t counts_[4] = {0, 0, 0, 0};
+};
+
+// A complex-instruction pattern match found in the IR (Section III-B).
+struct PatternMatch {
+  Op machineOp = Op::kMac;     // the fused target op
+  NodeId root = kNoNode;       // IR node whose value the pattern produces
+  std::vector<NodeId> covers;  // root + interior nodes fused away
+  std::vector<NodeId> operands;
+};
+
+// Finds all complex-instruction matches implementable on the machine
+// (currently MAC: add(x, mul(a,b)) and MSU: sub(x, mul(a,b)) with a
+// single-use, non-output interior multiply). Exposed for testing.
+[[nodiscard]] std::vector<PatternMatch> matchComplexPatterns(
+    const BlockDag& ir, const OpDatabase& ops);
+
+}  // namespace aviv

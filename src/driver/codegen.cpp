@@ -1,0 +1,130 @@
+#include "driver/codegen.h"
+
+#include "sim/simulator.h"
+#include "support/error.h"
+
+namespace aviv {
+
+int CompiledProgram::totalInstructions() const {
+  int total = 0;
+  for (const CompiledBlock& block : blocks) total += block.numInstructions();
+  for (const ControlInstr& ci : control)
+    total += ci.kind == TermKind::kReturn ? 0 : 1;
+  return total;
+}
+
+CodeGenerator::CodeGenerator(Machine machine, DriverOptions options)
+    : machine_(std::move(machine)), dbs_(machine_), options_(std::move(options)) {
+  machine_.validate();
+}
+
+CompiledBlock CodeGenerator::compileBlockWith(
+    const BlockDag& ir, SymbolTable& symbols,
+    const CodegenOptions& coreOptions) {
+  CoreResult core = [&] {
+    try {
+      return coverBlock(ir, machine_, dbs_, coreOptions);
+    } catch (const Error&) {
+      if (coreOptions.outputsToMemory || !options_.outputsToMemoryFallback)
+        throw;
+      CodegenOptions retry = coreOptions;
+      retry.outputsToMemory = true;
+      return coverBlock(ir, machine_, dbs_, retry);
+    }
+  }();
+  CompiledBlock block{std::move(core),
+                      RegAssignment{},
+                      PeepholeStats{},
+                      CodeImage{}};
+  block.regs = allocateRegisters(block.core.graph, block.core.schedule);
+  if (options_.runPeephole) {
+    peepholeOptimize(block.core.graph, block.core.schedule, dbs_.constraints,
+                     &block.peephole);
+    block.regs = allocateRegisters(block.core.graph, block.core.schedule);
+  }
+  block.image =
+      encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
+  return block;
+}
+
+CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir) {
+  return compileBlockWith(ir, ownSymbols_, options_.core);
+}
+
+CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir,
+                                          SymbolTable& symbols) {
+  return compileBlockWith(ir, symbols, options_.core);
+}
+
+CompiledProgram CodeGenerator::compileProgram(const Program& program) {
+  program.validate();
+  CompiledProgram compiled;
+  CodegenOptions coreOptions = options_.core;
+  coreOptions.outputsToMemory = true;
+
+  for (size_t i = 0; i < program.numBlocks(); ++i) {
+    compiled.blocks.push_back(
+        compileBlockWith(program.block(i), compiled.symbols, coreOptions));
+  }
+  // Cover the control-flow terminators (one trivial pattern each).
+  for (size_t i = 0; i < program.numBlocks(); ++i) {
+    const Terminator& term = program.terminator(i);
+    ControlInstr ci;
+    ci.kind = term.kind;
+    switch (term.kind) {
+      case TermKind::kReturn:
+        break;
+      case TermKind::kJump:
+        ci.targetBlock = static_cast<int>(program.blockIndex(term.target));
+        break;
+      case TermKind::kBranch:
+        ci.targetBlock = static_cast<int>(program.blockIndex(term.target));
+        ci.elseBlock = static_cast<int>(program.blockIndex(term.elseTarget));
+        ci.condAddr = compiled.symbols.lookup(term.condVar);
+        break;
+    }
+    compiled.control.push_back(ci);
+  }
+  return compiled;
+}
+
+std::map<std::string, int64_t> simulateProgram(
+    const Machine& machine, const CompiledProgram& compiled,
+    const std::map<std::string, int64_t>& inputs, size_t maxBlockExecutions,
+    size_t* totalCycles) {
+  Simulator sim(machine);
+  MachineState state = sim.initialState();
+  sim.writeVars(state, compiled.symbols, inputs);
+  for (const CompiledBlock& block : compiled.blocks)
+    sim.loadConstPool(state, block.image);
+
+  size_t blockIdx = 0;
+  for (size_t step = 0; step < maxBlockExecutions; ++step) {
+    AVIV_CHECK(blockIdx < compiled.blocks.size());
+    (void)sim.runBlock(compiled.blocks[blockIdx].image, state, totalCycles);
+    const ControlInstr& ci = compiled.control[blockIdx];
+    if (totalCycles != nullptr && ci.kind != TermKind::kReturn)
+      ++*totalCycles;
+    switch (ci.kind) {
+      case TermKind::kReturn: {
+        std::map<std::string, int64_t> result;
+        for (const auto& [name, addr] : compiled.symbols.all())
+          result[name] = state.mem[static_cast<size_t>(addr)];
+        return result;
+      }
+      case TermKind::kJump:
+        blockIdx = static_cast<size_t>(ci.targetBlock);
+        break;
+      case TermKind::kBranch: {
+        const int64_t cond = state.mem[static_cast<size_t>(ci.condAddr)];
+        blockIdx = static_cast<size_t>(cond != 0 ? ci.targetBlock
+                                                 : ci.elseBlock);
+        break;
+      }
+    }
+  }
+  throw Error("program exceeded " + std::to_string(maxBlockExecutions) +
+              " block executions in simulation");
+}
+
+}  // namespace aviv

@@ -1,0 +1,102 @@
+// CodeGenerator — the public entry point of the AVIV library: the full
+// back-end pipeline of paper Fig 1 / Fig 5.
+//
+//   BlockDag --(Split-Node DAG, assignment exploration, transfer insertion,
+//   maximal-clique covering with loads/spills)--> schedule
+//           --(Chaitin register allocation)--> registers
+//           --(peephole: dead spill-code removal + compaction)--> final code
+//           --(encoding)--> CodeImage (assembly text + simulator input)
+//
+// Programs (multiple blocks + control flow, Section III-C) compile each
+// block with outputs stored to data memory and cover the control-flow
+// terminators with trivial jump/branch patterns.
+#pragma once
+
+#include "asmgen/encode.h"
+#include "core/codegen.h"
+#include "ir/program.h"
+#include "regalloc/peephole.h"
+#include "regalloc/regalloc.h"
+
+namespace aviv {
+
+struct DriverOptions {
+  CodegenOptions core;
+  bool runPeephole = true;
+  // When a block's outputs cannot all stay register-resident within the
+  // register limits (e.g. two outputs pinned to one tiny bank), retry with
+  // outputs stored back to data memory instead of failing.
+  bool outputsToMemoryFallback = true;
+};
+
+struct CompiledBlock {
+  CoreResult core;  // winning assignment, graph (post-peephole), schedule
+  RegAssignment regs;
+  PeepholeStats peephole;
+  CodeImage image;
+
+  [[nodiscard]] int numInstructions() const {
+    return image.numInstructions();
+  }
+};
+
+// Control-flow instruction covering a block terminator (Section III-C's
+// "conventional tree-covering" step — each terminator kind is one pattern).
+struct ControlInstr {
+  TermKind kind = TermKind::kReturn;
+  int targetBlock = -1;   // kJump / kBranch taken side
+  int elseBlock = -1;     // kBranch fall-through side
+  int condAddr = -1;      // kBranch: data-memory address of the condition
+};
+
+struct CompiledProgram {
+  std::vector<CompiledBlock> blocks;
+  std::vector<ControlInstr> control;  // one per block
+  SymbolTable symbols;
+
+  // Block-body instructions plus one control instruction per non-return
+  // terminator (the code-size figure a ROM would hold).
+  [[nodiscard]] int totalInstructions() const;
+};
+
+class CodeGenerator {
+ public:
+  // The generator owns a copy of the machine, so temporaries (e.g.
+  // loadMachine(...)) are safe to pass. Compiled results reference the
+  // generator's machine: the generator must outlive them.
+  explicit CodeGenerator(Machine machine, DriverOptions options = {});
+
+  // Compiles one standalone block. The returned structure references
+  // `ir` and this generator's machine; both must outlive it.
+  [[nodiscard]] CompiledBlock compileBlock(const BlockDag& ir);
+  [[nodiscard]] CompiledBlock compileBlock(const BlockDag& ir,
+                                           SymbolTable& symbols);
+
+  // Compiles a whole program; forces outputs-to-memory so inter-block
+  // dataflow works. `program` must outlive the result.
+  [[nodiscard]] CompiledProgram compileProgram(const Program& program);
+
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  [[nodiscard]] const MachineDatabases& databases() const { return dbs_; }
+  [[nodiscard]] const DriverOptions& options() const { return options_; }
+
+ private:
+  CompiledBlock compileBlockWith(const BlockDag& ir, SymbolTable& symbols,
+                                 const CodegenOptions& coreOptions);
+
+  Machine machine_;
+  MachineDatabases dbs_;
+  DriverOptions options_;
+  SymbolTable ownSymbols_;
+};
+
+// Executes a compiled program on the instruction-level simulator: writes
+// `inputs` into data memory, runs block bodies and control instructions
+// until a return, and returns the final values of every symbol-table
+// variable. Defined here (not in sim/) because it needs ControlInstr.
+[[nodiscard]] std::map<std::string, int64_t> simulateProgram(
+    const Machine& machine, const CompiledProgram& compiled,
+    const std::map<std::string, int64_t>& inputs,
+    size_t maxBlockExecutions = 10000, size_t* totalCycles = nullptr);
+
+}  // namespace aviv

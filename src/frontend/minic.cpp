@@ -1,0 +1,478 @@
+#include "frontend/minic.h"
+
+#include <set>
+#include <vector>
+
+#include "ir/parser.h"
+#include "support/lexer.h"
+
+namespace aviv {
+
+namespace {
+
+const std::vector<std::string> kPuncts = {"<<", ">>", "==", "!=",
+                                          "<=", ">=", "&&", "||"};
+
+bool isIntrinsicName(const std::string& name) {
+  const auto op = opFromName(name);
+  return op.has_value() && !isLeafOp(*op);
+}
+
+// A captured expression: raw tokens plus the variables it reads.
+struct CapturedExpr {
+  std::vector<Token> tokens;
+  std::vector<std::string> reads;
+
+  [[nodiscard]] std::string text() const {
+    // Split on top-level && / || (lowest precedence, left-associative in C)
+    // and lower each to the block language's bitwise form on normalized
+    // truth values: a && b  ->  ((a) != 0) & ((b) != 0).
+    std::vector<std::string> pieces;
+    std::vector<std::string> ops;
+    std::string current;
+    int depth = 0;
+    auto flush = [&] {
+      pieces.push_back(current);
+      current.clear();
+    };
+    for (const Token& tok : tokens) {
+      if (tok.isPunct("(")) ++depth;
+      if (tok.isPunct(")")) --depth;
+      if (depth == 0 && (tok.isPunct("&&") || tok.isPunct("||"))) {
+        flush();
+        ops.push_back(tok.text == "&&" ? "&" : "|");
+        continue;
+      }
+      if (!current.empty()) current += " ";
+      switch (tok.kind) {
+        case Token::Kind::kIdent:
+        case Token::Kind::kPunct:
+          current += tok.text;
+          break;
+        case Token::Kind::kNumber:
+          current += std::to_string(tok.number);
+          break;
+        default:
+          break;
+      }
+    }
+    flush();
+    if (ops.empty()) return pieces[0];
+    std::string out = "( ( " + pieces[0] + " ) != 0 )";
+    for (size_t i = 0; i < ops.size(); ++i)
+      out += " " + ops[i] + " ( ( " + pieces[i + 1] + " ) != 0 )";
+    return out;
+  }
+};
+
+// Statement AST (expressions stay as captured token spans — MiniC's
+// expression grammar is the block language's, so they re-emit verbatim).
+struct Stmt {
+  enum class Kind { kAssign, kIf, kWhile, kReturn };
+  Kind kind = Kind::kAssign;
+  SourceLoc loc;
+  std::string var;  // kAssign target
+  CapturedExpr expr;
+  std::vector<Stmt> thenBody;  // kIf taken / kWhile body
+  std::vector<Stmt> elseBody;  // kIf fall-through
+};
+
+class MiniCParser {
+ public:
+  explicit MiniCParser(std::string_view source) : lexer_(source, kPuncts) {}
+
+  MiniCFunction parse() {
+    expectKeyword("int");
+    MiniCFunction fn;
+    fn.name = lexer_.expectIdent().text;
+    lexer_.expectPunct("(");
+    if (!lexer_.peek().isPunct(")")) {
+      do {
+        expectKeyword("int");
+        const Token param = lexer_.expectIdent();
+        declare(param);
+        fn.params.push_back(param.text);
+      } while (lexer_.tryConsume(","));
+    }
+    lexer_.expectPunct(")");
+    const std::vector<Stmt> body = parseBody();
+    if (!lexer_.atEnd())
+      throw Error(lexer_.peek().loc, "trailing input after function body");
+
+    Lowering lowering(fn.name);
+    const bool live = lowering.lowerInto(body);
+    if (live)
+      throw Error("function '" + fn.name +
+                  "': control can reach the end without a return");
+    fn.program = lowering.finish();
+    return fn;
+  }
+
+ private:
+  // ---------------- parsing ------------------------------------------
+  std::vector<Stmt> parseBody() {
+    lexer_.expectPunct("{");
+    std::vector<Stmt> body;
+    while (!lexer_.peek().isPunct("}")) {
+      body.push_back(parseStmt());
+      // A for-loop expands to init (returned) + while (queued).
+      for (Stmt& queued : pendingAfter_) body.push_back(std::move(queued));
+      pendingAfter_.clear();
+    }
+    lexer_.expectPunct("}");
+    return body;
+  }
+
+  Stmt parseStmt() {
+    Stmt stmt;
+    stmt.loc = lexer_.peek().loc;
+    if (lexer_.tryConsumeIdent("int")) {
+      const Token var = lexer_.expectIdent();
+      declare(var);
+      lexer_.expectPunct("=");
+      stmt.kind = Stmt::Kind::kAssign;
+      stmt.var = var.text;
+      stmt.expr = captureUntilSemicolon();
+      return stmt;
+    }
+    if (lexer_.tryConsumeIdent("if")) {
+      stmt.kind = Stmt::Kind::kIf;
+      lexer_.expectPunct("(");
+      stmt.expr = captureUntilCloseParen();
+      stmt.thenBody = parseBody();
+      if (lexer_.tryConsumeIdent("else")) stmt.elseBody = parseBody();
+      return stmt;
+    }
+    if (lexer_.tryConsumeIdent("while")) {
+      stmt.kind = Stmt::Kind::kWhile;
+      lexer_.expectPunct("(");
+      stmt.expr = captureUntilCloseParen();
+      stmt.thenBody = parseBody();
+      return stmt;
+    }
+    if (lexer_.tryConsumeIdent("for")) {
+      // for (init; cond; step) body  ->  init; while (cond) { body; step; }
+      // The init clause must be a declaration or assignment; the step an
+      // assignment.
+      lexer_.expectPunct("(");
+      Stmt init = parseForClause(/*allowDecl=*/true);
+      Stmt loop;
+      loop.kind = Stmt::Kind::kWhile;
+      loop.loc = stmt.loc;
+      loop.expr = captureUntilSemicolon();
+      Stmt step = parseForClause(/*allowDecl=*/false);
+      lexer_.expectPunct(")");
+      loop.thenBody = parseBody();
+      loop.thenBody.push_back(std::move(step));
+      // The expansion is two statements: the init (returned now) and the
+      // while loop (queued; parseBody appends it right after).
+      pendingAfter_.push_back(std::move(loop));
+      return init;
+    }
+    if (lexer_.tryConsumeIdent("return")) {
+      stmt.kind = Stmt::Kind::kReturn;
+      stmt.expr = captureUntilSemicolon();
+      return stmt;
+    }
+    // Plain assignment.
+    const Token var = lexer_.expectIdent();
+    requireDeclared(var);
+    lexer_.expectPunct("=");
+    stmt.kind = Stmt::Kind::kAssign;
+    stmt.var = var.text;
+    stmt.expr = captureUntilSemicolon();
+    return stmt;
+  }
+
+  CapturedExpr captureUntilSemicolon() { return capture(";", 0); }
+  CapturedExpr captureUntilCloseParen() { return capture(")", 1); }
+
+  // Captures tokens until the terminator punct at paren depth 0 (the
+  // terminator itself is consumed). `startDepth` = 1 when the caller has
+  // already consumed the opening paren.
+  CapturedExpr capture(std::string_view terminator, int startDepth) {
+    CapturedExpr expr;
+    int depth = startDepth;
+    const SourceLoc start = lexer_.peek().loc;
+    while (true) {
+      const Token& next = lexer_.peek();
+      if (next.is(Token::Kind::kEnd))
+        throw Error(start, "unterminated expression");
+      if (next.isPunct("(")) ++depth;
+      if (next.isPunct(")")) {
+        if (terminator == ")" && depth == 1) {
+          lexer_.next();
+          break;
+        }
+        if (depth == 0) throw Error(next.loc, "unbalanced ')'");
+        --depth;
+      }
+      if (next.isPunct(";") && depth == (terminator == ")" ? 1 : 0)) {
+        if (terminator == ";") {
+          lexer_.next();
+          break;
+        }
+        throw Error(next.loc, "';' inside a condition");
+      }
+      Token tok = lexer_.next();
+      if (tok.is(Token::Kind::kIdent) && !lexer_.peek().isPunct("(")) {
+        requireDeclared(tok);
+        expr.reads.push_back(tok.text);
+      } else if (tok.is(Token::Kind::kIdent) &&
+                 !isIntrinsicName(tok.text)) {
+        throw Error(tok.loc, "unknown function '" + tok.text +
+                                 "' (only min/max/abs/mac/msu intrinsics)");
+      }
+      // Logical operators lower to their bitwise forms on normalized 0/1
+      // values (MiniC expressions are side-effect free, so short-circuit
+      // evaluation is unobservable): the operands of && and || are
+      // normalized by wrapping the whole capture below; '!' is rewritten
+      // inline to '0 ==' (right-binding like unary not).
+      if (tok.isPunct("!") && !lexer_.peek().isPunct("=")) {
+        Token zero;
+        zero.kind = Token::Kind::kNumber;
+        zero.number = 0;
+        zero.loc = tok.loc;
+        Token eq;
+        eq.kind = Token::Kind::kPunct;
+        eq.text = "==";
+        eq.loc = tok.loc;
+        expr.tokens.push_back(std::move(zero));
+        expr.tokens.push_back(std::move(eq));
+        continue;
+      }
+      expr.tokens.push_back(std::move(tok));
+    }
+    if (expr.tokens.empty()) throw Error(start, "empty expression");
+    return expr;
+  }
+
+  // One for-header clause ending in ';' (init) or at ')' (step handled by
+  // the caller's expectPunct).
+  Stmt parseForClause(bool allowDecl) {
+    Stmt stmt;
+    stmt.loc = lexer_.peek().loc;
+    stmt.kind = Stmt::Kind::kAssign;
+    if (allowDecl && lexer_.tryConsumeIdent("int")) {
+      const Token var = lexer_.expectIdent();
+      declare(var);
+      lexer_.expectPunct("=");
+      stmt.var = var.text;
+      stmt.expr = captureUntilSemicolon();
+      return stmt;
+    }
+    const Token var = lexer_.expectIdent();
+    requireDeclared(var);
+    lexer_.expectPunct("=");
+    stmt.var = var.text;
+    if (allowDecl) {
+      stmt.expr = captureUntilSemicolon();
+    } else {
+      // Step clause: capture up to the closing paren, leaving it unread.
+      stmt.expr = captureStepClause();
+    }
+    return stmt;
+  }
+
+  // Captures until the ')' that closes the for-header (not consumed).
+  CapturedExpr captureStepClause() {
+    CapturedExpr expr;
+    int depth = 0;
+    const SourceLoc start = lexer_.peek().loc;
+    while (true) {
+      const Token& next = lexer_.peek();
+      if (next.is(Token::Kind::kEnd))
+        throw Error(start, "unterminated for-step expression");
+      if (next.isPunct("(")) ++depth;
+      if (next.isPunct(")")) {
+        if (depth == 0) break;
+        --depth;
+      }
+      Token tok = lexer_.next();
+      if (tok.is(Token::Kind::kIdent) && !lexer_.peek().isPunct("(")) {
+        requireDeclared(tok);
+        expr.reads.push_back(tok.text);
+      }
+      expr.tokens.push_back(std::move(tok));
+    }
+    if (expr.tokens.empty()) throw Error(start, "empty for-step expression");
+    return expr;
+  }
+
+  void declare(const Token& var) {
+    if (!declared_.insert(var.text).second)
+      throw Error(var.loc, "variable '" + var.text + "' already declared");
+  }
+  void requireDeclared(const Token& var) {
+    if (!declared_.count(var.text))
+      throw Error(var.loc, "use of undeclared variable '" + var.text + "'");
+  }
+  void expectKeyword(std::string_view keyword) {
+    const Token tok = lexer_.next();
+    if (!tok.isIdent(keyword))
+      throw Error(tok.loc, "expected '" + std::string(keyword) + "', got " +
+                               tok.describe());
+  }
+
+  // ---------------- lowering -----------------------------------------
+  class Lowering {
+   public:
+    explicit Lowering(std::string fnName) : fnName_(std::move(fnName)) {
+      startBlock(newBlockName());
+    }
+
+    // Lowers a statement list into the current block chain. Returns true
+    // when control can fall out of the list (the current block is live).
+    bool lowerInto(const std::vector<Stmt>& body) {
+      for (const Stmt& stmt : body) {
+        if (!live_)
+          throw Error(stmt.loc, "unreachable statement (code after return)");
+        switch (stmt.kind) {
+          case Stmt::Kind::kAssign:
+            addAssign(stmt.var, stmt.expr);
+            break;
+          case Stmt::Kind::kReturn:
+            addAssign(kMiniCReturnVariable, stmt.expr);
+            finishBlock("return;");
+            live_ = false;
+            break;
+          case Stmt::Kind::kIf: {
+            const std::string cond = materializeCond(stmt.expr);
+            const std::string thenName = newBlockName();
+            const std::string elseName =
+                stmt.elseBody.empty() ? "" : newBlockName();
+            const std::string joinName = newBlockName();
+            finishBlock("if " + cond + " goto " + thenName + " else " +
+                        (elseName.empty() ? joinName : elseName) + ";");
+            startBlock(thenName);
+            live_ = true;
+            const bool thenLive = lowerInto(stmt.thenBody);
+            if (thenLive) finishBlock("goto " + joinName + ";");
+            bool elseLive = true;
+            if (!elseName.empty()) {
+              startBlock(elseName);
+              live_ = true;
+              elseLive = lowerInto(stmt.elseBody);
+              if (elseLive) finishBlock("goto " + joinName + ";");
+            }
+            startBlock(joinName);
+            live_ = thenLive || elseLive || stmt.elseBody.empty();
+            if (!live_) {
+              // Unreachable join: give it a harmless terminator.
+              finishBlock("return;");
+            }
+            break;
+          }
+          case Stmt::Kind::kWhile: {
+            const std::string condName = newBlockName();
+            const std::string bodyName = newBlockName();
+            const std::string joinName = newBlockName();
+            finishBlock("goto " + condName + ";");
+            startBlock(condName);
+            live_ = true;
+            const std::string cond = materializeCond(stmt.expr);
+            finishBlock("if " + cond + " goto " + bodyName + " else " +
+                        joinName + ";");
+            startBlock(bodyName);
+            live_ = true;
+            if (lowerInto(stmt.thenBody))
+              finishBlock("goto " + condName + ";");
+            startBlock(joinName);
+            live_ = true;
+            break;
+          }
+        }
+      }
+      return live_;
+    }
+
+    Program finish() {
+      if (live_) return Program("incomplete");  // caller reports the error
+      if (open_) finishBlock("return;");        // unreachable trailing block
+      std::string text;
+      for (const GenBlock& block : blocks_) {
+        text += "block " + block.name + " {\n";
+        if (!block.reads.empty()) {
+          text += "  input";
+          bool first = true;
+          for (const std::string& var : block.reads) {
+            text += (first ? " " : ", ") + var;
+            first = false;
+          }
+          text += ";\n";
+        }
+        if (!block.writes.empty()) {
+          text += "  output";
+          bool first = true;
+          for (const std::string& var : block.writes) {
+            text += (first ? " " : ", ") + var;
+            first = false;
+          }
+          text += ";\n";
+        }
+        for (const std::string& stmt : block.statements)
+          text += "  " + stmt + "\n";
+        text += "  " + block.terminator + "\n}\n";
+      }
+      return parseProgram(text, fnName_);
+    }
+
+   private:
+    struct GenBlock {
+      std::string name;
+      std::set<std::string> reads;   // read before written in this block
+      std::set<std::string> writes;  // assigned in this block
+      std::vector<std::string> statements;
+      std::string terminator;
+    };
+
+    std::string newBlockName() {
+      return fnName_ + "_b" + std::to_string(nextBlock_++);
+    }
+    void startBlock(const std::string& name) {
+      AVIV_CHECK(!open_);
+      current_ = GenBlock{};
+      current_.name = name;
+      open_ = true;
+    }
+    void finishBlock(const std::string& terminator) {
+      AVIV_CHECK(open_);
+      current_.terminator = terminator;
+      blocks_.push_back(std::move(current_));
+      open_ = false;
+    }
+    void addAssign(const std::string& var, const CapturedExpr& expr) {
+      for (const std::string& read : expr.reads)
+        if (!current_.writes.count(read)) current_.reads.insert(read);
+      current_.statements.push_back(var + " = " + expr.text() + ";");
+      current_.writes.insert(var);
+    }
+    // Conditions become named block outputs so the branch can read them.
+    std::string materializeCond(const CapturedExpr& expr) {
+      const std::string name = "__c" + std::to_string(nextCond_++);
+      addAssign(name, expr);
+      return name;
+    }
+
+    std::string fnName_;
+    std::vector<GenBlock> blocks_;
+    GenBlock current_;
+    bool open_ = false;
+    bool live_ = true;
+    int nextBlock_ = 0;
+    int nextCond_ = 0;
+  };
+
+  Lexer lexer_;
+  std::set<std::string> declared_;
+  std::vector<Stmt> pendingAfter_;  // for-loop expansion queue
+};
+
+}  // namespace
+
+MiniCFunction parseMiniC(std::string_view source) {
+  MiniCParser parser(source);
+  return parser.parse();
+}
+
+}  // namespace aviv

@@ -1,0 +1,57 @@
+// MiniC — a C-subset front end, closing the "source program written in C or
+// C++" leg of the paper's Fig 1. Parses a single integer function with
+// structured control flow and lowers it to the basic-block Program form the
+// AVIV back end consumes (blocks + jump/branch/return terminators), exactly
+// what the SUIF/SPAM front end produced in the original system.
+//
+// Language (64-bit integers only):
+//
+//   int f(int a, int b) {
+//     int acc = 0;
+//     while (a > 0) {
+//       acc = acc + a * b;
+//       a = a - 1;
+//     }
+//     if (acc > 100) { acc = acc - 100; } else { acc = acc + 1; }
+//     return acc;
+//   }
+//
+//   function := "int" IDENT "(" [ "int" IDENT ("," "int" IDENT)* ] ")" body
+//   body     := "{" stmt* "}"
+//   stmt     := "int" IDENT "=" expr ";"          // declaration
+//             | IDENT "=" expr ";"                 // assignment
+//             | "if" "(" expr ")" body ["else" body]
+//             | "while" "(" expr ")" body
+//             | "return" expr ";"
+//   expr     := same operators and intrinsics as the block language
+//
+// Single flat scope (declarations visible from their statement onward);
+// every path must end in a return. The lowering is classic CFG
+// construction: one block per straight-line region, conditions materialized
+// as block outputs, loop back-edges as jumps. Variables flow between blocks
+// through data memory (the driver's program mode), so no SSA is needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/program.h"
+
+namespace aviv {
+
+struct MiniCFunction {
+  std::string name;
+  std::vector<std::string> params;
+  // The lowered program; the function's return value is the variable
+  // `__ret` after execution.
+  Program program{"uninitialized"};
+};
+
+inline constexpr const char* kMiniCReturnVariable = "__ret";
+
+// Parses and lowers one MiniC function. Throws aviv::Error with source
+// locations on malformed input (unknown variables, missing returns,
+// unreachable code, ...).
+[[nodiscard]] MiniCFunction parseMiniC(std::string_view source);
+
+}  // namespace aviv

@@ -1,0 +1,221 @@
+#include "ir/dag.h"
+
+#include <algorithm>
+
+#include "support/dot.h"
+#include "support/error.h"
+
+namespace aviv {
+
+BlockDag::BlockDag(std::string name, bool cse)
+    : name_(std::move(name)), cse_(cse) {}
+
+NodeId BlockDag::append(DagNode node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  AVIV_CHECK(id != kNoNode);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+NodeId BlockDag::addInput(const std::string& inputName) {
+  AVIV_CHECK(!inputName.empty());
+  if (const auto it = inputIndex_.find(inputName); it != inputIndex_.end())
+    return it->second;  // inputs are always unique by name
+  DagNode node;
+  node.op = Op::kInput;
+  node.name = inputName;
+  const NodeId id = append(std::move(node));
+  inputIndex_[inputName] = id;
+  return id;
+}
+
+NodeId BlockDag::addConst(int64_t value) {
+  if (cse_) {
+    const auto key = std::make_tuple(Op::kConst, value, std::vector<NodeId>{});
+    if (const auto it = valueIndex_.find(key); it != valueIndex_.end())
+      return it->second;
+    DagNode node;
+    node.op = Op::kConst;
+    node.value = value;
+    const NodeId id = append(std::move(node));
+    valueIndex_[key] = id;
+    return id;
+  }
+  DagNode node;
+  node.op = Op::kConst;
+  node.value = value;
+  return append(std::move(node));
+}
+
+NodeId BlockDag::addOp(Op op, std::vector<NodeId> operands) {
+  AVIV_CHECK_MSG(isMachineOp(op), "addOp on leaf op " << opName(op));
+  AVIV_CHECK_MSG(static_cast<int>(operands.size()) == opArity(op),
+                 opName(op) << " expects " << opArity(op) << " operands, got "
+                            << operands.size());
+  for (NodeId operand : operands) AVIV_CHECK(operand < nodes_.size());
+
+  if (cse_) {
+    // Canonicalize commutative operand order for the lookup key only.
+    std::vector<NodeId> key_operands = operands;
+    if (isCommutative(op) && key_operands.size() >= 2 &&
+        key_operands[0] > key_operands[1]) {
+      std::swap(key_operands[0], key_operands[1]);
+    }
+    const auto key = std::make_tuple(op, int64_t{0}, key_operands);
+    if (const auto it = valueIndex_.find(key); it != valueIndex_.end())
+      return it->second;
+    DagNode node;
+    node.op = op;
+    node.operands = std::move(operands);
+    const NodeId id = append(std::move(node));
+    valueIndex_[key] = id;
+    return id;
+  }
+  DagNode node;
+  node.op = op;
+  node.operands = std::move(operands);
+  return append(std::move(node));
+}
+
+void BlockDag::markOutput(const std::string& outputName, NodeId id) {
+  AVIV_CHECK(id < nodes_.size());
+  for (auto& [existing, existingId] : outputs_) {
+    if (existing == outputName) {
+      existingId = id;
+      return;
+    }
+  }
+  outputs_.emplace_back(outputName, id);
+}
+
+const DagNode& BlockDag::node(NodeId id) const {
+  AVIV_CHECK(id < nodes_.size());
+  return nodes_[id];
+}
+
+std::vector<std::string> BlockDag::inputNames() const {
+  std::vector<std::string> names;
+  for (const DagNode& n : nodes_)
+    if (n.op == Op::kInput) names.push_back(n.name);
+  return names;
+}
+
+NodeId BlockDag::findInput(const std::string& inputName) const {
+  const auto it = inputIndex_.find(inputName);
+  return it == inputIndex_.end() ? kNoNode : it->second;
+}
+
+size_t BlockDag::numOpNodes() const {
+  size_t n = 0;
+  for (const DagNode& node : nodes_)
+    if (isMachineOp(node.op)) ++n;
+  return n;
+}
+
+size_t BlockDag::numLeafNodes() const { return size() - numOpNodes(); }
+
+std::vector<std::vector<NodeId>> BlockDag::computeUsers() const {
+  std::vector<std::vector<NodeId>> users(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId operand : nodes_[id].operands) {
+      auto& list = users[operand];
+      if (list.empty() || list.back() != id) list.push_back(id);
+    }
+  }
+  return users;
+}
+
+std::vector<int> BlockDag::levelsFromTop() const {
+  std::vector<int> level(nodes_.size(), 0);
+  // Iterate users in decreasing id order; since operands precede users, a
+  // reverse pass settles all levels in one sweep.
+  const auto users = computeUsers();
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    int lvl = 0;
+    for (NodeId user : users[i]) lvl = std::max(lvl, level[user] + 1);
+    level[i] = lvl;
+  }
+  return level;
+}
+
+std::vector<int> BlockDag::levelsFromBottom() const {
+  std::vector<int> level(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    int lvl = 0;
+    for (NodeId operand : nodes_[id].operands)
+      lvl = std::max(lvl, level[operand] + 1);
+    level[id] = lvl;
+  }
+  return level;
+}
+
+void BlockDag::verify() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const DagNode& n = nodes_[id];
+    AVIV_CHECK_MSG(static_cast<int>(n.operands.size()) == opArity(n.op),
+                   describe(id) << ": bad arity");
+    for (NodeId operand : n.operands)
+      AVIV_CHECK_MSG(operand < id, describe(id) << ": operand not before user");
+    if (n.op == Op::kInput) AVIV_CHECK(!n.name.empty());
+  }
+  for (const auto& [outName, outId] : outputs_) {
+    AVIV_CHECK(!outName.empty());
+    AVIV_CHECK(outId < nodes_.size());
+  }
+}
+
+std::string BlockDag::describe(NodeId id) const {
+  const DagNode& n = node(id);
+  std::string s = "n" + std::to_string(id) + ":";
+  switch (n.op) {
+    case Op::kConst:
+      s += "CONST(" + std::to_string(n.value) + ")";
+      return s;
+    case Op::kInput:
+      s += "INPUT(" + n.name + ")";
+      return s;
+    default:
+      break;
+  }
+  s += std::string(opName(n.op)) + "(";
+  for (size_t i = 0; i < n.operands.size(); ++i) {
+    if (i != 0) s += ",";
+    s += "n" + std::to_string(n.operands[i]);
+  }
+  return s + ")";
+}
+
+std::string BlockDag::dot() const {
+  DotWriter dw("dag_" + name_);
+  dw.addRaw("rankdir=BT;");
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const DagNode& n = nodes_[id];
+    std::string label;
+    std::string shape = "ellipse";
+    if (n.op == Op::kConst) {
+      label = std::to_string(n.value);
+      shape = "plaintext";
+    } else if (n.op == Op::kInput) {
+      label = n.name;
+      shape = "plaintext";
+    } else {
+      label = std::string(opName(n.op));
+    }
+    dw.addNode("n" + std::to_string(id),
+               "shape=" + shape + ", label=\"" + DotWriter::escape(label) +
+                   "\"");
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId operand : nodes_[id].operands)
+      dw.addEdge("n" + std::to_string(operand), "n" + std::to_string(id));
+  }
+  for (const auto& [outName, outId] : outputs_) {
+    dw.addNode("out_" + outName, "shape=plaintext, label=\"" +
+                                     DotWriter::escape(outName) + "\"");
+    dw.addEdge("n" + std::to_string(outId), "out_" + outName,
+               "style=dashed");
+  }
+  return dw.str();
+}
+
+}  // namespace aviv

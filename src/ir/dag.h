@@ -1,0 +1,92 @@
+// BlockDag — the machine-independent basic-block expression DAG that the
+// AVIV back end consumes (paper Fig 2). This is the shape the SUIF/SPAM
+// front end produces in the original system: leaves are named live-in values
+// and integer constants; interior nodes are basic operations; shared
+// subexpressions are represented once (the builder value-numbers on insert).
+//
+// Invariant: operands always precede their users, so node-id order is a
+// topological order. All mutation is append-only; passes rewrite by building
+// a fresh DAG (see passes.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace aviv {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+struct DagNode {
+  Op op = Op::kConst;
+  int64_t value = 0;              // kConst payload
+  std::string name;               // kInput payload
+  std::vector<NodeId> operands;   // each id < this node's id
+};
+
+class BlockDag {
+ public:
+  // `cse` enables structural value numbering on insert (the front end's
+  // common-subexpression elimination); tests sometimes disable it to build
+  // specific shapes.
+  explicit BlockDag(std::string name, bool cse = true);
+
+  // --- construction ---------------------------------------------------
+  NodeId addInput(const std::string& inputName);
+  NodeId addConst(int64_t value);
+  NodeId addOp(Op op, std::vector<NodeId> operands);
+  // Marks `id` as the block's live-out value `outputName`. Re-marking the
+  // same name replaces the binding.
+  void markOutput(const std::string& outputName, NodeId id);
+
+  // --- accessors ------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const DagNode& node(NodeId id) const;
+  [[nodiscard]] const std::vector<DagNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, NodeId>>& outputs()
+      const {
+    return outputs_;
+  }
+  [[nodiscard]] std::vector<std::string> inputNames() const;
+  // kNoNode when no input with that name exists.
+  [[nodiscard]] NodeId findInput(const std::string& inputName) const;
+
+  [[nodiscard]] size_t numOpNodes() const;
+  [[nodiscard]] size_t numLeafNodes() const;
+
+  // users[i] = ids of nodes that consume node i (deduplicated, increasing).
+  [[nodiscard]] std::vector<std::vector<NodeId>> computeUsers() const;
+
+  // Level of each node measured from the DAG outputs/roots downwards
+  // ("level from the top" in the paper): nodes with no users are level 0.
+  [[nodiscard]] std::vector<int> levelsFromTop() const;
+  // Level measured from the leaves upwards: leaves are level 0.
+  [[nodiscard]] std::vector<int> levelsFromBottom() const;
+
+  // Checks all structural invariants; AVIV_CHECK-fails on violation.
+  void verify() const;
+
+  // Graphviz rendering (paper Fig 2 reproduction).
+  [[nodiscard]] std::string dot() const;
+
+  // Short human-readable description of one node, e.g. "n5:ADD(n1,n2)".
+  [[nodiscard]] std::string describe(NodeId id) const;
+
+ private:
+  NodeId append(DagNode node);
+
+  std::string name_;
+  bool cse_;
+  std::vector<DagNode> nodes_;
+  std::vector<std::pair<std::string, NodeId>> outputs_;
+  std::map<std::string, NodeId> inputIndex_;
+  // Value-numbering key: (op, const value, operand list) -> node.
+  std::map<std::tuple<Op, int64_t, std::vector<NodeId>>, NodeId> valueIndex_;
+};
+
+}  // namespace aviv

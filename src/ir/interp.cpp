@@ -1,0 +1,76 @@
+#include "ir/interp.h"
+
+#include "support/error.h"
+
+namespace aviv {
+
+std::vector<int64_t> evalDag(const BlockDag& dag,
+                             const std::map<std::string, int64_t>& inputs) {
+  std::vector<int64_t> values(dag.size(), 0);
+  for (NodeId id = 0; id < dag.size(); ++id) {
+    const DagNode& n = dag.node(id);
+    switch (n.op) {
+      case Op::kConst:
+        values[id] = n.value;
+        break;
+      case Op::kInput: {
+        const auto it = inputs.find(n.name);
+        if (it == inputs.end())
+          throw Error("missing value for input '" + n.name + "' of block '" +
+                      dag.name() + "'");
+        values[id] = it->second;
+        break;
+      }
+      default: {
+        int64_t a = 0;
+        int64_t b = 0;
+        int64_t c = 0;
+        const auto& ops = n.operands;
+        if (ops.size() > 0) a = values[ops[0]];
+        if (ops.size() > 1) b = values[ops[1]];
+        if (ops.size() > 2) c = values[ops[2]];
+        values[id] = evalOp(n.op, a, b, c);
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+std::map<std::string, int64_t> evalDagOutputs(
+    const BlockDag& dag, const std::map<std::string, int64_t>& inputs) {
+  const std::vector<int64_t> values = evalDag(dag, inputs);
+  std::map<std::string, int64_t> out;
+  for (const auto& [outName, outId] : dag.outputs()) out[outName] = values[outId];
+  return out;
+}
+
+std::map<std::string, int64_t> evalProgram(const Program& program,
+                                           std::map<std::string, int64_t> vars,
+                                           size_t maxSteps) {
+  program.validate();
+  size_t blockIdx = 0;
+  for (size_t step = 0; step < maxSteps; ++step) {
+    const BlockDag& dag = program.block(blockIdx);
+    const auto outs = evalDagOutputs(dag, vars);
+    for (const auto& [outName, value] : outs) vars[outName] = value;
+
+    const Terminator& term = program.terminator(blockIdx);
+    switch (term.kind) {
+      case TermKind::kReturn:
+        return vars;
+      case TermKind::kJump:
+        blockIdx = program.blockIndex(term.target);
+        break;
+      case TermKind::kBranch:
+        blockIdx = program.blockIndex(outs.at(term.condVar) != 0
+                                          ? term.target
+                                          : term.elseTarget);
+        break;
+    }
+  }
+  throw Error("program '" + program.name() + "' exceeded " +
+              std::to_string(maxSteps) + " block executions");
+}
+
+}  // namespace aviv

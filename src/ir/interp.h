@@ -1,0 +1,35 @@
+// Reference interpreter for BlockDags and Programs.
+//
+// This is the ground truth the instruction-level simulator's results are
+// checked against: for random inputs, simulating the VLIW code AVIV emitted
+// must produce exactly these values (DESIGN.md invariant "End-to-end").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/dag.h"
+#include "ir/program.h"
+
+namespace aviv {
+
+// Values of every node given the named input bindings. Missing inputs are an
+// error; extra bindings are ignored.
+[[nodiscard]] std::vector<int64_t> evalDag(
+    const BlockDag& dag, const std::map<std::string, int64_t>& inputs);
+
+// Just the named outputs.
+[[nodiscard]] std::map<std::string, int64_t> evalDagOutputs(
+    const BlockDag& dag, const std::map<std::string, int64_t>& inputs);
+
+// Executes a whole Program (multi-block with branches) starting at its entry
+// block. Each block reads its inputs from `vars`, writes its outputs back to
+// `vars`, then the terminator picks the next block. Returns the final
+// variable environment. `maxSteps` bounds looping programs.
+[[nodiscard]] std::map<std::string, int64_t> evalProgram(
+    const Program& program, std::map<std::string, int64_t> vars,
+    size_t maxSteps = 10000);
+
+}  // namespace aviv

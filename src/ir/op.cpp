@@ -1,0 +1,133 @@
+#include "ir/op.h"
+
+#include <algorithm>
+#include <array>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace aviv {
+
+namespace {
+
+struct OpInfo {
+  std::string_view name;
+  int arity;
+  bool commutative;
+};
+
+constexpr std::array<OpInfo, kNumOps> kOpInfo = {{
+    {"CONST", 0, false}, {"INPUT", 0, false}, {"ADD", 2, true},
+    {"SUB", 2, false},   {"MUL", 2, true},    {"DIV", 2, false},
+    {"MOD", 2, false},   {"AND", 2, true},    {"OR", 2, true},
+    {"XOR", 2, true},    {"SHL", 2, false},   {"SHR", 2, false},
+    {"MIN", 2, true},    {"MAX", 2, true},    {"EQ", 2, true},
+    {"NE", 2, true},     {"LT", 2, false},    {"LE", 2, false},
+    {"GT", 2, false},    {"GE", 2, false},    {"NEG", 1, false},
+    {"COMPL", 1, false}, {"ABS", 1, false},   {"MAC", 3, false},
+    {"MSU", 3, false},
+}};
+
+const OpInfo& info(Op op) {
+  const auto i = static_cast<size_t>(op);
+  AVIV_CHECK(i < kOpInfo.size());
+  return kOpInfo[i];
+}
+
+// Wrap-around helpers: perform arithmetic in uint64 to avoid signed UB.
+int64_t wrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+int64_t wrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+int64_t wrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+
+}  // namespace
+
+int opArity(Op op) { return info(op).arity; }
+
+std::string_view opName(Op op) { return info(op).name; }
+
+std::optional<Op> opFromName(std::string_view name) {
+  const std::string upper = toUpper(name);
+  for (int i = 0; i < kNumOps; ++i) {
+    if (kOpInfo[static_cast<size_t>(i)].name == upper)
+      return static_cast<Op>(i);
+  }
+  return std::nullopt;
+}
+
+bool isMachineOp(Op op) { return !isLeafOp(op); }
+
+bool isLeafOp(Op op) { return op == Op::kConst || op == Op::kInput; }
+
+bool isCommutative(Op op) { return info(op).commutative; }
+
+int64_t evalOp(Op op, int64_t a, int64_t b, int64_t c) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kInput:
+      AVIV_UNREACHABLE("evalOp on leaf op");
+    case Op::kAdd:
+      return wrapAdd(a, b);
+    case Op::kSub:
+      return wrapSub(a, b);
+    case Op::kMul:
+      return wrapMul(a, b);
+    case Op::kDiv:
+      if (b == 0) return 0;
+      if (a == INT64_MIN && b == -1) return INT64_MIN;  // wraps
+      return a / b;
+    case Op::kMod:
+      if (b == 0) return 0;
+      if (a == INT64_MIN && b == -1) return 0;
+      return a % b;
+    case Op::kAnd:
+      return a & b;
+    case Op::kOr:
+      return a | b;
+    case Op::kXor:
+      return a ^ b;
+    case Op::kShl:
+      return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                  << (static_cast<uint64_t>(b) & 63));
+    case Op::kShr:
+      // Arithmetic shift right, masked shift amount.
+      return a >> (static_cast<uint64_t>(b) & 63);
+    case Op::kMin:
+      return std::min(a, b);
+    case Op::kMax:
+      return std::max(a, b);
+    case Op::kEq:
+      return a == b ? 1 : 0;
+    case Op::kNe:
+      return a != b ? 1 : 0;
+    case Op::kLt:
+      return a < b ? 1 : 0;
+    case Op::kLe:
+      return a <= b ? 1 : 0;
+    case Op::kGt:
+      return a > b ? 1 : 0;
+    case Op::kGe:
+      return a >= b ? 1 : 0;
+    case Op::kNeg:
+      return wrapSub(0, a);
+    case Op::kCompl:
+      return ~a;
+    case Op::kAbs:
+      return a < 0 ? wrapSub(0, a) : a;
+    case Op::kMac:
+      return wrapAdd(wrapMul(a, b), c);
+    case Op::kMsu:
+      return wrapSub(c, wrapMul(a, b));
+  }
+  AVIV_UNREACHABLE("bad op");
+}
+
+}  // namespace aviv

@@ -1,0 +1,78 @@
+// Machine-independent operation vocabulary.
+//
+// This is the op set shared by the IR DAGs (SUIF-like basic operations, paper
+// Section II) and the ISDL machine descriptions (which declare, per
+// functional unit, which of these ops the unit implements, plus complex ops
+// like MAC that the pattern matcher maps onto multi-node IR subgraphs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace aviv {
+
+enum class Op : uint8_t {
+  // Leaves (never implemented by a functional unit).
+  kConst,  // integer literal; materialized as an immediate
+  kInput,  // named live-in value; resides in data memory at block entry
+
+  // Binary arithmetic / logic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kMin,
+  kMax,
+
+  // Comparisons (produce 0/1; used by conditional branches).
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+
+  // Unary.
+  kNeg,    // two's complement negate
+  kCompl,  // bitwise complement (the paper's COMPL example op)
+  kAbs,
+
+  // Complex machine ops produced by pattern matching (Section III-B).
+  kMac,  // a * b + c
+  kMsu,  // c - a * b
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::kMsu) + 1;
+
+// Number of value operands the op consumes.
+[[nodiscard]] int opArity(Op op);
+
+// Canonical upper-case name as written in ISDL ("ADD", "MAC", ...).
+[[nodiscard]] std::string_view opName(Op op);
+
+// Inverse of opName; case-insensitive. nullopt for unknown names.
+[[nodiscard]] std::optional<Op> opFromName(std::string_view name);
+
+// True for ops a functional unit may implement (everything except leaves).
+[[nodiscard]] bool isMachineOp(Op op);
+
+// True for kConst / kInput.
+[[nodiscard]] bool isLeafOp(Op op);
+
+// True for ops that are commutative in their first two operands.
+[[nodiscard]] bool isCommutative(Op op);
+
+// Evaluates the op on int64 operands with wrap-around semantics.
+// Division/modulo by zero yield 0 (fixed DSP-style semantics, documented in
+// README) so that the reference interpreter and the simulator always agree.
+[[nodiscard]] int64_t evalOp(Op op, int64_t a, int64_t b = 0, int64_t c = 0);
+
+}  // namespace aviv

@@ -1,0 +1,241 @@
+#include "ir/passes.h"
+
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+// Incremental rebuild of a DAG under a node remapping.
+class Rewriter {
+ public:
+  explicit Rewriter(const BlockDag& in)
+      : in_(in), out_(in.name(), /*cse=*/true), map_(in.size(), kNoNode) {}
+
+  [[nodiscard]] NodeId mapped(NodeId oldId) const {
+    AVIV_CHECK(map_[oldId] != kNoNode);
+    return map_[oldId];
+  }
+  void setMapped(NodeId oldId, NodeId newId) { map_[oldId] = newId; }
+  [[nodiscard]] bool isMapped(NodeId oldId) const {
+    return map_[oldId] != kNoNode;
+  }
+
+  BlockDag finish() {
+    for (const auto& [outName, outId] : in_.outputs())
+      out_.markOutput(outName, mapped(outId));
+    return std::move(out_);
+  }
+
+  BlockDag& out() { return out_; }
+
+ private:
+  const BlockDag& in_;
+  BlockDag out_;
+  std::vector<NodeId> map_;
+};
+
+bool isConst(const BlockDag& dag, NodeId id, int64_t value) {
+  const DagNode& n = dag.node(id);
+  return n.op == Op::kConst && n.value == value;
+}
+
+// Algebraic simplification of `op` applied to already-rewritten operand ids
+// in `out`. Returns kNoNode when no identity applies.
+NodeId trySimplify(BlockDag& out, Op op, const std::vector<NodeId>& ops) {
+  const auto a = ops.size() > 0 ? ops[0] : kNoNode;
+  const auto b = ops.size() > 1 ? ops[1] : kNoNode;
+  switch (op) {
+    case Op::kAdd:
+      if (isConst(out, a, 0)) return b;
+      if (isConst(out, b, 0)) return a;
+      break;
+    case Op::kSub:
+      if (isConst(out, b, 0)) return a;
+      if (a == b) return out.addConst(0);
+      break;
+    case Op::kMul:
+      if (isConst(out, a, 1)) return b;
+      if (isConst(out, b, 1)) return a;
+      if (isConst(out, a, 0) || isConst(out, b, 0)) return out.addConst(0);
+      break;
+    case Op::kDiv:
+      if (isConst(out, b, 1)) return a;
+      break;
+    case Op::kAnd:
+      if (a == b) return a;
+      if (isConst(out, a, 0) || isConst(out, b, 0)) return out.addConst(0);
+      if (isConst(out, a, -1)) return b;
+      if (isConst(out, b, -1)) return a;
+      break;
+    case Op::kOr:
+      if (a == b) return a;
+      if (isConst(out, a, 0)) return b;
+      if (isConst(out, b, 0)) return a;
+      break;
+    case Op::kXor:
+      if (a == b) return out.addConst(0);
+      if (isConst(out, a, 0)) return b;
+      if (isConst(out, b, 0)) return a;
+      break;
+    case Op::kShl:
+    case Op::kShr:
+      if (isConst(out, b, 0)) return a;
+      break;
+    case Op::kMin:
+    case Op::kMax:
+      if (a == b) return a;
+      break;
+    default:
+      break;
+  }
+  return kNoNode;
+}
+
+}  // namespace
+
+BlockDag foldConstants(const BlockDag& dag) {
+  Rewriter rw(dag);
+  for (NodeId id = 0; id < dag.size(); ++id) {
+    const DagNode& n = dag.node(id);
+    if (n.op == Op::kConst) {
+      rw.setMapped(id, rw.out().addConst(n.value));
+      continue;
+    }
+    if (n.op == Op::kInput) {
+      rw.setMapped(id, rw.out().addInput(n.name));
+      continue;
+    }
+    std::vector<NodeId> newOps;
+    newOps.reserve(n.operands.size());
+    bool allConst = true;
+    for (NodeId operand : n.operands) {
+      const NodeId mapped = rw.mapped(operand);
+      newOps.push_back(mapped);
+      allConst &= rw.out().node(mapped).op == Op::kConst;
+    }
+    if (allConst) {
+      int64_t vals[3] = {0, 0, 0};
+      for (size_t i = 0; i < newOps.size(); ++i)
+        vals[i] = rw.out().node(newOps[i]).value;
+      rw.setMapped(id,
+                   rw.out().addConst(evalOp(n.op, vals[0], vals[1], vals[2])));
+      continue;
+    }
+    if (const NodeId simplified = trySimplify(rw.out(), n.op, newOps);
+        simplified != kNoNode) {
+      rw.setMapped(id, simplified);
+      continue;
+    }
+    rw.setMapped(id, rw.out().addOp(n.op, std::move(newOps)));
+  }
+  return rw.finish();
+}
+
+BlockDag eliminateDeadCode(const BlockDag& dag) {
+  std::vector<bool> live(dag.size(), false);
+  std::vector<NodeId> stack;
+  for (const auto& [outName, outId] : dag.outputs()) {
+    if (!live[outId]) {
+      live[outId] = true;
+      stack.push_back(outId);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId operand : dag.node(id).operands) {
+      if (!live[operand]) {
+        live[operand] = true;
+        stack.push_back(operand);
+      }
+    }
+  }
+
+  Rewriter rw(dag);
+  for (NodeId id = 0; id < dag.size(); ++id) {
+    const DagNode& n = dag.node(id);
+    if (n.op == Op::kInput) {
+      // Inputs survive DCE: they define the block signature.
+      rw.setMapped(id, rw.out().addInput(n.name));
+      continue;
+    }
+    if (!live[id]) continue;
+    if (n.op == Op::kConst) {
+      rw.setMapped(id, rw.out().addConst(n.value));
+      continue;
+    }
+    std::vector<NodeId> newOps;
+    for (NodeId operand : n.operands) newOps.push_back(rw.mapped(operand));
+    rw.setMapped(id, rw.out().addOp(n.op, std::move(newOps)));
+  }
+  return rw.finish();
+}
+
+namespace {
+
+// Exponent k when value == 2^k and k >= 1; -1 otherwise.
+int powerOfTwoExponent(int64_t value) {
+  if (value < 2) return -1;
+  const auto uvalue = static_cast<uint64_t>(value);
+  if ((uvalue & (uvalue - 1)) != 0) return -1;
+  int k = 0;
+  while ((uvalue >> k) != 1) ++k;
+  return k;
+}
+
+}  // namespace
+
+BlockDag strengthReduce(const BlockDag& dag,
+                        const std::function<bool(Op)>& machineImplements) {
+  Rewriter rw(dag);
+  for (NodeId id = 0; id < dag.size(); ++id) {
+    const DagNode& n = dag.node(id);
+    if (n.op == Op::kConst) {
+      rw.setMapped(id, rw.out().addConst(n.value));
+      continue;
+    }
+    if (n.op == Op::kInput) {
+      rw.setMapped(id, rw.out().addInput(n.name));
+      continue;
+    }
+    std::vector<NodeId> ops;
+    for (NodeId operand : n.operands) ops.push_back(rw.mapped(operand));
+
+    if (n.op == Op::kMul) {
+      // Normalize the constant side.
+      NodeId value = kNoNode;
+      int64_t factor = 0;
+      for (int side = 0; side < 2; ++side) {
+        const DagNode& candidate = rw.out().node(ops[static_cast<size_t>(side)]);
+        if (candidate.op == Op::kConst) {
+          factor = candidate.value;
+          value = ops[static_cast<size_t>(1 - side)];
+        }
+      }
+      const int k = value != kNoNode ? powerOfTwoExponent(factor) : -1;
+      if (k >= 1 && machineImplements(Op::kShl)) {
+        rw.setMapped(id, rw.out().addOp(Op::kShl,
+                                        {value, rw.out().addConst(k)}));
+        continue;
+      }
+      if (k == 1 && machineImplements(Op::kAdd)) {
+        rw.setMapped(id, rw.out().addOp(Op::kAdd, {value, value}));
+        continue;
+      }
+    }
+    rw.setMapped(id, rw.out().addOp(n.op, std::move(ops)));
+  }
+  return rw.finish();
+}
+
+BlockDag optimize(const BlockDag& dag) {
+  BlockDag current = foldConstants(dag);
+  while (true) {
+    BlockDag next = eliminateDeadCode(foldConstants(current));
+    if (next.size() == current.size()) return next;
+    current = std::move(next);
+  }
+}
+
+}  // namespace aviv

@@ -1,0 +1,33 @@
+// Machine-independent optimization passes (the paper's front end performs
+// these before AVIV's back end runs; Section II). All passes are functional:
+// they return a rewritten DAG and never mutate their input.
+#pragma once
+
+#include <functional>
+
+#include "ir/dag.h"
+
+namespace aviv {
+
+// Folds operations whose operands are all constants, and applies algebraic
+// identities (x+0, x*1, x*0, x-x, x^x, x&x, min/max(x,x), shifts by 0, ...).
+// Output values are preserved exactly (wrap-around semantics of evalOp).
+[[nodiscard]] BlockDag foldConstants(const BlockDag& dag);
+
+// Removes nodes not reachable from any output (dead code elimination).
+// Inputs are kept even when dead so the block signature is stable.
+[[nodiscard]] BlockDag eliminateDeadCode(const BlockDag& dag);
+
+// foldConstants then eliminateDeadCode, iterated to a fixed point.
+[[nodiscard]] BlockDag optimize(const BlockDag& dag);
+
+// Target-aware strength reduction: multiplications by a power-of-two
+// constant become shifts (when the target implements SHL), and
+// multiplication by 2 becomes x + x otherwise. Division/modulo are left
+// alone (an arithmetic shift is not a truncating division for negative
+// values). `machineImplements` reports whether any functional unit can
+// perform an op — pass OpDatabase::isImplementable bound to the target.
+[[nodiscard]] BlockDag strengthReduce(
+    const BlockDag& dag, const std::function<bool(Op)>& machineImplements);
+
+}  // namespace aviv

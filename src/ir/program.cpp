@@ -1,0 +1,54 @@
+#include "ir/program.h"
+
+#include "support/error.h"
+
+namespace aviv {
+
+void Program::addBlock(BlockDag dag, Terminator term) {
+  for (const BlockDag& existing : blocks_) {
+    if (existing.name() == dag.name())
+      throw Error("duplicate block name '" + dag.name() + "' in program '" +
+                  name_ + "'");
+  }
+  blocks_.push_back(std::move(dag));
+  terms_.push_back(std::move(term));
+}
+
+size_t Program::blockIndex(const std::string& blockName) const {
+  for (size_t i = 0; i < blocks_.size(); ++i)
+    if (blocks_[i].name() == blockName) return i;
+  throw Error("no block named '" + blockName + "' in program '" + name_ +
+              "'");
+}
+
+void Program::validate() const {
+  if (blocks_.empty()) throw Error("program '" + name_ + "' has no blocks");
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i].verify();
+    const Terminator& term = terms_[i];
+    auto checkTarget = [&](const std::string& target) {
+      (void)blockIndex(target);  // throws if absent
+    };
+    switch (term.kind) {
+      case TermKind::kReturn:
+        break;
+      case TermKind::kJump:
+        checkTarget(term.target);
+        break;
+      case TermKind::kBranch: {
+        checkTarget(term.target);
+        checkTarget(term.elseTarget);
+        bool found = false;
+        for (const auto& [outName, outId] : blocks_[i].outputs())
+          found |= outName == term.condVar;
+        if (!found)
+          throw Error("branch condition '" + term.condVar +
+                      "' is not an output of block '" + blocks_[i].name() +
+                      "'");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace aviv

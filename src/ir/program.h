@@ -1,0 +1,56 @@
+// Program — a collection of basic blocks connected by control-flow edges,
+// which is exactly the input the paper says AVIV receives from its front end
+// ("a number of basic block DAGs connected through control flow
+// information", Section II). Per Section III-C, block bodies go through the
+// Split-Node DAG flow while the control-flow instructions themselves are
+// covered by conventional (trivial tree) matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.h"
+
+namespace aviv {
+
+enum class TermKind {
+  kReturn,  // leave the program
+  kJump,    // unconditional goto target
+  kBranch,  // if (condVar != 0) goto target else elseTarget
+};
+
+struct Terminator {
+  TermKind kind = TermKind::kReturn;
+  std::string target;      // kJump / kBranch taken side
+  std::string elseTarget;  // kBranch fall-through side
+  std::string condVar;     // kBranch condition; must be an output of the block
+};
+
+class Program {
+ public:
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  // Appends a block; the first block added is the entry block.
+  void addBlock(BlockDag dag, Terminator term);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t numBlocks() const { return blocks_.size(); }
+  [[nodiscard]] const BlockDag& block(size_t i) const { return blocks_.at(i); }
+  [[nodiscard]] const Terminator& terminator(size_t i) const {
+    return terms_.at(i);
+  }
+  // Index of a block by name; throws aviv::Error if absent.
+  [[nodiscard]] size_t blockIndex(const std::string& blockName) const;
+
+  // Checks that every branch target names an existing block and every branch
+  // condition is an output of its block. Throws aviv::Error on violation
+  // (these are user errors in the block source).
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<BlockDag> blocks_;
+  std::vector<Terminator> terms_;
+};
+
+}  // namespace aviv

@@ -1,0 +1,56 @@
+#include "ir/random_dag.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace aviv {
+
+BlockDag makeRandomDag(const RandomDagSpec& spec) {
+  AVIV_CHECK(spec.numInputs >= 1 && spec.numOps >= 1);
+  AVIV_CHECK(!spec.opPool.empty());
+  AVIV_CHECK(spec.numOutputs >= 1);
+  Rng rng(spec.seed);
+
+  // CSE off: the generator controls the exact node count.
+  BlockDag dag("random_" + std::to_string(spec.seed), /*cse=*/false);
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < spec.numInputs; ++i)
+    leaves.push_back(dag.addInput("v" + std::to_string(i)));
+  std::vector<NodeId> interior;
+
+  auto pickOperand = [&]() -> NodeId {
+    if (!interior.empty() && rng.chance(spec.reuseBias)) {
+      return interior[rng.below(interior.size())];
+    }
+    return leaves[rng.below(leaves.size())];
+  };
+
+  for (int i = 0; i < spec.numOps; ++i) {
+    const Op op = spec.opPool[rng.below(spec.opPool.size())];
+    AVIV_CHECK(isMachineOp(op) && opArity(op) <= 2);
+    std::vector<NodeId> operands;
+    for (int arg = 0; arg < opArity(op); ++arg)
+      operands.push_back(pickOperand());
+    interior.push_back(dag.addOp(op, std::move(operands)));
+  }
+
+  // Outputs: every sink (op with no users) must be an output — the AVIV
+  // back end requires dead-code-free blocks, like a real front end
+  // guarantees — plus random extra outputs up to the requested count.
+  const auto users = dag.computeUsers();
+  int outIdx = 0;
+  for (NodeId id : interior) {
+    if (users[id].empty())
+      dag.markOutput("out" + std::to_string(outIdx++), id);
+  }
+  while (outIdx < spec.numOutputs) {
+    dag.markOutput("out" + std::to_string(outIdx++),
+                   interior[rng.below(interior.size())]);
+  }
+  dag.verify();
+  return dag;
+}
+
+}  // namespace aviv

@@ -1,0 +1,31 @@
+// Random basic-block generator — synthetic workloads for property tests and
+// scaling benchmarks (the paper's blocks top out at 16 nodes; these let us
+// measure how the Split-Node DAG and clique generation scale beyond that).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/dag.h"
+
+namespace aviv {
+
+struct RandomDagSpec {
+  int numInputs = 4;
+  int numOps = 10;
+  // Ops drawn uniformly from this set (must be binary/unary machine ops).
+  std::vector<Op> opPool = {Op::kAdd, Op::kSub, Op::kMul};
+  // Probability that an operand reuses an existing interior value rather
+  // than a leaf (higher = deeper, more serial DAGs).
+  double reuseBias = 0.6;
+  // Minimum named outputs; every sink op becomes an output regardless (the
+  // back end requires dead-code-free blocks).
+  int numOutputs = 2;
+  uint64_t seed = 1;
+};
+
+// Generates a connected random DAG matching the spec. Deterministic in the
+// seed. All outputs are interior op values.
+[[nodiscard]] BlockDag makeRandomDag(const RandomDagSpec& spec);
+
+}  // namespace aviv

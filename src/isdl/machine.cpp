@@ -1,0 +1,200 @@
+#include "isdl/machine.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace aviv {
+
+std::optional<int> FunctionalUnit::findOp(Op opKind) const {
+  for (size_t i = 0; i < ops.size(); ++i)
+    if (ops[i].op == opKind) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+RegFileId Machine::addRegFile(RegFile rf) {
+  regFiles_.push_back(std::move(rf));
+  return static_cast<RegFileId>(regFiles_.size() - 1);
+}
+
+MemoryId Machine::addMemory(Memory mem) {
+  memories_.push_back(std::move(mem));
+  return static_cast<MemoryId>(memories_.size() - 1);
+}
+
+BusId Machine::addBus(Bus bus) {
+  buses_.push_back(std::move(bus));
+  return static_cast<BusId>(buses_.size() - 1);
+}
+
+UnitId Machine::addUnit(FunctionalUnit unit) {
+  units_.push_back(std::move(unit));
+  return static_cast<UnitId>(units_.size() - 1);
+}
+
+void Machine::addTransfer(TransferPath path) {
+  transfers_.push_back(path);
+}
+
+void Machine::addConstraint(Constraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+const RegFile& Machine::regFile(RegFileId id) const {
+  AVIV_CHECK(id < regFiles_.size());
+  return regFiles_[id];
+}
+const Memory& Machine::memory(MemoryId id) const {
+  AVIV_CHECK(id < memories_.size());
+  return memories_[id];
+}
+const Bus& Machine::bus(BusId id) const {
+  AVIV_CHECK(id < buses_.size());
+  return buses_[id];
+}
+const FunctionalUnit& Machine::unit(UnitId id) const {
+  AVIV_CHECK(id < units_.size());
+  return units_[id];
+}
+
+std::optional<RegFileId> Machine::findRegFile(const std::string& name) const {
+  for (size_t i = 0; i < regFiles_.size(); ++i)
+    if (regFiles_[i].name == name) return static_cast<RegFileId>(i);
+  return std::nullopt;
+}
+std::optional<MemoryId> Machine::findMemory(const std::string& name) const {
+  for (size_t i = 0; i < memories_.size(); ++i)
+    if (memories_[i].name == name) return static_cast<MemoryId>(i);
+  return std::nullopt;
+}
+std::optional<BusId> Machine::findBus(const std::string& name) const {
+  for (size_t i = 0; i < buses_.size(); ++i)
+    if (buses_[i].name == name) return static_cast<BusId>(i);
+  return std::nullopt;
+}
+std::optional<UnitId> Machine::findUnit(const std::string& name) const {
+  for (size_t i = 0; i < units_.size(); ++i)
+    if (units_[i].name == name) return static_cast<UnitId>(i);
+  return std::nullopt;
+}
+
+Loc Machine::unitLoc(UnitId id) const {
+  return Loc::regFile(unit(id).regFile);
+}
+
+MemoryId Machine::dataMemory() const {
+  for (size_t i = 0; i < memories_.size(); ++i)
+    if (memories_[i].isDataMemory) return static_cast<MemoryId>(i);
+  AVIV_CHECK_MSG(!memories_.empty(), "machine has no memory");
+  return 0;
+}
+
+std::string Machine::locName(Loc loc) const {
+  if (loc.isRegFile()) return regFile(loc.index).name;
+  return memory(loc.index).name;
+}
+
+Machine Machine::withRegisterCount(int numRegs) const {
+  AVIV_CHECK(numRegs >= 1);
+  Machine copy = *this;
+  for (RegFile& rf : copy.regFiles_) rf.numRegs = numRegs;
+  return copy;
+}
+
+void Machine::validate() const {
+  auto requireUnique = [](const std::string& kind, auto getName,
+                          const auto& items) {
+    std::set<std::string> seen;
+    for (const auto& item : items) {
+      const std::string name = getName(item);
+      if (name.empty()) throw Error(kind + " with empty name");
+      if (!seen.insert(name).second)
+        throw Error("duplicate " + kind + " name '" + name + "'");
+    }
+  };
+  requireUnique("regfile", [](const RegFile& r) { return r.name; }, regFiles_);
+  requireUnique("memory", [](const Memory& m) { return m.name; }, memories_);
+  requireUnique("bus", [](const Bus& b) { return b.name; }, buses_);
+  requireUnique("unit", [](const FunctionalUnit& u) { return u.name; },
+                units_);
+
+  if (memories_.empty())
+    throw Error("machine '" + name_ + "' declares no memory");
+  if (units_.empty())
+    throw Error("machine '" + name_ + "' declares no functional units");
+
+  for (const RegFile& rf : regFiles_)
+    if (rf.numRegs < 1)
+      throw Error("regfile '" + rf.name + "' must have >= 1 register");
+  for (const Bus& b : buses_)
+    if (b.capacity < 1)
+      throw Error("bus '" + b.name + "' must have capacity >= 1");
+
+  for (const FunctionalUnit& u : units_) {
+    if (u.regFile >= regFiles_.size())
+      throw Error("unit '" + u.name + "' references undefined regfile");
+    if (u.ops.empty())
+      throw Error("unit '" + u.name + "' declares no operations");
+    for (const UnitOp& op : u.ops) {
+      if (!isMachineOp(op.op))
+        throw Error("unit '" + u.name + "' declares leaf op");
+      if (op.latency != 1)
+        throw Error("unit '" + u.name + "' op " + std::string(opName(op.op)) +
+                    ": only single-cycle operations are supported");
+      if (op.mnemonic.empty())
+        throw Error("unit '" + u.name + "' op " + std::string(opName(op.op)) +
+                    " has empty mnemonic");
+    }
+  }
+
+  auto checkLoc = [&](Loc loc, const std::string& context) {
+    if (loc.isRegFile() && loc.index >= regFiles_.size())
+      throw Error(context + ": undefined regfile");
+    if (loc.isMemory() && loc.index >= memories_.size())
+      throw Error(context + ": undefined memory");
+  };
+  for (const TransferPath& t : transfers_) {
+    checkLoc(t.from, "transfer");
+    checkLoc(t.to, "transfer");
+    if (t.bus >= buses_.size()) throw Error("transfer references undefined bus");
+    if (t.from == t.to) throw Error("transfer from a storage to itself");
+  }
+
+  for (const Constraint& c : constraints_) {
+    if (c.together.size() < 2)
+      throw Error("constraint must list at least two op-selections");
+    for (const OpSel& sel : c.together) {
+      if (sel.unit >= units_.size())
+        throw Error("constraint references undefined unit");
+      if (!units_[sel.unit].findOp(sel.op))
+        throw Error("constraint references op " + std::string(opName(sel.op)) +
+                    " not implemented by unit '" + units_[sel.unit].name + "'");
+    }
+  }
+}
+
+std::string Machine::summary() const {
+  std::string s = "machine " + name_ + "\n";
+  for (const FunctionalUnit& u : units_) {
+    s += "  unit " + u.name + " (regfile " + regFile(u.regFile).name + ", " +
+         std::to_string(regFile(u.regFile).numRegs) + " regs): ";
+    for (size_t i = 0; i < u.ops.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += std::string(opName(u.ops[i].op));
+    }
+    s += "\n";
+  }
+  for (const Memory& m : memories_) {
+    s += "  memory " + m.name + " (" + std::to_string(m.sizeWords) +
+         " words)" + (m.isDataMemory ? " [data]" : "") + "\n";
+  }
+  for (const Bus& b : buses_) {
+    s += "  bus " + b.name + " (capacity " + std::to_string(b.capacity) +
+         ")\n";
+  }
+  s += "  " + std::to_string(transfers_.size()) + " transfer paths, " +
+       std::to_string(constraints_.size()) + " constraints\n";
+  return s;
+}
+
+}  // namespace aviv

@@ -1,0 +1,182 @@
+// Machine model — the semantic form of an ISDL description (paper Section
+// II). Captures exactly the information AVIV consumes:
+//   * storage resources: register files (one per functional unit in the
+//     paper's example machine, but any unit->regfile mapping is allowed),
+//     data memories, and buses with per-cycle transfer capacities;
+//   * functional units with their operation repertoires (RTL op kind +
+//     assembly mnemonic), including complex ops such as MAC;
+//   * explicit data-transfer paths between storages (expanded to multi-step
+//     routes by the TransferDatabase);
+//   * constraints: operation combinations that may not be grouped into one
+//     VLIW instruction (Section IV-C.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace aviv {
+
+using UnitId = uint16_t;
+using RegFileId = uint16_t;
+using MemoryId = uint16_t;
+using BusId = uint16_t;
+inline constexpr uint16_t kNoId16 = 0xffff;
+
+// A storage location: a register file or a memory.
+struct Loc {
+  enum class Kind : uint8_t { kRegFile, kMemory };
+
+  Kind kind = Kind::kRegFile;
+  uint16_t index = kNoId16;
+
+  [[nodiscard]] static Loc regFile(RegFileId id) {
+    return {Kind::kRegFile, id};
+  }
+  [[nodiscard]] static Loc memory(MemoryId id) { return {Kind::kMemory, id}; }
+
+  [[nodiscard]] bool isRegFile() const { return kind == Kind::kRegFile; }
+  [[nodiscard]] bool isMemory() const { return kind == Kind::kMemory; }
+
+  bool operator==(const Loc&) const = default;
+  auto operator<=>(const Loc&) const = default;
+};
+
+struct RegFile {
+  std::string name;
+  int numRegs = 4;
+};
+
+struct Memory {
+  std::string name;
+  int sizeWords = 256;
+  bool isDataMemory = false;  // home of named variables and spill slots
+};
+
+struct Bus {
+  std::string name;
+  int capacity = 1;  // transfers per cycle
+};
+
+// One operation a functional unit can perform.
+struct UnitOp {
+  Op op = Op::kAdd;
+  std::string mnemonic;  // assembly spelling, e.g. "add"
+  int latency = 1;       // cycles (the covering engine requires 1; validated)
+};
+
+struct FunctionalUnit {
+  std::string name;
+  RegFileId regFile = kNoId16;  // bank operands are read from / result lands in
+  std::vector<UnitOp> ops;
+
+  // Index into `ops` of the first op with the given kind; nullopt if the
+  // unit cannot perform it.
+  [[nodiscard]] std::optional<int> findOp(Op op) const;
+};
+
+// A directed physical transfer edge between two storages over a bus.
+struct TransferPath {
+  Loc from;
+  Loc to;
+  BusId bus = kNoId16;
+};
+
+// "Operation `op` executing on unit `unit`" — the granularity at which ISDL
+// constraints are expressed (e.g. U2.MUL).
+struct OpSel {
+  UnitId unit = kNoId16;
+  Op op = Op::kAdd;
+
+  bool operator==(const OpSel&) const = default;
+  auto operator<=>(const OpSel&) const = default;
+};
+
+// An instruction is illegal if it contains ALL the listed op-selections
+// simultaneously (the ISDL "illegal combination" form the paper describes:
+// operations are orthogonal by default, constraints carve out exceptions).
+struct Constraint {
+  std::vector<OpSel> together;
+  std::string note;  // human-readable reason, shown in diagnostics
+};
+
+class Machine {
+ public:
+  explicit Machine(std::string name) : name_(std::move(name)) {}
+
+  // --- construction (used by the ISDL parser and tests) ----------------
+  RegFileId addRegFile(RegFile rf);
+  MemoryId addMemory(Memory mem);
+  BusId addBus(Bus bus);
+  UnitId addUnit(FunctionalUnit unit);
+  void addTransfer(TransferPath path);
+  void addConstraint(Constraint constraint);
+
+  // --- accessors --------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<RegFile>& regFiles() const {
+    return regFiles_;
+  }
+  [[nodiscard]] const std::vector<Memory>& memories() const {
+    return memories_;
+  }
+  [[nodiscard]] const std::vector<Bus>& buses() const { return buses_; }
+  [[nodiscard]] const std::vector<FunctionalUnit>& units() const {
+    return units_;
+  }
+  [[nodiscard]] const std::vector<TransferPath>& transfers() const {
+    return transfers_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  [[nodiscard]] const RegFile& regFile(RegFileId id) const;
+  [[nodiscard]] const Memory& memory(MemoryId id) const;
+  [[nodiscard]] const Bus& bus(BusId id) const;
+  [[nodiscard]] const FunctionalUnit& unit(UnitId id) const;
+
+  [[nodiscard]] std::optional<RegFileId> findRegFile(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<MemoryId> findMemory(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<BusId> findBus(const std::string& name) const;
+  [[nodiscard]] std::optional<UnitId> findUnit(const std::string& name) const;
+
+  // The register-file location a unit reads/writes.
+  [[nodiscard]] Loc unitLoc(UnitId id) const;
+  // The memory where named variables and spill slots live.
+  [[nodiscard]] MemoryId dataMemory() const;
+  [[nodiscard]] Loc dataMemoryLoc() const {
+    return Loc::memory(dataMemory());
+  }
+
+  [[nodiscard]] std::string locName(Loc loc) const;
+
+  // Uniform register-count override used by the Table I experiments
+  // ("#Registers per RegFile" column): returns a copy of this machine with
+  // every register file resized to `numRegs`.
+  [[nodiscard]] Machine withRegisterCount(int numRegs) const;
+
+  // Structural sanity: valid indices, non-empty units, unique names, at
+  // least one data memory. Throws aviv::Error (machine files are user
+  // input).
+  void validate() const;
+
+  // Human-readable multi-line summary for the examples.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::string name_;
+  std::vector<RegFile> regFiles_;
+  std::vector<Memory> memories_;
+  std::vector<Bus> buses_;
+  std::vector<FunctionalUnit> units_;
+  std::vector<TransferPath> transfers_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace aviv

@@ -1,0 +1,201 @@
+#include "isdl/parser.h"
+
+#include "support/io.h"
+#include "support/lexer.h"
+#include "support/strings.h"
+
+namespace aviv {
+
+namespace {
+
+class IsdlParser {
+ public:
+  explicit IsdlParser(std::string_view source)
+      : lexer_(source, {"->", "<->"}) {}
+
+  Machine parse() {
+    expectKeyword("machine");
+    Machine machine(lexer_.expectIdent().text);
+    lexer_.expectPunct("{");
+    while (!lexer_.peek().isPunct("}")) {
+      const Token& head = lexer_.peek();
+      if (head.isIdent("regfile")) {
+        parseRegFile(machine);
+      } else if (head.isIdent("memory")) {
+        parseMemory(machine);
+      } else if (head.isIdent("bus")) {
+        parseBus(machine);
+      } else if (head.isIdent("unit")) {
+        parseUnit(machine);
+      } else if (head.isIdent("transfer")) {
+        parseTransfer(machine);
+      } else if (head.isIdent("constraint")) {
+        parseConstraint(machine);
+      } else {
+        throw Error(head.loc, "expected a machine clause (regfile, memory, "
+                              "bus, unit, transfer, constraint), got " +
+                                  head.describe());
+      }
+    }
+    lexer_.expectPunct("}");
+    if (!lexer_.atEnd())
+      throw Error(lexer_.peek().loc,
+                  "trailing input after machine definition");
+    machine.validate();
+    return machine;
+  }
+
+ private:
+  void parseRegFile(Machine& machine) {
+    lexer_.next();  // 'regfile'
+    RegFile rf;
+    rf.name = lexer_.expectIdent().text;
+    expectKeyword("size");
+    rf.numRegs = static_cast<int>(lexer_.expectNumber().number);
+    lexer_.expectPunct(";");
+    machine.addRegFile(std::move(rf));
+  }
+
+  void parseMemory(Machine& machine) {
+    lexer_.next();  // 'memory'
+    Memory mem;
+    mem.name = lexer_.expectIdent().text;
+    expectKeyword("size");
+    mem.sizeWords = static_cast<int>(lexer_.expectNumber().number);
+    if (lexer_.tryConsumeIdent("data")) mem.isDataMemory = true;
+    lexer_.expectPunct(";");
+    machine.addMemory(std::move(mem));
+  }
+
+  void parseBus(Machine& machine) {
+    lexer_.next();  // 'bus'
+    Bus bus;
+    bus.name = lexer_.expectIdent().text;
+    if (lexer_.tryConsumeIdent("capacity"))
+      bus.capacity = static_cast<int>(lexer_.expectNumber().number);
+    lexer_.expectPunct(";");
+    machine.addBus(std::move(bus));
+  }
+
+  void parseUnit(Machine& machine) {
+    lexer_.next();  // 'unit'
+    FunctionalUnit unit;
+    const Token nameTok = lexer_.expectIdent();
+    unit.name = nameTok.text;
+    expectKeyword("regfile");
+    const Token rfTok = lexer_.expectIdent();
+    const auto rf = machine.findRegFile(rfTok.text);
+    if (!rf)
+      throw Error(rfTok.loc, "unknown regfile '" + rfTok.text +
+                                 "' (declare regfiles before units)");
+    unit.regFile = *rf;
+    lexer_.expectPunct("{");
+    while (!lexer_.peek().isPunct("}")) {
+      expectKeyword("op");
+      UnitOp unitOp;
+      const Token opTok = lexer_.expectIdent();
+      const auto op = opFromName(opTok.text);
+      if (!op || isLeafOp(*op))
+        throw Error(opTok.loc, "unknown operation kind '" + opTok.text + "'");
+      unitOp.op = *op;
+      if (lexer_.peek().is(Token::Kind::kString))
+        unitOp.mnemonic = lexer_.next().text;
+      else
+        unitOp.mnemonic = toLower(opTok.text);
+      if (lexer_.tryConsumeIdent("latency"))
+        unitOp.latency = static_cast<int>(lexer_.expectNumber().number);
+      lexer_.expectPunct(";");
+      unit.ops.push_back(std::move(unitOp));
+    }
+    lexer_.expectPunct("}");
+    machine.addUnit(std::move(unit));
+  }
+
+  Loc parseLoc(Machine& machine) {
+    const Token tok = lexer_.expectIdent();
+    if (const auto rf = machine.findRegFile(tok.text))
+      return Loc::regFile(*rf);
+    if (const auto mem = machine.findMemory(tok.text))
+      return Loc::memory(*mem);
+    throw Error(tok.loc, "unknown storage '" + tok.text + "'");
+  }
+
+  BusId parseBusRef(Machine& machine) {
+    expectKeyword("bus");
+    const Token tok = lexer_.expectIdent();
+    const auto bus = machine.findBus(tok.text);
+    if (!bus) throw Error(tok.loc, "unknown bus '" + tok.text + "'");
+    return *bus;
+  }
+
+  void parseTransfer(Machine& machine) {
+    lexer_.next();  // 'transfer'
+    if (lexer_.tryConsumeIdent("complete")) {
+      const BusId bus = parseBusRef(machine);
+      lexer_.expectPunct(";");
+      std::vector<Loc> locs;
+      for (size_t i = 0; i < machine.regFiles().size(); ++i)
+        locs.push_back(Loc::regFile(static_cast<RegFileId>(i)));
+      for (size_t i = 0; i < machine.memories().size(); ++i)
+        locs.push_back(Loc::memory(static_cast<MemoryId>(i)));
+      for (const Loc& from : locs)
+        for (const Loc& to : locs)
+          if (!(from == to)) machine.addTransfer({from, to, bus});
+      return;
+    }
+    const Loc from = parseLoc(machine);
+    const Token arrow = lexer_.next();
+    const bool both = arrow.isPunct("<->");
+    if (!both && !arrow.isPunct("->"))
+      throw Error(arrow.loc, "expected '->' or '<->', got " + arrow.describe());
+    const Loc to = parseLoc(machine);
+    const BusId bus = parseBusRef(machine);
+    lexer_.expectPunct(";");
+    machine.addTransfer({from, to, bus});
+    if (both) machine.addTransfer({to, from, bus});
+  }
+
+  void parseConstraint(Machine& machine) {
+    lexer_.next();  // 'constraint'
+    Constraint constraint;
+    if (lexer_.peek().is(Token::Kind::kString))
+      constraint.note = lexer_.next().text;
+    lexer_.expectPunct("{");
+    do {
+      const Token unitTok = lexer_.expectIdent();
+      const auto unit = machine.findUnit(unitTok.text);
+      if (!unit)
+        throw Error(unitTok.loc, "unknown unit '" + unitTok.text + "'");
+      lexer_.expectPunct(".");
+      const Token opTok = lexer_.expectIdent();
+      const auto op = opFromName(opTok.text);
+      if (!op || isLeafOp(*op))
+        throw Error(opTok.loc, "unknown operation kind '" + opTok.text + "'");
+      constraint.together.push_back({*unit, *op});
+    } while (lexer_.tryConsume(","));
+    lexer_.expectPunct("}");
+    machine.addConstraint(std::move(constraint));
+  }
+
+  void expectKeyword(std::string_view keyword) {
+    const Token tok = lexer_.next();
+    if (!tok.isIdent(keyword))
+      throw Error(tok.loc, "expected '" + std::string(keyword) + "', got " +
+                               tok.describe());
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Machine parseMachine(std::string_view source) {
+  IsdlParser parser(source);
+  return parser.parse();
+}
+
+Machine loadMachine(const std::string& name) {
+  return parseMachine(readFile(machinePath(name)));
+}
+
+}  // namespace aviv

@@ -1,0 +1,35 @@
+// Parser for the ISDL dialect (DESIGN.md substitution #2).
+//
+// Grammar (see machines/*.isdl for real descriptions):
+//
+//   machine <name> {
+//     regfile <name> size <n>;
+//     memory <name> size <n> [data];        // 'data' = variable/spill home
+//     bus <name> [capacity <n>];
+//     unit <name> regfile <name> {
+//       op <OPKIND> ["mnemonic"] [latency <n>];
+//       ...
+//     }
+//     transfer <loc> -> <loc> bus <name>;    // directed path
+//     transfer <loc> <-> <loc> bus <name>;   // both directions
+//     transfer complete bus <name>;          // all-pairs among all storages
+//     constraint ["note"] { U1.ADD, U2.MUL, ... }   // illegal combination
+//   }
+//
+// Exactly one machine per file. Throws aviv::Error with source locations on
+// malformed input.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isdl/machine.h"
+
+namespace aviv {
+
+[[nodiscard]] Machine parseMachine(std::string_view source);
+
+// Loads machines/<name>.isdl and parses it.
+[[nodiscard]] Machine loadMachine(const std::string& name);
+
+}  // namespace aviv

@@ -1,0 +1,38 @@
+// Detailed register allocation (paper Section IV-F): conventional Chaitin
+// graph coloring, one interference graph per register bank. The covering
+// engine maintained a per-bank liveness upper bound while scheduling, so
+// every bank's interference graph is guaranteed K-colorable with the bank's
+// register count — allocation never needs to undo instruction selection.
+//
+// Liveness convention (VLIW read-before-write semantics): a value is born at
+// the END of its defining cycle and read at the START of its consumers'
+// cycles, so a register whose value dies in cycle c can be redefined by a
+// different value in the same cycle.
+#pragma once
+
+#include <vector>
+
+#include "core/assigned.h"
+#include "core/cover.h"
+
+namespace aviv {
+
+struct RegAssignment {
+  // Register index within its bank for every register-defining AgNode;
+  // -1 for nodes that define no register.
+  std::vector<int> regOf;
+  // Highest register index used per bank + 1 (0 when bank unused).
+  std::vector<int> regsUsedPerBank;
+};
+
+// Last schedule cycle at which each node's value is read (-1 when never
+// read). Does not account for live-outs; see allocateRegisters.
+[[nodiscard]] std::vector<int> computeLastUse(const AssignedGraph& graph,
+                                              const std::vector<int>& cycles);
+
+// Colors every bank. AVIV_CHECK-fails if coloring needs more registers than
+// the bank has — that would be a covering-engine bug, not an input error.
+[[nodiscard]] RegAssignment allocateRegisters(const AssignedGraph& graph,
+                                              const Schedule& schedule);
+
+}  // namespace aviv

@@ -1,0 +1,147 @@
+#include "sim/simulator.h"
+
+#include <ostream>
+
+#include "support/error.h"
+
+namespace aviv {
+
+Simulator::Simulator(const Machine& machine) : machine_(machine) {}
+
+MachineState Simulator::initialState() const {
+  MachineState state;
+  state.regs.resize(machine_.regFiles().size());
+  for (size_t bank = 0; bank < machine_.regFiles().size(); ++bank)
+    state.regs[bank].assign(
+        static_cast<size_t>(
+            machine_.regFile(static_cast<RegFileId>(bank)).numRegs),
+        0);
+  state.mem.assign(
+      static_cast<size_t>(machine_.memory(machine_.dataMemory()).sizeWords),
+      0);
+  return state;
+}
+
+void Simulator::writeVars(MachineState& state, const SymbolTable& symbols,
+                          const std::map<std::string, int64_t>& values) const {
+  for (const auto& [name, value] : values) {
+    if (!symbols.contains(name)) continue;  // unused input
+    const int addr = symbols.lookup(name);
+    AVIV_CHECK(addr >= 0 && static_cast<size_t>(addr) < state.mem.size());
+    state.mem[static_cast<size_t>(addr)] = value;
+  }
+}
+
+void Simulator::loadConstPool(MachineState& state,
+                              const CodeImage& image) const {
+  for (const auto& [addr, value] : image.constPool) {
+    AVIV_CHECK(addr >= 0 && static_cast<size_t>(addr) < state.mem.size());
+    state.mem[static_cast<size_t>(addr)] = value;
+  }
+}
+
+std::map<std::string, int64_t> Simulator::runBlock(const CodeImage& image,
+                                                   MachineState& state,
+                                                   size_t* cycles,
+                                                   std::ostream* trace) const {
+  size_t traceCycle = 0;
+  auto readReg = [&](Loc loc, int reg) {
+    AVIV_CHECK(loc.isRegFile() && reg >= 0);
+    const auto& bank = state.regs[loc.index];
+    AVIV_CHECK(static_cast<size_t>(reg) < bank.size());
+    return bank[static_cast<size_t>(reg)];
+  };
+  auto readMem = [&](int addr) {
+    AVIV_CHECK(addr >= 0 && static_cast<size_t>(addr) < state.mem.size());
+    return state.mem[static_cast<size_t>(addr)];
+  };
+
+  for (const EncInstr& instr : image.instrs) {
+    // Read phase: every slot samples pre-instruction state.
+    struct RegWrite {
+      Loc loc;
+      int reg;
+      int64_t value;
+    };
+    struct MemWrite {
+      int addr;
+      int64_t value;
+    };
+    std::vector<RegWrite> regWrites;
+    std::vector<MemWrite> memWrites;
+
+    for (const EncOp& op : instr.ops) {
+      const Loc bank = machine_.unitLoc(op.unit);
+      int64_t vals[3] = {0, 0, 0};
+      AVIV_CHECK(op.srcs.size() <= 3);
+      for (size_t i = 0; i < op.srcs.size(); ++i) {
+        vals[i] = op.srcs[i].isImm ? op.srcs[i].imm
+                                   : readReg(bank, op.srcs[i].reg);
+      }
+      const int64_t result = evalOp(op.op, vals[0], vals[1], vals[2]);
+      regWrites.push_back({bank, op.dstReg, result});
+      if (trace != nullptr) {
+        *trace << "cycle " << traceCycle << " "
+               << machine_.unit(op.unit).name << ": " << op.mnemonic;
+        for (size_t i = 0; i < op.srcs.size(); ++i)
+          *trace << (i == 0 ? " " : ", ") << vals[i];
+        *trace << " -> " << machine_.regFile(bank.index).name << ".r"
+               << op.dstReg << " = " << result << "\n";
+      }
+    }
+    for (const EncXfer& xfer : instr.xfers) {
+      const int64_t value = xfer.from.isRegFile()
+                                ? readReg(xfer.from, xfer.srcReg)
+                                : readMem(xfer.memAddr);
+      if (xfer.to.isRegFile())
+        regWrites.push_back({xfer.to, xfer.dstReg, value});
+      else
+        memWrites.push_back({xfer.memAddr, value});
+      if (trace != nullptr) {
+        *trace << "cycle " << traceCycle << " "
+               << machine_.bus(xfer.bus).name << ": mov "
+               << machine_.locName(xfer.from);
+        if (xfer.from.isRegFile()) *trace << ".r" << xfer.srcReg;
+        else *trace << "[" << xfer.memAddr << "]";
+        *trace << " -> " << machine_.locName(xfer.to);
+        if (xfer.to.isRegFile()) *trace << ".r" << xfer.dstReg;
+        else *trace << "[" << xfer.memAddr << "]";
+        *trace << " (" << value << ")";
+        if (!xfer.comment.empty()) *trace << " {" << xfer.comment << "}";
+        *trace << "\n";
+      }
+    }
+
+    // Write phase.
+    for (const RegWrite& w : regWrites) {
+      auto& bank = state.regs[w.loc.index];
+      AVIV_CHECK(w.reg >= 0 && static_cast<size_t>(w.reg) < bank.size());
+      bank[static_cast<size_t>(w.reg)] = w.value;
+    }
+    for (const MemWrite& w : memWrites) {
+      AVIV_CHECK(w.addr >= 0 && static_cast<size_t>(w.addr) < state.mem.size());
+      state.mem[static_cast<size_t>(w.addr)] = w.value;
+    }
+    if (cycles != nullptr) ++*cycles;
+    ++traceCycle;
+  }
+
+  std::map<std::string, int64_t> outputs;
+  for (const OutputBinding& binding : image.outputs) {
+    outputs[binding.name] = binding.inMemory
+                                ? readMem(binding.memAddr)
+                                : readReg(binding.loc, binding.reg);
+  }
+  return outputs;
+}
+
+std::map<std::string, int64_t> Simulator::runBlockFresh(
+    const CodeImage& image, const SymbolTable& symbols,
+    const std::map<std::string, int64_t>& inputs, size_t* cycles) const {
+  MachineState state = initialState();
+  writeVars(state, symbols, inputs);
+  loadConstPool(state, image);
+  return runBlock(image, state, cycles);
+}
+
+}  // namespace aviv

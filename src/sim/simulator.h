@@ -1,0 +1,57 @@
+// Instruction-level VLIW simulator (paper Fig 1's simulator leg). Executes
+// CodeImages with parallel-slot semantics: within one instruction every slot
+// reads machine state as of the instruction's start, then all writes commit.
+// This is what lets the test suite prove end-to-end correctness: simulated
+// outputs must equal the reference DAG interpreter's for random inputs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asmgen/code_image.h"
+#include "isdl/machine.h"
+
+namespace aviv {
+
+struct MachineState {
+  std::vector<std::vector<int64_t>> regs;  // [bank][reg]
+  std::vector<int64_t> mem;                // data memory words
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Machine& machine);
+
+  [[nodiscard]] MachineState initialState() const;
+
+  // Writes named values into their data-memory cells.
+  void writeVars(MachineState& state, const SymbolTable& symbols,
+                 const std::map<std::string, int64_t>& values) const;
+
+  // Places an image's constant-pool initializers into data memory (a real
+  // loader would do this from the binary's data section).
+  void loadConstPool(MachineState& state, const CodeImage& image) const;
+
+  // Executes every instruction of `image` on `state`; returns the block's
+  // outputs read from their bindings. Counts executed instructions into
+  // *cycles when provided. With `trace` set, prints one line per executed
+  // slot with its concrete operand/result values (a cycle-accurate
+  // execution log for debugging generated code).
+  std::map<std::string, int64_t> runBlock(const CodeImage& image,
+                                          MachineState& state,
+                                          size_t* cycles = nullptr,
+                                          std::ostream* trace = nullptr) const;
+
+  // Convenience: fresh state, write inputs, run one block, return outputs.
+  std::map<std::string, int64_t> runBlockFresh(
+      const CodeImage& image, const SymbolTable& symbols,
+      const std::map<std::string, int64_t>& inputs, size_t* cycles = nullptr) const;
+
+ private:
+  const Machine& machine_;
+};
+
+}  // namespace aviv

@@ -1,0 +1,96 @@
+// DynBitset — a dynamically sized bitset used for parallelism matrices,
+// clique membership, cover sets, and liveness sets.
+//
+// std::vector<bool> is avoided (proxy-reference pitfalls, no word-level set
+// algebra); std::bitset is fixed-size. DynBitset gives word-parallel
+// and/or/andnot, popcount, subset tests, and bit iteration — the operations
+// the clique generator and covering engine live on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace aviv {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(size_t size, bool value = false)
+      : size_(size),
+        words_(numWords(size), value ? ~uint64_t{0} : uint64_t{0}) {
+    trimTail();
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void resize(size_t size, bool value = false);
+
+  [[nodiscard]] bool test(size_t i) const {
+    AVIV_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(size_t i) {
+    AVIV_CHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void reset(size_t i) {
+    AVIV_CHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void setTo(size_t i, bool value) { value ? set(i) : reset(i); }
+
+  void setAll();
+  void resetAll();
+
+  [[nodiscard]] size_t count() const;
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool none() const { return !any(); }
+
+  // Word-parallel set algebra. Operands must have equal size.
+  DynBitset& operator|=(const DynBitset& o);
+  DynBitset& operator&=(const DynBitset& o);
+  DynBitset& operator^=(const DynBitset& o);
+  // this := this & ~o
+  DynBitset& andNot(const DynBitset& o);
+
+  [[nodiscard]] bool intersects(const DynBitset& o) const;
+  [[nodiscard]] bool isSubsetOf(const DynBitset& o) const;
+  [[nodiscard]] size_t intersectCount(const DynBitset& o) const;
+
+  bool operator==(const DynBitset& o) const = default;
+
+  // Index of the first set bit at or after `from`; size() if none.
+  [[nodiscard]] size_t findFirst(size_t from = 0) const;
+
+  // Calls fn(index) for every set bit, in increasing order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<size_t>(__builtin_ctzll(bits));
+        fn(w * 64 + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<size_t> toIndices() const;
+
+  // Lexicographic on the bit-string; gives a deterministic total order for
+  // canonicalizing clique sets in tests.
+  [[nodiscard]] bool lexLess(const DynBitset& o) const;
+
+ private:
+  static size_t numWords(size_t size) { return (size + 63) / 64; }
+  void trimTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace aviv

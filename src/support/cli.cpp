@@ -1,0 +1,79 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace aviv {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "aviv";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!startsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::string CliFlags::getString(const std::string& name,
+                                const std::string& defaultValue) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? defaultValue : it->second;
+}
+
+int64_t CliFlags::getInt(const std::string& name, int64_t defaultValue) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return defaultValue;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0')
+    throw Error("flag --" + name + " expects an integer, got '" + it->second +
+                "'");
+  return v;
+}
+
+double CliFlags::getDouble(const std::string& name, double defaultValue) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return defaultValue;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0')
+    throw Error("flag --" + name + " expects a number, got '" + it->second +
+                "'");
+  return v;
+}
+
+bool CliFlags::getBool(const std::string& name, bool defaultValue) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return defaultValue;
+  const std::string v = toLower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("flag --" + name + " expects a boolean, got '" + it->second +
+              "'");
+}
+
+void CliFlags::finish() const {
+  for (const auto& [name, value] : values_) {
+    if (!consumed_.count(name))
+      throw Error("unknown flag --" + name + " (value '" + value + "')");
+  }
+}
+
+}  // namespace aviv

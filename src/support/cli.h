@@ -1,0 +1,43 @@
+// CliFlags — a tiny --flag=value / --flag value / --bool-flag parser for the
+// examples and bench drivers. Not a general argv library; just enough to let
+// every shipped binary take machine/block/heuristic options uniformly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aviv {
+
+class CliFlags {
+ public:
+  // Parses argv; throws aviv::Error on malformed input or (after the
+  // accessors run) unknown flags via finish(). Positional arguments are
+  // collected in order.
+  CliFlags(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& defaultValue);
+  [[nodiscard]] int64_t getInt(const std::string& name, int64_t defaultValue);
+  [[nodiscard]] double getDouble(const std::string& name, double defaultValue);
+  [[nodiscard]] bool getBool(const std::string& name, bool defaultValue);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  // Throws if any flag was provided that no accessor consumed — catches
+  // typos like --bem-width.
+  void finish() const;
+
+  [[nodiscard]] std::string programName() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace aviv

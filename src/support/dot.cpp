@@ -1,0 +1,39 @@
+#include "support/dot.h"
+
+namespace aviv {
+
+DotWriter::DotWriter(std::string graphName) : name_(std::move(graphName)) {}
+
+void DotWriter::addNode(const std::string& id, const std::string& attrs) {
+  lines_.push_back("  \"" + escape(id) + "\" [" + attrs + "];");
+}
+
+void DotWriter::addEdge(const std::string& from, const std::string& to,
+                        const std::string& attrs) {
+  std::string line = "  \"" + escape(from) + "\" -> \"" + escape(to) + "\"";
+  if (!attrs.empty()) line += " [" + attrs + "]";
+  lines_.push_back(line + ";");
+}
+
+void DotWriter::addRaw(const std::string& line) {
+  lines_.push_back("  " + line);
+}
+
+std::string DotWriter::str() const {
+  std::string out = "digraph \"" + escape(name_) + "\" {\n";
+  for (const auto& line : lines_) out += line + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string DotWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace aviv

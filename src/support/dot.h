@@ -1,0 +1,33 @@
+// DotWriter — emits Graphviz DOT text for the IR DAG and Split-Node DAG
+// figure reproductions (paper Figs 2, 4, 9). Purely textual; rendering is
+// left to the user's graphviz install.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aviv {
+
+class DotWriter {
+ public:
+  explicit DotWriter(std::string graphName);
+
+  // Node ids are arbitrary unique strings. Attributes are raw DOT attribute
+  // lists, e.g. R"(shape=box, label="ADD@U1")".
+  void addNode(const std::string& id, const std::string& attrs);
+  void addEdge(const std::string& from, const std::string& to,
+               const std::string& attrs = {});
+  // Free-form line inside the digraph body (rankdir, clusters, ...).
+  void addRaw(const std::string& line);
+
+  [[nodiscard]] std::string str() const;
+
+  // Escapes a string for use inside a double-quoted DOT label.
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace aviv

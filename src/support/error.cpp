@@ -1,0 +1,18 @@
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aviv::detail {
+
+void checkFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "AVIV internal check failed at %s:%d: %s", file, line,
+               expr);
+  if (!message.empty()) std::fprintf(stderr, " (%s)", message.c_str());
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace aviv::detail

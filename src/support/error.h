@@ -1,0 +1,76 @@
+// Error handling primitives shared across the AVIV code base.
+//
+// Two mechanisms, per the usual split:
+//   * aviv::Error       — exception for *input* errors (malformed ISDL,
+//                         malformed block source, impossible machine).
+//                         These carry a source location when available and
+//                         are meant to be shown to the user.
+//   * AVIV_CHECK(...)   — internal invariant checks. A failed check is a bug
+//                         in AVIV itself, never a user error; it aborts with
+//                         a message. Checks stay enabled in release builds:
+//                         a code generator that emits wrong code silently is
+//                         worse than one that stops.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aviv {
+
+// Position inside a source text (1-based). line == 0 means "no location".
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+// User-facing error (bad ISDL text, bad block text, unsatisfiable request).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message)
+      : std::runtime_error(message) {}
+  Error(SourceLoc loc, const std::string& message)
+      : std::runtime_error(loc.valid() ? loc.str() + ": " + message : message),
+        loc_(loc) {}
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+namespace detail {
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace aviv
+
+// Internal invariant check; always on.
+#define AVIV_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::aviv::detail::checkFailed(__FILE__, __LINE__, #expr, std::string{}); \
+    }                                                                      \
+  } while (false)
+
+// Invariant check with a streamed message: AVIV_CHECK_MSG(x > 0, "x=" << x).
+#define AVIV_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream aviv_check_os_;                                   \
+      aviv_check_os_ << stream_expr;                                       \
+      ::aviv::detail::checkFailed(__FILE__, __LINE__, #expr,               \
+                                  aviv_check_os_.str());                   \
+    }                                                                      \
+  } while (false)
+
+#define AVIV_UNREACHABLE(msg)                                              \
+  ::aviv::detail::checkFailed(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,54 @@
+#include "support/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+#ifndef AVIV_MACHINE_DIR
+#define AVIV_MACHINE_DIR "machines"
+#endif
+#ifndef AVIV_BLOCK_DIR
+#define AVIV_BLOCK_DIR "blocks"
+#endif
+
+namespace aviv {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write file: " + path);
+  out << content;
+}
+
+namespace {
+std::string dirFromEnv(const char* var, const char* fallback) {
+  if (const char* env = std::getenv(var); env != nullptr && *env != '\0')
+    return env;
+  return fallback;
+}
+}  // namespace
+
+std::string machineDir() {
+  return dirFromEnv("AVIV_MACHINE_DIR", AVIV_MACHINE_DIR);
+}
+
+std::string blockDir() { return dirFromEnv("AVIV_BLOCK_DIR", AVIV_BLOCK_DIR); }
+
+std::string machinePath(const std::string& name) {
+  return machineDir() + "/" + name + ".isdl";
+}
+
+std::string blockPath(const std::string& name) {
+  return blockDir() + "/" + name + ".blk";
+}
+
+}  // namespace aviv

@@ -1,0 +1,28 @@
+// File loading + location of the shipped data directories (machines/,
+// blocks/). Paths are baked in by CMake so binaries work from any CWD, with
+// environment-variable overrides for relocated installs.
+#pragma once
+
+#include <string>
+
+namespace aviv {
+
+// Whole-file read; throws aviv::Error on failure.
+[[nodiscard]] std::string readFile(const std::string& path);
+
+void writeFile(const std::string& path, const std::string& content);
+
+// Directory containing the shipped .isdl machine descriptions.
+// $AVIV_MACHINE_DIR overrides the compiled-in default.
+[[nodiscard]] std::string machineDir();
+
+// Directory containing the shipped .blk benchmark blocks.
+// $AVIV_BLOCK_DIR overrides the compiled-in default.
+[[nodiscard]] std::string blockDir();
+
+// machineDir()/name + ".isdl"
+[[nodiscard]] std::string machinePath(const std::string& name);
+// blockDir()/name + ".blk"
+[[nodiscard]] std::string blockPath(const std::string& name);
+
+}  // namespace aviv

@@ -1,0 +1,197 @@
+#include "support/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace aviv {
+
+namespace {
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool isIdentChar(char c) {
+  return isIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+}  // namespace
+
+std::string Token::describe() const {
+  switch (kind) {
+    case Kind::kIdent:
+      return "identifier '" + text + "'";
+    case Kind::kNumber:
+      return "number " + std::to_string(number);
+    case Kind::kPunct:
+      return "'" + text + "'";
+    case Kind::kString:
+      return "string \"" + text + "\"";
+    case Kind::kEnd:
+      return "end of input";
+  }
+  return "<token>";
+}
+
+Lexer::Lexer(std::string_view source, std::vector<std::string> multiPuncts)
+    : src_(source), multiPuncts_(std::move(multiPuncts)) {
+  // Longest-first so greedy matching works ("<<=" before "<<" before "<").
+  std::sort(multiPuncts_.begin(), multiPuncts_.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() > b.size();
+            });
+}
+
+void Lexer::advance(size_t n) {
+  for (size_t i = 0; i < n && pos_ < src_.size(); ++i) {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (pos_ < src_.size()) {
+    const char c = cur();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '#' || (c == '/' && at(1) == '/')) {
+      while (pos_ < src_.size() && cur() != '\n') advance();
+    } else if (c == '/' && at(1) == '*') {
+      const SourceLoc start = here();
+      advance(2);
+      while (pos_ < src_.size() && !(cur() == '*' && at(1) == '/')) advance();
+      if (pos_ >= src_.size())
+        throw Error(start, "unterminated block comment");
+      advance(2);
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex() {
+  skipWhitespaceAndComments();
+  Token tok;
+  tok.loc = here();
+  if (pos_ >= src_.size()) {
+    tok.kind = Token::Kind::kEnd;
+    return tok;
+  }
+
+  const char c = cur();
+  if (isIdentStart(c)) {
+    tok.kind = Token::Kind::kIdent;
+    while (isIdentChar(cur())) {
+      tok.text += cur();
+      advance();
+    }
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    tok.kind = Token::Kind::kNumber;
+    int base = 10;
+    std::string digits;
+    if (c == '0' && (at(1) == 'x' || at(1) == 'X')) {
+      base = 16;
+      advance(2);
+      while (std::isxdigit(static_cast<unsigned char>(cur()))) {
+        digits += cur();
+        advance();
+      }
+      if (digits.empty()) throw Error(tok.loc, "malformed hex literal");
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(cur()))) {
+        digits += cur();
+        advance();
+      }
+    }
+    tok.text = digits;
+    tok.number = std::stoll(digits, nullptr, base);
+    return tok;
+  }
+
+  if (c == '"') {
+    tok.kind = Token::Kind::kString;
+    advance();
+    while (pos_ < src_.size() && cur() != '"') {
+      if (cur() == '\\' && (at(1) == '"' || at(1) == '\\')) advance();
+      tok.text += cur();
+      advance();
+    }
+    if (pos_ >= src_.size()) throw Error(tok.loc, "unterminated string");
+    advance();  // closing quote
+    return tok;
+  }
+
+  // Punctuation: try multi-character first.
+  tok.kind = Token::Kind::kPunct;
+  for (const std::string& p : multiPuncts_) {
+    if (src_.substr(pos_, p.size()) == p) {
+      tok.text = p;
+      advance(p.size());
+      return tok;
+    }
+  }
+  tok.text = std::string(1, c);
+  advance();
+  return tok;
+}
+
+const Token& Lexer::peek(size_t ahead) {
+  while (lookahead_.size() <= ahead) lookahead_.push_back(lex());
+  return lookahead_[ahead];
+}
+
+Token Lexer::next() {
+  if (!lookahead_.empty()) {
+    Token tok = lookahead_.front();
+    lookahead_.erase(lookahead_.begin());
+    return tok;
+  }
+  return lex();
+}
+
+bool Lexer::tryConsume(std::string_view punct) {
+  if (peek().isPunct(punct)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+Token Lexer::expectPunct(std::string_view punct) {
+  Token tok = next();
+  if (!tok.isPunct(punct))
+    throw Error(tok.loc, "expected '" + std::string(punct) + "', got " +
+                             tok.describe());
+  return tok;
+}
+
+Token Lexer::expectIdent() {
+  Token tok = next();
+  if (!tok.is(Token::Kind::kIdent))
+    throw Error(tok.loc, "expected identifier, got " + tok.describe());
+  return tok;
+}
+
+Token Lexer::expectNumber() {
+  Token tok = next();
+  if (!tok.is(Token::Kind::kNumber))
+    throw Error(tok.loc, "expected number, got " + tok.describe());
+  return tok;
+}
+
+bool Lexer::tryConsumeIdent(std::string_view name) {
+  if (peek().isIdent(name)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+bool Lexer::atEnd() { return peek().is(Token::Kind::kEnd); }
+
+}  // namespace aviv

@@ -1,0 +1,76 @@
+// Generic tokenizer shared by the ISDL parser and the block-language parser.
+//
+// Produces identifiers, integer literals (decimal / 0x hex), double-quoted
+// strings, and punctuation. Multi-character punctuation (e.g. "->", "<<") is
+// matched greedily from a caller-supplied list. Comments: '#' and '//' to end
+// of line, '/* ... */' block comments. Every token carries a SourceLoc for
+// error reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace aviv {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kEnd };
+
+  Kind kind = Kind::kEnd;
+  std::string text;    // identifier spelling / punct spelling / string body
+  int64_t number = 0;  // kNumber only
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Kind k) const { return kind == k; }
+  [[nodiscard]] bool isPunct(std::string_view p) const {
+    return kind == Kind::kPunct && text == p;
+  }
+  [[nodiscard]] bool isIdent(std::string_view name) const {
+    return kind == Kind::kIdent && text == name;
+  }
+  // Human-readable description for error messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+class Lexer {
+ public:
+  // `multiPuncts` lists punctuation longer than one character, longest first
+  // is not required (the lexer sorts internally).
+  Lexer(std::string_view source, std::vector<std::string> multiPuncts = {});
+
+  [[nodiscard]] const Token& peek(size_t ahead = 0);
+  Token next();
+
+  // Consumes the next token iff it is the given punctuation.
+  bool tryConsume(std::string_view punct);
+  // Consumes and checks; throws aviv::Error otherwise.
+  Token expectPunct(std::string_view punct);
+  Token expectIdent();
+  Token expectNumber();
+  // Consumes the next token iff it is the identifier `name`.
+  bool tryConsumeIdent(std::string_view name);
+
+  [[nodiscard]] bool atEnd();
+
+ private:
+  Token lex();
+  void skipWhitespaceAndComments();
+  [[nodiscard]] SourceLoc here() const { return {line_, column_}; }
+  char cur() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+  char at(size_t off) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  void advance(size_t n = 1);
+
+  std::string_view src_;
+  std::vector<std::string> multiPuncts_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+  std::vector<Token> lookahead_;
+};
+
+}  // namespace aviv

@@ -1,0 +1,37 @@
+// SplitMix64 — small deterministic RNG for test-input generation and
+// randomized property tests. Deterministic across platforms (unlike
+// std::default_random_engine) so failures reproduce from the seed alone.
+#pragma once
+
+#include <cstdint>
+
+namespace aviv {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t intIn(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace aviv

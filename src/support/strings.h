@@ -1,0 +1,27 @@
+// Small string utilities used by the ISDL/block parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aviv {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] std::string toLower(std::string_view s);
+[[nodiscard]] std::string toUpper(std::string_view s);
+
+// Joins items with `sep`; items must be string-convertible via operator<<.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+// "1 item" / "3 items"
+[[nodiscard]] std::string plural(size_t n, std::string_view noun);
+
+// Fixed-point formatting of a double with `digits` decimals (no locale).
+[[nodiscard]] std::string formatFixed(double value, int digits);
+
+}  // namespace aviv

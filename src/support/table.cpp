@@ -1,0 +1,53 @@
+#include "support/table.h"
+
+#include "support/error.h"
+
+namespace aviv {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AVIV_CHECK(!headers_.empty());
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  AVIV_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::addSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::str() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto hrule = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = hrule() + line(headers_) + hrule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? hrule() : line(row);
+  }
+  out += hrule();
+  return out;
+}
+
+}  // namespace aviv

@@ -1,0 +1,27 @@
+// TextTable — aligned plain-text tables for the experiment harnesses.
+// The Table I / Table II benches print through this so every reproduction
+// table has the same visual format as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aviv {
+
+class TextTable {
+ public:
+  // Column headers define the column count; subsequent rows must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  // Convenience: adds a horizontal separator row.
+  void addSeparator();
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace aviv

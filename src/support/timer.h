@@ -1,0 +1,25 @@
+// WallTimer — monotonic wall-clock timing for the experiment tables and for
+// the heuristics-off time caps.
+#pragma once
+
+#include <chrono>
+
+namespace aviv {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aviv

@@ -1,0 +1,153 @@
+// Unit tests for the AssignedGraph materializer and its mutation primitives
+// (the covering engine's spill machinery builds on these).
+#include "core/assigned.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/assign_explore.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+
+namespace aviv {
+namespace {
+
+struct Mat {
+  BlockDag dag;
+  Machine machine;
+  MachineDatabases dbs;
+  CodegenOptions options;
+  SplitNodeDag snd;
+  AssignedGraph graph;
+
+  explicit Mat(const std::string& source,
+               const std::string& machineName = "arch1",
+               CodegenOptions opts = {})
+      : dag(parseBlock(source)),
+        machine(loadMachine(machineName)),
+        dbs(machine),
+        options(opts),
+        snd(SplitNodeDag::build(dag, machine, dbs, options)),
+        graph(AssignedGraph::materialize(
+            snd, AssignmentExplorer(snd, options).explore().front(),
+            options)) {}
+};
+
+TEST(AssignedGraph, EveryOpHasResolvedOperands) {
+  Mat m("block t { input a, b, c; output y; y = (a + b) * c; }");
+  for (AgId id = 0; id < m.graph.size(); ++id) {
+    const AgNode& n = m.graph.node(id);
+    if (n.kind != AgKind::kOp) continue;
+    ASSERT_EQ(n.operandDefs.size(), n.operandIr.size());
+    for (size_t i = 0; i < n.operandDefs.size(); ++i) {
+      if (n.operandDefs[i] == kNoAg) {
+        EXPECT_EQ(m.dag.node(n.operandIr[i]).op, Op::kConst);
+      } else {
+        EXPECT_EQ(m.graph.node(n.operandDefs[i]).defLoc, n.defLoc);
+      }
+    }
+  }
+}
+
+TEST(AssignedGraph, SharedOperandLoadsOnce) {
+  // `b` feeds two ops; if both land in one bank there must be exactly one
+  // load of b into it.
+  Mat m("block t { input a, b; output y, z; y = a + b; z = a - b; }");
+  std::map<std::pair<NodeId, uint16_t>, int> loadsPerBank;
+  for (AgId id = 0; id < m.graph.size(); ++id) {
+    const AgNode& n = m.graph.node(id);
+    if (n.isTransferish() && n.valueSrc == kNoAg && !n.deleted())
+      loadsPerBank[{n.ir, n.defLoc.index}] += 1;
+  }
+  for (const auto& [key, count] : loadsPerBank) EXPECT_EQ(count, 1);
+}
+
+TEST(AssignedGraph, OutputDefsPointAtProducingNodes) {
+  Mat m("block t { input a, b; output y; y = a * b; }");
+  ASSERT_EQ(m.graph.outputDefs().size(), 1u);
+  const auto& [name, def] = m.graph.outputDefs()[0];
+  EXPECT_EQ(name, "y");
+  ASSERT_NE(def, kNoAg);
+  EXPECT_EQ(m.graph.node(def).kind, AgKind::kOp);
+  EXPECT_EQ(m.graph.node(def).machineOp, Op::kMul);
+}
+
+TEST(AssignedGraph, RetargetConsumerRewiresEdgesAndOperands) {
+  Mat m("block t { input a, b; output y; y = a + b; }");
+  // Find the add and one of its operand defs; retarget to the other.
+  AgId add = kNoAg;
+  for (AgId id = 0; id < m.graph.size(); ++id)
+    if (m.graph.node(id).kind == AgKind::kOp) add = id;
+  ASSERT_NE(add, kNoAg);
+  const AgId oldDef = m.graph.node(add).operandDefs[0];
+  const AgId otherDef = m.graph.node(add).operandDefs[1];
+  ASSERT_NE(oldDef, otherDef);
+
+  m.graph.retargetConsumer(add, oldDef, otherDef);
+  EXPECT_EQ(m.graph.node(add).operandDefs[0], otherDef);
+  // The old def no longer lists the add as successor.
+  const auto& succs = m.graph.node(oldDef).succs;
+  EXPECT_EQ(std::find(succs.begin(), succs.end(), add), succs.end());
+  // Now the old load is dead; delete works since it has no successors.
+  m.graph.deleteNode(oldDef);
+  EXPECT_TRUE(m.graph.node(oldDef).deleted());
+  m.graph.verify();
+}
+
+TEST(AssignedGraph, SpillStoreAndLoadChainsWellFormed) {
+  Mat m("block t { input a, b; output y, z; y = a + b; z = a - b; }");
+  AgId victim = kNoAg;
+  for (AgId id = 0; id < m.graph.size(); ++id)
+    if (m.graph.node(id).definesRegister()) victim = id;
+  ASSERT_NE(victim, kNoAg);
+
+  const auto store = m.graph.addSpillStore(victim, m.dbs.transfers);
+  EXPECT_GE(store.slot, 0);
+  ASSERT_FALSE(store.chain.empty());
+  EXPECT_EQ(m.graph.node(store.chain.back()).kind, AgKind::kSpillStore);
+  EXPECT_TRUE(m.graph.node(store.chain.back()).defLoc.isMemory());
+
+  const auto load = m.graph.addSpillLoad(
+      store.slot, m.graph.node(victim).defLoc, store.chain.back(),
+      m.graph.node(victim).ir, m.dbs.transfers);
+  ASSERT_FALSE(load.empty());
+  EXPECT_EQ(m.graph.node(load.front()).kind, AgKind::kSpillLoad);
+  EXPECT_EQ(m.graph.node(load.back()).defLoc, m.graph.node(victim).defLoc);
+  // The load depends on the store.
+  const auto& preds = m.graph.node(load.front()).preds;
+  EXPECT_NE(std::find(preds.begin(), preds.end(), store.chain.back()),
+            preds.end());
+  EXPECT_EQ(m.graph.numSpillSlots(), 1);
+  m.graph.verify();
+}
+
+TEST(AssignedGraph, LevelsAndDescendantsConsistent) {
+  Mat m("block t { input a, b, c; output y; y = (a + b) * c - a; }");
+  const auto desc = m.graph.computeDescendants();
+  const auto top = m.graph.levelsFromTop();
+  const auto bottom = m.graph.levelsFromBottom();
+  for (AgId id = 0; id < m.graph.size(); ++id) {
+    for (AgId succ : m.graph.node(id).succs) {
+      EXPECT_TRUE(desc[id].test(succ));
+      EXPECT_GT(top[id], top[succ]);
+      EXPECT_LT(bottom[id], bottom[succ]);
+    }
+  }
+}
+
+TEST(AssignedGraph, DescribeIsHumanReadable) {
+  Mat m("block t { input a; output y; y = ~a; }");
+  bool sawOp = false;
+  bool sawXfer = false;
+  for (AgId id = 0; id < m.graph.size(); ++id) {
+    const std::string text = m.graph.describe(id);
+    sawOp |= text.find("COMPL@U1") != std::string::npos;
+    sawXfer |= text.find("xfer DM->RF1") != std::string::npos;
+  }
+  EXPECT_TRUE(sawOp);
+  EXPECT_TRUE(sawXfer);
+}
+
+}  // namespace
+}  // namespace aviv

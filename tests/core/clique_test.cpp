@@ -1,0 +1,168 @@
+#include "core/clique.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assign_explore.h"
+#include "core/assigned.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+void expectSameCliques(const ParallelismMatrix& matrix,
+                       const DynBitset& active) {
+  CliqueGenStats stats;
+  const auto fig8 = generateMaximalCliques(matrix, active, 100000, &stats);
+  const auto reference = referenceMaximalCliques(matrix, active);
+  ASSERT_EQ(fig8.size(), reference.size());
+  for (size_t i = 0; i < fig8.size(); ++i) EXPECT_EQ(fig8[i], reference[i]);
+}
+
+TEST(CliqueGen, MatchesBronKerboschOnRealBlocks) {
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  for (const char* block : {"ex1", "ex2", "ex3", "ex4", "ex5"}) {
+    const BlockDag dag = loadBlock(block);
+    const CodegenOptions options;
+    const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+    const auto assignment =
+        AssignmentExplorer(snd, options).explore().front();
+    const AssignedGraph graph =
+        AssignedGraph::materialize(snd, assignment, options);
+    const ParallelismMatrix matrix(graph, /*levelWindow=*/-1);
+    DynBitset active(graph.size(), true);
+    expectSameCliques(matrix, active);
+  }
+}
+
+// Property test on random graphs: build a synthetic AssignedGraph-like
+// parallelism structure by generating random matrices directly. Since
+// ParallelismMatrix requires a graph, we instead probe the generator
+// through random *subsets* of a real graph's nodes.
+TEST(CliqueGen, MatchesBronKerboschOnRandomActiveSubsets) {
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  const BlockDag dag = loadBlock("ex4");
+  const CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    DynBitset active(graph.size());
+    for (size_t i = 0; i < graph.size(); ++i)
+      if (rng.chance(0.6)) active.set(i);
+    expectSameCliques(matrix, active);
+  }
+}
+
+TEST(CliqueGen, EveryNodeCoveredByAtLeastOneClique) {
+  const Machine machine = loadMachine("arch2");
+  const MachineDatabases dbs(machine);
+  const BlockDag dag = loadBlock("ex2");
+  const CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+  DynBitset active(graph.size(), true);
+  const auto cliques = generateMaximalCliques(matrix, active, 100000);
+  DynBitset covered(graph.size());
+  for (const DynBitset& clique : cliques) covered |= clique;
+  EXPECT_EQ(covered, active);
+}
+
+TEST(CliqueGen, CliquesArePairwiseParallelAndMaximal) {
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  const BlockDag dag = loadBlock("ex3");
+  const CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+  DynBitset active(graph.size(), true);
+  const auto cliques = generateMaximalCliques(matrix, active, 100000);
+  ASSERT_FALSE(cliques.empty());
+  for (const DynBitset& clique : cliques) {
+    const auto members = clique.toIndices();
+    for (size_t i = 0; i < members.size(); ++i)
+      for (size_t j = i + 1; j < members.size(); ++j)
+        EXPECT_TRUE(matrix.parallel(static_cast<AgId>(members[i]),
+                                    static_cast<AgId>(members[j])));
+    // Maximality: no outside node parallel with every member.
+    for (size_t n = 0; n < graph.size(); ++n) {
+      if (clique.test(n) || !active.test(n)) continue;
+      bool withAll = true;
+      for (size_t m : members)
+        withAll &= matrix.parallel(static_cast<AgId>(n),
+                                   static_cast<AgId>(m));
+      EXPECT_FALSE(withAll) << "clique not maximal: can add " << n;
+    }
+  }
+}
+
+TEST(CliqueGen, LevelWindowReducesCliqueCount) {
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  const BlockDag dag = loadBlock("ex5");
+  const CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  DynBitset active(graph.size(), true);
+
+  const ParallelismMatrix full(graph, -1);
+  const ParallelismMatrix windowed(graph, 1);
+  CliqueGenStats fullStats;
+  CliqueGenStats windowedStats;
+  (void)generateMaximalCliques(full, active, 1000000, &fullStats);
+  (void)generateMaximalCliques(windowed, active, 1000000, &windowedStats);
+  EXPECT_LE(windowedStats.emitted, fullStats.emitted);
+}
+
+TEST(CliqueGen, CapSetsFlag) {
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  const BlockDag dag = loadBlock("ex5");
+  const CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+  DynBitset active(graph.size(), true);
+  CliqueGenStats stats;
+  const auto cliques = generateMaximalCliques(matrix, active, 2, &stats);
+  EXPECT_LE(cliques.size(), 2u);
+  EXPECT_TRUE(stats.capped);
+}
+
+TEST(CliqueGen, SingleNodeGraphGivesSingletonClique) {
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  const BlockDag dag =
+      parseBlock("block t { input a; output y; y = ~a; }");
+  const CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  const auto assignment = AssignmentExplorer(snd, options).explore().front();
+  const AssignedGraph graph =
+      AssignedGraph::materialize(snd, assignment, options);
+  const ParallelismMatrix matrix(graph, -1);
+  // Load then compl: serial chain -> two singleton cliques.
+  DynBitset active(graph.size(), true);
+  const auto cliques = generateMaximalCliques(matrix, active, 100);
+  EXPECT_EQ(cliques.size(), 2u);
+  for (const auto& clique : cliques) EXPECT_EQ(clique.count(), 1u);
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,141 @@
+// Constant-pool mode (CodegenOptions::constantsInMemory): constants become
+// data-memory cells loaded over the bus, like named variables.
+#include <gtest/gtest.h>
+
+#include "asmgen/encode.h"
+#include "core/codegen.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "driver/codegen.h"
+#include "isdl/parser.h"
+#include "regalloc/regalloc.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+struct PoolRun {
+  BlockDag dag;
+  Machine machine;
+  MachineDatabases dbs;
+  CoreResult core;
+  RegAssignment regs;
+  SymbolTable symbols;
+  CodeImage image;
+
+  explicit PoolRun(const std::string& source,
+                   const std::string& machineName = "arch1")
+      : dag(parseBlock(source)),
+        machine(loadMachine(machineName)),
+        dbs(machine),
+        core(coverBlock(dag, machine, dbs, poolOptions())),
+        regs(allocateRegisters(core.graph, core.schedule)),
+        image(encodeBlock(core.graph, core.schedule, regs, symbols)) {}
+
+  static CodegenOptions poolOptions() {
+    CodegenOptions options;
+    options.constantsInMemory = true;
+    return options;
+  }
+};
+
+TEST(ConstPool, ConstantsBecomeLoads) {
+  PoolRun run("block t { input a; output y; y = a + 7; }");
+  // The graph must hold a pool cell for 7 and no inline immediates.
+  ASSERT_EQ(run.core.graph.constPool().size(), 1u);
+  EXPECT_EQ(run.core.graph.constPool().begin()->second, 7);
+  for (const EncInstr& instr : run.image.instrs)
+    for (const EncOp& op : instr.ops)
+      for (const EncOperand& src : op.srcs) EXPECT_FALSE(src.isImm);
+}
+
+TEST(ConstPool, SimulationMatchesReference) {
+  PoolRun run(R"(
+    block t {
+      input a, b;
+      output y, z;
+      y = (a + 100) * (b - 7);
+      z = a * 3 + b * 5;
+    }
+  )");
+  const Simulator sim(run.machine);
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::map<std::string, int64_t> inputs = {{"a", rng.intIn(-50, 50)},
+                                             {"b", rng.intIn(-50, 50)}};
+    EXPECT_EQ(sim.runBlockFresh(run.image, run.symbols, inputs),
+              evalDagOutputs(run.dag, inputs));
+  }
+}
+
+TEST(ConstPool, SharedConstantLoadsOnce) {
+  PoolRun run(R"(
+    block t {
+      input a, b;
+      output y, z;
+      y = a * 10;
+      z = b * 10;   # same constant
+    }
+  )");
+  EXPECT_EQ(run.core.graph.constPool().size(), 1u);
+}
+
+TEST(ConstPool, PoolCellsDistinctFromVariables) {
+  PoolRun run("block t { input a; output y; y = a + 42; }");
+  const int aAddr = run.symbols.lookup("a");
+  const int cAddr = run.symbols.lookup("$c42");
+  EXPECT_NE(aAddr, cAddr);
+  ASSERT_EQ(run.image.constPool.size(), 1u);
+  EXPECT_EQ(run.image.constPool[0].first, cAddr);
+  EXPECT_EQ(run.image.constPool[0].second, 42);
+}
+
+TEST(ConstPool, ConstantOutputSupported) {
+  PoolRun run("block t { input a; output y, k; y = a + 1; k = 9; }");
+  const Simulator sim(run.machine);
+  const auto out = sim.runBlockFresh(run.image, run.symbols, {{"a", 4}});
+  EXPECT_EQ(out.at("y"), 5);
+  EXPECT_EQ(out.at("k"), 9);
+}
+
+TEST(ConstPool, WorksInPrograms) {
+  // Through the driver: multi-block with constants in memory.
+  const Program program = parseProgram(R"(
+    block scale {
+      input x;
+      output t;
+      t = x * 1000;
+    }
+    block offset {
+      input t;
+      output y;
+      y = t + 999999;
+      return;
+    }
+  )",
+                                       "p");
+  const Machine machine = loadMachine("arch1");
+  DriverOptions driverOptions;
+  driverOptions.core.constantsInMemory = true;
+  CodeGenerator generator(machine, driverOptions);
+  const CompiledProgram compiled = generator.compileProgram(program);
+  const auto result = simulateProgram(machine, compiled, {{"x", 3}});
+  EXPECT_EQ(result.at("y"), 3 * 1000 + 999999);
+}
+
+TEST(ConstPool, CodeSizeGrowsVsImmediates) {
+  // Pool mode pays bus loads for constants; immediate mode does not.
+  const BlockDag dag =
+      parseBlock("block t { input a; output y; y = a * 3 + 7; }");
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  const CoreResult imm = coverBlock(dag, machine, dbs, CodegenOptions{});
+  const CoreResult pool =
+      coverBlock(dag, machine, dbs, PoolRun::poolOptions());
+  EXPECT_GE(pool.schedule.numInstructions(),
+            imm.schedule.numInstructions());
+}
+
+}  // namespace
+}  // namespace aviv

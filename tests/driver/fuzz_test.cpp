@@ -1,0 +1,197 @@
+// Randomized end-to-end properties: for random basic blocks and random
+// machine descriptions, the compiled code must simulate to exactly the
+// reference interpreter's values, and the quality ordering
+// optimal <= AVIV <= phase-ordered baseline must hold.
+#include <gtest/gtest.h>
+
+#include "baseline/optimal.h"
+#include "baseline/sequential.h"
+#include "driver/codegen.h"
+#include "ir/interp.h"
+#include "ir/random_dag.h"
+#include "isdl/parser.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace aviv {
+namespace {
+
+std::map<std::string, int64_t> randomInputs(const BlockDag& dag, Rng& rng) {
+  std::map<std::string, int64_t> inputs;
+  for (const std::string& name : dag.inputNames())
+    inputs[name] = rng.intIn(-1000, 1000);
+  return inputs;
+}
+
+void expectCompiledCorrect(const BlockDag& dag, const Machine& machine,
+                           DriverOptions options = {}, int trials = 4) {
+  CodeGenerator generator(machine, options);
+  SymbolTable symbols;
+  const CompiledBlock compiled = generator.compileBlock(dag, symbols);
+  const Simulator sim(machine);
+  Rng rng(dag.size() * 31 + machine.units().size());
+  for (int t = 0; t < trials; ++t) {
+    const auto inputs = randomInputs(dag, rng);
+    ASSERT_EQ(sim.runBlockFresh(compiled.image, symbols, inputs),
+              evalDagOutputs(dag, inputs))
+        << dag.name() << " on " << machine.name();
+  }
+}
+
+// --- random DAGs on the shipped machines -------------------------------
+
+class RandomDagPipeline : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDagPipeline, CorrectOnAllShippedMachines) {
+  RandomDagSpec spec;
+  spec.seed = GetParam();
+  Rng shape(spec.seed * 7919);
+  spec.numInputs = 2 + static_cast<int>(shape.below(5));
+  spec.numOps = 4 + static_cast<int>(shape.below(12));
+  spec.numOutputs = 1 + static_cast<int>(shape.below(3));
+  spec.reuseBias = 0.3 + 0.5 * (static_cast<double>(shape.below(100)) / 100);
+  const BlockDag dag = makeRandomDag(spec);
+  for (const char* machineName : {"arch1", "arch2", "arch3", "arch4"}) {
+    expectCompiledCorrect(dag, loadMachine(machineName));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagPipeline,
+                         ::testing::Range<uint64_t>(1, 26));
+
+// --- random DAGs under register pressure --------------------------------
+
+class RandomDagPressure : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDagPressure, CorrectWithTwoRegisterFiles) {
+  RandomDagSpec spec;
+  spec.seed = GetParam() * 131;
+  spec.numInputs = 3;
+  spec.numOps = 8 + static_cast<int>(GetParam() % 6);
+  spec.numOutputs = 2;
+  spec.reuseBias = 0.7;  // deep and serial: maximum pressure
+  const BlockDag dag = makeRandomDag(spec);
+  expectCompiledCorrect(dag, loadMachine("arch1").withRegisterCount(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagPressure,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --- random machines -----------------------------------------------------
+
+// Builds a random but valid machine: 1-3 units with random repertoires
+// (ADD/SUB/MUL coverage guaranteed), random register counts, 1-2 buses.
+Machine makeRandomMachine(uint64_t seed) {
+  Rng rng(seed);
+  Machine machine("fuzz" + std::to_string(seed));
+  const int numUnits = 1 + static_cast<int>(rng.below(3));
+  std::vector<RegFileId> banks;
+  for (int u = 0; u < numUnits; ++u) {
+    banks.push_back(machine.addRegFile(
+        {"R" + std::to_string(u), 2 + static_cast<int>(rng.below(5))}));
+  }
+  const MemoryId dm = machine.addMemory({"DM", 128, true});
+  (void)dm;
+  const int numBuses = 1 + static_cast<int>(rng.below(2));
+  for (int b = 0; b < numBuses; ++b)
+    machine.addBus({"B" + std::to_string(b), 1 + static_cast<int>(rng.below(2))});
+
+  const std::vector<Op> pool = {Op::kAdd, Op::kSub, Op::kMul};
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = banks[static_cast<size_t>(u)];
+    for (Op op : pool) {
+      if (rng.chance(0.6)) unit.ops.push_back({op, toLower(std::string(opName(op))), 1});
+    }
+    if (unit.ops.empty()) unit.ops.push_back({Op::kAdd, "add", 1});
+    machine.addUnit(std::move(unit));
+  }
+  // Guarantee every pool op is implementable somewhere: give unit 0 the
+  // missing ones.
+  {
+    OpDatabase ops(machine);
+    FunctionalUnit patched = machine.units()[0];
+    Machine rebuilt(machine.name());
+    for (const RegFile& rf : machine.regFiles()) rebuilt.addRegFile(rf);
+    for (const Memory& mem : machine.memories()) rebuilt.addMemory(mem);
+    for (const Bus& bus : machine.buses()) rebuilt.addBus(bus);
+    for (Op op : pool) {
+      if (!ops.isImplementable(op))
+        patched.ops.push_back({op, toLower(std::string(opName(op))), 1});
+    }
+    rebuilt.addUnit(patched);
+    for (size_t u = 1; u < machine.units().size(); ++u)
+      rebuilt.addUnit(machine.units()[u]);
+    machine = std::move(rebuilt);
+  }
+  // Transfers: every storage pair over a random bus (complete connectivity
+  // keeps every random block compilable).
+  std::vector<Loc> locs;
+  for (size_t i = 0; i < machine.regFiles().size(); ++i)
+    locs.push_back(Loc::regFile(static_cast<RegFileId>(i)));
+  locs.push_back(machine.dataMemoryLoc());
+  for (const Loc& from : locs) {
+    for (const Loc& to : locs) {
+      if (from == to) continue;
+      machine.addTransfer(
+          {from, to,
+           static_cast<BusId>(rng.below(machine.buses().size()))});
+    }
+  }
+  machine.validate();
+  return machine;
+}
+
+class RandomMachinePipeline : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMachinePipeline, CompilesAndSimulatesCorrectly) {
+  const Machine machine = makeRandomMachine(GetParam() * 977);
+  RandomDagSpec spec;
+  spec.seed = GetParam() * 13;
+  spec.numInputs = 3;
+  spec.numOps = 6 + static_cast<int>(GetParam() % 8);
+  spec.numOutputs = 2;
+  const BlockDag dag = makeRandomDag(spec);
+  expectCompiledCorrect(dag, machine);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMachinePipeline,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- quality ordering ------------------------------------------------------
+
+class QualityOrdering : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QualityOrdering, OptimalLeAvivLeSequential) {
+  RandomDagSpec spec;
+  spec.seed = GetParam() * 10007;
+  spec.numInputs = 3;
+  spec.numOps = 5 + static_cast<int>(GetParam() % 4);
+  spec.numOutputs = 1;
+  const BlockDag dag = makeRandomDag(spec);
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+
+  const CoreResult aviv =
+      coverBlock(dag, machine, dbs, CodegenOptions::heuristicsOn());
+  const BaselineResult seq =
+      sequentialCodegen(dag, machine, dbs, CodegenOptions{});
+  OptimalOptions optimalOptions;
+  optimalOptions.incumbent = aviv.schedule.numInstructions();
+  optimalOptions.timeLimitSeconds = 30;
+  const OptimalResult optimal =
+      optimalCodeSize(dag, machine, dbs, optimalOptions);
+
+  ASSERT_GE(optimal.instructions, 1);
+  EXPECT_LE(optimal.instructions, aviv.schedule.numInstructions());
+  EXPECT_LE(aviv.schedule.numInstructions(),
+            seq.schedule.numInstructions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualityOrdering,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace aviv

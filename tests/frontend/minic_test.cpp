@@ -1,0 +1,265 @@
+#include "frontend/minic.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/codegen.h"
+#include "ir/interp.h"
+#include "isdl/parser.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+// Interprets a MiniC function on the reference program interpreter.
+int64_t interpret(const MiniCFunction& fn,
+                  const std::vector<int64_t>& args) {
+  std::map<std::string, int64_t> inputs;
+  for (size_t i = 0; i < fn.params.size(); ++i)
+    inputs[fn.params[i]] = args.at(i);
+  return evalProgram(fn.program, inputs).at(kMiniCReturnVariable);
+}
+
+// Compiles and simulates a MiniC function on a machine.
+int64_t execute(const MiniCFunction& fn, const Machine& machine,
+                const std::vector<int64_t>& args) {
+  CodeGenerator generator(machine);
+  const CompiledProgram compiled = generator.compileProgram(fn.program);
+  std::map<std::string, int64_t> inputs;
+  for (size_t i = 0; i < fn.params.size(); ++i)
+    inputs[fn.params[i]] = args.at(i);
+  return simulateProgram(machine, compiled, inputs)
+      .at(kMiniCReturnVariable);
+}
+
+TEST(MiniC, StraightLineFunction) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int poly(int x, int a, int b, int c) {
+      int x2 = x * x;
+      return a * x2 + b * x + c;
+    }
+  )");
+  EXPECT_EQ(fn.name, "poly");
+  ASSERT_EQ(fn.params.size(), 4u);
+  EXPECT_EQ(interpret(fn, {2, 3, 4, 5}), 3 * 4 + 4 * 2 + 5);
+}
+
+TEST(MiniC, IfElseBothReturn) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int absdiff(int a, int b) {
+      if (a > b) { return a - b; } else { return b - a; }
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {9, 4}), 5);
+  EXPECT_EQ(interpret(fn, {4, 9}), 5);
+}
+
+TEST(MiniC, IfWithoutElseFallsThrough) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int clamp0(int a) {
+      if (a < 0) { a = 0; }
+      return a;
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {-7}), 0);
+  EXPECT_EQ(interpret(fn, {7}), 7);
+}
+
+TEST(MiniC, WhileLoopFactorial) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int fact(int n) {
+      int acc = 1;
+      while (n > 1) {
+        acc = acc * n;
+        n = n - 1;
+      }
+      return acc;
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {5}), 120);
+  EXPECT_EQ(interpret(fn, {0}), 1);
+}
+
+TEST(MiniC, NestedControlFlow) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int collatz_steps(int n) {
+      int steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+      }
+      return steps;
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {6}), 8);   // 6 3 10 5 16 8 4 2 1
+  EXPECT_EQ(interpret(fn, {1}), 0);
+}
+
+TEST(MiniC, IntrinsicsAllowed) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int f(int a, int b, int c) {
+      return max(min(a, b), abs(c));
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {5, 3, -9}), 9);
+}
+
+TEST(MiniC, CompiledLoopMatchesInterpreterOnArch1) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int dot3(int a0, int a1, int a2, int b0, int b1, int b2) {
+      int acc = a0 * b0;
+      acc = acc + a1 * b1;
+      acc = acc + a2 * b2;
+      if (acc < 0) { acc = 0 - acc; }
+      return acc;
+    }
+  )");
+  const Machine machine = loadMachine("arch1");
+  Rng rng(64);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int64_t> args;
+    for (int i = 0; i < 6; ++i) args.push_back(rng.intIn(-20, 20));
+    EXPECT_EQ(execute(fn, machine, args), interpret(fn, args));
+  }
+}
+
+TEST(MiniC, CompiledWhileLoopRunsOnSimulator) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int sumsq(int n) {
+      int acc = 0;
+      while (n > 0) {
+        acc = acc + n * n;
+        n = n - 1;
+      }
+      return acc;
+    }
+  )");
+  const Machine machine = loadMachine("arch1");
+  EXPECT_EQ(execute(fn, machine, {4}), 30);
+  EXPECT_EQ(execute(fn, machine, {1}), 1);
+  EXPECT_EQ(execute(fn, machine, {0}), 0);
+}
+
+TEST(MiniC, ErrorOnUndeclaredVariable) {
+  EXPECT_THROW((void)parseMiniC("int f(int a) { return a + zz; }"), Error);
+}
+
+TEST(MiniC, ErrorOnDoubleDeclaration) {
+  EXPECT_THROW(
+      (void)parseMiniC("int f(int a) { int a = 1; return a; }"), Error);
+}
+
+TEST(MiniC, ErrorOnMissingReturn) {
+  EXPECT_THROW((void)parseMiniC("int f(int a) { a = a + 1; }"), Error);
+  // A while loop can fall through, so this also lacks a return.
+  EXPECT_THROW((void)parseMiniC(
+                   "int f(int a) { while (a > 0) { a = a - 1; } }"),
+               Error);
+}
+
+TEST(MiniC, ErrorOnUnreachableCode) {
+  EXPECT_THROW((void)parseMiniC(R"(
+    int f(int a) {
+      return a;
+      a = a + 1;
+    }
+  )"),
+               Error);
+}
+
+TEST(MiniC, ErrorOnUnknownFunctionCall) {
+  EXPECT_THROW((void)parseMiniC("int f(int a) { return foo(a); }"), Error);
+}
+
+TEST(MiniC, BothBranchesReturningIsFine) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int sign(int a) {
+      if (a < 0) { return 0 - 1; } else {
+        if (a > 0) { return 1; } else { return 0; }
+      }
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {-5}), -1);
+  EXPECT_EQ(interpret(fn, {5}), 1);
+  EXPECT_EQ(interpret(fn, {0}), 0);
+}
+
+TEST(MiniC, ForLoopSugar) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int triangle(int n) {
+      int acc = 0;
+      for (int i = 1; i <= n; i = i + 1) {
+        acc = acc + i;
+      }
+      return acc;
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {5}), 15);
+  EXPECT_EQ(interpret(fn, {0}), 0);
+}
+
+TEST(MiniC, ForLoopWithExistingVariable) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int f(int n) {
+      int i = 0;
+      int acc = 0;
+      for (i = n; i > 0; i = i - 2) { acc = acc + i; }
+      return acc;
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {6}), 6 + 4 + 2);
+}
+
+TEST(MiniC, LogicalAndOrNot) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int inrange(int x, int lo, int hi) {
+      if (x >= lo && x <= hi) { return 1; }
+      if (x < lo || x > hi) { return 0 - 1; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(interpret(fn, {5, 0, 10}), 1);
+  EXPECT_EQ(interpret(fn, {-3, 0, 10}), -1);
+  EXPECT_EQ(interpret(fn, {42, 0, 10}), -1);
+
+  const MiniCFunction notFn = parseMiniC(R"(
+    int iszero(int x) {
+      if (!x) { return 1; } else { return 0; }
+    }
+  )");
+  EXPECT_EQ(interpret(notFn, {0}), 1);
+  EXPECT_EQ(interpret(notFn, {7}), 0);
+}
+
+TEST(MiniC, LogicalOperatorsOnNonBooleanValues) {
+  // && / || must normalize operands (5 && 2 == 1, not 5 & 2 == 0).
+  const MiniCFunction fn = parseMiniC(R"(
+    int f(int a, int b) { return a && b; }
+  )");
+  EXPECT_EQ(interpret(fn, {5, 2}), 1);
+  EXPECT_EQ(interpret(fn, {5, 0}), 0);
+  const MiniCFunction orFn = parseMiniC(R"(
+    int f(int a, int b) { return a || b; }
+  )");
+  EXPECT_EQ(interpret(orFn, {4, 0}), 1);
+  EXPECT_EQ(interpret(orFn, {0, 0}), 0);
+}
+
+TEST(MiniC, ForLoopCompilesAndSimulates) {
+  const MiniCFunction fn = parseMiniC(R"(
+    int poly_eval(int x) {
+      int acc = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        acc = acc * x + i;
+      }
+      return acc;
+    }
+  )");
+  const Machine machine = loadMachine("arch2");
+  for (int64_t x : {0, 1, 3}) {
+    EXPECT_EQ(execute(fn, machine, {x}), interpret(fn, {x}));
+  }
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,142 @@
+#include "ir/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace aviv {
+namespace {
+
+TEST(BlockDag, BuildSmallDag) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  const NodeId sum = dag.addOp(Op::kAdd, {a, b});
+  dag.markOutput("y", sum);
+  dag.verify();
+
+  EXPECT_EQ(dag.size(), 3u);
+  EXPECT_EQ(dag.numOpNodes(), 1u);
+  EXPECT_EQ(dag.numLeafNodes(), 2u);
+  ASSERT_EQ(dag.outputs().size(), 1u);
+  EXPECT_EQ(dag.outputs()[0].first, "y");
+  EXPECT_EQ(dag.outputs()[0].second, sum);
+}
+
+TEST(BlockDag, InputsAreUniqueByName) {
+  BlockDag dag("t");
+  EXPECT_EQ(dag.addInput("a"), dag.addInput("a"));
+  EXPECT_NE(dag.addInput("a"), dag.addInput("b"));
+  EXPECT_EQ(dag.findInput("a"), 0u);
+  EXPECT_EQ(dag.findInput("zz"), kNoNode);
+}
+
+TEST(BlockDag, CseDeduplicatesStructurallyEqualNodes) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  const NodeId s1 = dag.addOp(Op::kAdd, {a, b});
+  const NodeId s2 = dag.addOp(Op::kAdd, {a, b});
+  EXPECT_EQ(s1, s2);
+  // Commutative ops dedupe across operand order.
+  EXPECT_EQ(dag.addOp(Op::kAdd, {b, a}), s1);
+  // Non-commutative ops do not.
+  EXPECT_NE(dag.addOp(Op::kSub, {a, b}), dag.addOp(Op::kSub, {b, a}));
+}
+
+TEST(BlockDag, CseDeduplicatesConstants) {
+  BlockDag dag("t");
+  EXPECT_EQ(dag.addConst(7), dag.addConst(7));
+  EXPECT_NE(dag.addConst(7), dag.addConst(8));
+}
+
+TEST(BlockDag, NoCseKeepsDuplicates) {
+  BlockDag dag("t", /*cse=*/false);
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  EXPECT_NE(dag.addOp(Op::kAdd, {a, b}), dag.addOp(Op::kAdd, {a, b}));
+  EXPECT_NE(dag.addConst(7), dag.addConst(7));
+}
+
+TEST(BlockDag, UsersComputation) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  const NodeId sum = dag.addOp(Op::kAdd, {a, b});
+  const NodeId prod = dag.addOp(Op::kMul, {sum, a});
+  dag.markOutput("y", prod);
+
+  const auto users = dag.computeUsers();
+  EXPECT_EQ(users[a], (std::vector<NodeId>{sum, prod}));
+  EXPECT_EQ(users[b], (std::vector<NodeId>{sum}));
+  EXPECT_EQ(users[sum], (std::vector<NodeId>{prod}));
+  EXPECT_TRUE(users[prod].empty());
+}
+
+TEST(BlockDag, SameNodeUsedTwiceListedOnceInUsers) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId sq = dag.addOp(Op::kMul, {a, a});
+  const auto users = dag.computeUsers();
+  EXPECT_EQ(users[a], (std::vector<NodeId>{sq}));
+}
+
+TEST(BlockDag, Levels) {
+  //     a   b
+  //      \ /
+  //      add      c
+  //         \    /
+  //          mul
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  const NodeId add = dag.addOp(Op::kAdd, {a, b});
+  const NodeId c = dag.addInput("c");
+  const NodeId mul = dag.addOp(Op::kMul, {add, c});
+  dag.markOutput("y", mul);
+
+  const auto top = dag.levelsFromTop();
+  EXPECT_EQ(top[mul], 0);
+  EXPECT_EQ(top[add], 1);
+  EXPECT_EQ(top[c], 1);
+  EXPECT_EQ(top[a], 2);
+
+  const auto bottom = dag.levelsFromBottom();
+  EXPECT_EQ(bottom[a], 0);
+  EXPECT_EQ(bottom[c], 0);
+  EXPECT_EQ(bottom[add], 1);
+  EXPECT_EQ(bottom[mul], 2);
+}
+
+TEST(BlockDag, RemarkingOutputReplacesBinding) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  dag.markOutput("y", a);
+  dag.markOutput("y", b);
+  ASSERT_EQ(dag.outputs().size(), 1u);
+  EXPECT_EQ(dag.outputs()[0].second, b);
+}
+
+TEST(BlockDag, DescribeFormatsNodes) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId c = dag.addConst(3);
+  const NodeId s = dag.addOp(Op::kAdd, {a, c});
+  EXPECT_EQ(dag.describe(a), "n0:INPUT(a)");
+  EXPECT_EQ(dag.describe(c), "n1:CONST(3)");
+  EXPECT_EQ(dag.describe(s), "n2:ADD(n0,n1)");
+}
+
+TEST(BlockDag, DotOutputMentionsAllNodes) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId c = dag.addConst(3);
+  dag.markOutput("y", dag.addOp(Op::kAdd, {a, c}));
+  const std::string dot = dag.dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("ADD"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("out_y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aviv

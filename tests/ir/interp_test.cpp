@@ -1,0 +1,82 @@
+#include "ir/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+TEST(Interp, EvaluatesAllNodes) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId c = dag.addConst(10);
+  const NodeId sum = dag.addOp(Op::kAdd, {a, c});
+  const NodeId prod = dag.addOp(Op::kMul, {sum, sum});
+  dag.markOutput("y", prod);
+
+  const auto values = evalDag(dag, {{"a", 2}});
+  EXPECT_EQ(values[a], 2);
+  EXPECT_EQ(values[c], 10);
+  EXPECT_EQ(values[sum], 12);
+  EXPECT_EQ(values[prod], 144);
+}
+
+TEST(Interp, MissingInputThrows) {
+  BlockDag dag("t");
+  dag.markOutput("y", dag.addInput("a"));
+  EXPECT_THROW(evalDag(dag, {}), Error);
+}
+
+TEST(Interp, ExtraInputsIgnored) {
+  BlockDag dag("t");
+  dag.markOutput("y", dag.addInput("a"));
+  EXPECT_EQ(evalDagOutputs(dag, {{"a", 1}, {"zzz", 9}}).at("y"), 1);
+}
+
+TEST(Interp, UnaryAndTernaryOperandRouting) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  const NodeId c = dag.addInput("c");
+  dag.markOutput("neg", dag.addOp(Op::kNeg, {a}));
+  dag.markOutput("mac", dag.addOp(Op::kMac, {a, b, c}));
+  const auto out = evalDagOutputs(dag, {{"a", 3}, {"b", 4}, {"c", 5}});
+  EXPECT_EQ(out.at("neg"), -3);
+  EXPECT_EQ(out.at("mac"), 17);
+}
+
+// Property: interpretation is deterministic and pure.
+TEST(Interp, DeterministicOverRandomInputs) {
+  BlockDag dag("t");
+  const NodeId a = dag.addInput("a");
+  const NodeId b = dag.addInput("b");
+  const NodeId e1 = dag.addOp(Op::kXor, {a, b});
+  const NodeId e2 = dag.addOp(Op::kMul, {e1, a});
+  dag.markOutput("y", dag.addOp(Op::kSub, {e2, b}));
+
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t av = rng.intIn(-1000, 1000);
+    const int64_t bv = rng.intIn(-1000, 1000);
+    const auto r1 = evalDagOutputs(dag, {{"a", av}, {"b", bv}});
+    const auto r2 = evalDagOutputs(dag, {{"a", av}, {"b", bv}});
+    EXPECT_EQ(r1.at("y"), r2.at("y"));
+    EXPECT_EQ(r1.at("y"), ((av ^ bv) * av) - bv);
+  }
+}
+
+TEST(InterpProgram, RunawayLoopHitsStepLimit) {
+  Program program("spin");
+  BlockDag dag("spin_block");
+  dag.markOutput("x", dag.addConst(1));
+  Terminator term;
+  term.kind = TermKind::kJump;
+  term.target = "spin_block";
+  program.addBlock(std::move(dag), term);
+  EXPECT_THROW(evalProgram(program, {}, /*maxSteps=*/10), Error);
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,99 @@
+#include "ir/op.h"
+
+#include <gtest/gtest.h>
+
+namespace aviv {
+namespace {
+
+TEST(Op, NamesRoundTrip) {
+  for (int i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    const auto back = opFromName(opName(op));
+    ASSERT_TRUE(back.has_value()) << opName(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Op, NameLookupIsCaseInsensitive) {
+  EXPECT_EQ(opFromName("add"), Op::kAdd);
+  EXPECT_EQ(opFromName("Add"), Op::kAdd);
+  EXPECT_EQ(opFromName("MAC"), Op::kMac);
+  EXPECT_FALSE(opFromName("bogus").has_value());
+}
+
+TEST(Op, Arity) {
+  EXPECT_EQ(opArity(Op::kConst), 0);
+  EXPECT_EQ(opArity(Op::kInput), 0);
+  EXPECT_EQ(opArity(Op::kNeg), 1);
+  EXPECT_EQ(opArity(Op::kCompl), 1);
+  EXPECT_EQ(opArity(Op::kAbs), 1);
+  EXPECT_EQ(opArity(Op::kAdd), 2);
+  EXPECT_EQ(opArity(Op::kMac), 3);
+  EXPECT_EQ(opArity(Op::kMsu), 3);
+}
+
+TEST(Op, LeafVsMachine) {
+  EXPECT_TRUE(isLeafOp(Op::kConst));
+  EXPECT_TRUE(isLeafOp(Op::kInput));
+  EXPECT_FALSE(isMachineOp(Op::kInput));
+  EXPECT_TRUE(isMachineOp(Op::kAdd));
+  EXPECT_TRUE(isMachineOp(Op::kMac));
+}
+
+TEST(Op, EvalBasicArithmetic) {
+  EXPECT_EQ(evalOp(Op::kAdd, 2, 3), 5);
+  EXPECT_EQ(evalOp(Op::kSub, 2, 3), -1);
+  EXPECT_EQ(evalOp(Op::kMul, -4, 3), -12);
+  EXPECT_EQ(evalOp(Op::kDiv, 7, 2), 3);
+  EXPECT_EQ(evalOp(Op::kMod, 7, 2), 1);
+}
+
+TEST(Op, EvalDivModByZeroAreDefined) {
+  EXPECT_EQ(evalOp(Op::kDiv, 5, 0), 0);
+  EXPECT_EQ(evalOp(Op::kMod, 5, 0), 0);
+  EXPECT_EQ(evalOp(Op::kDiv, INT64_MIN, -1), INT64_MIN);
+  EXPECT_EQ(evalOp(Op::kMod, INT64_MIN, -1), 0);
+}
+
+TEST(Op, EvalWrapsOnOverflow) {
+  EXPECT_EQ(evalOp(Op::kAdd, INT64_MAX, 1), INT64_MIN);
+  EXPECT_EQ(evalOp(Op::kNeg, INT64_MIN), INT64_MIN);
+}
+
+TEST(Op, EvalBitwise) {
+  EXPECT_EQ(evalOp(Op::kAnd, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(evalOp(Op::kOr, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(evalOp(Op::kXor, 0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(evalOp(Op::kCompl, 0), -1);
+  EXPECT_EQ(evalOp(Op::kShl, 1, 4), 16);
+  EXPECT_EQ(evalOp(Op::kShr, -8, 1), -4);  // arithmetic shift
+  EXPECT_EQ(evalOp(Op::kShl, 1, 64), 1);   // masked shift amount
+}
+
+TEST(Op, EvalComparisonsAndMinMax) {
+  EXPECT_EQ(evalOp(Op::kEq, 3, 3), 1);
+  EXPECT_EQ(evalOp(Op::kNe, 3, 3), 0);
+  EXPECT_EQ(evalOp(Op::kLt, 2, 3), 1);
+  EXPECT_EQ(evalOp(Op::kLe, 3, 3), 1);
+  EXPECT_EQ(evalOp(Op::kGt, 3, 3), 0);
+  EXPECT_EQ(evalOp(Op::kGe, 4, 3), 1);
+  EXPECT_EQ(evalOp(Op::kMin, 2, -3), -3);
+  EXPECT_EQ(evalOp(Op::kMax, 2, -3), 2);
+  EXPECT_EQ(evalOp(Op::kAbs, -5), 5);
+}
+
+TEST(Op, EvalComplexOps) {
+  EXPECT_EQ(evalOp(Op::kMac, 3, 4, 5), 17);   // 3*4 + 5
+  EXPECT_EQ(evalOp(Op::kMsu, 3, 4, 20), 8);   // 20 - 3*4
+}
+
+TEST(Op, CommutativityFlags) {
+  EXPECT_TRUE(isCommutative(Op::kAdd));
+  EXPECT_TRUE(isCommutative(Op::kMul));
+  EXPECT_FALSE(isCommutative(Op::kSub));
+  EXPECT_FALSE(isCommutative(Op::kShl));
+  EXPECT_TRUE(isCommutative(Op::kEq));
+}
+
+}  // namespace
+}  // namespace aviv

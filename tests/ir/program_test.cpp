@@ -1,0 +1,64 @@
+#include "ir/program.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace aviv {
+namespace {
+
+BlockDag makeBlock(const std::string& name) {
+  BlockDag dag(name);
+  dag.markOutput("v", dag.addConst(1));
+  return dag;
+}
+
+TEST(Program, AddAndLookupBlocks) {
+  Program program("p");
+  program.addBlock(makeBlock("a"), {TermKind::kJump, "b", "", ""});
+  program.addBlock(makeBlock("b"), {TermKind::kReturn, "", "", ""});
+  EXPECT_EQ(program.numBlocks(), 2u);
+  EXPECT_EQ(program.blockIndex("a"), 0u);
+  EXPECT_EQ(program.blockIndex("b"), 1u);
+  EXPECT_THROW((void)program.blockIndex("zzz"), Error);
+  program.validate();
+}
+
+TEST(Program, DuplicateBlockNameRejected) {
+  Program program("p");
+  program.addBlock(makeBlock("a"), {TermKind::kReturn, "", "", ""});
+  EXPECT_THROW(program.addBlock(makeBlock("a"), {TermKind::kReturn, "", "", ""}),
+               Error);
+}
+
+TEST(Program, ValidateRejectsDanglingJumpTarget) {
+  Program program("p");
+  program.addBlock(makeBlock("a"), {TermKind::kJump, "nowhere", "", ""});
+  EXPECT_THROW(program.validate(), Error);
+}
+
+TEST(Program, ValidateRejectsBranchCondNotAnOutput) {
+  Program program("p");
+  BlockDag dag("a");
+  dag.markOutput("v", dag.addConst(1));
+  program.addBlock(std::move(dag),
+                   {TermKind::kBranch, "a", "a", "not_an_output"});
+  EXPECT_THROW(program.validate(), Error);
+}
+
+TEST(Program, ValidateRejectsEmptyProgram) {
+  Program program("p");
+  EXPECT_THROW(program.validate(), Error);
+}
+
+TEST(Program, ValidBranchPasses) {
+  Program program("p");
+  BlockDag dag("a");
+  dag.markOutput("cond", dag.addConst(1));
+  program.addBlock(std::move(dag), {TermKind::kBranch, "b", "a", "cond"});
+  program.addBlock(makeBlock("b"), {TermKind::kReturn, "", "", ""});
+  program.validate();
+}
+
+}  // namespace
+}  // namespace aviv

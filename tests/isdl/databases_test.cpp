@@ -1,0 +1,215 @@
+#include "isdl/databases.h"
+
+#include <gtest/gtest.h>
+
+#include "isdl/parser.h"
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+TEST(OpDatabase, Arch1Correlation) {
+  const Machine m = loadMachine("arch1");
+  const OpDatabase db(m);
+  // ADD on all three units, MUL on U2/U3, SUB on U1/U2, COMPL only on U1.
+  EXPECT_EQ(db.implsFor(Op::kAdd).size(), 3u);
+  EXPECT_EQ(db.implsFor(Op::kMul).size(), 2u);
+  EXPECT_EQ(db.implsFor(Op::kSub).size(), 2u);
+  EXPECT_EQ(db.implsFor(Op::kCompl).size(), 1u);
+  EXPECT_EQ(db.implsFor(Op::kDiv).size(), 0u);
+  EXPECT_TRUE(db.isImplementable(Op::kAdd));
+  EXPECT_FALSE(db.isImplementable(Op::kDiv));
+}
+
+TEST(OpDatabase, ImplEntriesPointAtRealUnitOps) {
+  const Machine m = loadMachine("arch1");
+  const OpDatabase db(m);
+  for (const OpImpl& impl : db.implsFor(Op::kMul)) {
+    const FunctionalUnit& unit = m.unit(impl.unit);
+    ASSERT_LT(static_cast<size_t>(impl.opIndex), unit.ops.size());
+    EXPECT_EQ(unit.ops[static_cast<size_t>(impl.opIndex)].op, Op::kMul);
+  }
+}
+
+TEST(TransferDatabase, Arch1SingleBusAllPairsOneHop) {
+  const Machine m = loadMachine("arch1");
+  const TransferDatabase db(m);
+  const Loc rf1 = Loc::regFile(*m.findRegFile("RF1"));
+  const Loc rf2 = Loc::regFile(*m.findRegFile("RF2"));
+  const Loc dm = m.dataMemoryLoc();
+  EXPECT_EQ(db.cost(rf1, rf2), 1);
+  EXPECT_EQ(db.cost(rf1, dm), 1);
+  EXPECT_EQ(db.cost(dm, rf1), 1);
+  EXPECT_EQ(db.cost(rf1, rf1), 0);
+  ASSERT_EQ(db.routes(rf1, rf2).size(), 1u);
+  EXPECT_EQ(db.routes(rf1, rf2)[0].hops(), 1);
+  EXPECT_TRUE(db.routes(rf1, rf1).empty());
+}
+
+TEST(TransferDatabase, Arch3MultiHopExpansion) {
+  // RF1 <-> RF3 has no direct path in arch3; must route via RF2 or DM.
+  const Machine m = loadMachine("arch3");
+  const TransferDatabase db(m);
+  const Loc rf1 = Loc::regFile(*m.findRegFile("RF1"));
+  const Loc rf3 = Loc::regFile(*m.findRegFile("RF3"));
+  EXPECT_EQ(db.cost(rf1, rf3), 2);
+  const auto& routes = db.routes(rf1, rf3);
+  ASSERT_GE(routes.size(), 2u);  // via RF2 (two ways) and via DM
+  for (const TransferRoute& route : routes) {
+    EXPECT_EQ(route.hops(), 2);
+    // Route endpoints must match the pair.
+    const TransferPath& first =
+        m.transfers()[static_cast<size_t>(route.pathIds[0])];
+    const TransferPath& last =
+        m.transfers()[static_cast<size_t>(route.pathIds[1])];
+    EXPECT_EQ(first.from, rf1);
+    EXPECT_EQ(last.to, rf3);
+    // Hops must chain.
+    EXPECT_EQ(first.to, last.from);
+  }
+}
+
+TEST(TransferDatabase, Arch3MultipleMinimalRoutesKept) {
+  // RF1 <-> RF2 has two direct paths (bus A and the dedicated link).
+  const Machine m = loadMachine("arch3");
+  const TransferDatabase db(m);
+  const Loc rf1 = Loc::regFile(*m.findRegFile("RF1"));
+  const Loc rf2 = Loc::regFile(*m.findRegFile("RF2"));
+  EXPECT_EQ(db.cost(rf1, rf2), 1);
+  EXPECT_EQ(db.routes(rf1, rf2).size(), 2u);
+}
+
+TEST(TransferDatabase, UnreachableReported) {
+  const Machine m = parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      regfile ISOLATED size 2;
+      memory DM size 8 data;
+      bus X;
+      unit U regfile A { op ADD; }
+      transfer A <-> DM bus X;
+    }
+  )");
+  const TransferDatabase db(m);
+  const Loc iso = Loc::regFile(*m.findRegFile("ISOLATED"));
+  const Loc a = Loc::regFile(*m.findRegFile("A"));
+  EXPECT_FALSE(db.reachable(a, iso));
+  EXPECT_EQ(db.cost(a, iso), TransferDatabase::kUnreachable);
+  EXPECT_TRUE(db.routes(a, iso).empty());
+}
+
+TEST(TransferDatabase, RouteCapRespected) {
+  const Machine m = loadMachine("arch3");
+  const TransferDatabase db(m, /*maxRoutesPerPair=*/1);
+  const Loc rf1 = Loc::regFile(*m.findRegFile("RF1"));
+  const Loc rf2 = Loc::regFile(*m.findRegFile("RF2"));
+  EXPECT_EQ(db.routes(rf1, rf2).size(), 1u);
+}
+
+TEST(ConstraintDatabase, DetectsViolation) {
+  const Machine m = loadMachine("arch4");
+  const ConstraintDatabase db(m);
+  const UnitId u2 = *m.findUnit("U2");
+  const UnitId u3 = *m.findUnit("U3");
+  EXPECT_TRUE(db.allows({{u2, Op::kMul}}));
+  EXPECT_TRUE(db.allows({{u2, Op::kMul}, {u3, Op::kAdd}}));
+  EXPECT_FALSE(db.allows({{u2, Op::kMul}, {u3, Op::kMul}}));
+  const Constraint* violated =
+      db.firstViolated({{u3, Op::kMul}, {u2, Op::kMul}, {u2, Op::kAdd}});
+  ASSERT_NE(violated, nullptr);
+  EXPECT_EQ(violated->note, "shared multiplier array");
+}
+
+TEST(ConstraintDatabase, EmptyConstraintsAllowEverything) {
+  const Machine m = loadMachine("arch1");
+  const ConstraintDatabase db(m);
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_TRUE(db.allows({{0, Op::kAdd}, {1, Op::kMul}, {2, Op::kMul}}));
+}
+
+TEST(MachineDatabases, BundleBuildsAllThree) {
+  const Machine m = loadMachine("arch4");
+  const MachineDatabases dbs(m);
+  EXPECT_TRUE(dbs.ops.isImplementable(Op::kMac));
+  EXPECT_EQ(dbs.constraints.size(), 1u);
+  EXPECT_TRUE(dbs.transfers.reachable(Loc::regFile(0), m.dataMemoryLoc()));
+}
+
+// Property test: on randomly wired machines, every reported route must be
+// (a) connected hop to hop, (b) of exactly the reported minimal length, and
+// (c) reachability must match a reference BFS.
+TEST(TransferDatabase, RandomTopologiesRoutesAreMinimalAndValid) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 15; ++trial) {
+    Machine m("rand" + std::to_string(trial));
+    const int numRf = 2 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < numRf; ++i)
+      m.addRegFile({"R" + std::to_string(i), 4});
+    m.addMemory({"DM", 64, true});
+    m.addBus({"B", 1});
+    FunctionalUnit u;
+    u.name = "U";
+    u.regFile = 0;
+    u.ops.push_back({Op::kAdd, "add", 1});
+    m.addUnit(std::move(u));
+
+    std::vector<Loc> locs;
+    for (int i = 0; i < numRf; ++i)
+      locs.push_back(Loc::regFile(static_cast<RegFileId>(i)));
+    locs.push_back(Loc::memory(0));
+    // Sparse random directed edges.
+    std::vector<std::pair<size_t, size_t>> edges;
+    for (size_t a = 0; a < locs.size(); ++a) {
+      for (size_t b = 0; b < locs.size(); ++b) {
+        if (a == b || !rng.chance(0.4)) continue;
+        m.addTransfer({locs[a], locs[b], 0});
+        edges.emplace_back(a, b);
+      }
+    }
+    if (edges.empty()) continue;
+    m.validate();
+    const TransferDatabase db(m);
+
+    // Reference BFS distances.
+    const size_t n = locs.size();
+    std::vector<std::vector<int>> dist(n, std::vector<int>(n, 1 << 20));
+    for (size_t a = 0; a < n; ++a) dist[a][a] = 0;
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& [a, b] : edges) {
+        for (size_t s = 0; s < n; ++s) {
+          if (dist[s][a] + 1 < dist[s][b]) {
+            dist[s][b] = dist[s][a] + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const int expected = dist[a][b];
+        if (expected >= (1 << 20)) {
+          EXPECT_FALSE(db.reachable(locs[a], locs[b]));
+          continue;
+        }
+        EXPECT_EQ(db.cost(locs[a], locs[b]), expected);
+        for (const TransferRoute& route : db.routes(locs[a], locs[b])) {
+          EXPECT_EQ(route.hops(), expected);
+          Loc cur = locs[a];
+          for (int pathId : route.pathIds) {
+            const TransferPath& p =
+                m.transfers()[static_cast<size_t>(pathId)];
+            EXPECT_EQ(p.from, cur);
+            cur = p.to;
+          }
+          EXPECT_EQ(cur, locs[b]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aviv

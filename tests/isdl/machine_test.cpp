@@ -1,0 +1,93 @@
+#include "isdl/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "isdl/parser.h"
+#include "support/error.h"
+
+namespace aviv {
+namespace {
+
+Machine tinyMachine() {
+  Machine m("tiny");
+  const RegFileId rf = m.addRegFile({"RF", 4});
+  const MemoryId dm = m.addMemory({"DM", 64, true});
+  const BusId bus = m.addBus({"B", 1});
+  FunctionalUnit u;
+  u.name = "U";
+  u.regFile = rf;
+  u.ops.push_back({Op::kAdd, "add", 1});
+  m.addUnit(std::move(u));
+  m.addTransfer({Loc::regFile(rf), Loc::memory(dm), bus});
+  m.addTransfer({Loc::memory(dm), Loc::regFile(rf), bus});
+  return m;
+}
+
+TEST(Machine, LookupsByName) {
+  const Machine m = tinyMachine();
+  EXPECT_TRUE(m.findRegFile("RF").has_value());
+  EXPECT_FALSE(m.findRegFile("XX").has_value());
+  EXPECT_TRUE(m.findMemory("DM").has_value());
+  EXPECT_TRUE(m.findBus("B").has_value());
+  EXPECT_TRUE(m.findUnit("U").has_value());
+}
+
+TEST(Machine, UnitLocAndDataMemory) {
+  const Machine m = tinyMachine();
+  const Loc loc = m.unitLoc(0);
+  EXPECT_TRUE(loc.isRegFile());
+  EXPECT_EQ(m.locName(loc), "RF");
+  EXPECT_EQ(m.dataMemory(), 0);
+  EXPECT_EQ(m.locName(m.dataMemoryLoc()), "DM");
+}
+
+TEST(Machine, WithRegisterCountResizesAllBanks) {
+  const Machine m = loadMachine("arch1").withRegisterCount(2);
+  for (const RegFile& rf : m.regFiles()) EXPECT_EQ(rf.numRegs, 2);
+}
+
+TEST(Machine, FindOpReturnsIndex) {
+  const Machine m = loadMachine("arch1");
+  const FunctionalUnit& u2 = m.unit(*m.findUnit("U2"));
+  const auto idx = u2.findOp(Op::kMul);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(u2.ops[static_cast<size_t>(*idx)].op, Op::kMul);
+}
+
+TEST(Machine, ValidateCatchesDuplicateNames) {
+  Machine m = tinyMachine();
+  m.addRegFile({"RF", 4});  // duplicate
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Machine, ValidateCatchesSelfTransfer) {
+  Machine m = tinyMachine();
+  m.addTransfer({Loc::regFile(0), Loc::regFile(0), 0});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Machine, ValidateCatchesEmptyUnit) {
+  Machine m = tinyMachine();
+  FunctionalUnit u;
+  u.name = "Empty";
+  u.regFile = 0;
+  m.addUnit(std::move(u));
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Machine, LocEqualityAndOrdering) {
+  EXPECT_EQ(Loc::regFile(1), Loc::regFile(1));
+  EXPECT_NE(Loc::regFile(1), Loc::regFile(2));
+  EXPECT_NE(Loc::regFile(1), Loc::memory(1));
+  EXPECT_LT(Loc::regFile(1), Loc::memory(0));  // kind orders first
+}
+
+TEST(Machine, SummaryMentionsUnitsAndOps) {
+  const std::string s = loadMachine("arch1").summary();
+  EXPECT_NE(s.find("U1"), std::string::npos);
+  EXPECT_NE(s.find("MUL"), std::string::npos);
+  EXPECT_NE(s.find("DM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aviv

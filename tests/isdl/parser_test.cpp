@@ -1,0 +1,181 @@
+#include "isdl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace aviv {
+namespace {
+
+constexpr const char* kTiny = R"(
+  machine Tiny {
+    regfile RF size 4;
+    memory DM size 64 data;
+    bus B capacity 1;
+    unit U regfile RF {
+      op ADD "add";
+      op SUB;
+    }
+    transfer RF <-> DM bus B;
+  }
+)";
+
+TEST(IsdlParser, ParsesTinyMachine) {
+  const Machine m = parseMachine(kTiny);
+  EXPECT_EQ(m.name(), "Tiny");
+  ASSERT_EQ(m.regFiles().size(), 1u);
+  EXPECT_EQ(m.regFiles()[0].numRegs, 4);
+  ASSERT_EQ(m.memories().size(), 1u);
+  EXPECT_TRUE(m.memories()[0].isDataMemory);
+  ASSERT_EQ(m.units().size(), 1u);
+  EXPECT_EQ(m.units()[0].ops.size(), 2u);
+  EXPECT_EQ(m.units()[0].ops[0].mnemonic, "add");
+  // Default mnemonic is the lower-cased op name.
+  EXPECT_EQ(m.units()[0].ops[1].mnemonic, "sub");
+  EXPECT_EQ(m.transfers().size(), 2u);  // <-> expands to both directions
+}
+
+TEST(IsdlParser, CompleteTransferGeneratesAllPairs) {
+  const Machine m = parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      regfile B size 2;
+      memory DM size 8 data;
+      bus X capacity 1;
+      unit U regfile A { op ADD; }
+      transfer complete bus X;
+    }
+  )");
+  // 3 storages -> 3*2 directed pairs.
+  EXPECT_EQ(m.transfers().size(), 6u);
+}
+
+TEST(IsdlParser, ParsesConstraints) {
+  const Machine m = parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      regfile B size 2;
+      memory DM size 8 data;
+      bus X;
+      unit U1 regfile A { op MUL; }
+      unit U2 regfile B { op MUL; }
+      transfer complete bus X;
+      constraint "one multiplier" { U1.MUL, U2.MUL }
+    }
+  )");
+  ASSERT_EQ(m.constraints().size(), 1u);
+  EXPECT_EQ(m.constraints()[0].note, "one multiplier");
+  EXPECT_EQ(m.constraints()[0].together.size(), 2u);
+  EXPECT_EQ(m.constraints()[0].together[0].op, Op::kMul);
+}
+
+TEST(IsdlParser, ShippedMachinesParseAndValidate) {
+  for (const std::string name : {"arch1", "arch2", "arch3", "arch4"}) {
+    const Machine m = loadMachine(name);
+    EXPECT_FALSE(m.units().empty()) << name;
+  }
+}
+
+TEST(IsdlParser, Arch1MatchesPaperFigure3) {
+  const Machine m = loadMachine("arch1");
+  ASSERT_EQ(m.units().size(), 3u);
+  const auto u1 = m.findUnit("U1");
+  const auto u2 = m.findUnit("U2");
+  const auto u3 = m.findUnit("U3");
+  ASSERT_TRUE(u1 && u2 && u3);
+  EXPECT_TRUE(m.unit(*u1).findOp(Op::kAdd));
+  EXPECT_TRUE(m.unit(*u1).findOp(Op::kSub));
+  EXPECT_FALSE(m.unit(*u1).findOp(Op::kMul));
+  EXPECT_TRUE(m.unit(*u2).findOp(Op::kAdd));
+  EXPECT_TRUE(m.unit(*u2).findOp(Op::kSub));
+  EXPECT_TRUE(m.unit(*u2).findOp(Op::kMul));
+  EXPECT_TRUE(m.unit(*u3).findOp(Op::kAdd));
+  EXPECT_FALSE(m.unit(*u3).findOp(Op::kSub));
+  EXPECT_TRUE(m.unit(*u3).findOp(Op::kMul));
+  // COMPL only on U1 (Figure 6 example).
+  EXPECT_TRUE(m.unit(*u1).findOp(Op::kCompl));
+  EXPECT_FALSE(m.unit(*u2).findOp(Op::kCompl));
+}
+
+TEST(IsdlParser, Arch2IsArch1MinusSubAndU3) {
+  const Machine m = loadMachine("arch2");
+  ASSERT_EQ(m.units().size(), 2u);
+  const auto u1 = m.findUnit("U1");
+  ASSERT_TRUE(u1);
+  EXPECT_FALSE(m.unit(*u1).findOp(Op::kSub));
+  EXPECT_FALSE(m.findUnit("U3"));
+}
+
+TEST(IsdlParser, ErrorOnUnknownRegfile) {
+  EXPECT_THROW(parseMachine(R"(
+    machine M {
+      memory DM size 8 data;
+      bus X;
+      unit U regfile NOPE { op ADD; }
+    }
+  )"),
+               Error);
+}
+
+TEST(IsdlParser, ErrorOnUnknownOpKind) {
+  EXPECT_THROW(parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      memory DM size 8 data;
+      bus X;
+      unit U regfile A { op FROBNICATE; }
+    }
+  )"),
+               Error);
+}
+
+TEST(IsdlParser, ErrorOnTrailingInput) {
+  EXPECT_THROW(parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      memory DM size 8 data;
+      bus X;
+      unit U regfile A { op ADD; }
+    } extra
+  )"),
+               Error);
+}
+
+TEST(IsdlParser, ErrorsCarrySourceLocation) {
+  try {
+    (void)parseMachine("machine M {\n  bogus_clause;\n}");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.loc().line, 2u) << e.what();
+  }
+}
+
+TEST(IsdlParser, ValidationRejectsMultiCycleOps) {
+  EXPECT_THROW(parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      memory DM size 8 data;
+      bus X;
+      unit U regfile A { op MUL latency 2; }
+    }
+  )"),
+               Error);
+}
+
+TEST(IsdlParser, ValidationRejectsConstraintOnMissingOp) {
+  EXPECT_THROW(parseMachine(R"(
+    machine M {
+      regfile A size 2;
+      memory DM size 8 data;
+      bus X;
+      unit U1 regfile A { op ADD; }
+      unit U2 regfile A { op MUL; }
+      transfer complete bus X;
+      constraint { U1.MUL, U2.MUL }
+    }
+  )"),
+               Error);
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,138 @@
+#include "regalloc/peephole.h"
+
+#include <gtest/gtest.h>
+
+#include "core/codegen.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "regalloc/regalloc.h"
+
+namespace aviv {
+namespace {
+
+struct PeepholeFixture {
+  BlockDag dag;
+  Machine machine;
+  MachineDatabases dbs;
+  CoreResult core;
+
+  PeepholeFixture(const std::string& block, int regsN, CodegenOptions options = {})
+      : dag(loadBlock(block)),
+        machine(loadMachine("arch1").withRegisterCount(regsN)),
+        dbs(machine),
+        core(coverBlock(dag, machine, dbs, options)) {}
+};
+
+TEST(Peephole, NeverIncreasesInstructionCount) {
+  for (const char* block : {"ex1", "ex2", "ex3", "ex4", "ex5"}) {
+    for (int regsN : {2, 4}) {
+      PeepholeFixture s(block, regsN);
+      const int before = s.core.schedule.numInstructions();
+      PeepholeStats stats;
+      peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints,
+                       &stats);
+      EXPECT_LE(s.core.schedule.numInstructions(), before)
+          << block << " r" << regsN;
+      EXPECT_EQ(stats.instructionsSaved,
+                before - s.core.schedule.numInstructions());
+    }
+  }
+}
+
+TEST(Peephole, ResultStillValidAndColorable) {
+  for (const char* block : {"ex4", "ex5"}) {
+    PeepholeFixture s(block, 2);
+    peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints);
+    // verifySchedule runs inside peepholeOptimize; coloring must also work.
+    const RegAssignment regs =
+        allocateRegisters(s.core.graph, s.core.schedule);
+    for (AgId id = 0; id < s.core.graph.size(); ++id) {
+      if (s.core.graph.node(id).definesRegister()) {
+        EXPECT_GE(regs.regOf[id], 0);
+      }
+    }
+  }
+}
+
+TEST(Peephole, NoSpillsMeansNoSpillRemoval) {
+  PeepholeFixture s("ex2", 4);
+  ASSERT_EQ(s.core.stats.cover.spillsInserted, 0);
+  PeepholeStats stats;
+  peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints, &stats);
+  EXPECT_EQ(stats.reloadsRemoved, 0);
+  EXPECT_EQ(stats.spillStoresRemoved, 0);
+}
+
+TEST(Peephole, IdempotentOnSecondRun) {
+  PeepholeFixture s("ex4", 2);
+  peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints);
+  const int afterFirst = s.core.schedule.numInstructions();
+  PeepholeStats second;
+  peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints, &second);
+  EXPECT_EQ(s.core.schedule.numInstructions(), afterFirst);
+  EXPECT_EQ(second.opsHoisted, 0);
+}
+
+TEST(Peephole, CompactionFillsEmptySlots) {
+  // Construct a schedule with an artificial gap: compile, then split one
+  // instruction into two and let compaction re-merge them.
+  PeepholeFixture s("ex1", 4);
+  Schedule& schedule = s.core.schedule;
+  // Find an instruction with >= 2 members and split it.
+  for (size_t c = 0; c < schedule.instrs.size(); ++c) {
+    if (schedule.instrs[c].size() >= 2) {
+      std::vector<AgId> moved{schedule.instrs[c].back()};
+      schedule.instrs[c].pop_back();
+      schedule.instrs.insert(schedule.instrs.begin() +
+                                 static_cast<long>(c) + 1,
+                             std::move(moved));
+      break;
+    }
+  }
+  const int padded = schedule.numInstructions();
+  PeepholeStats stats;
+  peepholeOptimize(s.core.graph, schedule, s.dbs.constraints, &stats);
+  EXPECT_LT(schedule.numInstructions(), padded);
+  EXPECT_GT(stats.opsHoisted, 0);
+}
+
+TEST(Peephole, HeavySpillBlocksShrinkViaCoalescing) {
+  // ex4/ex5 at 2 registers generate per-consumer reloads; the coalescing
+  // and dead-reload phases must keep the result valid and never larger.
+  for (const char* block : {"ex4", "ex5"}) {
+    PeepholeFixture s(block, 2);
+    const int before = s.core.schedule.numInstructions();
+    PeepholeStats stats;
+    peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints,
+                     &stats);
+    EXPECT_LE(s.core.schedule.numInstructions(), before) << block;
+    // verifySchedule ran inside; also re-color to prove feasibility.
+    (void)allocateRegisters(s.core.graph, s.core.schedule);
+  }
+}
+
+TEST(Peephole, OutputStoresNeverDeleted) {
+  // Memory-writing transfers have no successors by design; the dead-
+  // transfer phase must not touch them.
+  CodegenOptions options;
+  options.outputsToMemory = true;
+  PeepholeFixture s("ex1", 4, options);
+  int storesBefore = 0;
+  for (AgId id = 0; id < s.core.graph.size(); ++id) {
+    const AgNode& n = s.core.graph.node(id);
+    if (n.isTransferish() && !n.deleted() && n.defLoc.isMemory())
+      ++storesBefore;
+  }
+  ASSERT_GT(storesBefore, 0);
+  peepholeOptimize(s.core.graph, s.core.schedule, s.dbs.constraints);
+  int storesAfter = 0;
+  for (AgId id = 0; id < s.core.graph.size(); ++id) {
+    const AgNode& n = s.core.graph.node(id);
+    if (n.isTransferish() && !n.deleted() && n.defLoc.isMemory())
+      ++storesAfter;
+  }
+  EXPECT_EQ(storesAfter, storesBefore);
+}
+
+}  // namespace
+}  // namespace aviv

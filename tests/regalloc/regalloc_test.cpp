@@ -1,0 +1,112 @@
+#include "regalloc/regalloc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/codegen.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+
+namespace aviv {
+namespace {
+
+struct Compiled {
+  BlockDag dag;
+  Machine machine;
+  MachineDatabases dbs;
+  CoreResult core;
+  RegAssignment regs;
+
+  Compiled(const std::string& block, const std::string& machineName, int regsN,
+           CodegenOptions options = {})
+      : dag(loadBlock(block)),
+        machine(loadMachine(machineName).withRegisterCount(regsN)),
+        dbs(machine),
+        core(coverBlock(dag, machine, dbs, options)),
+        regs(allocateRegisters(core.graph, core.schedule)) {}
+};
+
+// Re-derives interference from the schedule and checks no two overlapping
+// values share a register (the fundamental coloring property).
+void expectNoClobber(const AssignedGraph& graph, const Schedule& schedule,
+                     const RegAssignment& regs) {
+  const auto cycles = schedule.cycles(graph.size());
+  const auto lastUse = computeLastUse(graph, cycles);
+  DynBitset liveOut(graph.size());
+  for (const auto& [name, def] : graph.outputDefs())
+    if (def != kNoAg) liveOut.set(def);
+  const int end = 2 * schedule.numInstructions() + 2;
+
+  for (AgId a = 0; a < graph.size(); ++a) {
+    if (!graph.node(a).definesRegister()) continue;
+    for (AgId b = a + 1; b < graph.size(); ++b) {
+      if (!graph.node(b).definesRegister()) continue;
+      if (!(graph.node(a).defLoc == graph.node(b).defLoc)) continue;
+      if (regs.regOf[a] != regs.regOf[b]) continue;
+      const int beginA = 2 * cycles[a] + 1;
+      const int endA = liveOut.test(a) ? end : 2 * lastUse[a];
+      const int beginB = 2 * cycles[b] + 1;
+      const int endB = liveOut.test(b) ? end : 2 * lastUse[b];
+      EXPECT_FALSE(std::max(beginA, beginB) < std::min(endA, endB))
+          << graph.describe(a) << " and " << graph.describe(b)
+          << " share a register with overlapping lifetimes";
+    }
+  }
+}
+
+TEST(RegAlloc, AllBlocksAllocateWithinLimits) {
+  for (const char* block : {"ex1", "ex2", "ex3", "ex4", "ex5"}) {
+    for (int regsN : {2, 4}) {
+      const Compiled c(block, "arch1", regsN);
+      for (AgId id = 0; id < c.core.graph.size(); ++id) {
+        const AgNode& n = c.core.graph.node(id);
+        if (!n.definesRegister()) {
+          EXPECT_EQ(c.regs.regOf[id], -1);
+          continue;
+        }
+        EXPECT_GE(c.regs.regOf[id], 0) << c.core.graph.describe(id);
+        EXPECT_LT(c.regs.regOf[id],
+                  c.machine.regFile(n.defLoc.index).numRegs);
+      }
+      expectNoClobber(c.core.graph, c.core.schedule, c.regs);
+    }
+  }
+}
+
+TEST(RegAlloc, RegsUsedRespectsPressure) {
+  const Compiled c("ex2", "arch1", 4);
+  for (size_t bank = 0; bank < c.machine.regFiles().size(); ++bank) {
+    EXPECT_LE(c.regs.regsUsedPerBank[bank],
+              c.machine.regFile(static_cast<RegFileId>(bank)).numRegs);
+  }
+}
+
+TEST(RegAlloc, SameCycleDeathAndDefMayShareRegister) {
+  // With 2 registers, long serial chains must reuse registers; verify reuse
+  // actually happens (used count stays at the bank limit, not above).
+  const Compiled c("ex1", "arch1", 2);
+  for (size_t bank = 0; bank < c.machine.regFiles().size(); ++bank)
+    EXPECT_LE(c.regs.regsUsedPerBank[bank], 2);
+  expectNoClobber(c.core.graph, c.core.schedule, c.regs);
+}
+
+TEST(RegAlloc, ComputeLastUseMatchesSuccessorCycles) {
+  const Compiled c("ex1", "arch1", 4);
+  const auto cycles = c.core.schedule.cycles(c.core.graph.size());
+  const auto lastUse = computeLastUse(c.core.graph, cycles);
+  for (AgId id = 0; id < c.core.graph.size(); ++id) {
+    if (c.core.graph.node(id).deleted()) continue;
+    int expected = -1;
+    for (AgId succ : c.core.graph.node(id).succs)
+      expected = std::max(expected, cycles[succ]);
+    EXPECT_EQ(lastUse[id], expected);
+  }
+}
+
+TEST(RegAlloc, SpilledBlocksStillColor) {
+  const Compiled c("ex4", "arch1", 2);
+  EXPECT_GT(c.core.stats.cover.spillsInserted, 0);
+  expectNoClobber(c.core.graph, c.core.schedule, c.regs);
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,150 @@
+#include "support/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_TRUE(bits.none());
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DynBitset, SetResetTest) {
+  DynBitset bits(130);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 4u);
+  bits.reset(63);
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(DynBitset, ConstructAllSetTrimsTail) {
+  DynBitset bits(70, true);
+  EXPECT_EQ(bits.count(), 70u);
+  bits.resetAll();
+  EXPECT_EQ(bits.count(), 0u);
+  bits.setAll();
+  EXPECT_EQ(bits.count(), 70u);
+}
+
+TEST(DynBitset, ResizeGrowWithValue) {
+  DynBitset bits(10, false);
+  bits.set(3);
+  bits.resize(100, true);
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_FALSE(bits.test(4));
+  for (size_t i = 10; i < 100; ++i) EXPECT_TRUE(bits.test(i)) << i;
+  EXPECT_EQ(bits.count(), 91u);
+}
+
+TEST(DynBitset, SetAlgebra) {
+  DynBitset a(80);
+  DynBitset b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(3);
+
+  DynBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+
+  DynBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(70));
+
+  DynBitset d = a;
+  d.andNot(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+
+  DynBitset x = a;
+  x ^= b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(1));
+  EXPECT_TRUE(x.test(3));
+}
+
+TEST(DynBitset, SubsetAndIntersect) {
+  DynBitset small(200);
+  DynBitset big(200);
+  small.set(5);
+  small.set(150);
+  big.set(5);
+  big.set(150);
+  big.set(199);
+  EXPECT_TRUE(small.isSubsetOf(big));
+  EXPECT_FALSE(big.isSubsetOf(small));
+  EXPECT_TRUE(small.intersects(big));
+  EXPECT_EQ(small.intersectCount(big), 2u);
+
+  DynBitset disjoint(200);
+  disjoint.set(7);
+  EXPECT_FALSE(small.intersects(disjoint));
+}
+
+TEST(DynBitset, FindFirstAndIteration) {
+  DynBitset bits(300);
+  bits.set(65);
+  bits.set(128);
+  bits.set(299);
+  EXPECT_EQ(bits.findFirst(), 65u);
+  EXPECT_EQ(bits.findFirst(66), 128u);
+  EXPECT_EQ(bits.findFirst(129), 299u);
+  EXPECT_EQ(bits.findFirst(300), 300u);
+
+  EXPECT_EQ(bits.toIndices(), (std::vector<size_t>{65, 128, 299}));
+}
+
+TEST(DynBitset, LexLessGivesTotalOrder) {
+  DynBitset a(70);
+  DynBitset b(70);
+  a.set(0);
+  b.set(1);
+  EXPECT_TRUE(a.lexLess(b));
+  EXPECT_FALSE(b.lexLess(a));
+  EXPECT_FALSE(a.lexLess(a));
+}
+
+TEST(DynBitset, RandomizedAgainstReferenceSets) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.below(250);
+    DynBitset bits(n);
+    std::vector<bool> ref(n, false);
+    for (int step = 0; step < 100; ++step) {
+      const size_t i = rng.below(n);
+      if (rng.chance(0.5)) {
+        bits.set(i);
+        ref[i] = true;
+      } else {
+        bits.reset(i);
+        ref[i] = false;
+      }
+    }
+    size_t refCount = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bits.test(i), ref[i]);
+      refCount += ref[i] ? 1 : 0;
+    }
+    EXPECT_EQ(bits.count(), refCount);
+  }
+}
+
+}  // namespace
+}  // namespace aviv

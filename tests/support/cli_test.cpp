@@ -1,0 +1,71 @@
+#include "support/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace aviv {
+namespace {
+
+CliFlags makeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return CliFlags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliFlags, ParsesEqualsForm) {
+  CliFlags flags = makeFlags({"--machine=arch1", "--beam=16"});
+  EXPECT_EQ(flags.getString("machine", ""), "arch1");
+  EXPECT_EQ(flags.getInt("beam", 0), 16);
+  flags.finish();
+}
+
+TEST(CliFlags, ParsesSpaceForm) {
+  CliFlags flags = makeFlags({"--machine", "arch2"});
+  EXPECT_EQ(flags.getString("machine", ""), "arch2");
+  flags.finish();
+}
+
+TEST(CliFlags, BareBooleanFlag) {
+  CliFlags flags = makeFlags({"--verbose"});
+  EXPECT_TRUE(flags.getBool("verbose", false));
+  flags.finish();
+}
+
+TEST(CliFlags, DefaultsWhenAbsent) {
+  CliFlags flags = makeFlags({});
+  EXPECT_EQ(flags.getString("machine", "arch1"), "arch1");
+  EXPECT_EQ(flags.getInt("beam", 8), 8);
+  EXPECT_FALSE(flags.getBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.getDouble("limit", 1.5), 1.5);
+  flags.finish();
+}
+
+TEST(CliFlags, PositionalArguments) {
+  CliFlags flags = makeFlags({"ex1", "--x=1", "ex2"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"ex1", "ex2"}));
+  (void)flags.getInt("x", 0);
+  flags.finish();
+}
+
+TEST(CliFlags, UnknownFlagRejectedAtFinish) {
+  CliFlags flags = makeFlags({"--typo=3"});
+  EXPECT_THROW(flags.finish(), Error);
+}
+
+TEST(CliFlags, MalformedIntThrows) {
+  CliFlags flags = makeFlags({"--beam=abc"});
+  EXPECT_THROW((void)flags.getInt("beam", 0), Error);
+}
+
+TEST(CliFlags, BoolSpellings) {
+  CliFlags flags =
+      makeFlags({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(flags.getBool("a", false));
+  EXPECT_FALSE(flags.getBool("b", true));
+  EXPECT_TRUE(flags.getBool("c", false));
+  EXPECT_FALSE(flags.getBool("d", true));
+  flags.finish();
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,109 @@
+#include "support/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace aviv {
+namespace {
+
+TEST(Lexer, TokenizesIdentifiersNumbersPuncts) {
+  Lexer lex("foo 42 + bar_2;");
+  EXPECT_TRUE(lex.peek().isIdent("foo"));
+  lex.next();
+  Token num = lex.next();
+  EXPECT_TRUE(num.is(Token::Kind::kNumber));
+  EXPECT_EQ(num.number, 42);
+  EXPECT_TRUE(lex.next().isPunct("+"));
+  EXPECT_TRUE(lex.next().isIdent("bar_2"));
+  EXPECT_TRUE(lex.next().isPunct(";"));
+  EXPECT_TRUE(lex.atEnd());
+}
+
+TEST(Lexer, HexNumbers) {
+  Lexer lex("0x1F 0xff");
+  EXPECT_EQ(lex.next().number, 31);
+  EXPECT_EQ(lex.next().number, 255);
+}
+
+TEST(Lexer, MultiCharPunctGreedyMatch) {
+  Lexer lex("a <-> b -> c < d", {"->", "<->", "<<"});
+  lex.next();
+  EXPECT_TRUE(lex.next().isPunct("<->"));
+  lex.next();
+  EXPECT_TRUE(lex.next().isPunct("->"));
+  lex.next();
+  EXPECT_TRUE(lex.next().isPunct("<"));
+}
+
+TEST(Lexer, ShiftVsComparison) {
+  Lexer lex("a << b <= c", {"<<", "<="});
+  lex.next();
+  EXPECT_TRUE(lex.next().isPunct("<<"));
+  lex.next();
+  EXPECT_TRUE(lex.next().isPunct("<="));
+}
+
+TEST(Lexer, SkipsAllCommentForms) {
+  Lexer lex("a # line\nb // other\nc /* block\nspans */ d");
+  EXPECT_TRUE(lex.next().isIdent("a"));
+  EXPECT_TRUE(lex.next().isIdent("b"));
+  EXPECT_TRUE(lex.next().isIdent("c"));
+  EXPECT_TRUE(lex.next().isIdent("d"));
+  EXPECT_TRUE(lex.atEnd());
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  Lexer lex(R"("hello" "with \" quote")");
+  Token a = lex.next();
+  EXPECT_TRUE(a.is(Token::Kind::kString));
+  EXPECT_EQ(a.text, "hello");
+  EXPECT_EQ(lex.next().text, "with \" quote");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  Lexer lex("a\n  b");
+  EXPECT_EQ(lex.next().loc.line, 1u);
+  Token b = lex.next();
+  EXPECT_EQ(b.loc.line, 2u);
+  EXPECT_EQ(b.loc.column, 3u);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  Lexer lex("\"oops");
+  EXPECT_THROW(lex.next(), Error);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  Lexer lex("/* oops");
+  EXPECT_THROW(lex.next(), Error);
+}
+
+TEST(Lexer, PeekAheadDoesNotConsume) {
+  Lexer lex("x y z");
+  EXPECT_TRUE(lex.peek(2).isIdent("z"));
+  EXPECT_TRUE(lex.peek(0).isIdent("x"));
+  EXPECT_TRUE(lex.next().isIdent("x"));
+  EXPECT_TRUE(lex.next().isIdent("y"));
+}
+
+TEST(Lexer, ExpectHelpersThrowWithLocation) {
+  Lexer lex("foo bar");
+  lex.next();
+  try {
+    lex.expectNumber();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1:5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Lexer, DollarIdentifiers) {
+  Lexer lex("y$i a$i0");
+  EXPECT_EQ(lex.next().text, "y$i");
+  EXPECT_EQ(lex.next().text, "a$i0");
+}
+
+}  // namespace
+}  // namespace aviv

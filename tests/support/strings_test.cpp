@@ -1,0 +1,51 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace aviv {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(endsWith("foobar", "bar"));
+  EXPECT_FALSE(endsWith("ar", "bar"));
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(toLower("MiXeD"), "mixed");
+  EXPECT_EQ(toUpper("MiXeD"), "MIXED");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Strings, Plural) {
+  EXPECT_EQ(plural(1, "node"), "1 node");
+  EXPECT_EQ(plural(2, "node"), "2 nodes");
+  EXPECT_EQ(plural(0, "spill"), "0 spills");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(formatFixed(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace aviv

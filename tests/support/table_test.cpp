@@ -1,0 +1,39 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace aviv {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Name", "Count"});
+  table.addRow({"a", "1"});
+  table.addRow({"longer", "22"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("| Name   | Count |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| a      | 1     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos) << out;
+}
+
+TEST(TextTable, SeparatorProducesRule) {
+  TextTable table({"X"});
+  table.addRow({"a"});
+  table.addSeparator();
+  table.addRow({"b"});
+  const std::string out = table.str();
+  // header rule + top + bottom + mid-separator = 4 rules
+  size_t rules = 0;
+  for (size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, WideCellStretchesColumn) {
+  TextTable table({"H"});
+  table.addRow({"wide-cell-value"});
+  EXPECT_NE(table.str().find("| wide-cell-value |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aviv

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerates every paper table/figure and ablation into results/.
+# Usage: tools/run_experiments.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+OUT=results
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/*; do
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" > "$OUT/$name.txt" 2>&1 || echo "   (exit $?)"
+done
+echo "Outputs in $OUT/"
