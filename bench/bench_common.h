@@ -36,11 +36,16 @@ struct TableRow {
 };
 
 // Runs one experiment row: AVIV with heuristics, optionally heuristics-off,
-// and the exact optimal search primed with AVIV's result.
+// and the exact optimal search primed with AVIV's result. `jobs` > 1 covers
+// candidate assignments on a thread pool (bit-identical results). When
+// `telemetryOut` is given, each run's phase-telemetry subtree is merged into
+// it under "<label>" / "<label>-heur-off" (serialize with toJson for
+// --stats-json).
 inline TableRow runTableRow(const std::string& label, const std::string& block,
                             const Machine& machineTemplate, int regs,
                             bool runHeuristicsOff, double hoffTimeLimit,
-                            double optimalTimeLimit) {
+                            double optimalTimeLimit, int jobs = 1,
+                            TelemetryNode* telemetryOut = nullptr) {
   TableRow row;
   row.label = label;
   row.block = block;
@@ -55,14 +60,21 @@ inline TableRow runTableRow(const std::string& label, const std::string& block,
   {
     DriverOptions options;
     options.core = CodegenOptions::heuristicsOn();
+    options.core.jobs = jobs;
     CodeGenerator generator(machine, options);
     WallTimer timer;
     const CompiledBlock compiled = generator.compileBlock(dag);
     row.avivSeconds = timer.seconds();
     row.avivInstr = compiled.numInstructions();
-    row.irNodes = compiled.core.stats.irNodes;
-    row.sndNodes = compiled.core.stats.sndNodes;
-    row.spills = compiled.core.stats.cover.spillsInserted;
+    // Read the per-stage numbers through the session telemetry tree (the
+    // typed view) — same source --stats-json serializes.
+    const TelemetryNode* blockTel =
+        generator.telemetry().findChild("block:" + dag.name());
+    const CoreStats stats = coreStatsView(*blockTel);
+    row.irNodes = stats.irNodes;
+    row.sndNodes = stats.sndNodes;
+    row.spills = stats.cover.spillsInserted;
+    if (telemetryOut != nullptr) telemetryOut->child(label).merge(*blockTel);
   }
 
   // Heuristics off (exhaustive assignment enumeration, no level window).
@@ -70,12 +82,18 @@ inline TableRow runTableRow(const std::string& label, const std::string& block,
     DriverOptions options;
     options.core = CodegenOptions::heuristicsOff();
     options.core.timeLimitSeconds = hoffTimeLimit;
+    options.core.jobs = jobs;
     CodeGenerator generator(machine, options);
     WallTimer timer;
     const CompiledBlock compiled = generator.compileBlock(dag);
     row.hoffSeconds = timer.seconds();
     row.hoffInstr = compiled.numInstructions();
     row.hoffTimedOut = compiled.core.stats.timedOut;
+    if (telemetryOut != nullptr) {
+      const TelemetryNode* blockTel =
+          generator.telemetry().findChild("block:" + dag.name());
+      telemetryOut->child(label + "-heur-off").merge(*blockTel);
+    }
   }
 
   // "By Hand" column: exact optimal search primed with AVIV's result.

@@ -14,6 +14,7 @@
 #include "ir/parser.h"
 #include "ir/random_dag.h"
 #include "isdl/parser.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -104,6 +105,29 @@ void BM_FullCoverHeuristicsOn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullCoverHeuristicsOn)->Arg(8)->Arg(16)->Arg(32);
+
+// Covering the selected candidate assignments is the dominant cost of
+// coverBlock and embarrassingly parallel; Arg = jobs. Results are
+// bit-identical across thread counts (the determinism test asserts it);
+// this measures the wall-clock payoff.
+void BM_CoverSelectedAssignments(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(26);
+  CodegenOptions options = CodegenOptions::heuristicsOn();
+  // Synthetic sinks are all outputs; memory placement keeps them feasible.
+  options.outputsToMemory = true;
+  // Widen the candidate pool so there is enough independent covering work.
+  options.assignPruneIncremental = false;
+  options.assignBeamWidth = 32;
+  options.assignKeepBest = 8;
+  options.jobs = static_cast<int>(state.range(0));
+  ThreadPool pool(options.jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coverBlock(dag, arch1(), arch1Dbs(), options,
+                                        options.jobs > 1 ? &pool : nullptr));
+  }
+  state.SetLabel("jobs=" + std::to_string(options.jobs));
+}
+BENCHMARK(BM_CoverSelectedAssignments)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_PaperBlocks(benchmark::State& state) {
   static const char* names[] = {"ex1", "ex2", "ex3", "ex4", "ex5"};

@@ -9,8 +9,11 @@
 // substitution #3 — the paper states the hand-coded results are optimal).
 //
 // Flags: --skip-hoff  --hoff-time-limit <s>  --optimal-time-limit <s>
+//        --jobs <n> (parallel covering, bit-identical results)
+//        --stats-json <path> (phase-telemetry tree of every row)
 #include "bench_common.h"
 #include "support/cli.h"
+#include "support/io.h"
 
 int main(int argc, char** argv) {
   using namespace aviv;
@@ -20,26 +23,30 @@ int main(int argc, char** argv) {
     const bool skipHoff = flags.getBool("skip-hoff", false);
     const double hoffLimit = flags.getDouble("hoff-time-limit", 120.0);
     const double optimalLimit = flags.getDouble("optimal-time-limit", 120.0);
+    const int jobs = flags.getInt("jobs", 1);
+    const std::string statsJson = flags.getString("stats-json", "");
     flags.finish();
 
     const Machine machine = loadMachine("arch1");
+    TelemetryNode telemetry("table1_arch1");
     std::vector<TableRow> rows;
     const std::vector<std::pair<std::string, std::string>> base = {
         {"Ex1", "ex1"}, {"Ex2", "ex2"}, {"Ex3", "ex3"},
         {"Ex4", "ex4"}, {"Ex5", "ex5"}};
     for (const auto& [label, block] : base) {
       rows.push_back(runTableRow(label, block, machine, 4, !skipHoff,
-                                 hoffLimit, optimalLimit));
+                                 hoffLimit, optimalLimit, jobs, &telemetry));
     }
     // Ex6/Ex7: Ex4/Ex5 with 2 registers per register file.
     rows.push_back(runTableRow("Ex6", "ex4", machine, 2, !skipHoff,
-                               hoffLimit, optimalLimit));
+                               hoffLimit, optimalLimit, jobs, &telemetry));
     rows.push_back(runTableRow("Ex7", "ex5", machine, 2, !skipHoff,
-                               hoffLimit, optimalLimit));
+                               hoffLimit, optimalLimit, jobs, &telemetry));
 
     printTable("Table I — Code Generation Experiments for the Example "
                "Target Architecture (arch1, paper Fig 3)",
                rows, !skipHoff);
+    if (!statsJson.empty()) writeFile(statsJson, telemetry.toJson() + "\n");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "table1_arch1: %s\n", e.what());

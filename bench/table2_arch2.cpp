@@ -3,8 +3,11 @@
 // (Section VI's retargetability demonstration). Ex1-Ex5 with 4 registers
 // per file; no heuristics-off column in the paper's Table II, so it is off
 // by default here too (enable with --hoff).
+// Extra flags: --jobs <n> (parallel covering, bit-identical results) and
+// --stats-json <path> (phase-telemetry tree of every row).
 #include "bench_common.h"
 #include "support/cli.h"
+#include "support/io.h"
 
 int main(int argc, char** argv) {
   using namespace aviv;
@@ -14,20 +17,24 @@ int main(int argc, char** argv) {
     const bool hoff = flags.getBool("hoff", false);
     const double hoffLimit = flags.getDouble("hoff-time-limit", 120.0);
     const double optimalLimit = flags.getDouble("optimal-time-limit", 120.0);
+    const int jobs = flags.getInt("jobs", 1);
+    const std::string statsJson = flags.getString("stats-json", "");
     flags.finish();
 
     const Machine machine = loadMachine("arch2");
+    TelemetryNode telemetry("table2_arch2");
     std::vector<TableRow> rows;
     const std::vector<std::pair<std::string, std::string>> base = {
         {"Ex1", "ex1"}, {"Ex2", "ex2"}, {"Ex3", "ex3"},
         {"Ex4", "ex4"}, {"Ex5", "ex5"}};
     for (const auto& [label, block] : base) {
-      rows.push_back(
-          runTableRow(label, block, machine, 4, hoff, hoffLimit, optimalLimit));
+      rows.push_back(runTableRow(label, block, machine, 4, hoff, hoffLimit,
+                                 optimalLimit, jobs, &telemetry));
     }
     printTable("Table II — Code Generation Experiments for Target "
                "Architecture II (arch2: U1 loses SUB, U3 removed)",
                rows, hoff);
+    if (!statsJson.empty()) writeFile(statsJson, telemetry.toJson() + "\n");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "table2_arch2: %s\n", e.what());

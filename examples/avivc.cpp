@@ -22,6 +22,10 @@
 //   --no-peephole        skip the peephole pass
 //   --const-pool         materialize constants via data memory
 //   --outputs-mem        store block outputs to data memory
+//   --jobs <n>           worker threads for candidate covering and
+//                        per-block program compilation (results are
+//                        bit-identical to --jobs 1)
+//   --stats-json <file>  write the session's phase-telemetry tree as JSON
 #include <cstdio>
 #include <iostream>
 
@@ -68,7 +72,8 @@ int main(int argc, char** argv) {
       throw Error("usage: avivc <file.blk> --machine <name|file.isdl> "
                   "[--regs N] [--o out.avivbin] [--simulate k=v,...] "
                   "[--verify N] [--heuristics on|off] [--no-peephole] "
-                  "[--const-pool] [--outputs-mem] [--bin-stats]");
+                  "[--const-pool] [--outputs-mem] [--bin-stats] "
+                  "[--jobs N] [--stats-json out.json]");
     const std::string sourcePath = flags.positional()[0];
     Machine machine = resolveMachine(flags.getString("machine", "arch1"));
     const int regs = static_cast<int>(flags.getInt("regs", 0));
@@ -86,6 +91,8 @@ int main(int argc, char** argv) {
     options.runPeephole = !flags.getBool("no-peephole", false);
     options.core.constantsInMemory = flags.getBool("const-pool", false);
     options.core.outputsToMemory = flags.getBool("outputs-mem", false);
+    options.core.jobs = static_cast<int>(flags.getInt("jobs", 1));
+    const std::string statsJson = flags.getString("stats-json", "");
     flags.finish();
 
     const Program program = [&] {
@@ -94,10 +101,15 @@ int main(int argc, char** argv) {
       return parseProgram(readFile(sourcePath), sourcePath);
     }();
     CodeGenerator generator(machine, options);
+    auto dumpStats = [&] {
+      if (!statsJson.empty())
+        writeFile(statsJson, generator.telemetry().toJson() + "\n");
+    };
     const bool multiBlock = program.numBlocks() > 1;
 
     if (multiBlock) {
       const CompiledProgram compiled = generator.compileProgram(program);
+      dumpStats();
       std::printf("; program '%s' on %s: %d instructions total "
                   "(%zu blocks + control)\n\n",
                   program.name().c_str(), machine.name().c_str(),
@@ -142,6 +154,7 @@ int main(int argc, char** argv) {
     const BlockDag& block = program.block(0);
     SymbolTable symbols;
     const CompiledBlock compiled = generator.compileBlock(block, symbols);
+    dumpStats();
     if (printAsm)
       std::printf("%s\n", compiled.image.asmText(machine).c_str());
 

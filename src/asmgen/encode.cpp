@@ -19,8 +19,41 @@ int SymbolTable::lookup(const std::string& name) const {
   return it->second;
 }
 
+int SymbolScope::intern(const std::string& name) {
+  if (table_ != nullptr) return table_->intern(name);
+  const auto it = ordinalOf_.find(name);
+  if (it != ordinalOf_.end()) return provisionalAddr(it->second);
+  const int ordinal = static_cast<int>(names_.size());
+  ordinalOf_[name] = ordinal;
+  names_.push_back(name);
+  return provisionalAddr(ordinal);
+}
+
+void resolveSymbols(CodeImage& image, const SymbolScope& scope,
+                    SymbolTable& table) {
+  if (!scope.deferred()) return;
+  std::vector<int> finalAddr;
+  finalAddr.reserve(scope.recorded().size());
+  for (const std::string& name : scope.recorded())
+    finalAddr.push_back(table.intern(name));
+  auto fix = [&](int& addr) {
+    if (SymbolScope::isProvisional(addr))
+      addr = finalAddr[static_cast<size_t>(SymbolScope::ordinalOf(addr))];
+  };
+  for (auto& cell : image.constPool) fix(cell.first);
+  for (EncInstr& instr : image.instrs)
+    for (EncXfer& xfer : instr.xfers) fix(xfer.memAddr);
+  for (OutputBinding& binding : image.outputs) fix(binding.memAddr);
+}
+
 CodeImage encodeBlock(const AssignedGraph& graph, const Schedule& schedule,
                       const RegAssignment& regs, SymbolTable& symbols) {
+  SymbolScope scope(symbols);
+  return encodeBlock(graph, schedule, regs, scope);
+}
+
+CodeImage encodeBlock(const AssignedGraph& graph, const Schedule& schedule,
+                      const RegAssignment& regs, SymbolScope& symbols) {
   const Machine& machine = graph.machine();
   const BlockDag& ir = graph.ir();
 
@@ -136,7 +169,9 @@ CodeImage encodeBlock(const AssignedGraph& graph, const Schedule& schedule,
     image.outputs.push_back(std::move(binding));
   }
 
-  if (symbols.sizeWords() > image.spillBase)
+  // Deferred scopes cannot know the merged table size yet; the driver
+  // re-checks after resolveSymbols.
+  if (!symbols.deferred() && symbols.sizeWords() > image.spillBase)
     throw Error("data memory of machine '" + machine.name() +
                 "' too small: " + std::to_string(symbols.sizeWords()) +
                 " variable words overlap " +

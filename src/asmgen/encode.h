@@ -4,6 +4,10 @@
 // across blocks — spilled values never live across block boundaries).
 #pragma once
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "asmgen/code_image.h"
 #include "core/assigned.h"
 #include "core/cover.h"
@@ -11,8 +15,59 @@
 
 namespace aviv {
 
+// Symbol interning scope for encodeBlock. Direct mode wraps a shared
+// SymbolTable (the classic single-threaded path). Deferred mode hands out
+// provisional negative addresses and records every name in first-use order,
+// so independent blocks can encode concurrently against private scopes and
+// be merged afterwards (resolveSymbols) in block order — reproducing the
+// exact address assignment a serial shared-table run would have made.
+class SymbolScope {
+ public:
+  SymbolScope() = default;  // deferred (recording) mode
+  explicit SymbolScope(SymbolTable& table) : table_(&table) {}
+
+  // Address of `name`: the shared table's address in direct mode, a
+  // provisional address in deferred mode.
+  int intern(const std::string& name);
+
+  [[nodiscard]] bool deferred() const { return table_ == nullptr; }
+  // Direct mode only: words used in the shared table so far.
+  [[nodiscard]] int sizeWords() const { return table_->sizeWords(); }
+  // Deferred mode: every name interned, in first-use order.
+  [[nodiscard]] const std::vector<std::string>& recorded() const {
+    return names_;
+  }
+
+  // Provisional-address encoding. Real data-memory addresses are >= 0 and
+  // -1 means "unset" throughout the image structs, so <= -2 is free.
+  [[nodiscard]] static int provisionalAddr(int ordinal) {
+    return -2 - ordinal;
+  }
+  [[nodiscard]] static bool isProvisional(int addr) { return addr <= -2; }
+  [[nodiscard]] static int ordinalOf(int addr) { return -2 - addr; }
+
+ private:
+  SymbolTable* table_ = nullptr;          // null in deferred mode
+  std::map<std::string, int> ordinalOf_;  // deferred mode: name -> ordinal
+  std::vector<std::string> names_;        // deferred mode: first-use order
+};
+
+// Interns `scope`'s recorded names into `table` (first-use order) and
+// rewrites every provisional data-memory address in `image` — constant-pool
+// cells, transfer addresses, output bindings — to its final merged address.
+// Calling this per block, in block order, yields the identical SymbolTable a
+// serial shared-table encode would have built. No-op for a direct scope.
+void resolveSymbols(CodeImage& image, const SymbolScope& scope,
+                    SymbolTable& table);
+
 // Throws aviv::Error when data memory is too small for the variables plus
-// spill slots.
+// spill slots (in deferred mode that check is postponed to the merge —
+// the final table size is unknown while blocks encode in parallel).
+[[nodiscard]] CodeImage encodeBlock(const AssignedGraph& graph,
+                                    const Schedule& schedule,
+                                    const RegAssignment& regs,
+                                    SymbolScope& symbols);
+// Convenience: direct scope over `symbols`.
 [[nodiscard]] CodeImage encodeBlock(const AssignedGraph& graph,
                                     const Schedule& schedule,
                                     const RegAssignment& regs,

@@ -1,6 +1,8 @@
 #include "core/codegen.h"
 
+#include <atomic>
 #include <optional>
+#include <utility>
 
 #include "support/error.h"
 #include "support/timer.h"
@@ -26,12 +28,38 @@ void requireNoDeadOps(const BlockDag& ir) {
   }
 }
 
+// One fully-covered candidate assignment, with the keys the winner
+// reduction orders by. The serial loop keeps the first candidate achieving
+// the minimal (instructions, spills); the lexicographic minimum over
+// (instructions, spills, index) reproduces that winner under any execution
+// order, so jobs=1 and jobs=N are bit-identical.
+struct Candidate {
+  int instructions = 0;
+  int spills = 0;
+  size_t index = 0;
+  Assignment assignment;
+  AssignedGraph graph;
+  Schedule schedule;
+  CoverStats cover;
+};
+
+bool candidateBetter(const Candidate& a, int instructions, int spills,
+                     size_t index) {
+  if (instructions != a.instructions) return instructions < a.instructions;
+  if (spills != a.spills) return spills < a.spills;
+  return index < a.index;
+}
+
 }  // namespace
 
 CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                       const MachineDatabases& dbs,
-                      const CodegenOptions& options) {
+                      const CodegenOptions& options, ThreadPool* pool,
+                      TelemetryNode* phase) {
   WallTimer timer;
+  TelemetryNode scratch("block:" + ir.name());
+  TelemetryNode& tel = phase != nullptr ? *phase : scratch;
+
   requireNoDeadOps(ir);
   // Register requirements below two per bank cannot even hold a binary
   // operation's operands; reject early with a clear message.
@@ -41,7 +69,10 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                   rf.name + " has fewer than 2 registers");
   }
 
-  const SplitNodeDag snd = SplitNodeDag::build(ir, machine, dbs, options);
+  const SplitNodeDag snd = [&] {
+    PhaseScope ph(tel, "splitnode");
+    return SplitNodeDag::build(ir, machine, dbs, options);
+  }();
 
   CoreStats stats;
   stats.irNodes = ir.size();
@@ -62,19 +93,43 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
       exploreOptions.assignKeepBest = 1 << 30;
     }
   }
-  AssignmentExplorer explorer(snd, exploreOptions);
-  const std::vector<Assignment> assignments = explorer.explore(&stats.explore);
+  const std::vector<Assignment> assignments = [&] {
+    PhaseScope ph(tel, "explore");
+    AssignmentExplorer explorer(snd, exploreOptions);
+    return explorer.explore(&stats.explore);
+  }();
   AVIV_CHECK(!assignments.empty());
 
-  std::optional<CoreResult> best;
+  const bool parallel = pool != nullptr && options.jobs > 1;
+  const int numWorkers = parallel ? pool->parallelism() : 1;
+
+  std::optional<Candidate> best;
   std::string lastFailure;
+  std::atomic<bool> anySuccess{false};
+  std::atomic<bool> timedOut{false};
+
+  // Covers every selected assignment (the parallel stage): each worker
+  // materializes and covers candidates independently, keeping a worker-
+  // local best; the serial reduction afterwards picks the deterministic
+  // global winner and the highest-index failure message (what the serial
+  // loop's "last failure" ends up being).
   auto tryAssignments = [&](const std::vector<Assignment>& candidates) {
-    for (const Assignment& assignment : candidates) {
-      if (options.timeLimitSeconds > 0 && best.has_value() &&
+    PhaseScope ph(tel, "cover");
+    std::vector<std::optional<Candidate>> workerBest(
+        static_cast<size_t>(numWorkers));
+    std::vector<size_t> covered(static_cast<size_t>(numWorkers), 0);
+    std::vector<std::pair<size_t, std::string>> failures(
+        static_cast<size_t>(numWorkers));
+
+    auto coverOne = [&](size_t index, int workerInt) {
+      const auto worker = static_cast<size_t>(workerInt);
+      if (options.timeLimitSeconds > 0 &&
+          anySuccess.load(std::memory_order_relaxed) &&
           timer.seconds() > options.timeLimitSeconds) {
-        stats.timedOut = true;
-        break;
+        timedOut.store(true, std::memory_order_relaxed);
+        return;
       }
+      const Assignment& assignment = candidates[index];
       AssignedGraph graph =
           AssignedGraph::materialize(snd, assignment, options);
       CoveringEngine engine(graph, dbs.transfers, dbs.constraints, options);
@@ -84,23 +139,49 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
         schedule = engine.run(&coverStats);
       } catch (const Error& e) {
         // This assignment cannot satisfy the register limits; try others.
-        lastFailure = e.what();
-        continue;
+        auto& fail = failures[worker];
+        if (fail.second.empty() || index > fail.first)
+          fail = {index, e.what()};
+        return;
       }
-      stats.assignmentsCovered += 1;
+      ++covered[worker];
+      anySuccess.store(true, std::memory_order_relaxed);
+      std::optional<Candidate>& mine = workerBest[worker];
+      const int instructions = schedule.numInstructions();
+      if (!mine.has_value() ||
+          candidateBetter(*mine, instructions, coverStats.spillsInserted,
+                          index)) {
+        mine.emplace(Candidate{instructions, coverStats.spillsInserted, index,
+                               assignment, std::move(graph),
+                               std::move(schedule), coverStats});
+      }
+    };
 
-      const bool better =
-          !best.has_value() ||
-          schedule.numInstructions() < best->schedule.numInstructions() ||
-          (schedule.numInstructions() == best->schedule.numInstructions() &&
-           coverStats.spillsInserted < best->stats.cover.spillsInserted);
-      if (better) {
-        CoreStats winnerStats = stats;
-        winnerStats.cover = coverStats;
-        best.emplace(CoreResult{assignment, std::move(graph),
-                                std::move(schedule), winnerStats});
-      }
+    if (parallel && candidates.size() > 1) {
+      pool->parallelFor(candidates.size(), coverOne);
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) coverOne(i, 0);
     }
+
+    size_t failIndex = 0;
+    std::string failMessage;
+    for (size_t w = 0; w < static_cast<size_t>(numWorkers); ++w) {
+      stats.assignmentsCovered += covered[w];
+      if (!failures[w].second.empty() &&
+          (failMessage.empty() || failures[w].first > failIndex)) {
+        failIndex = failures[w].first;
+        failMessage = std::move(failures[w].second);
+      }
+      std::optional<Candidate>& cand = workerBest[w];
+      if (!cand.has_value()) continue;
+      if (!best.has_value() ||
+          candidateBetter(*best, cand->instructions, cand->spills,
+                          cand->index))
+        best = std::move(cand);
+    }
+    if (!failMessage.empty()) lastFailure = std::move(failMessage);
+    ph.node().addCounter("candidates",
+                         static_cast<int64_t>(candidates.size()));
   };
   tryAssignments(assignments);
 
@@ -118,14 +199,77 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   if (!best.has_value())
     throw Error("block '" + ir.name() + "' on machine '" + machine.name() +
                 "': no feasible schedule found (" + lastFailure + ")");
-  // Refresh the shared counters accumulated after the winner was recorded.
-  best->stats.irNodes = stats.irNodes;
-  best->stats.sndNodes = stats.sndNodes;
-  best->stats.explore = stats.explore;
-  best->stats.assignmentsCovered = stats.assignmentsCovered;
-  best->stats.timedOut = stats.timedOut;
-  best->stats.seconds = timer.seconds();
-  return std::move(*best);
+
+  stats.cover = best->cover;
+  stats.timedOut = timedOut.load(std::memory_order_relaxed);
+  stats.seconds = timer.seconds();
+
+  CoreResult result{std::move(best->assignment), std::move(best->graph),
+                    std::move(best->schedule), stats};
+  tel.child("cover").setCounter("jobs", numWorkers);
+  recordCoreStats(result.stats, tel);
+  tel.addSeconds(stats.seconds);
+  return result;
+}
+
+CoreResult coverBlock(const BlockDag& ir, CodegenContext& ctx,
+                      TelemetryNode* phase) {
+  return coverBlock(ir, ctx, ctx.options(), phase);
+}
+
+CoreResult coverBlock(const BlockDag& ir, CodegenContext& ctx,
+                      const CodegenOptions& options, TelemetryNode* phase) {
+  TelemetryNode& tel = phase != nullptr
+                           ? *phase
+                           : ctx.telemetry().child("block:" + ir.name());
+  return coverBlock(ir, ctx.machine(), ctx.databases(), options, ctx.pool(),
+                    &tel);
+}
+
+void recordCoreStats(const CoreStats& stats, TelemetryNode& phase) {
+  phase.setCounter("irNodes", static_cast<int64_t>(stats.irNodes));
+  phase.setCounter("sndNodes", static_cast<int64_t>(stats.sndNodes));
+  TelemetryNode& explore = phase.child("explore");
+  explore.setCounter("completeAssignments",
+                     static_cast<int64_t>(stats.explore.completeAssignments));
+  explore.setCounter("statesExpanded",
+                     static_cast<int64_t>(stats.explore.statesExpanded));
+  explore.setCounter("capped", stats.explore.capped ? 1 : 0);
+  TelemetryNode& cover = phase.child("cover");
+  cover.setCounter("assignmentsCovered",
+                   static_cast<int64_t>(stats.assignmentsCovered));
+  cover.setCounter("cliquesGenerated",
+                   static_cast<int64_t>(stats.cover.cliquesGenerated));
+  cover.setCounter("cliqueRounds",
+                   static_cast<int64_t>(stats.cover.cliqueRounds));
+  cover.setCounter("spillsInserted", stats.cover.spillsInserted);
+  cover.setCounter("timedOut", stats.timedOut ? 1 : 0);
+}
+
+CoreStats coreStatsView(const TelemetryNode& phase) {
+  CoreStats stats;
+  stats.irNodes = static_cast<size_t>(phase.counter("irNodes"));
+  stats.sndNodes = static_cast<size_t>(phase.counter("sndNodes"));
+  stats.seconds = phase.seconds();
+  if (const TelemetryNode* explore = phase.findChild("explore")) {
+    stats.explore.completeAssignments =
+        static_cast<size_t>(explore->counter("completeAssignments"));
+    stats.explore.statesExpanded =
+        static_cast<size_t>(explore->counter("statesExpanded"));
+    stats.explore.capped = explore->counter("capped") != 0;
+  }
+  if (const TelemetryNode* cover = phase.findChild("cover")) {
+    stats.assignmentsCovered =
+        static_cast<size_t>(cover->counter("assignmentsCovered"));
+    stats.cover.cliquesGenerated =
+        static_cast<size_t>(cover->counter("cliquesGenerated"));
+    stats.cover.cliqueRounds =
+        static_cast<size_t>(cover->counter("cliqueRounds"));
+    stats.cover.spillsInserted =
+        static_cast<int>(cover->counter("spillsInserted"));
+    stats.timedOut = cover->counter("timedOut") != 0;
+  }
+  return stats;
 }
 
 }  // namespace aviv

@@ -15,12 +15,17 @@
 
 #include "core/assign_explore.h"
 #include "core/assigned.h"
+#include "core/context.h"
 #include "core/cover.h"
 #include "core/options.h"
 #include "core/splitnode.h"
+#include "support/telemetry.h"
+#include "support/thread_pool.h"
 
 namespace aviv {
 
+// Typed view over a block's phase-telemetry subtree (the session's single
+// source of stage statistics) — see recordCoreStats / coreStatsView below.
 struct CoreStats {
   size_t irNodes = 0;
   size_t sndNodes = 0;  // Split-Node DAG size (Table I column)
@@ -40,8 +45,37 @@ struct CoreResult {
 
 // Runs steps 1-4 above. Lifetimes: `ir`, `machine` and `dbs` must outlive
 // the returned result (the graph references them).
+//
+// When `pool` is non-null and options.jobs > 1, the selected assignments are
+// covered in parallel; the winner is reduced with a deterministic
+// (instructions, spills, candidate index) tie-break so the result is
+// bit-identical to the serial run. When `phase` is non-null the stage
+// timings and counters are recorded under it (children "splitnode",
+// "explore", "cover" — see recordCoreStats for the counter names).
 [[nodiscard]] CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                                     const MachineDatabases& dbs,
-                                    const CodegenOptions& options);
+                                    const CodegenOptions& options,
+                                    ThreadPool* pool = nullptr,
+                                    TelemetryNode* phase = nullptr);
+
+// Session form: machine, databases, pool, and telemetry all come from `ctx`.
+// Stage telemetry lands under ctx.telemetry().child("block:<name>") unless
+// `phase` overrides the destination (the driver passes pre-created per-block
+// subtrees so parallel block compiles never share a node).
+[[nodiscard]] CoreResult coverBlock(const BlockDag& ir, CodegenContext& ctx,
+                                    TelemetryNode* phase = nullptr);
+[[nodiscard]] CoreResult coverBlock(const BlockDag& ir, CodegenContext& ctx,
+                                    const CodegenOptions& options,
+                                    TelemetryNode* phase = nullptr);
+
+// Typed view plumbing: the telemetry tree is the session's single source of
+// stage statistics; these convert between it and the stage-level structs.
+// Layout under a block's phase node:
+//   counters irNodes, sndNodes
+//   child "explore": completeAssignments, statesExpanded, capped
+//   child "cover": assignmentsCovered, candidates, jobs, cliquesGenerated,
+//                  cliqueRounds, spillsInserted, timedOut
+void recordCoreStats(const CoreStats& stats, TelemetryNode& phase);
+[[nodiscard]] CoreStats coreStatsView(const TelemetryNode& phase);
 
 }  // namespace aviv

@@ -1,0 +1,25 @@
+#include "core/context.h"
+
+namespace aviv {
+
+namespace {
+const Machine& validated(Machine& machine) {
+  machine.validate();
+  return machine;
+}
+}  // namespace
+
+CodegenContext::CodegenContext(Machine machine, CodegenOptions options,
+                               uint64_t seed)
+    : machine_(std::move(machine)),
+      dbs_(validated(machine_)),
+      options_(options),
+      seed_(seed),
+      telemetry_("codegen") {
+  telemetry_.setCounter("seed", static_cast<int64_t>(seed_));
+  telemetry_.setCounter("jobs", jobs());
+  if (options_.jobs > 1)
+    pool_ = std::make_unique<ThreadPool>(options_.jobs);
+}
+
+}  // namespace aviv

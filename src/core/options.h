@@ -71,6 +71,15 @@ struct CodegenOptions {
   // operands.
   bool constantsInMemory = false;
 
+  // --- pipeline-session parallelism ---
+  // Total worker threads for the embarrassingly-parallel stages: covering
+  // the selected candidate assignments inside coverBlock, and compiling
+  // independent blocks inside compileProgram. Results are bit-identical to
+  // jobs = 1: the candidate winner is reduced with a deterministic
+  // (instructions, spills, candidate index) tie-break and per-block symbol
+  // scopes are merged in block order. 1 = fully serial.
+  int jobs = 1;
+
   // --- output placement ---
   // Store block outputs back to data memory (required for multi-block
   // programs whose successor blocks reload them); when false outputs stay

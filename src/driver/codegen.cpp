@@ -1,5 +1,7 @@
 #include "driver/codegen.h"
 
+#include <optional>
+
 #include "sim/simulator.h"
 #include "support/error.h"
 
@@ -14,46 +16,63 @@ int CompiledProgram::totalInstructions() const {
 }
 
 CodeGenerator::CodeGenerator(Machine machine, DriverOptions options)
-    : machine_(std::move(machine)), dbs_(machine_), options_(std::move(options)) {
-  machine_.validate();
-}
+    : options_(std::move(options)),
+      ctx_(std::move(machine), options_.core, options_.seed) {}
 
 CompiledBlock CodeGenerator::compileBlockWith(
-    const BlockDag& ir, SymbolTable& symbols,
-    const CodegenOptions& coreOptions) {
+    const BlockDag& ir, SymbolScope& symbols,
+    const CodegenOptions& coreOptions, TelemetryNode& tel) {
   CoreResult core = [&] {
     try {
-      return coverBlock(ir, machine_, dbs_, coreOptions);
+      return coverBlock(ir, ctx_.machine(), ctx_.databases(), coreOptions,
+                        ctx_.pool(), &tel);
     } catch (const Error&) {
       if (coreOptions.outputsToMemory || !options_.outputsToMemoryFallback)
         throw;
       CodegenOptions retry = coreOptions;
       retry.outputsToMemory = true;
-      return coverBlock(ir, machine_, dbs_, retry);
+      tel.addCounter("outputsToMemoryRetries", 1);
+      return coverBlock(ir, ctx_.machine(), ctx_.databases(), retry,
+                        ctx_.pool(), &tel);
     }
   }();
   CompiledBlock block{std::move(core),
                       RegAssignment{},
                       PeepholeStats{},
                       CodeImage{}};
-  block.regs = allocateRegisters(block.core.graph, block.core.schedule);
   if (options_.runPeephole) {
-    peepholeOptimize(block.core.graph, block.core.schedule, dbs_.constraints,
-                     &block.peephole);
-    block.regs = allocateRegisters(block.core.graph, block.core.schedule);
+    // Peephole reads only the graph and schedule, never a register
+    // assignment, so the allocation that used to run before it was pure
+    // throwaway work — run the single authoritative allocation after.
+    PhaseScope ph(tel, "peephole");
+    peepholeOptimize(block.core.graph, block.core.schedule,
+                     ctx_.databases().constraints, &block.peephole);
+    recordPeepholeStats(block.peephole, ph.node());
+    tel.child("regalloc").addCounter("passesSaved", 1);
   }
-  block.image =
-      encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
+  {
+    PhaseScope ph(tel, "regalloc");
+    block.regs = allocateRegisters(block.core.graph, block.core.schedule);
+    recordRegAllocStats(block.regs, ph.node());
+  }
+  {
+    PhaseScope ph(tel, "encode");
+    block.image =
+        encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
+    ph.node().setCounter("instructions", block.image.numInstructions());
+  }
   return block;
 }
 
 CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir) {
-  return compileBlockWith(ir, ownSymbols_, options_.core);
+  return compileBlock(ir, ownSymbols_);
 }
 
 CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir,
                                           SymbolTable& symbols) {
-  return compileBlockWith(ir, symbols, options_.core);
+  SymbolScope scope(symbols);
+  return compileBlockWith(ir, scope, options_.core,
+                          ctx_.telemetry().child("block:" + ir.name()));
 }
 
 CompiledProgram CodeGenerator::compileProgram(const Program& program) {
@@ -62,12 +81,50 @@ CompiledProgram CodeGenerator::compileProgram(const Program& program) {
   CodegenOptions coreOptions = options_.core;
   coreOptions.outputsToMemory = true;
 
-  for (size_t i = 0; i < program.numBlocks(); ++i) {
-    compiled.blocks.push_back(
-        compileBlockWith(program.block(i), compiled.symbols, coreOptions));
+  const size_t numBlocks = program.numBlocks();
+  // Pre-create one telemetry subtree per block: TelemetryNode is not
+  // thread-safe, but disjoint subtrees created before the fan-out are.
+  TelemetryNode& programTel =
+      ctx_.telemetry().child("program:" + program.name());
+  std::vector<TelemetryNode*> blockTel;
+  blockTel.reserve(numBlocks);
+  for (size_t i = 0; i < numBlocks; ++i)
+    blockTel.push_back(&programTel.child("block:" + program.block(i).name()));
+
+  // Compile independent blocks in parallel, each encoding against a private
+  // deferred symbol scope; the scopes are then merged in block order, which
+  // reproduces the exact address assignment of the serial shared-table run.
+  std::vector<SymbolScope> scopes(numBlocks);
+  std::vector<std::optional<CompiledBlock>> slots(numBlocks);
+  auto compileOne = [&](size_t i, int) {
+    slots[i].emplace(compileBlockWith(program.block(i), scopes[i], coreOptions,
+                                      *blockTel[i]));
+  };
+  ThreadPool* pool = ctx_.pool();
+  if (pool != nullptr && coreOptions.jobs > 1 && numBlocks > 1) {
+    PhaseScope ph(programTel, "parallel-blocks");
+    ph.node().setCounter("blocks", static_cast<int64_t>(numBlocks));
+    ph.node().setCounter("jobs", pool->parallelism());
+    pool->parallelFor(numBlocks, compileOne);
+  } else {
+    for (size_t i = 0; i < numBlocks; ++i) compileOne(i, 0);
+  }
+
+  for (size_t i = 0; i < numBlocks; ++i) {
+    CompiledBlock& block = *slots[i];
+    resolveSymbols(block.image, scopes[i], compiled.symbols);
+    // The data-memory overflow check encodeBlock defers for private scopes:
+    // merged variables must stay below this block's spill slots.
+    if (compiled.symbols.sizeWords() > block.image.spillBase)
+      throw Error("data memory of machine '" + ctx_.machine().name() +
+                  "' too small: " +
+                  std::to_string(compiled.symbols.sizeWords()) +
+                  " variable words overlap " +
+                  std::to_string(block.image.numSpillSlots) + " spill slots");
+    compiled.blocks.push_back(std::move(block));
   }
   // Cover the control-flow terminators (one trivial pattern each).
-  for (size_t i = 0; i < program.numBlocks(); ++i) {
+  for (size_t i = 0; i < numBlocks; ++i) {
     const Terminator& term = program.terminator(i);
     ControlInstr ci;
     ci.kind = term.kind;

@@ -14,6 +14,7 @@
 
 #include "asmgen/encode.h"
 #include "core/codegen.h"
+#include "core/context.h"
 #include "ir/program.h"
 #include "regalloc/peephole.h"
 #include "regalloc/regalloc.h"
@@ -27,6 +28,9 @@ struct DriverOptions {
   // register limits (e.g. two outputs pinned to one tiny bank), retry with
   // outputs stored back to data memory instead of failing.
   bool outputsToMemoryFallback = true;
+  // Seed recorded in the pipeline session (CodegenContext) so randomized
+  // tooling layered on top of a session stays reproducible.
+  uint64_t seed = CodegenContext::kDefaultSeed;
 };
 
 struct CompiledBlock {
@@ -61,9 +65,13 @@ struct CompiledProgram {
 
 class CodeGenerator {
  public:
-  // The generator owns a copy of the machine, so temporaries (e.g.
-  // loadMachine(...)) are safe to pass. Compiled results reference the
-  // generator's machine: the generator must outlive them.
+  // The generator owns the pipeline session (CodegenContext): a copy of the
+  // machine, the derived databases, the phase-telemetry tree and the thread
+  // pool, so temporaries (e.g. loadMachine(...)) are safe to pass. Compiled
+  // results reference the session's machine: the generator must outlive
+  // them. With options.core.jobs > 1, coverBlock covers its candidate
+  // assignments in parallel and compileProgram compiles independent blocks
+  // in parallel; both are bit-identical to the serial run.
   explicit CodeGenerator(Machine machine, DriverOptions options = {});
 
   // Compiles one standalone block. The returned structure references
@@ -76,17 +84,26 @@ class CodeGenerator {
   // dataflow works. `program` must outlive the result.
   [[nodiscard]] CompiledProgram compileProgram(const Program& program);
 
-  [[nodiscard]] const Machine& machine() const { return machine_; }
-  [[nodiscard]] const MachineDatabases& databases() const { return dbs_; }
+  [[nodiscard]] const Machine& machine() const { return ctx_.machine(); }
+  [[nodiscard]] const MachineDatabases& databases() const {
+    return ctx_.databases();
+  }
   [[nodiscard]] const DriverOptions& options() const { return options_; }
 
- private:
-  CompiledBlock compileBlockWith(const BlockDag& ir, SymbolTable& symbols,
-                                 const CodegenOptions& coreOptions);
+  // The pipeline session and its phase-telemetry tree (one subtree per
+  // compiled block / program; serialize with telemetry().toJson()).
+  [[nodiscard]] CodegenContext& context() { return ctx_; }
+  [[nodiscard]] const TelemetryNode& telemetry() const {
+    return ctx_.telemetry();
+  }
 
-  Machine machine_;
-  MachineDatabases dbs_;
+ private:
+  CompiledBlock compileBlockWith(const BlockDag& ir, SymbolScope& symbols,
+                                 const CodegenOptions& coreOptions,
+                                 TelemetryNode& tel);
+
   DriverOptions options_;
+  CodegenContext ctx_;
   SymbolTable ownSymbols_;
 };
 

@@ -244,4 +244,22 @@ void peepholeOptimize(AssignedGraph& graph, Schedule& schedule,
   verifySchedule(graph, schedule, constraints);
 }
 
+void recordPeepholeStats(const PeepholeStats& stats, TelemetryNode& phase) {
+  phase.setCounter("reloadsRemoved", stats.reloadsRemoved);
+  phase.setCounter("spillStoresRemoved", stats.spillStoresRemoved);
+  phase.setCounter("opsHoisted", stats.opsHoisted);
+  phase.setCounter("instructionsSaved", stats.instructionsSaved);
+}
+
+PeepholeStats peepholeStatsView(const TelemetryNode& phase) {
+  PeepholeStats stats;
+  stats.reloadsRemoved = static_cast<int>(phase.counter("reloadsRemoved"));
+  stats.spillStoresRemoved =
+      static_cast<int>(phase.counter("spillStoresRemoved"));
+  stats.opsHoisted = static_cast<int>(phase.counter("opsHoisted"));
+  stats.instructionsSaved =
+      static_cast<int>(phase.counter("instructionsSaved"));
+  return stats;
+}
+
 }  // namespace aviv

@@ -16,9 +16,12 @@
 #include "core/assigned.h"
 #include "core/cover.h"
 #include "isdl/databases.h"
+#include "support/telemetry.h"
 
 namespace aviv {
 
+// Typed view over the "peephole" phase-telemetry node — see
+// recordPeepholeStats / peepholeStatsView.
 struct PeepholeStats {
   int reloadsRemoved = 0;
   int spillStoresRemoved = 0;
@@ -29,5 +32,9 @@ struct PeepholeStats {
 void peepholeOptimize(AssignedGraph& graph, Schedule& schedule,
                       const ConstraintDatabase& constraints,
                       PeepholeStats* stats = nullptr);
+
+// Telemetry plumbing for the pipeline session's phase tree.
+void recordPeepholeStats(const PeepholeStats& stats, TelemetryNode& phase);
+[[nodiscard]] PeepholeStats peepholeStatsView(const TelemetryNode& phase);
 
 }  // namespace aviv

@@ -127,4 +127,18 @@ RegAssignment allocateRegisters(const AssignedGraph& graph,
   return out;
 }
 
+void recordRegAllocStats(const RegAssignment& regs, TelemetryNode& phase) {
+  int64_t colored = 0;
+  for (const int reg : regs.regOf) colored += reg >= 0;
+  int banksUsed = 0;
+  int maxRegsUsed = 0;
+  for (const int used : regs.regsUsedPerBank) {
+    banksUsed += used > 0;
+    maxRegsUsed = std::max(maxRegsUsed, used);
+  }
+  phase.setCounter("valuesColored", colored);
+  phase.setCounter("banksUsed", banksUsed);
+  phase.setCounter("maxRegsUsed", maxRegsUsed);
+}
+
 }  // namespace aviv

@@ -14,6 +14,7 @@
 
 #include "core/assigned.h"
 #include "core/cover.h"
+#include "support/telemetry.h"
 
 namespace aviv {
 
@@ -34,5 +35,9 @@ struct RegAssignment {
 // the bank has — that would be a covering-engine bug, not an input error.
 [[nodiscard]] RegAssignment allocateRegisters(const AssignedGraph& graph,
                                               const Schedule& schedule);
+
+// Records the allocation outcome (values colored, banks used, widest bank)
+// into the session's "regalloc" phase-telemetry node.
+void recordRegAllocStats(const RegAssignment& regs, TelemetryNode& phase);
 
 }  // namespace aviv

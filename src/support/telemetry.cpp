@@ -1,0 +1,242 @@
+#include "support/telemetry.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace aviv {
+
+TelemetryNode& TelemetryNode::child(const std::string& name) {
+  for (const auto& c : children_)
+    if (c->name() == name) return *c;
+  children_.push_back(std::make_unique<TelemetryNode>(name));
+  return *children_.back();
+}
+
+const TelemetryNode* TelemetryNode::findChild(const std::string& name) const {
+  for (const auto& c : children_)
+    if (c->name() == name) return c.get();
+  return nullptr;
+}
+
+void TelemetryNode::addCounter(const std::string& key, int64_t delta) {
+  counters_[key] += delta;
+}
+
+void TelemetryNode::setCounter(const std::string& key, int64_t value) {
+  counters_[key] = value;
+}
+
+int64_t TelemetryNode::counter(const std::string& key) const {
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool TelemetryNode::hasCounter(const std::string& key) const {
+  return counters_.count(key) > 0;
+}
+
+void TelemetryNode::merge(const TelemetryNode& other) {
+  seconds_ += other.seconds_;
+  for (const auto& [key, value] : other.counters_) counters_[key] += value;
+  for (const auto& c : other.children_) child(c->name()).merge(*c);
+}
+
+bool TelemetryNode::sameShapeAs(const TelemetryNode& other) const {
+  if (name_ != other.name_ || counters_ != other.counters_ ||
+      children_.size() != other.children_.size())
+    return false;
+  for (size_t i = 0; i < children_.size(); ++i)
+    if (!children_[i]->sameShapeAs(*other.children_[i])) return false;
+  return true;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+// %.17g round-trips every double exactly.
+void appendDouble(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+void writeNode(std::string& out, const TelemetryNode& node, int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const std::string pad2(static_cast<size_t>(indent) + 2, ' ');
+  out += "{\n" + pad2 + "\"name\": ";
+  appendEscaped(out, node.name());
+  out += ",\n" + pad2 + "\"seconds\": ";
+  appendDouble(out, node.seconds());
+  out += ",\n" + pad2 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : node.counters()) {
+    if (!first) out += ", ";
+    first = false;
+    appendEscaped(out, key);
+    out += ": " + std::to_string(value);
+  }
+  out += "},\n" + pad2 + "\"children\": [";
+  first = true;
+  for (const auto& c : node.children()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad2 + "  ";
+    writeNode(out, *c, indent + 4);
+  }
+  if (!node.children().empty()) out += "\n" + pad2;
+  out += "]\n" + pad + "}";
+}
+
+// Minimal recursive-descent parser for exactly the schema toJson emits
+// (whitespace-tolerant, keys in any order).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  TelemetryNode parseNode() {
+    expect('{');
+    // Fields may arrive in any order; collect into a nameless node first.
+    TelemetryNode fields("");
+    std::string name;
+    bool sawName = false;
+    if (!consumeIf('}')) {
+      do {
+        const std::string key = parseString();
+        expect(':');
+        if (key == "name") {
+          name = parseString();
+          sawName = true;
+        } else if (key == "seconds") {
+          fields.addSeconds(parseNumber());
+        } else if (key == "counters") {
+          parseCounters(fields);
+        } else if (key == "children") {
+          parseChildren(fields);
+        } else {
+          fail("unknown key '" + key + "'");
+        }
+      } while (consumeIf(','));
+      expect('}');
+    }
+    if (!sawName) fail("telemetry node without \"name\"");
+    TelemetryNode node(name);
+    node.merge(fields);
+    return node;
+  }
+
+  void finish() {
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after telemetry JSON");
+  }
+
+ private:
+  void parseCounters(TelemetryNode& node) {
+    expect('{');
+    if (consumeIf('}')) return;
+    do {
+      const std::string key = parseString();
+      expect(':');
+      node.setCounter(key, static_cast<int64_t>(parseNumber()));
+    } while (consumeIf(','));
+    expect('}');
+  }
+
+  void parseChildren(TelemetryNode& node) {
+    expect('[');
+    if (consumeIf(']')) return;
+    do {
+      TelemetryNode c = parseNode();
+      node.child(c.name()).merge(c);
+    } while (consumeIf(','));
+    expect(']');
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        c = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parseNumber() {
+    skipWs();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<size_t>(end - begin);
+    return value;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consumeIf(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consumeIf(c))
+      fail(std::string("expected '") + c + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("telemetry JSON at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string TelemetryNode::toJson(int indent) const {
+  std::string out;
+  writeNode(out, *this, indent);
+  out += "\n";
+  return out;
+}
+
+TelemetryNode TelemetryNode::fromJson(const std::string& json) {
+  JsonReader reader(json);
+  TelemetryNode node = reader.parseNode();
+  reader.finish();
+  return node;
+}
+
+}  // namespace aviv

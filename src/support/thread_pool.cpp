@@ -1,0 +1,130 @@
+#include "support/thread_pool.h"
+
+namespace aviv {
+
+namespace {
+// Set while a thread is executing parallelFor work; nested calls detect it
+// and degrade to an inline serial loop.
+thread_local bool tlInParallelRegion = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int extra = threads > 1 ? threads - 1 : 0;
+  queues_.reserve(static_cast<size_t>(extra) + 1);
+  for (int i = 0; i <= extra; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(static_cast<size_t>(extra));
+  for (int i = 1; i <= extra; ++i)
+    workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wakeCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::popOwn(int self, size_t* index) {
+  Queue& q = *queues_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.items.empty()) return false;
+  *index = q.items.front();
+  q.items.pop_front();
+  return true;
+}
+
+bool ThreadPool::steal(int self, size_t* index) {
+  const size_t count = queues_.size();
+  for (size_t off = 1; off < count; ++off) {
+    Queue& q = *queues_[(static_cast<size_t>(self) + off) % count];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.items.empty()) continue;
+    *index = q.items.back();
+    q.items.pop_back();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::runOne(int self) {
+  size_t index = 0;
+  if (!popOwn(self, &index) && !steal(self, &index)) return false;
+  try {
+    (*fn_)(index, self);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(errMu_);
+    if (firstError_ == nullptr || index < firstErrorIndex_) {
+      firstError_ = std::current_exception();
+      firstErrorIndex_ = index;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--pending_ == 0) doneCv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerMain(int self) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wakeCv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    tlInParallelRegion = true;
+    while (runOne(self)) {
+    }
+    tlInParallelRegion = false;
+  }
+}
+
+void ThreadPool::parallelFor(size_t n, const IndexFn& fn) {
+  if (n == 0) return;
+  if (tlInParallelRegion || workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::lock_guard<std::mutex> job(jobMu_);
+  fn_ = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_ = n;
+  }
+  // One contiguous chunk per participant. Items become visible to workers
+  // only under the queue mutexes, after fn_ and pending_ are written.
+  const size_t parts = queues_.size();
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t begin = n * p / parts;
+    const size_t end = n * (p + 1) / parts;
+    Queue& q = *queues_[p];
+    std::lock_guard<std::mutex> lk(q.mu);
+    for (size_t i = begin; i < end; ++i) q.items.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++epoch_;
+  }
+  wakeCv_.notify_all();
+  tlInParallelRegion = true;
+  while (runOne(0)) {
+  }
+  tlInParallelRegion = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [&] { return pending_ == 0; });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(errMu_);
+    err = firstError_;
+    firstError_ = nullptr;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+}  // namespace aviv

@@ -1,0 +1,80 @@
+// ThreadPool — a small work-stealing pool for the back end's embarrassingly-
+// parallel index spaces (candidate-assignment covering, per-block program
+// compilation). parallelFor(n, fn) splits [0, n) into one contiguous chunk
+// per participant; each participant pops its own chunk front-first and
+// steals from the back of other queues when it runs dry. The calling thread
+// participates as worker 0, so a pool of size J uses J OS threads total.
+//
+// Guarantees:
+//   * parallelFor blocks until every index has run.
+//   * Exceptions thrown by `fn` are captured; after completion the one with
+//     the LOWEST index is rethrown — matching what a serial loop that stops
+//     at the first failure would surface.
+//   * Nested parallelFor calls (from inside a task) run inline serially, so
+//     pipeline stages can parallelize independently without deadlock.
+//   * Execution order is unspecified; determinism is the reducer's job
+//     (callers combine per-worker results with index tie-breaks).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aviv {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the caller; <= 1 means no
+  // worker threads are spawned and parallelFor runs inline.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int parallelism() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  // fn(index, worker): worker in [0, parallelism()) identifies the executing
+  // participant — use it to index per-worker accumulators without locking.
+  using IndexFn = std::function<void(size_t index, int worker)>;
+  void parallelFor(size_t n, const IndexFn& fn);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<size_t> items;
+  };
+
+  void workerMain(int self);
+  bool runOne(int self);
+  bool popOwn(int self, size_t* index);
+  bool steal(int self, size_t* index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // [0] = caller's queue
+  std::vector<std::thread> workers_;
+
+  std::mutex jobMu_;  // serializes top-level parallelFor calls
+
+  std::mutex mu_;  // guards epoch_, pending_, stop_
+  std::condition_variable wakeCv_;
+  std::condition_variable doneCv_;
+  uint64_t epoch_ = 0;
+  size_t pending_ = 0;
+  bool stop_ = false;
+
+  const IndexFn* fn_ = nullptr;  // valid while a parallelFor is in flight
+
+  std::mutex errMu_;
+  std::exception_ptr firstError_;
+  size_t firstErrorIndex_ = 0;
+};
+
+}  // namespace aviv

@@ -1,0 +1,122 @@
+// Phase-telemetry tree: counters, child ordering, merge semantics, and the
+// JSON round-trip that --stats-json relies on.
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/telemetry.h"
+
+namespace aviv {
+namespace {
+
+TelemetryNode sampleTree() {
+  TelemetryNode root("codegen");
+  root.setCounter("jobs", 4);
+  root.addSeconds(0.125);
+  TelemetryNode& block = root.child("block:fig2");
+  block.child("splitnode").setCounter("sndNodes", 42);
+  TelemetryNode& cover = block.child("cover");
+  cover.setCounter("cliquesGenerated", 1234);
+  cover.setCounter("spillsInserted", 2);
+  cover.addSeconds(3.5e-3);
+  block.child("regalloc").setCounter("valuesColored", 17);
+  return root;
+}
+
+TEST(Telemetry, CountersAccumulateAndRead) {
+  TelemetryNode node("phase");
+  EXPECT_FALSE(node.hasCounter("x"));
+  EXPECT_EQ(node.counter("x"), 0);
+  node.addCounter("x", 3);
+  node.addCounter("x", 4);
+  node.setCounter("y", -5);
+  EXPECT_TRUE(node.hasCounter("x"));
+  EXPECT_EQ(node.counter("x"), 7);
+  EXPECT_EQ(node.counter("y"), -5);
+}
+
+TEST(Telemetry, ChildIsFindOrCreateWithStableOrder) {
+  TelemetryNode root("r");
+  TelemetryNode& b = root.child("beta");
+  TelemetryNode& a = root.child("alpha");
+  EXPECT_EQ(&root.child("beta"), &b);  // found, not duplicated
+  ASSERT_EQ(root.children().size(), 2u);
+  // Insertion order, not alphabetical: phase order is pipeline order.
+  EXPECT_EQ(root.children()[0]->name(), "beta");
+  EXPECT_EQ(root.children()[1]->name(), "alpha");
+  EXPECT_EQ(root.findChild("alpha"), &a);
+  EXPECT_EQ(root.findChild("gamma"), nullptr);
+}
+
+TEST(Telemetry, JsonRoundTripPreservesEverything) {
+  const TelemetryNode root = sampleTree();
+  const TelemetryNode parsed = TelemetryNode::fromJson(root.toJson());
+  EXPECT_TRUE(parsed.sameShapeAs(root));
+  // sameShapeAs skips seconds (wall-clock noise in live trees), but the
+  // serialized form must preserve them exactly — %.17g round-trips doubles.
+  EXPECT_DOUBLE_EQ(parsed.seconds(), 0.125);
+  const TelemetryNode* cover = parsed.findChild("block:fig2")->findChild("cover");
+  ASSERT_NE(cover, nullptr);
+  EXPECT_DOUBLE_EQ(cover->seconds(), 3.5e-3);
+  EXPECT_EQ(cover->counter("cliquesGenerated"), 1234);
+  // A second round trip is byte-identical: serialization is canonical.
+  EXPECT_EQ(TelemetryNode::fromJson(parsed.toJson()).toJson(), parsed.toJson());
+}
+
+TEST(Telemetry, JsonEscapesSpecialCharacters) {
+  TelemetryNode root("block:\"weird\"\n\\name");
+  const TelemetryNode parsed = TelemetryNode::fromJson(root.toJson());
+  EXPECT_EQ(parsed.name(), root.name());
+}
+
+TEST(Telemetry, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW((void)TelemetryNode::fromJson("{"), Error);
+  EXPECT_THROW((void)TelemetryNode::fromJson("[]"), Error);
+  EXPECT_THROW((void)TelemetryNode::fromJson(R"({"name": "x"} trailing)"),
+               Error);
+}
+
+TEST(Telemetry, MergeAddsCountersSecondsAndChildrenByName) {
+  TelemetryNode a = sampleTree();
+  TelemetryNode b = sampleTree();
+  b.child("block:dct4").setCounter("sndNodes", 9);
+  a.merge(b);
+  EXPECT_EQ(a.counter("jobs"), 8);  // counters add
+  EXPECT_DOUBLE_EQ(a.seconds(), 0.25);
+  EXPECT_EQ(a.findChild("block:fig2")->findChild("cover")->counter(
+                "cliquesGenerated"),
+            2468);
+  ASSERT_NE(a.findChild("block:dct4"), nullptr);  // new child adopted
+  EXPECT_EQ(a.findChild("block:dct4")->counter("sndNodes"), 9);
+}
+
+TEST(Telemetry, SameShapeDetectsCounterAndTopologyDrift) {
+  const TelemetryNode root = sampleTree();
+  TelemetryNode differentCounter = sampleTree();
+  differentCounter.child("block:fig2").child("cover").setCounter(
+      "spillsInserted", 3);
+  EXPECT_FALSE(root.sameShapeAs(differentCounter));
+  TelemetryNode extraChild = sampleTree();
+  extraChild.child("block:extra");
+  EXPECT_FALSE(root.sameShapeAs(extraChild));
+  TelemetryNode differentSeconds = sampleTree();
+  differentSeconds.addSeconds(123.0);
+  EXPECT_TRUE(root.sameShapeAs(differentSeconds));
+}
+
+TEST(Telemetry, PhaseScopeCreatesChildAndAccumulatesTime) {
+  TelemetryNode root("r");
+  {
+    PhaseScope ph(root, "work");
+    ph.node().setCounter("items", 3);
+  }
+  {
+    PhaseScope ph(root, "work");  // same phase again: time accumulates
+    ph.node().addCounter("items", 2);
+  }
+  ASSERT_EQ(root.children().size(), 1u);
+  EXPECT_EQ(root.child("work").counter("items"), 5);
+  EXPECT_GE(root.child("work").seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace aviv

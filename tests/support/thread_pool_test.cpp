@@ -1,0 +1,106 @@
+// Work-stealing thread pool: full index coverage, serial-equivalent error
+// reporting (lowest failing index wins), and inline nested execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace aviv {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](size_t i, int) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, PerWorkerAccumulatorsNeedNoLocking) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 500;
+  std::vector<long long> partial(static_cast<size_t>(pool.parallelism()), 0);
+  pool.parallelFor(kN, [&](size_t i, int worker) {
+    partial[static_cast<size_t>(worker)] += static_cast<long long>(i);
+  });
+  const long long total =
+      std::accumulate(partial.begin(), partial.end(), 0ll);
+  EXPECT_EQ(total, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.parallelFor(5, [&](size_t i, int worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, LowestFailingIndexIsRethrown) {
+  ThreadPool pool(4);
+  // Many failures race; the serial-equivalent one (lowest index) must win.
+  for (int trial = 0; trial < 20; ++trial) {
+    try {
+      pool.parallelFor(64, [&](size_t i, int) {
+        if (i % 2 == 1) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "1");
+    }
+  }
+}
+
+TEST(ThreadPool, AllIndicesStillRunWhenOneThrows) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallelFor(100,
+                                [&](size_t i, int) {
+                                  ran.fetch_add(1);
+                                  if (i == 7) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // parallelFor drains the whole index space before rethrowing so partial
+  // per-worker results stay well-defined.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 16;
+  std::atomic<int> innerRuns{0};
+  pool.parallelFor(kOuter, [&](size_t, int) {
+    const auto worker = std::this_thread::get_id();
+    pool.parallelFor(kInner, [&](size_t, int innerWorker) {
+      // Nested regions must not hop threads (they run inline serially).
+      EXPECT_EQ(std::this_thread::get_id(), worker);
+      EXPECT_EQ(innerWorker, 0);
+      innerRuns.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(innerRuns.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  for (size_t n : {0u, 1u, 2u, 7u, 64u}) {
+    std::atomic<size_t> ran{0};
+    pool.parallelFor(n, [&](size_t, int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), n);
+  }
+}
+
+}  // namespace
+}  // namespace aviv

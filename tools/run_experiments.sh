@@ -1,13 +1,27 @@
-#!/usr/bin/env sh
-# Regenerates every paper table/figure and ablation into results/.
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and ablation into results/, and
+# collects each table bench's phase-telemetry tree (--stats-json) into
+# bench/out/. Fails fast on the first broken bench.
 # Usage: tools/run_experiments.sh [build-dir]
-set -e
+#   JOBS=N   worker threads for the table benches (results are
+#            bit-identical to JOBS=1; only the CPU-time column moves)
+set -euo pipefail
 BUILD="${1:-build}"
 OUT=results
-mkdir -p "$OUT"
+STATS=bench/out
+JOBS="${JOBS:-1}"
+mkdir -p "$OUT" "$STATS"
 for b in "$BUILD"/bench/*; do
   name=$(basename "$b")
   echo "== $name"
-  "$b" > "$OUT/$name.txt" 2>&1 || echo "   (exit $?)"
+  case "$name" in
+    table1_arch1|table2_arch2)
+      "$b" --jobs "$JOBS" --stats-json "$STATS/$name.json" \
+        > "$OUT/$name.txt" 2>&1
+      ;;
+    *)
+      "$b" > "$OUT/$name.txt" 2>&1
+      ;;
+  esac
 done
-echo "Outputs in $OUT/"
+echo "Outputs in $OUT/, telemetry in $STATS/"
