@@ -6,12 +6,19 @@
 // variants show the Section IV-C.2 remedy.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <memory>
+#include <vector>
+
 #include "core/assign_explore.h"
 #include "core/assigned.h"
 #include "core/clique.h"
 #include "core/codegen.h"
 #include "core/parallel_matrix.h"
+#include "driver/codegen.h"
 #include "ir/parser.h"
+#include "service/cache.h"
+#include "service/fingerprint.h"
 #include "ir/random_dag.h"
 #include "isdl/parser.h"
 #include "support/thread_pool.h"
@@ -155,6 +162,92 @@ void BM_ReferenceBronKerbosch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReferenceBronKerbosch)->Arg(16)->Arg(32);
+
+// --- compilation service (DESIGN.md System 23) ---
+
+void BM_FingerprintCompute(benchmark::State& state) {
+  const BlockDag dag = loadBlock("ex2");
+  const CodegenOptions options = CodegenOptions::heuristicsOn();
+  CodegenContext ctx(arch1(), options);
+  ctx.setMachineFingerprint(fingerprintMachine(ctx.machine()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compileFingerprint(ctx, dag, options, true, true));
+  }
+}
+BENCHMARK(BM_FingerprintCompute);
+
+CacheEntry benchEntry() {
+  // A realistic entry: ex2 compiled for arch1.
+  static const CacheEntry entry = [] {
+    DriverOptions options;
+    options.cache = std::make_shared<ResultCache>(CacheConfig{});
+    CodeGenerator generator(arch1(), options);
+    (void)generator.compileBlock(loadBlock("ex2"));
+    CacheEntry e;
+    e.blockName = "ex2";
+    e.machineName = "arch1";
+    return e;
+  }();
+  return entry;
+}
+
+void BM_CacheLookupMemoryHit(benchmark::State& state) {
+  ResultCache cache(CacheConfig{});
+  const Hash128 key = Hasher().str("bench").digest();
+  cache.store(key, benchEntry());
+  for (auto _ : state) benchmark::DoNotOptimize(cache.lookup(key));
+}
+BENCHMARK(BM_CacheLookupMemoryHit);
+
+void BM_CacheLookupDiskHit(benchmark::State& state) {
+  CacheConfig config;
+  config.dir = (std::filesystem::temp_directory_path() /
+                "aviv_bench_cache")
+                   .string();
+  config.memoryEntries = 0;  // every hit pays the read + decode + checksum
+  ResultCache cache(config);
+  const Hash128 key = Hasher().str("bench").digest();
+  cache.store(key, benchEntry());
+  for (auto _ : state) benchmark::DoNotOptimize(cache.lookup(key));
+  std::filesystem::remove_all(config.dir);
+}
+BENCHMARK(BM_CacheLookupDiskHit);
+
+void BM_CacheLookupMiss(benchmark::State& state) {
+  ResultCache cache(CacheConfig{});
+  const Hash128 key = Hasher().str("absent").digest();
+  for (auto _ : state) benchmark::DoNotOptimize(cache.lookup(key));
+}
+BENCHMARK(BM_CacheLookupMiss);
+
+// The avivd value proposition: one batch of the five paper kernels, cold
+// (every compile does covering work) vs warm (every compile replays from
+// the cache). The ratio is the speedup a warm daemon delivers.
+void BM_BatchCompileColdVsWarm(benchmark::State& state) {
+  static const char* names[] = {"ex1", "ex2", "ex3", "ex4", "ex5"};
+  std::vector<BlockDag> dags;
+  for (const char* name : names) dags.push_back(loadBlock(name));
+  const bool warm = state.range(0) != 0;
+  auto cache = std::make_shared<ResultCache>(CacheConfig{});
+  DriverOptions options;
+  options.core = CodegenOptions::heuristicsOn();
+  options.cache = cache;
+  if (warm) {
+    CodeGenerator generator(arch1(), options);
+    for (const BlockDag& dag : dags) (void)generator.compileBlock(dag);
+  }
+  for (auto _ : state) {
+    if (!warm) cache = std::make_shared<ResultCache>(CacheConfig{});
+    DriverOptions iter = options;
+    iter.cache = cache;
+    CodeGenerator generator(arch1(), iter);
+    for (const BlockDag& dag : dags)
+      benchmark::DoNotOptimize(generator.compileBlock(dag));
+  }
+  state.SetLabel(warm ? "warm" : "cold");
+}
+BENCHMARK(BM_BatchCompileColdVsWarm)->Arg(0)->Arg(1);
 
 }  // namespace
 

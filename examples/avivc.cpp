@@ -26,11 +26,17 @@
 //                        per-block program compilation (results are
 //                        bit-identical to --jobs 1)
 //   --stats-json <file>  write the session's phase-telemetry tree as JSON
+//   --cache-dir <dir>    compile-result cache directory (shared with the
+//                        avivd daemon): identical (machine, block, options)
+//                        compiles are replayed from the cache with zero
+//                        covering work and bit-identical output
+//   --no-cache           ignore --cache-dir (force a cold compile)
 #include <cstdio>
 #include <iostream>
 
 #include "asmgen/binary.h"
 #include "driver/codegen.h"
+#include "service/cache.h"
 #include "frontend/minic.h"
 #include "ir/interp.h"
 #include "ir/parser.h"
@@ -73,7 +79,8 @@ int main(int argc, char** argv) {
                   "[--regs N] [--o out.avivbin] [--simulate k=v,...] "
                   "[--verify N] [--heuristics on|off] [--no-peephole] "
                   "[--const-pool] [--outputs-mem] [--bin-stats] "
-                  "[--jobs N] [--stats-json out.json]");
+                  "[--jobs N] [--stats-json out.json] "
+                  "[--cache-dir DIR] [--no-cache]");
     const std::string sourcePath = flags.positional()[0];
     Machine machine = resolveMachine(flags.getString("machine", "arch1"));
     const int regs = static_cast<int>(flags.getInt("regs", 0));
@@ -93,6 +100,13 @@ int main(int argc, char** argv) {
     options.core.outputsToMemory = flags.getBool("outputs-mem", false);
     options.core.jobs = static_cast<int>(flags.getInt("jobs", 1));
     const std::string statsJson = flags.getString("stats-json", "");
+    const std::string cacheDir = flags.getString("cache-dir", "");
+    const bool noCache = flags.getBool("no-cache", false);
+    if (!cacheDir.empty() && !noCache) {
+      CacheConfig cacheConfig;
+      cacheConfig.dir = cacheDir;
+      options.cache = std::make_shared<ResultCache>(cacheConfig);
+    }
     flags.finish();
 
     const Program program = [&] {
@@ -104,6 +118,14 @@ int main(int argc, char** argv) {
     auto dumpStats = [&] {
       if (!statsJson.empty())
         writeFile(statsJson, generator.telemetry().toJson() + "\n");
+      if (options.cache != nullptr) {
+        // To stderr so cached and cold runs produce byte-identical stdout.
+        const CacheStats cs = options.cache->stats();
+        std::fprintf(stderr, "; cache: %lld hits, %lld misses, %lld corrupt\n",
+                     static_cast<long long>(cs.hits),
+                     static_cast<long long>(cs.misses),
+                     static_cast<long long>(cs.corrupt));
+      }
     };
     const bool multiBlock = program.numBlocks() > 1;
 

@@ -1,0 +1,312 @@
+// avivd — the AVIV batch-compile daemon: one warm process serving many
+// compiles (DESIGN.md System 23). Reads newline-delimited compile requests,
+// dispatches them across the session thread pool with result-cache lookups,
+// and streams one status line per request plus an end-of-pass summary.
+//
+//   avivd <requests.txt|-> [options]
+//
+// Request line grammar (whitespace-separated tokens; '#' starts a comment,
+// blank lines are skipped):
+//
+//   machine=<name|path.isdl> block=<name|path.blk|path.c> [heuristics=on|off]
+//   [const-pool] [outputs-mem] [no-peephole] [regs=N]
+//
+// `machine` resolves shipped names via the machine directory; `block`
+// resolves shipped names via the block directory, or takes a path to a
+// .blk/.c file. Example batch:
+//
+//   machine=arch1 block=ex1
+//   machine=arch2 block=biquad heuristics=off
+//   machine=dsp16 block=fir.blk const-pool
+//
+// Options:
+//   --cache-dir <dir>    on-disk result-cache directory (shared with avivc);
+//                        without it the cache is in-memory only
+//   --no-cache           disable the result cache entirely
+//   --mem-entries <n>    memory-tier capacity in entries (default 1024)
+//   --jobs <n>           worker threads compiling requests concurrently
+//   --repeat <n>         run the whole batch n times in this process
+//                        (pass 2+ should be all cache hits)
+//   --expect-all-hits    exit nonzero unless the final pass had 0 misses
+//   --print-asm          print each result's assembly after its status line
+//   --stats-json <file>  write the daemon's phase-telemetry tree as JSON
+//
+// Status lines (streamed as requests complete; order varies with --jobs):
+//   req 3: ok block=ex1 machine=arch1 blocks=1 instrs=7 cache=hit
+//   req 5: error <message>
+// Summary lines (per pass):
+//   avivd: pass 1: 10 requests, 10 ok, 0 failed
+//   avivd: cache: 10 lookups, 0 hits, 10 misses, 0 corrupt, 0 evictions
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/codegen.h"
+#include "frontend/minic.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "service/cache.h"
+#include "support/cli.h"
+#include "support/error.h"
+#include "support/io.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace aviv;
+
+struct Request {
+  int line = 0;  // 1-based line number in the batch file
+  std::string machineSpec;
+  std::string blockSpec;
+  int regsOverride = 0;  // > 0: resize every register file
+  DriverOptions options;
+};
+
+struct RequestResult {
+  bool ok = false;
+  std::string error;
+  std::string statusDetail;  // "block=... machine=... blocks=N instrs=N cache=..."
+  std::string asmText;
+  size_t blocks = 0;
+  size_t cachedBlocks = 0;
+};
+
+Machine resolveMachine(const std::string& spec) {
+  if (endsWith(spec, ".isdl")) return parseMachine(readFile(spec));
+  return loadMachine(spec);
+}
+
+Program resolveProgram(const std::string& spec) {
+  if (endsWith(spec, ".c")) return parseMiniC(readFile(spec)).program;
+  if (endsWith(spec, ".blk")) return parseProgram(readFile(spec), spec);
+  const std::string path = blockPath(spec);
+  return parseProgram(readFile(path), path);
+}
+
+Request parseRequest(const std::string& text, int line) {
+  Request request;
+  request.line = line;
+  request.options.core = CodegenOptions::heuristicsOn();
+  std::istringstream tokens(text);
+  std::string token;
+  while (tokens >> token) {
+    if (token[0] == '#') break;
+    const size_t eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : token.substr(eq + 1);
+    if (key == "machine") {
+      request.machineSpec = value;
+    } else if (key == "block") {
+      request.blockSpec = value;
+    } else if (key == "heuristics") {
+      if (value != "on" && value != "off")
+        throw Error("heuristics expects on|off, got '" + value + "'");
+      const int jobs = request.options.core.jobs;
+      request.options.core = value == "off" ? CodegenOptions::heuristicsOff()
+                                            : CodegenOptions::heuristicsOn();
+      request.options.core.jobs = jobs;
+    } else if (key == "const-pool") {
+      request.options.core.constantsInMemory = true;
+    } else if (key == "outputs-mem") {
+      request.options.core.outputsToMemory = true;
+    } else if (key == "no-peephole") {
+      request.options.runPeephole = false;
+    } else if (key == "regs") {
+      request.regsOverride = std::stoi(value);
+    } else {
+      throw Error("unknown request token '" + token + "'");
+    }
+  }
+  if (request.machineSpec.empty() || request.blockSpec.empty())
+    throw Error("request needs machine=... and block=...");
+  request.options.core.jobs = 1;  // daemon parallelism is across requests
+  return request;
+}
+
+Machine materializeMachine(const Request& request) {
+  Machine machine = resolveMachine(request.machineSpec);
+  if (request.regsOverride > 0)
+    machine = machine.withRegisterCount(request.regsOverride);
+  return machine;
+}
+
+RequestResult runRequest(const Request& request,
+                         const std::shared_ptr<ResultCache>& cache,
+                         bool wantAsm, TelemetryNode& tel) {
+  RequestResult result;
+  try {
+    const Machine machine = materializeMachine(request);
+    const Program program = resolveProgram(request.blockSpec);
+    DriverOptions options = request.options;
+    options.cache = cache;
+    CodeGenerator generator(machine, options);
+
+    int instrs = 0;
+    std::string asmText;
+    if (program.numBlocks() > 1) {
+      const CompiledProgram compiled = generator.compileProgram(program);
+      instrs = compiled.totalInstructions();
+      result.blocks = compiled.blocks.size();
+      for (const CompiledBlock& block : compiled.blocks) {
+        if (block.fromCache) ++result.cachedBlocks;
+        if (wantAsm) asmText += block.image.asmText(machine) + "\n";
+      }
+    } else {
+      SymbolTable symbols;
+      const CompiledBlock block =
+          generator.compileBlock(program.block(0), symbols);
+      instrs = block.numInstructions();
+      result.blocks = 1;
+      if (block.fromCache) ++result.cachedBlocks;
+      if (wantAsm) asmText = block.image.asmText(machine) + "\n";
+    }
+    tel.merge(generator.telemetry());
+
+    const char* cacheState =
+        cache == nullptr ? "off"
+        : result.cachedBlocks == result.blocks ? "hit"
+        : result.cachedBlocks == 0             ? "miss"
+                                               : "partial";
+    result.ok = true;
+    result.asmText = std::move(asmText);
+    result.statusDetail = "block=" + request.blockSpec +
+                          " machine=" + machine.name() +
+                          " blocks=" + std::to_string(result.blocks) +
+                          " instrs=" + std::to_string(instrs) +
+                          " cache=" + cacheState;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliFlags flags(argc, argv);
+    if (flags.positional().size() != 1)
+      throw Error(
+          "usage: avivd <requests.txt|-> [--cache-dir DIR] [--no-cache] "
+          "[--mem-entries N] [--jobs N] [--repeat N] [--expect-all-hits] "
+          "[--print-asm] [--stats-json out.json]");
+    const std::string batchPath = flags.positional()[0];
+    const std::string cacheDir = flags.getString("cache-dir", "");
+    const bool noCache = flags.getBool("no-cache", false);
+    const auto memEntries =
+        static_cast<size_t>(flags.getInt("mem-entries", 1024));
+    const int jobs = static_cast<int>(flags.getInt("jobs", 1));
+    const int repeat = static_cast<int>(flags.getInt("repeat", 1));
+    const bool expectAllHits = flags.getBool("expect-all-hits", false);
+    const bool printAsm = flags.getBool("print-asm", false);
+    const std::string statsJson = flags.getString("stats-json", "");
+    flags.finish();
+
+    // Read and parse the whole batch up front: a malformed line should
+    // fail fast, before any compile work starts.
+    std::string batchText;
+    if (batchPath == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      batchText = buffer.str();
+    } else {
+      batchText = readFile(batchPath);
+    }
+    std::vector<Request> requests;
+    {
+      std::istringstream lines(batchText);
+      std::string line;
+      int lineNo = 0;
+      while (std::getline(lines, line)) {
+        ++lineNo;
+        const std::string_view stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#') continue;
+        try {
+          requests.push_back(parseRequest(std::string(stripped), lineNo));
+        } catch (const Error& e) {
+          throw Error("request line " + std::to_string(lineNo) + ": " +
+                      e.what());
+        }
+      }
+    }
+    if (requests.empty()) throw Error("batch contains no requests");
+
+    std::shared_ptr<ResultCache> cache;
+    if (!noCache) {
+      CacheConfig cacheConfig;
+      cacheConfig.dir = cacheDir;
+      cacheConfig.memoryEntries = memEntries;
+      cache = std::make_shared<ResultCache>(cacheConfig);
+    }
+
+    TelemetryNode root("avivd");
+    ThreadPool pool(jobs);
+    std::mutex outMu;
+    bool allOk = true;
+    int64_t finalPassMisses = 0;
+
+    for (int pass = 1; pass <= repeat; ++pass) {
+      TelemetryNode& passTel = root.child("pass:" + std::to_string(pass));
+      // Pre-create one disjoint telemetry subtree per request before the
+      // fan-out (TelemetryNode is not thread-safe).
+      std::vector<TelemetryNode*> requestTel;
+      requestTel.reserve(requests.size());
+      for (size_t i = 0; i < requests.size(); ++i)
+        requestTel.push_back(&passTel.child("req:" + std::to_string(i)));
+
+      const CacheStats before =
+          cache != nullptr ? cache->stats() : CacheStats{};
+      size_t okCount = 0;
+      pool.parallelFor(requests.size(), [&](size_t i, int) {
+        const RequestResult result =
+            runRequest(requests[i], cache, printAsm, *requestTel[i]);
+        std::lock_guard<std::mutex> lock(outMu);
+        if (result.ok) {
+          ++okCount;
+          std::printf("req %zu: ok %s\n", i, result.statusDetail.c_str());
+          if (printAsm) std::printf("%s", result.asmText.c_str());
+        } else {
+          std::printf("req %zu: error %s\n", i, result.error.c_str());
+        }
+        std::fflush(stdout);
+      });
+
+      std::printf("avivd: pass %d: %zu requests, %zu ok, %zu failed\n", pass,
+                  requests.size(), okCount, requests.size() - okCount);
+      if (cache != nullptr) {
+        const CacheStats now = cache->stats();
+        std::printf(
+            "avivd: cache: %lld lookups, %lld hits, %lld misses, "
+            "%lld corrupt, %lld evictions\n",
+            static_cast<long long>(now.lookups - before.lookups),
+            static_cast<long long>(now.hits - before.hits),
+            static_cast<long long>(now.misses - before.misses),
+            static_cast<long long>(now.corrupt - before.corrupt),
+            static_cast<long long>(now.evictions - before.evictions));
+        finalPassMisses = now.misses - before.misses;
+        recordServiceStats(now, root.child("service"));
+      }
+      if (okCount != requests.size()) allOk = false;
+    }
+
+    if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
+    if (!allOk) return 1;
+    if (expectAllHits && (cache == nullptr || finalPassMisses > 0)) {
+      std::fprintf(stderr,
+                   "avivd: --expect-all-hits: final pass had %lld misses\n",
+                   static_cast<long long>(finalPassMisses));
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "avivd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -46,6 +46,27 @@ void resolveSymbols(CodeImage& image, const SymbolScope& scope,
   for (OutputBinding& binding : image.outputs) fix(binding.memAddr);
 }
 
+void rebindSymbols(CodeImage& image, const std::vector<std::string>& names,
+                   SymbolScope& scope) {
+  std::vector<int> newAddr;
+  newAddr.reserve(names.size());
+  for (const std::string& name : names) newAddr.push_back(scope.intern(name));
+  auto fix = [&](int& addr) {
+    if (!SymbolScope::isProvisional(addr)) return;
+    const int ordinal = SymbolScope::ordinalOf(addr);
+    AVIV_CHECK_MSG(ordinal >= 0 &&
+                       static_cast<size_t>(ordinal) < newAddr.size(),
+                   "cached image references symbol ordinal "
+                       << ordinal << " outside its " << newAddr.size()
+                       << " recorded names");
+    addr = newAddr[static_cast<size_t>(ordinal)];
+  };
+  for (auto& cell : image.constPool) fix(cell.first);
+  for (EncInstr& instr : image.instrs)
+    for (EncXfer& xfer : instr.xfers) fix(xfer.memAddr);
+  for (OutputBinding& binding : image.outputs) fix(binding.memAddr);
+}
+
 CodeImage encodeBlock(const AssignedGraph& graph, const Schedule& schedule,
                       const RegAssignment& regs, SymbolTable& symbols) {
   SymbolScope scope(symbols);

@@ -60,6 +60,18 @@ class SymbolScope {
 void resolveSymbols(CodeImage& image, const SymbolScope& scope,
                     SymbolTable& table);
 
+// Replays a scope-independent image (provisional addresses whose ordinal i
+// refers to names[i]) into `scope`: each name is interned in first-use
+// order and the provisional addresses are rewritten to whatever the scope
+// hands out — final addresses for a direct scope, the scope's own
+// provisional addresses for a deferred one (resolved later by
+// resolveSymbols). This is how the compilation service's cached CodeImages
+// are hydrated for any consumer; the inverse direction (recording) is a
+// deferred-scope encodeBlock. AVIV_CHECK-fails if the image references an
+// ordinal outside `names`.
+void rebindSymbols(CodeImage& image, const std::vector<std::string>& names,
+                   SymbolScope& scope);
+
 // Throws aviv::Error when data memory is too small for the variables plus
 // spill slots (in deferred mode that check is postponed to the merge —
 // the final table size is unknown while blocks encode in parallel).

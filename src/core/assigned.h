@@ -86,6 +86,12 @@ struct AgNode {
 
 class AssignedGraph {
  public:
+  // An empty graph (no IR / machine attached). Exists so CoreResult is
+  // default-constructible: cache-hydrated compiles (src/service) carry a
+  // CodeImage but no covering artifacts. Calling ir()/machine() on an
+  // empty graph is invalid.
+  AssignedGraph() = default;
+
   // Materializes an assignment. Throws aviv::Error when an output is a
   // constant (unsupported) or required routes are missing.
   static AssignedGraph materialize(const SplitNodeDag& snd,
@@ -152,7 +158,6 @@ class AssignedGraph {
   void verify() const;
 
  private:
-  AssignedGraph() = default;
   AgId append(AgNode node);
   void addDep(AgId from, AgId to);  // from produces, to consumes
 

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "core/options.h"
 #include "isdl/databases.h"
 #include "isdl/machine.h"
+#include "support/hash.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
 
@@ -43,6 +45,15 @@ class CodegenContext {
   [[nodiscard]] TelemetryNode& telemetry() { return telemetry_; }
   [[nodiscard]] const TelemetryNode& telemetry() const { return telemetry_; }
 
+  // Memo slot for the service layer's canonical machine fingerprint
+  // (src/service/fingerprint.*). The machine is immutable after
+  // validation, so the fingerprint is computed once per session. Set it
+  // before any parallel region; reads afterwards are lock-free.
+  [[nodiscard]] const std::optional<Hash128>& machineFingerprint() const {
+    return machineFp_;
+  }
+  void setMachineFingerprint(Hash128 fp) { machineFp_ = fp; }
+
  private:
   Machine machine_;
   MachineDatabases dbs_;
@@ -50,6 +61,7 @@ class CodegenContext {
   uint64_t seed_;
   TelemetryNode telemetry_;
   std::unique_ptr<ThreadPool> pool_;
+  std::optional<Hash128> machineFp_;
 };
 
 }  // namespace aviv

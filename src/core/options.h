@@ -86,6 +86,37 @@ struct CodegenOptions {
   // in registers and the CodeImage records their final location.
   bool outputsToMemory = false;
 
+  // Enumerates every field that can change the compiled output, as
+  // (name, value) pairs, for the service layer's canonical fingerprint
+  // (src/service/fingerprint.*). The field name anchors each value, so
+  // reordering or adding fields changes the fingerprint predictably.
+  // Deliberately omitted:
+  //   * `jobs` — parallel covering/compilation is bit-identical to serial,
+  //     so a cache populated at any worker count replays at any other.
+  // New covering-relevant fields MUST be added here; the fingerprint test
+  // cross-checks that mutating each listed field changes the hash.
+  template <class Sink>
+  void forEachFingerprintField(Sink&& sink) const {
+    sink("assignPruneIncremental", assignPruneIncremental);
+    sink("assignPruneSlack", assignPruneSlack);
+    sink("assignBeamWidth", assignBeamWidth);
+    sink("assignKeepBest", assignKeepBest);
+    sink("maxAssignments", maxAssignments);
+    sink("smallSpaceExhaustive", smallSpaceExhaustive);
+    sink("transferCostWeight", transferCostWeight);
+    sink("parallelismCostWeight", parallelismCostWeight);
+    sink("complexCoverBonus", complexCoverBonus);
+    sink("registerAwareAssignment", registerAwareAssignment);
+    sink("registerPressurePenalty", registerPressurePenalty);
+    sink("enableComplexPatterns", enableComplexPatterns);
+    sink("cliqueLevelWindow", cliqueLevelWindow);
+    sink("maxCliquesPerRound", maxCliquesPerRound);
+    sink("coverLookahead", coverLookahead);
+    sink("timeLimitSeconds", timeLimitSeconds);
+    sink("constantsInMemory", constantsInMemory);
+    sink("outputsToMemory", outputsToMemory);
+  }
+
   // Convenience: the paper's "heuristics turned off" configuration
   // (exhaustive assignment enumeration, no level window). Note this is
   // still not an exact algorithm — the covering schedule search remains

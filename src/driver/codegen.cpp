@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "service/cache.h"
+#include "service/fingerprint.h"
 #include "sim/simulator.h"
 #include "support/error.h"
 
@@ -17,11 +19,48 @@ int CompiledProgram::totalInstructions() const {
 
 CodeGenerator::CodeGenerator(Machine machine, DriverOptions options)
     : options_(std::move(options)),
-      ctx_(std::move(machine), options_.core, options_.seed) {}
+      ctx_(std::move(machine), options_.core, options_.seed) {
+  // Fingerprint the machine once per session, before any parallel region,
+  // so concurrent block compiles read the memo lock-free.
+  if (options_.cache != nullptr)
+    ctx_.setMachineFingerprint(fingerprintMachine(ctx_.machine()));
+}
+
+// The per-block overflow check encodeBlock performs for direct scopes;
+// cache-hydrated images need it re-run against the consumer's table.
+static void checkDataMemoryFits(const CodeImage& image,
+                                const SymbolScope& symbols,
+                                const Machine& machine) {
+  if (symbols.deferred() || symbols.sizeWords() <= image.spillBase) return;
+  throw Error("data memory of machine '" + machine.name() +
+              "' too small: " + std::to_string(symbols.sizeWords()) +
+              " variable words overlap " +
+              std::to_string(image.numSpillSlots) + " spill slots");
+}
 
 CompiledBlock CodeGenerator::compileBlockWith(
     const BlockDag& ir, SymbolScope& symbols,
     const CodegenOptions& coreOptions, TelemetryNode& tel) {
+  ResultCache* cache = options_.cache.get();
+  Hash128 cacheKey;
+  if (cache != nullptr) {
+    cacheKey = compileFingerprint(ctx_, ir, coreOptions, options_.runPeephole,
+                                  options_.outputsToMemoryFallback);
+    if (const auto entry = cache->lookup(cacheKey)) {
+      // Hydrate: replay the scope-independent image into the consumer's
+      // symbol scope. No covering/regalloc/encode work happens, so the
+      // block's telemetry subtree stays free of pipeline phases — the
+      // acceptance check for "zero covering work".
+      CompiledBlock block;
+      block.image = entry->image;
+      rebindSymbols(block.image, entry->symbolNames, symbols);
+      checkDataMemoryFits(block.image, symbols, ctx_.machine());
+      block.fromCache = true;
+      block.cachedStatsJson = entry->statsJson;
+      tel.addCounter("cacheHits", 1);
+      return block;
+    }
+  }
   CoreResult core = [&] {
     try {
       return coverBlock(ir, ctx_.machine(), ctx_.databases(), coreOptions,
@@ -36,10 +75,8 @@ CompiledBlock CodeGenerator::compileBlockWith(
                         ctx_.pool(), &tel);
     }
   }();
-  CompiledBlock block{std::move(core),
-                      RegAssignment{},
-                      PeepholeStats{},
-                      CodeImage{}};
+  CompiledBlock block;
+  block.core = std::move(core);
   if (options_.runPeephole) {
     // Peephole reads only the graph and schedule, never a register
     // assignment, so the allocation that used to run before it was pure
@@ -55,11 +92,33 @@ CompiledBlock CodeGenerator::compileBlockWith(
     block.regs = allocateRegisters(block.core.graph, block.core.schedule);
     recordRegAllocStats(block.regs, ph.node());
   }
-  {
+  if (cache == nullptr) {
     PhaseScope ph(tel, "encode");
     block.image =
         encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
     ph.node().setCounter("instructions", block.image.numInstructions());
+  } else {
+    // Encode against a private deferred scope so the stored image is
+    // scope-independent, then replay it into the consumer's scope exactly
+    // as a hit would. The entry's stats are serialized BEFORE the cache
+    // counters land on `tel`, so they match a cache-less compile verbatim.
+    SymbolScope recording;
+    {
+      PhaseScope ph(tel, "encode");
+      block.image = encodeBlock(block.core.graph, block.core.schedule,
+                                block.regs, recording);
+      ph.node().setCounter("instructions", block.image.numInstructions());
+    }
+    CacheEntry entry;
+    entry.blockName = ir.name();
+    entry.machineName = ctx_.machine().name();
+    entry.symbolNames = recording.recorded();
+    entry.statsJson = tel.toJson();
+    entry.image = block.image;
+    cache->store(cacheKey, std::move(entry));
+    rebindSymbols(block.image, recording.recorded(), symbols);
+    checkDataMemoryFits(block.image, symbols, ctx_.machine());
+    tel.addCounter("cacheMisses", 1);
   }
   return block;
 }
@@ -71,8 +130,20 @@ CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir) {
 CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir,
                                           SymbolTable& symbols) {
   SymbolScope scope(symbols);
-  return compileBlockWith(ir, scope, options_.core,
-                          ctx_.telemetry().child("block:" + ir.name()));
+  CompiledBlock block =
+      compileBlockWith(ir, scope, options_.core,
+                       ctx_.telemetry().child("block:" + ir.name()));
+  recordServiceTelemetry();
+  return block;
+}
+
+// Publishes the shared cache's counter totals as the session's "service"
+// phase. Totals, not deltas: safe to re-record after every compile, and
+// meaningful even when several generators share one cache (avivd).
+void CodeGenerator::recordServiceTelemetry() {
+  if (options_.cache == nullptr) return;
+  recordServiceStats(options_.cache->stats(),
+                     ctx_.telemetry().child("service"));
 }
 
 CompiledProgram CodeGenerator::compileProgram(const Program& program) {
@@ -142,6 +213,7 @@ CompiledProgram CodeGenerator::compileProgram(const Program& program) {
     }
     compiled.control.push_back(ci);
   }
+  recordServiceTelemetry();
   return compiled;
 }
 

@@ -12,6 +12,8 @@
 // terminators with trivial jump/branch patterns.
 #pragma once
 
+#include <memory>
+
 #include "asmgen/encode.h"
 #include "core/codegen.h"
 #include "core/context.h"
@@ -20,6 +22,8 @@
 #include "regalloc/regalloc.h"
 
 namespace aviv {
+
+class ResultCache;  // src/service/cache.h
 
 struct DriverOptions {
   CodegenOptions core;
@@ -31,6 +35,12 @@ struct DriverOptions {
   // Seed recorded in the pipeline session (CodegenContext) so randomized
   // tooling layered on top of a session stays reproducible.
   uint64_t seed = CodegenContext::kDefaultSeed;
+  // Compile-result cache (src/service). When set, every block compile is
+  // looked up by canonical fingerprint before any covering work runs, and
+  // stored after a miss. The cache may be shared across generators (the
+  // avivd daemon shares one); its counters surface as the session's
+  // "service" telemetry phase. Null disables caching.
+  std::shared_ptr<ResultCache> cache;
 };
 
 struct CompiledBlock {
@@ -38,6 +48,14 @@ struct CompiledBlock {
   RegAssignment regs;
   PeepholeStats peephole;
   CodeImage image;
+  // True when this block was hydrated from the result cache. core/regs/
+  // peephole are then default-constructed (no covering artifacts exist);
+  // the image carries everything downstream consumers (asm text, binary
+  // assembler, simulator) need.
+  bool fromCache = false;
+  // Phase-telemetry JSON of the compile that produced the cached entry
+  // (what the hit saved); empty for cold compiles.
+  std::string cachedStatsJson;
 
   [[nodiscard]] int numInstructions() const {
     return image.numInstructions();
@@ -101,6 +119,7 @@ class CodeGenerator {
   CompiledBlock compileBlockWith(const BlockDag& ir, SymbolScope& symbols,
                                  const CodegenOptions& coreOptions,
                                  TelemetryNode& tel);
+  void recordServiceTelemetry();
 
   DriverOptions options_;
   CodegenContext ctx_;

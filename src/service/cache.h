@@ -1,0 +1,146 @@
+// Two-tier compile-result cache (DESIGN.md System 23). Keyed by the
+// canonical fingerprint (service/fingerprint.h), an entry holds everything
+// needed to replay one block compile without covering work:
+//
+//   * the CodeImage in scope-independent form — data-memory addresses are
+//     SymbolScope provisional ordinals, replayed into the consumer's
+//     symbol scope on a hit (rebindSymbols, asmgen/encode.h), which makes
+//     one entry valid for standalone blocks and for any block position
+//     inside a program;
+//   * the interned symbol names in first-use order;
+//   * the phase-telemetry subtree (JSON) of the compile that produced the
+//     entry, so tooling can show "what the cached compile cost" and the
+//     property tests can check hit stats are identical to a cold run.
+//
+// Tier 1 is an in-memory sharded LRU (lock per shard). Tier 2 is an
+// on-disk content-addressed store: dir/objects/<h2>/<h30>.avivce with a
+// manifest recording the format versions. Entries are framed with a magic,
+// a format version, the fingerprint, and a checksum; any mismatch —
+// truncation, bit flips, stale format — is counted as `corrupt`, the file
+// is removed, and the lookup reports a miss so the caller recompiles and
+// rewrites a valid entry. The cache never fails a compile.
+//
+// Thread-safety: all public methods are safe to call concurrently (the
+// daemon and the parallel program driver hit one cache from pool workers).
+// Stats are atomics; disk writes go through a unique temp file + rename.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asmgen/code_image.h"
+#include "support/hash.h"
+#include "support/telemetry.h"
+
+namespace aviv {
+
+struct CacheEntry {
+  std::string blockName;    // informational (diagnostics, cache tooling)
+  std::string machineName;  // informational
+  // Symbol names in first-use order; ordinal i backs provisional address
+  // SymbolScope::provisionalAddr(i) inside `image`.
+  std::vector<std::string> symbolNames;
+  // TelemetryNode JSON of the original compile's block subtree.
+  std::string statsJson;
+  // Scope-independent encoded block (provisional data-memory addresses).
+  CodeImage image;
+};
+
+// Payload codec (the framing with magic/version/checksum is the cache's
+// job). deserializeCacheEntry throws aviv::Error on malformed input.
+[[nodiscard]] std::string serializeCacheEntry(const CacheEntry& entry);
+[[nodiscard]] CacheEntry deserializeCacheEntry(std::string_view data);
+
+struct CacheStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;        // memoryHits + diskHits
+  int64_t misses = 0;
+  int64_t memoryHits = 0;
+  int64_t diskHits = 0;
+  int64_t stores = 0;
+  int64_t evictions = 0;   // memory-tier LRU evictions
+  int64_t corrupt = 0;     // disk entries rejected (and removed)
+  int64_t lookupNanos = 0; // total wall time spent inside lookup()
+};
+
+struct CacheConfig {
+  // On-disk store directory; empty = memory-only cache.
+  std::string dir;
+  // Memory-tier capacity in entries across all shards; 0 disables tier 1.
+  size_t memoryEntries = 1024;
+  // Lock shards for the memory tier.
+  int shards = 8;
+};
+
+class ResultCache {
+ public:
+  // Bump when the entry payload or framing layout changes; old files then
+  // fail the version check, are counted corrupt, and get rewritten.
+  static constexpr uint32_t kEntryFormatVersion = 1;
+
+  // Creates the store directory and manifest when `config.dir` is set.
+  // Throws aviv::Error when the directory cannot be created.
+  explicit ResultCache(CacheConfig config);
+
+  // nullptr on miss. The returned entry is shared and immutable; copy the
+  // image before mutating it.
+  [[nodiscard]] std::shared_ptr<const CacheEntry> lookup(const Hash128& key);
+
+  void store(const Hash128& key, CacheEntry entry);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  // On-disk path an entry for `key` would live at; empty for memory-only
+  // caches. Exposed for the corruption tests and cache tooling.
+  [[nodiscard]] std::string entryPath(const Hash128& key) const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<Hash128, std::shared_ptr<const CacheEntry>>> lru;
+    std::map<Hash128,
+             std::list<std::pair<Hash128,
+                                 std::shared_ptr<const CacheEntry>>>::iterator>
+        index;
+  };
+
+  Shard& shardFor(const Hash128& key);
+  void memoryInsert(const Hash128& key,
+                    std::shared_ptr<const CacheEntry> entry);
+  [[nodiscard]] std::shared_ptr<const CacheEntry> memoryLookup(
+      const Hash128& key);
+  [[nodiscard]] std::shared_ptr<const CacheEntry> diskLookup(
+      const Hash128& key);
+  void diskStore(const Hash128& key, const CacheEntry& entry);
+  void writeManifest() const;
+
+  CacheConfig config_;
+  size_t perShardCapacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> tempCounter_{0};
+
+  mutable std::atomic<int64_t> lookups_{0};
+  mutable std::atomic<int64_t> memoryHits_{0};
+  mutable std::atomic<int64_t> diskHits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> stores_{0};
+  mutable std::atomic<int64_t> evictions_{0};
+  mutable std::atomic<int64_t> corrupt_{0};
+  mutable std::atomic<int64_t> lookupNanos_{0};
+};
+
+// Publishes a stats snapshot into `node` (the session's "service" phase):
+// absolute totals via setCounter, so re-recording after every compile is
+// idempotent. Surfaces through --stats-json.
+void recordServiceStats(const CacheStats& stats, TelemetryNode& node);
+
+}  // namespace aviv

@@ -1,0 +1,130 @@
+#include "service/fingerprint.h"
+
+#include <type_traits>
+
+namespace aviv {
+
+namespace {
+
+void feedLoc(Hasher& h, const Loc& loc) {
+  h.u8(static_cast<uint8_t>(loc.kind));
+  h.u16(loc.index);
+}
+
+}  // namespace
+
+Hash128 fingerprintMachine(const Machine& machine) {
+  Hasher h;
+  h.str("machine");
+  h.str(machine.name());
+
+  h.u64(machine.regFiles().size());
+  for (const RegFile& rf : machine.regFiles()) {
+    h.str(rf.name);
+    h.i64(rf.numRegs);
+  }
+  h.u64(machine.memories().size());
+  for (const Memory& mem : machine.memories()) {
+    h.str(mem.name);
+    h.i64(mem.sizeWords);
+    h.boolean(mem.isDataMemory);
+  }
+  h.u64(machine.buses().size());
+  for (const Bus& bus : machine.buses()) {
+    h.str(bus.name);
+    h.i64(bus.capacity);
+  }
+  h.u64(machine.units().size());
+  for (const FunctionalUnit& unit : machine.units()) {
+    h.str(unit.name);
+    h.u16(unit.regFile);
+    h.u64(unit.ops.size());
+    for (const UnitOp& op : unit.ops) {
+      h.u8(static_cast<uint8_t>(op.op));
+      h.str(op.mnemonic);
+      h.i64(op.latency);
+    }
+  }
+  h.u64(machine.transfers().size());
+  for (const TransferPath& path : machine.transfers()) {
+    feedLoc(h, path.from);
+    feedLoc(h, path.to);
+    h.u16(path.bus);
+  }
+  h.u64(machine.constraints().size());
+  for (const Constraint& constraint : machine.constraints()) {
+    // The note is diagnostic-only and intentionally excluded.
+    h.u64(constraint.together.size());
+    for (const OpSel& sel : constraint.together) {
+      h.u16(sel.unit);
+      h.u8(static_cast<uint8_t>(sel.op));
+    }
+  }
+  return h.digest();
+}
+
+Hash128 fingerprintDag(const BlockDag& dag) {
+  Hasher h;
+  h.str("dag");
+  // The block name lands in the assembly listing header, so it is output-
+  // relevant.
+  h.str(dag.name());
+  h.u64(dag.size());
+  for (const DagNode& node : dag.nodes()) {
+    h.u8(static_cast<uint8_t>(node.op));
+    if (node.op == Op::kConst) h.i64(node.value);
+    if (node.op == Op::kInput) h.str(node.name);
+    h.u64(node.operands.size());
+    for (NodeId operand : node.operands) h.u32(operand);
+  }
+  h.u64(dag.outputs().size());
+  for (const auto& [name, id] : dag.outputs()) {
+    h.str(name);
+    h.u32(id);
+  }
+  return h.digest();
+}
+
+Hash128 fingerprintOptions(const CodegenOptions& core, bool runPeephole,
+                           bool outputsToMemoryFallback) {
+  Hasher h;
+  h.str("options");
+  core.forEachFingerprintField([&h](const char* name, auto value) {
+    h.str(name);
+    using T = decltype(value);
+    if constexpr (std::is_same_v<T, bool>) {
+      h.boolean(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      h.f64(value);
+    } else if constexpr (std::is_unsigned_v<T>) {
+      h.u64(static_cast<uint64_t>(value));
+    } else {
+      h.i64(static_cast<int64_t>(value));
+    }
+  });
+  h.str("runPeephole");
+  h.boolean(runPeephole);
+  h.str("outputsToMemoryFallback");
+  h.boolean(outputsToMemoryFallback);
+  return h.digest();
+}
+
+Hash128 compileFingerprint(const CodegenContext& ctx, const BlockDag& dag,
+                           const CodegenOptions& core, bool runPeephole,
+                           bool outputsToMemoryFallback) {
+  const Hash128 machineFp = ctx.machineFingerprint()
+                                ? *ctx.machineFingerprint()
+                                : fingerprintMachine(ctx.machine());
+  const Hash128 dagFp = fingerprintDag(dag);
+  const Hash128 optionsFp =
+      fingerprintOptions(core, runPeephole, outputsToMemoryFallback);
+  Hasher h;
+  h.str("aviv-compile");
+  h.u32(kFingerprintVersion);
+  h.u64(machineFp.hi).u64(machineFp.lo);
+  h.u64(dagFp.hi).u64(dagFp.lo);
+  h.u64(optionsFp.hi).u64(optionsFp.lo);
+  return h.digest();
+}
+
+}  // namespace aviv

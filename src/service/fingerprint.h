@@ -1,0 +1,53 @@
+// Canonical compile fingerprint — the compilation service's cache key
+// (DESIGN.md System 23). A fingerprint is a self-contained 128-bit hash
+// over everything that can change the compiled output of one block:
+//
+//   * the validated machine model — including every name and mnemonic,
+//     because they appear verbatim in the emitted assembly text (a renamed
+//     register file is a different output even if structurally identical);
+//   * the IR DAG exactly as handed to the driver (the front end's
+//     machine-independent passes run before this point, so this is the
+//     post-pass DAG);
+//   * every covering-relevant CodegenOptions field plus the driver flags
+//     (runPeephole, outputsToMemoryFallback) that alter the result.
+//
+// Deliberately NOT hashed (canonicalization rules, see DESIGN.md):
+//   * CodegenOptions::jobs — parallel results are bit-identical to serial;
+//   * the session seed — the covering pipeline is deterministic and never
+//     reads it (the seed only feeds randomized tooling layered on top);
+//   * Constraint::note — diagnostic text, invisible in the output.
+//
+// kFingerprintVersion salts every fingerprint: bump it whenever the
+// pipeline's output for unchanged inputs changes (new optimization, changed
+// tie-break, ...), which invalidates all previously cached results at the
+// key level.
+#pragma once
+
+#include "core/context.h"
+#include "core/options.h"
+#include "ir/dag.h"
+#include "isdl/machine.h"
+#include "support/hash.h"
+
+namespace aviv {
+
+inline constexpr uint32_t kFingerprintVersion = 1;
+
+[[nodiscard]] Hash128 fingerprintMachine(const Machine& machine);
+[[nodiscard]] Hash128 fingerprintDag(const BlockDag& dag);
+[[nodiscard]] Hash128 fingerprintOptions(const CodegenOptions& core,
+                                         bool runPeephole,
+                                         bool outputsToMemoryFallback);
+
+// The cache key: version salt + the three component fingerprints. Uses the
+// CodegenContext's machine-fingerprint memo when present (the driver sets
+// it once per session, before any parallel region) and computes the
+// machine hash locally otherwise — so concurrent block compiles never
+// write shared state.
+[[nodiscard]] Hash128 compileFingerprint(const CodegenContext& ctx,
+                                         const BlockDag& dag,
+                                         const CodegenOptions& core,
+                                         bool runPeephole,
+                                         bool outputsToMemoryFallback);
+
+}  // namespace aviv

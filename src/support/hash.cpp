@@ -1,0 +1,129 @@
+#include "support/hash.h"
+
+namespace aviv {
+
+namespace {
+
+// Murmur3's 64-bit finalizer: full avalanche, well studied.
+uint64_t fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::string Hash128::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const uint8_t byte = static_cast<uint8_t>(word >> shift);
+    out[static_cast<size_t>(2 * i)] = digits[byte >> 4];
+    out[static_cast<size_t>(2 * i + 1)] = digits[byte & 0xf];
+  }
+  return out;
+}
+
+Hasher& Hasher::bytes(const void* data, size_t n) {
+  // Byte-at-a-time keeps the result independent of host endianness and
+  // alignment. Fingerprint inputs are small (a machine model, a block DAG),
+  // so throughput is irrelevant next to a covering run.
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h1_ = (h1_ ^ p[i]) * 0x100000001b3ull;        // FNV-1a 64 prime
+    h2_ = (h2_ ^ p[i]) * 0x00000100000001b3ull ^  // second lane: same prime,
+          (h2_ << 7 | h2_ >> 57);                 // extra rotation mixing
+  }
+  length_ += n;
+  return *this;
+}
+
+namespace {
+enum Tag : uint8_t {
+  kTagU8 = 1,
+  kTagU16,
+  kTagU32,
+  kTagU64,
+  kTagI64,
+  kTagBool,
+  kTagF64,
+  kTagStr,
+};
+}  // namespace
+
+Hasher& Hasher::u8(uint8_t v) {
+  const uint8_t buf[2] = {kTagU8, v};
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::u16(uint16_t v) {
+  const uint8_t buf[3] = {kTagU16, static_cast<uint8_t>(v),
+                          static_cast<uint8_t>(v >> 8)};
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::u32(uint32_t v) {
+  uint8_t buf[5] = {kTagU32};
+  for (int i = 0; i < 4; ++i) buf[i + 1] = static_cast<uint8_t>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::u64(uint64_t v) {
+  uint8_t buf[9] = {kTagU64};
+  for (int i = 0; i < 8; ++i) buf[i + 1] = static_cast<uint8_t>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::i64(int64_t v) {
+  uint8_t buf[9] = {kTagI64};
+  const auto u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buf[i + 1] = static_cast<uint8_t>(u >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::boolean(bool v) {
+  const uint8_t buf[2] = {kTagBool, static_cast<uint8_t>(v ? 1 : 0)};
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::f64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  uint8_t buf[9] = {kTagF64};
+  for (int i = 0; i < 8; ++i)
+    buf[i + 1] = static_cast<uint8_t>(bits >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::str(std::string_view s) {
+  uint8_t buf[9] = {kTagStr};
+  const auto n = static_cast<uint64_t>(s.size());
+  for (int i = 0; i < 8; ++i) buf[i + 1] = static_cast<uint8_t>(n >> (8 * i));
+  bytes(buf, sizeof buf);
+  return bytes(s.data(), s.size());
+}
+
+Hash128 Hasher::digest() const {
+  uint64_t a = fmix64(h1_ ^ length_);
+  uint64_t b = fmix64(h2_ ^ (length_ * 0x9e3779b97f4a7c15ull));
+  // Cross-mix so each output word depends on both lanes.
+  Hash128 out;
+  out.hi = fmix64(a + (b << 32 | b >> 32));
+  out.lo = fmix64(b + a);
+  return out;
+}
+
+uint64_t hash64(const void* data, size_t n) {
+  Hasher h;
+  h.bytes(data, n);
+  const Hash128 d = h.digest();
+  return d.hi ^ d.lo;
+}
+
+}  // namespace aviv

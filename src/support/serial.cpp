@@ -1,0 +1,87 @@
+#include "support/serial.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace aviv {
+
+void ByteWriter::u8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void ByteWriter::u16(uint16_t v) {
+  u8(static_cast<uint8_t>(v));
+  u8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void ByteReader::need(size_t n) const {
+  if (data_.size() - pos_ < n)
+    throw Error("truncated buffer: need " + std::to_string(n) +
+                " bytes at offset " + std::to_string(pos_) + " of " +
+                std::to_string(data_.size()));
+}
+
+uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint16_t ByteReader::u16() {
+  need(2);
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i)
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  return v;
+}
+
+uint32_t ByteReader::u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  return v;
+}
+
+uint64_t ByteReader::u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const uint32_t n = u32();
+  need(n);
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+}  // namespace aviv

@@ -1,0 +1,60 @@
+// Bounds-checked binary (de)serialization for the compilation service's
+// on-disk cache entries. Fixed little-endian widths and length-prefixed
+// strings: the format must be readable by a different process than the one
+// that wrote it, and a truncated or bit-flipped file must surface as a
+// clean aviv::Error (the cache turns that into "corrupt entry, recompile"),
+// never as UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aviv {
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v);
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void f64(double v);
+  // u32 length prefix + raw bytes.
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::string& buffer() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  // All getters throw aviv::Error("truncated ...") when the buffer runs
+  // out; str() additionally rejects length prefixes larger than the
+  // remaining buffer (the usual bit-flip failure mode).
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aviv

@@ -1,0 +1,148 @@
+// Canonicalization rules of the compile fingerprint (service/fingerprint.h):
+// everything that can change the compiled output must move the hash, and the
+// documented exclusions (jobs, session seed) must NOT move it — they are what
+// make one cache entry replayable across worker counts and sessions.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "service/fingerprint.h"
+
+namespace aviv {
+namespace {
+
+TEST(FingerprintMachine, StableAcrossLoads) {
+  EXPECT_EQ(fingerprintMachine(loadMachine("arch1")),
+            fingerprintMachine(loadMachine("arch1")));
+}
+
+TEST(FingerprintMachine, DistinguishesMachines) {
+  const Hash128 arch1 = fingerprintMachine(loadMachine("arch1"));
+  EXPECT_NE(arch1, fingerprintMachine(loadMachine("arch2")));
+  // Structural edits matter even when the name is unchanged: register-file
+  // sizes feed straight into covering and register allocation.
+  EXPECT_NE(arch1,
+            fingerprintMachine(loadMachine("arch1").withRegisterCount(2)));
+}
+
+TEST(FingerprintDag, StableAcrossParses) {
+  EXPECT_EQ(fingerprintDag(loadBlock("ex1")), fingerprintDag(loadBlock("ex1")));
+}
+
+TEST(FingerprintDag, DistinguishesBlocks) {
+  EXPECT_NE(fingerprintDag(loadBlock("ex1")), fingerprintDag(loadBlock("fig2")));
+}
+
+TEST(FingerprintDag, ConstantValueMatters) {
+  auto dagFor = [](const char* text) {
+    return fingerprintDag(parseProgram(text, "t").block(0));
+  };
+  const Hash128 a = dagFor("block t { input x; output y; y = x + 1; }");
+  const Hash128 b = dagFor("block t { input x; output y; y = x + 2; }");
+  EXPECT_NE(a, b);
+}
+
+// Every field forEachFingerprintField enumerates must move the options
+// fingerprint. The mutator list below is cross-checked against the visitor's
+// field count, so adding a field to the visitor without adding a mutation
+// here fails the test.
+TEST(FingerprintOptions, EveryEnumeratedFieldChangesTheHash) {
+  struct Mutation {
+    const char* field;
+    std::function<void(CodegenOptions&)> apply;
+  };
+  const std::vector<Mutation> mutations = {
+      {"assignPruneIncremental", [](auto& o) { o.assignPruneIncremental = !o.assignPruneIncremental; }},
+      {"assignPruneSlack", [](auto& o) { o.assignPruneSlack += 0.5; }},
+      {"assignBeamWidth", [](auto& o) { o.assignBeamWidth += 1; }},
+      {"assignKeepBest", [](auto& o) { o.assignKeepBest += 1; }},
+      {"maxAssignments", [](auto& o) { o.maxAssignments += 1; }},
+      {"smallSpaceExhaustive", [](auto& o) { o.smallSpaceExhaustive += 1; }},
+      {"transferCostWeight", [](auto& o) { o.transferCostWeight += 0.25; }},
+      {"parallelismCostWeight", [](auto& o) { o.parallelismCostWeight += 0.25; }},
+      {"complexCoverBonus", [](auto& o) { o.complexCoverBonus += 0.25; }},
+      {"registerAwareAssignment", [](auto& o) { o.registerAwareAssignment = !o.registerAwareAssignment; }},
+      {"registerPressurePenalty", [](auto& o) { o.registerPressurePenalty += 1.0; }},
+      {"enableComplexPatterns", [](auto& o) { o.enableComplexPatterns = !o.enableComplexPatterns; }},
+      {"cliqueLevelWindow", [](auto& o) { o.cliqueLevelWindow += 1; }},
+      {"maxCliquesPerRound", [](auto& o) { o.maxCliquesPerRound += 1; }},
+      {"coverLookahead", [](auto& o) { o.coverLookahead = !o.coverLookahead; }},
+      {"timeLimitSeconds", [](auto& o) { o.timeLimitSeconds += 1.0; }},
+      {"constantsInMemory", [](auto& o) { o.constantsInMemory = !o.constantsInMemory; }},
+      {"outputsToMemory", [](auto& o) { o.outputsToMemory = !o.outputsToMemory; }},
+  };
+
+  size_t enumerated = 0;
+  CodegenOptions probe;
+  probe.forEachFingerprintField([&](const char*, auto) { ++enumerated; });
+  ASSERT_EQ(mutations.size(), enumerated)
+      << "forEachFingerprintField and this test enumerate different field "
+         "sets; update both together";
+
+  const Hash128 base = fingerprintOptions(CodegenOptions{}, true, true);
+  for (const Mutation& m : mutations) {
+    CodegenOptions mutated;
+    m.apply(mutated);
+    EXPECT_NE(base, fingerprintOptions(mutated, true, true))
+        << "field " << m.field << " does not move the fingerprint";
+  }
+}
+
+TEST(FingerprintOptions, DriverFlagsChangeTheHash) {
+  const CodegenOptions opts;
+  const Hash128 base = fingerprintOptions(opts, true, true);
+  EXPECT_NE(base, fingerprintOptions(opts, false, true));
+  EXPECT_NE(base, fingerprintOptions(opts, true, false));
+}
+
+TEST(FingerprintOptions, JobsIsExcluded) {
+  CodegenOptions serial;
+  serial.jobs = 1;
+  CodegenOptions parallel;
+  parallel.jobs = 8;
+  // Parallel covering is bit-identical to serial, so a cache populated at
+  // any worker count must replay at any other.
+  EXPECT_EQ(fingerprintOptions(serial, true, true),
+            fingerprintOptions(parallel, true, true));
+}
+
+TEST(CompileFingerprint, SeedIsExcludedAndMemoAgreesWithLocal) {
+  const Machine machine = loadMachine("arch1");
+  const BlockDag dag = loadBlock("ex1");
+  const CodegenOptions opts = CodegenOptions::heuristicsOn();
+
+  CodegenContext plain(machine, opts, /*seed=*/1);
+  CodegenContext seeded(machine, opts, /*seed=*/999);
+  CodegenContext memoized(machine, opts, /*seed=*/1);
+  memoized.setMachineFingerprint(fingerprintMachine(memoized.machine()));
+
+  const Hash128 a = compileFingerprint(plain, dag, opts, true, true);
+  EXPECT_EQ(a, compileFingerprint(seeded, dag, opts, true, true));
+  EXPECT_EQ(a, compileFingerprint(memoized, dag, opts, true, true));
+  EXPECT_FALSE(a.isZero());
+}
+
+TEST(CompileFingerprint, ComponentsAreNotInterchangeable) {
+  const Machine arch1 = loadMachine("arch1");
+  const Machine arch2 = loadMachine("arch2");
+  const BlockDag ex1 = loadBlock("ex1");
+  const BlockDag fig2 = loadBlock("fig2");
+  const CodegenOptions opts = CodegenOptions::heuristicsOn();
+
+  CodegenContext c1(arch1, opts, 1);
+  CodegenContext c2(arch2, opts, 1);
+  const Hash128 base = compileFingerprint(c1, ex1, opts, true, true);
+  EXPECT_NE(base, compileFingerprint(c2, ex1, opts, true, true));
+  EXPECT_NE(base, compileFingerprint(c1, fig2, opts, true, true));
+  EXPECT_NE(base,
+            compileFingerprint(c1, ex1, CodegenOptions::heuristicsOff(), true,
+                               true));
+}
+
+}  // namespace
+}  // namespace aviv

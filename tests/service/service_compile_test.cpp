@@ -1,0 +1,282 @@
+// The compilation service's end-to-end properties (DESIGN.md System 23),
+// over every shipped block × machine pair so new data files are covered
+// automatically:
+//
+//   * a cache-hit compile is bit-identical to a cold compile — same assembly
+//     text, same instruction count, and stored phase stats identical (via
+//     sameShapeAs, which ignores wall-clock) to what a cache-less compile
+//     records;
+//   * a cache populated at jobs=4 replays bit-identically at jobs=1 (the
+//     fingerprint deliberately excludes the worker count);
+//   * a hit performs ZERO covering work: the block's telemetry subtree
+//     contains nothing but the cacheHits counter;
+//   * failing compiles are never cached and fail identically on retry;
+//   * corrupt on-disk entries degrade to a correct recompile that rewrites
+//     a valid entry (driver-level view of the cache robustness tests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/codegen.h"
+#include "ir/parser.h"
+#include "isdl/parser.h"
+#include "service/cache.h"
+#include "support/io.h"
+
+namespace aviv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> stemsWithExtension(const std::string& dir,
+                                            const std::string& ext) {
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ext)
+      stems.push_back(entry.path().stem().string());
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+// Everything observable about one standalone-block compile, plus the
+// block's telemetry subtree (as JSON — TelemetryNode is move-only).
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  std::string asmText;
+  int instructions = 0;
+  bool fromCache = false;
+  std::string cachedStatsJson;
+  std::string blockStatsJson;
+};
+
+Outcome compileWith(const BlockDag& dag, const Machine& machine, int jobs,
+                    std::shared_ptr<ResultCache> cache) {
+  DriverOptions options;
+  options.core = CodegenOptions::heuristicsOn();
+  options.core.jobs = jobs;
+  options.cache = std::move(cache);
+  Outcome out;
+  try {
+    CodeGenerator generator(machine, options);
+    SymbolTable symbols;
+    const CompiledBlock block = generator.compileBlock(dag, symbols);
+    out.ok = true;
+    out.asmText = block.image.asmText(machine);
+    out.instructions = block.numInstructions();
+    out.fromCache = block.fromCache;
+    out.cachedStatsJson = block.cachedStatsJson;
+    const TelemetryNode* tel =
+        generator.telemetry().findChild("block:" + dag.name());
+    if (tel != nullptr) out.blockStatsJson = tel->toJson();
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+struct ServiceCase {
+  std::string block;
+  std::string machine;
+};
+
+class CacheReplay : public ::testing::TestWithParam<ServiceCase> {};
+
+TEST_P(CacheReplay, HitIsBitIdenticalToColdCompile) {
+  const BlockDag dag = loadBlock(GetParam().block);
+  const Machine machine = loadMachine(GetParam().machine);
+
+  // Cold baseline: no cache at all.
+  const Outcome cold = compileWith(dag, machine, 1, nullptr);
+
+  // Populate at jobs=4, replay at jobs=1 through a fresh generator sharing
+  // the same (memory-only) cache.
+  auto cache = std::make_shared<ResultCache>(CacheConfig{});
+  const Outcome populate = compileWith(dag, machine, 4, cache);
+  const Outcome hit = compileWith(dag, machine, 1, cache);
+
+  EXPECT_EQ(populate.ok, cold.ok);
+  EXPECT_EQ(populate.error, cold.error);
+  if (!cold.ok) {
+    // Failed compiles are never cached: the replay attempt recompiles and
+    // fails with the same diagnostic instead of serving a stale result.
+    EXPECT_FALSE(hit.ok);
+    EXPECT_EQ(hit.error, cold.error);
+    return;
+  }
+
+  EXPECT_FALSE(populate.fromCache);
+  EXPECT_EQ(populate.asmText, cold.asmText);
+
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.fromCache);
+  EXPECT_EQ(hit.asmText, cold.asmText);
+  EXPECT_EQ(hit.instructions, cold.instructions);
+
+  // Zero covering work on a hit: the block subtree holds the cacheHits
+  // counter and nothing else — no assignment/cover/regalloc/encode phases.
+  const TelemetryNode hitTel = TelemetryNode::fromJson(hit.blockStatsJson);
+  EXPECT_TRUE(hitTel.children().empty());
+  EXPECT_EQ(hitTel.counters().size(), 1u);
+  EXPECT_EQ(hitTel.counter("cacheHits"), 1);
+
+  // The stored stats are what a cache-less compile records, verbatim. Use a
+  // jobs=1-populated cache for this comparison: the cold baseline ran at
+  // jobs=1 and cover-phase telemetry legitimately records the worker count.
+  auto serialCache = std::make_shared<ResultCache>(CacheConfig{});
+  (void)compileWith(dag, machine, 1, serialCache);
+  const Outcome serialHit = compileWith(dag, machine, 1, serialCache);
+  ASSERT_TRUE(serialHit.fromCache);
+  const TelemetryNode stored =
+      TelemetryNode::fromJson(serialHit.cachedStatsJson);
+  const TelemetryNode coldTel = TelemetryNode::fromJson(cold.blockStatsJson);
+  EXPECT_TRUE(stored.sameShapeAs(coldTel))
+      << "stored:\n" << stored.toJson() << "\ncold:\n" << coldTel.toJson();
+}
+
+std::vector<ServiceCase> allCases() {
+  std::vector<ServiceCase> cases;
+  for (const std::string& machine : stemsWithExtension(machineDir(), ".isdl"))
+    for (const std::string& block : stemsWithExtension(blockDir(), ".blk"))
+      cases.push_back({block, machine});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlocksAllMachines, CacheReplay,
+                         ::testing::ValuesIn(allCases()),
+                         [](const auto& info) {
+                           return info.param.block + "_" + info.param.machine;
+                         });
+
+// Program-level replay: every block hydrates from the cache, the merged
+// symbol table is identical, and the replayed program simulates identically.
+TEST(CacheReplay, ProgramReplaysFromCache) {
+  const Program program = parseProgram(R"(
+    block entry {
+      input n;
+      output cond, x;
+      x = n * n;
+      cond = x > 100;
+      if cond goto big else small;
+    }
+    block big {
+      input x;
+      output r, s;
+      s = x + x;
+      r = x - 100 + s;
+      return;
+    }
+    block small {
+      input x;
+      output r;
+      r = x + 1;
+      return;
+    }
+  )",
+                                       "branchy");
+  const Machine machine = loadMachine("arch1");
+  auto cache = std::make_shared<ResultCache>(CacheConfig{});
+
+  auto compileOnce = [&] {
+    DriverOptions options;
+    options.core = CodegenOptions::heuristicsOn();
+    options.cache = cache;
+    CodeGenerator generator(machine, options);
+    return generator.compileProgram(program);
+  };
+  const CompiledProgram cold = compileOnce();
+  const CompiledProgram warm = compileOnce();
+
+  ASSERT_EQ(warm.blocks.size(), cold.blocks.size());
+  for (size_t i = 0; i < cold.blocks.size(); ++i) {
+    EXPECT_FALSE(cold.blocks[i].fromCache) << "block " << i;
+    EXPECT_TRUE(warm.blocks[i].fromCache) << "block " << i;
+    EXPECT_EQ(warm.blocks[i].image.asmText(machine),
+              cold.blocks[i].image.asmText(machine))
+        << "block " << i;
+  }
+  EXPECT_EQ(warm.symbols.all(), cold.symbols.all());
+  EXPECT_EQ(warm.totalInstructions(), cold.totalInstructions());
+  for (const int64_t n : {5, 11, -3})
+    EXPECT_EQ(simulateProgram(machine, warm, {{"n", n}}),
+              simulateProgram(machine, cold, {{"n", n}}))
+        << "n = " << n;
+}
+
+// Per-generator session telemetry surfaces the shared cache's counters as
+// the "service" phase (what --stats-json exposes).
+TEST(CacheReplay, ServicePhaseSurfacesCounters) {
+  const BlockDag dag = loadBlock("ex1");
+  const Machine machine = loadMachine("arch1");
+  auto cache = std::make_shared<ResultCache>(CacheConfig{});
+
+  DriverOptions options;
+  options.core = CodegenOptions::heuristicsOn();
+  options.cache = cache;
+  CodeGenerator generator(machine, options);
+  SymbolTable s1, s2;
+  (void)generator.compileBlock(dag, s1);
+  (void)generator.compileBlock(dag, s2);
+
+  const TelemetryNode* service = generator.telemetry().findChild("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->counter("lookups"), 2);
+  EXPECT_EQ(service->counter("misses"), 1);
+  EXPECT_EQ(service->counter("hits"), 1);
+  EXPECT_EQ(service->counter("memoryHits"), 1);
+  EXPECT_EQ(service->counter("stores"), 1);
+}
+
+// Driver-level corruption robustness: a flipped byte in the on-disk entry
+// must yield a correct recompile (identical assembly), a corrupt count of
+// one, and a rewritten entry that the next compile hits.
+TEST(CacheReplay, CorruptDiskEntryRecompilesAndHeals) {
+  const BlockDag dag = loadBlock("ex1");
+  const Machine machine = loadMachine("arch1");
+  const std::string dir =
+      (fs::temp_directory_path() / "aviv_service_corrupt_test").string();
+  fs::remove_all(dir);
+
+  CacheConfig config;
+  config.dir = dir;
+  config.memoryEntries = 0;  // force the disk tier on every lookup
+
+  const Outcome cold = compileWith(dag, machine, 1, nullptr);
+  ASSERT_TRUE(cold.ok) << cold.error;
+
+  std::string entryFile;
+  {
+    auto cache = std::make_shared<ResultCache>(config);
+    const Outcome populate = compileWith(dag, machine, 1, cache);
+    ASSERT_TRUE(populate.ok) << populate.error;
+    // Find the one object file the store wrote and flip a byte in it.
+    for (const auto& f :
+         fs::recursive_directory_iterator(fs::path(dir) / "objects"))
+      if (f.is_regular_file()) entryFile = f.path().string();
+    ASSERT_FALSE(entryFile.empty());
+    std::string bytes = readFile(entryFile);
+    bytes[bytes.size() / 2] ^= 0x10;
+    writeFile(entryFile, bytes);
+  }
+
+  auto cache = std::make_shared<ResultCache>(config);
+  const Outcome recompiled = compileWith(dag, machine, 1, cache);
+  ASSERT_TRUE(recompiled.ok) << recompiled.error;
+  EXPECT_FALSE(recompiled.fromCache) << "stale result served from corrupt entry";
+  EXPECT_EQ(recompiled.asmText, cold.asmText);
+  EXPECT_EQ(cache->stats().corrupt, 1);
+  EXPECT_TRUE(fs::exists(entryFile)) << "recompile must rewrite the entry";
+
+  const Outcome healed = compileWith(dag, machine, 1, cache);
+  EXPECT_TRUE(healed.fromCache);
+  EXPECT_EQ(healed.asmText, cold.asmText);
+  EXPECT_EQ(cache->stats().corrupt, 1);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aviv
