@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
                   "[--regs N] [--o out.avivbin] [--simulate k=v,...] "
                   "[--verify N] [--heuristics on|off] [--no-peephole] "
                   "[--const-pool] [--outputs-mem] [--bin-stats] "
-                  "[--jobs N] [--stats-json out.json] "
+                  "[--jobs N] [--timeout SEC] [--stats-json out.json] "
                   "[--cache-dir DIR] [--no-cache]");
     const std::string sourcePath = flags.positional()[0];
     Machine machine = resolveMachine(flags.getString("machine", "arch1"));
@@ -99,6 +99,9 @@ int main(int argc, char** argv) {
     options.core.constantsInMemory = flags.getBool("const-pool", false);
     options.core.outputsToMemory = flags.getBool("outputs-mem", false);
     options.core.jobs = static_cast<int>(flags.getInt("jobs", 1));
+    // Wall-clock covering budget; on expiry the compile degrades to the
+    // sequential baseline (see DriverOptions::baselineFallback).
+    options.core.timeLimitSeconds = flags.getDouble("timeout", 0.0);
     const std::string statsJson = flags.getString("stats-json", "");
     const std::string cacheDir = flags.getString("cache-dir", "");
     const bool noCache = flags.getBool("no-cache", false);

@@ -9,15 +9,25 @@
 // blank lines are skipped):
 //
 //   machine=<name|path.isdl> block=<name|path.blk|path.c> [heuristics=on|off]
-//   [const-pool] [outputs-mem] [no-peephole] [regs=N]
+//   [const-pool] [outputs-mem] [no-peephole] [regs=N] [timeout=SEC]
 //
 // `machine` resolves shipped names via the machine directory; `block`
 // resolves shipped names via the block directory, or takes a path to a
-// .blk/.c file. Example batch:
+// .blk/.c file. `timeout` bounds the request's covering flow in wall-clock
+// seconds (overriding --default-timeout): a request whose budget expires
+// degrades to the sequential baseline and reports `degraded` instead of
+// failing. Example batch:
 //
 //   machine=arch1 block=ex1
-//   machine=arch2 block=biquad heuristics=off
+//   machine=arch2 block=biquad heuristics=off timeout=0.5
 //   machine=dsp16 block=fir.blk const-pool
+//
+// Malformed request lines are reported (with their 1-based line number) and
+// skipped; the rest of the batch still compiles. A request that fails —
+// compile error, injected fault, anything — only fails that request: the
+// daemon never dies mid-batch. SIGINT/SIGTERM request a graceful shutdown:
+// in-flight requests drain, pending ones report `skipped (shutdown)`, the
+// cache manifest is flushed, and the process exits 130.
 //
 // Options:
 //   --cache-dir <dir>    on-disk result-cache directory (shared with avivc);
@@ -28,21 +38,35 @@
 //   --repeat <n>         run the whole batch n times in this process
 //                        (pass 2+ should be all cache hits)
 //   --expect-all-hits    exit nonzero unless the final pass had 0 misses
+//                        (degraded requests excluded: their results are
+//                        deliberately never cached)
+//   --default-timeout <sec>  covering budget for requests without their own
+//                        timeout= token (0 = unlimited)
+//   --retries <n>        retry a request hit by a transient fault up to n
+//                        times with exponential backoff (default 2)
+//   --failpoints <spec>  activate fault-injection points, same grammar as
+//                        the AVIV_FAILPOINTS env var: name[:prob[:count]],
+//                        comma-separated (see src/support/failpoint.h)
 //   --print-asm          print each result's assembly after its status line
 //   --stats-json <file>  write the daemon's phase-telemetry tree as JSON
 //
 // Status lines (streamed as requests complete; order varies with --jobs):
 //   req 3: ok block=ex1 machine=arch1 blocks=1 instrs=7 cache=hit
+//   req 4: degraded block=biquad machine=arch2 blocks=1 instrs=9 cache=miss
 //   req 5: error <message>
+//   req 6: skipped (shutdown)
 // Summary lines (per pass):
-//   avivd: pass 1: 10 requests, 10 ok, 0 failed
+//   avivd: pass 1: 10 requests, 9 ok, 1 degraded, 0 failed, 0 skipped
 //   avivd: cache: 10 lookups, 0 hits, 10 misses, 0 corrupt, 0 evictions
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "driver/codegen.h"
@@ -52,6 +76,7 @@
 #include "service/cache.h"
 #include "support/cli.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/io.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
@@ -59,6 +84,12 @@
 namespace {
 
 using namespace aviv;
+
+// Graceful-shutdown flag, flipped by the SIGINT/SIGTERM handler. Workers
+// poll it before starting a request; in-flight compiles drain normally.
+volatile std::sig_atomic_t g_shutdownRequested = 0;
+
+extern "C" void handleShutdownSignal(int) { g_shutdownRequested = 1; }
 
 struct Request {
   int line = 0;  // 1-based line number in the batch file
@@ -70,6 +101,7 @@ struct Request {
 
 struct RequestResult {
   bool ok = false;
+  bool degraded = false;  // ok, but at least one block fell back to baseline
   std::string error;
   std::string statusDetail;  // "block=... machine=... blocks=N instrs=N cache=..."
   std::string asmText;
@@ -89,10 +121,12 @@ Program resolveProgram(const std::string& spec) {
   return parseProgram(readFile(path), path);
 }
 
-Request parseRequest(const std::string& text, int line) {
+Request parseRequest(const std::string& text, int line,
+                     double defaultTimeout) {
   Request request;
   request.line = line;
   request.options.core = CodegenOptions::heuristicsOn();
+  request.options.core.timeLimitSeconds = defaultTimeout;
   std::istringstream tokens(text);
   std::string token;
   while (tokens >> token) {
@@ -109,9 +143,19 @@ Request parseRequest(const std::string& text, int line) {
       if (value != "on" && value != "off")
         throw Error("heuristics expects on|off, got '" + value + "'");
       const int jobs = request.options.core.jobs;
+      const double timeout = request.options.core.timeLimitSeconds;
       request.options.core = value == "off" ? CodegenOptions::heuristicsOff()
                                             : CodegenOptions::heuristicsOn();
       request.options.core.jobs = jobs;
+      request.options.core.timeLimitSeconds = timeout;
+    } else if (key == "timeout") {
+      try {
+        request.options.core.timeLimitSeconds = std::stod(value);
+      } catch (const std::exception&) {
+        throw Error("timeout expects seconds, got '" + value + "'");
+      }
+      if (request.options.core.timeLimitSeconds < 0)
+        throw Error("timeout must be >= 0, got '" + value + "'");
     } else if (key == "const-pool") {
       request.options.core.constantsInMemory = true;
     } else if (key == "outputs-mem") {
@@ -137,54 +181,81 @@ Machine materializeMachine(const Request& request) {
   return machine;
 }
 
+RequestResult runRequestOnce(const Request& request,
+                             const std::shared_ptr<ResultCache>& cache,
+                             bool wantAsm, TelemetryNode& tel) {
+  RequestResult result;
+  // Fault-injection site standing in for any transient dispatch failure
+  // (worker wedged, resource briefly unavailable). Fires before compile
+  // work so the retry loop re-runs the whole request.
+  FailPoints::instance().maybeThrow("avivd-dispatch");
+  const Machine machine = materializeMachine(request);
+  const Program program = resolveProgram(request.blockSpec);
+  DriverOptions options = request.options;
+  options.cache = cache;
+  CodeGenerator generator(machine, options);
+
+  int instrs = 0;
+  std::string asmText;
+  if (program.numBlocks() > 1) {
+    const CompiledProgram compiled = generator.compileProgram(program);
+    instrs = compiled.totalInstructions();
+    result.blocks = compiled.blocks.size();
+    for (const CompiledBlock& block : compiled.blocks) {
+      if (block.fromCache) ++result.cachedBlocks;
+      if (block.degraded) result.degraded = true;
+      if (wantAsm) asmText += block.image.asmText(machine) + "\n";
+    }
+  } else {
+    SymbolTable symbols;
+    const CompiledBlock block =
+        generator.compileBlock(program.block(0), symbols);
+    instrs = block.numInstructions();
+    result.blocks = 1;
+    if (block.fromCache) ++result.cachedBlocks;
+    if (block.degraded) result.degraded = true;
+    if (wantAsm) asmText = block.image.asmText(machine) + "\n";
+  }
+  tel.merge(generator.telemetry());
+
+  const char* cacheState =
+      cache == nullptr ? "off"
+      : result.cachedBlocks == result.blocks ? "hit"
+      : result.cachedBlocks == 0             ? "miss"
+                                             : "partial";
+  result.ok = true;
+  result.asmText = std::move(asmText);
+  result.statusDetail = "block=" + request.blockSpec +
+                        " machine=" + machine.name() +
+                        " blocks=" + std::to_string(result.blocks) +
+                        " instrs=" + std::to_string(instrs) +
+                        " cache=" + cacheState;
+  return result;
+}
+
+// Per-request isolation: every failure mode — parse, compile, injected
+// fault — lands in RequestResult::error; nothing escapes to kill the
+// daemon. Transient faults are retried with exponential backoff.
 RequestResult runRequest(const Request& request,
                          const std::shared_ptr<ResultCache>& cache,
-                         bool wantAsm, TelemetryNode& tel) {
+                         bool wantAsm, int retries, TelemetryNode& tel) {
   RequestResult result;
-  try {
-    const Machine machine = materializeMachine(request);
-    const Program program = resolveProgram(request.blockSpec);
-    DriverOptions options = request.options;
-    options.cache = cache;
-    CodeGenerator generator(machine, options);
-
-    int instrs = 0;
-    std::string asmText;
-    if (program.numBlocks() > 1) {
-      const CompiledProgram compiled = generator.compileProgram(program);
-      instrs = compiled.totalInstructions();
-      result.blocks = compiled.blocks.size();
-      for (const CompiledBlock& block : compiled.blocks) {
-        if (block.fromCache) ++result.cachedBlocks;
-        if (wantAsm) asmText += block.image.asmText(machine) + "\n";
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return runRequestOnce(request, cache, wantAsm, tel);
+    } catch (const TransientError& e) {
+      if (attempt >= retries) {
+        result.error = e.what();
+        return result;
       }
-    } else {
-      SymbolTable symbols;
-      const CompiledBlock block =
-          generator.compileBlock(program.block(0), symbols);
-      instrs = block.numInstructions();
-      result.blocks = 1;
-      if (block.fromCache) ++result.cachedBlocks;
-      if (wantAsm) asmText = block.image.asmText(machine) + "\n";
+      tel.addCounter("dispatchRetries", 1);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          1.0 * static_cast<double>(1 << attempt)));
+    } catch (const std::exception& e) {
+      result.error = e.what();
+      return result;
     }
-    tel.merge(generator.telemetry());
-
-    const char* cacheState =
-        cache == nullptr ? "off"
-        : result.cachedBlocks == result.blocks ? "hit"
-        : result.cachedBlocks == 0             ? "miss"
-                                               : "partial";
-    result.ok = true;
-    result.asmText = std::move(asmText);
-    result.statusDetail = "block=" + request.blockSpec +
-                          " machine=" + machine.name() +
-                          " blocks=" + std::to_string(result.blocks) +
-                          " instrs=" + std::to_string(instrs) +
-                          " cache=" + cacheState;
-  } catch (const std::exception& e) {
-    result.error = e.what();
   }
-  return result;
 }
 
 }  // namespace
@@ -196,6 +267,7 @@ int main(int argc, char** argv) {
       throw Error(
           "usage: avivd <requests.txt|-> [--cache-dir DIR] [--no-cache] "
           "[--mem-entries N] [--jobs N] [--repeat N] [--expect-all-hits] "
+          "[--default-timeout SEC] [--retries N] [--failpoints SPEC] "
           "[--print-asm] [--stats-json out.json]");
     const std::string batchPath = flags.positional()[0];
     const std::string cacheDir = flags.getString("cache-dir", "");
@@ -205,12 +277,20 @@ int main(int argc, char** argv) {
     const int jobs = static_cast<int>(flags.getInt("jobs", 1));
     const int repeat = static_cast<int>(flags.getInt("repeat", 1));
     const bool expectAllHits = flags.getBool("expect-all-hits", false);
+    const double defaultTimeout = flags.getDouble("default-timeout", 0.0);
+    const int retries = static_cast<int>(flags.getInt("retries", 2));
+    const std::string failpoints = flags.getString("failpoints", "");
     const bool printAsm = flags.getBool("print-asm", false);
     const std::string statsJson = flags.getString("stats-json", "");
     flags.finish();
+    if (!failpoints.empty()) FailPoints::instance().configure(failpoints);
 
-    // Read and parse the whole batch up front: a malformed line should
-    // fail fast, before any compile work starts.
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+
+    // Read and parse the whole batch up front. A malformed line is
+    // reported with its 1-based line number and skipped — one typo must
+    // not take down the rest of the batch.
     std::string batchText;
     if (batchPath == "-") {
       std::ostringstream buffer;
@@ -220,6 +300,7 @@ int main(int argc, char** argv) {
       batchText = readFile(batchPath);
     }
     std::vector<Request> requests;
+    int parseErrors = 0;
     {
       std::istringstream lines(batchText);
       std::string line;
@@ -229,14 +310,16 @@ int main(int argc, char** argv) {
         const std::string_view stripped = trim(line);
         if (stripped.empty() || stripped[0] == '#') continue;
         try {
-          requests.push_back(parseRequest(std::string(stripped), lineNo));
+          requests.push_back(
+              parseRequest(std::string(stripped), lineNo, defaultTimeout));
         } catch (const Error& e) {
-          throw Error("request line " + std::to_string(lineNo) + ": " +
+          ++parseErrors;
+          std::printf("avivd: request line %d: %s (skipped)\n", lineNo,
                       e.what());
         }
       }
     }
-    if (requests.empty()) throw Error("batch contains no requests");
+    if (requests.empty()) throw Error("batch contains no valid requests");
 
     std::shared_ptr<ResultCache> cache;
     if (!noCache) {
@@ -251,8 +334,10 @@ int main(int argc, char** argv) {
     std::mutex outMu;
     bool allOk = true;
     int64_t finalPassMisses = 0;
+    int64_t finalPassDegradedMisses = 0;
+    bool shutdown = false;
 
-    for (int pass = 1; pass <= repeat; ++pass) {
+    for (int pass = 1; pass <= repeat && !shutdown; ++pass) {
       TelemetryNode& passTel = root.child("pass:" + std::to_string(pass));
       // Pre-create one disjoint telemetry subtree per request before the
       // fan-out (TelemetryNode is not thread-safe).
@@ -264,13 +349,35 @@ int main(int argc, char** argv) {
       const CacheStats before =
           cache != nullptr ? cache->stats() : CacheStats{};
       size_t okCount = 0;
+      size_t degradedCount = 0;
+      size_t skippedCount = 0;
+      // Misses attributable to degraded requests: their results are
+      // deliberately never cached, so --expect-all-hits must not count
+      // them against the pass.
+      int64_t degradedMisses = 0;
       pool.parallelFor(requests.size(), [&](size_t i, int) {
+        if (g_shutdownRequested != 0) {
+          // Drain mode: in-flight requests finish, pending ones skip.
+          std::lock_guard<std::mutex> lock(outMu);
+          ++skippedCount;
+          std::printf("req %zu: skipped (shutdown)\n", i);
+          std::fflush(stdout);
+          return;
+        }
         const RequestResult result =
-            runRequest(requests[i], cache, printAsm, *requestTel[i]);
+            runRequest(requests[i], cache, printAsm, retries, *requestTel[i]);
         std::lock_guard<std::mutex> lock(outMu);
         if (result.ok) {
-          ++okCount;
-          std::printf("req %zu: ok %s\n", i, result.statusDetail.c_str());
+          if (result.degraded) {
+            ++degradedCount;
+            degradedMisses += static_cast<int64_t>(result.blocks) -
+                              static_cast<int64_t>(result.cachedBlocks);
+            std::printf("req %zu: degraded %s\n", i,
+                        result.statusDetail.c_str());
+          } else {
+            ++okCount;
+            std::printf("req %zu: ok %s\n", i, result.statusDetail.c_str());
+          }
           if (printAsm) std::printf("%s", result.asmText.c_str());
         } else {
           std::printf("req %zu: error %s\n", i, result.error.c_str());
@@ -278,30 +385,53 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
       });
 
-      std::printf("avivd: pass %d: %zu requests, %zu ok, %zu failed\n", pass,
-                  requests.size(), okCount, requests.size() - okCount);
+      std::printf(
+          "avivd: pass %d: %zu requests, %zu ok, %zu degraded, %zu failed, "
+          "%zu skipped\n",
+          pass, requests.size(), okCount, degradedCount,
+          requests.size() - okCount - degradedCount - skippedCount,
+          skippedCount);
+      if (parseErrors > 0)
+        std::printf("avivd: pass %d: %d parse-errors\n", pass, parseErrors);
       if (cache != nullptr) {
         const CacheStats now = cache->stats();
         std::printf(
             "avivd: cache: %lld lookups, %lld hits, %lld misses, "
-            "%lld corrupt, %lld evictions\n",
+            "%lld corrupt, %lld write-errors, %lld io-retries, "
+            "%lld evictions\n",
             static_cast<long long>(now.lookups - before.lookups),
             static_cast<long long>(now.hits - before.hits),
             static_cast<long long>(now.misses - before.misses),
             static_cast<long long>(now.corrupt - before.corrupt),
+            static_cast<long long>(now.writeErrors - before.writeErrors),
+            static_cast<long long>(now.ioRetries - before.ioRetries),
             static_cast<long long>(now.evictions - before.evictions));
         finalPassMisses = now.misses - before.misses;
+        finalPassDegradedMisses = degradedMisses;
         recordServiceStats(now, root.child("service"));
       }
-      if (okCount != requests.size()) allOk = false;
+      if (okCount + degradedCount != requests.size()) allOk = false;
+      if (g_shutdownRequested != 0) shutdown = true;
     }
 
+    if (shutdown) {
+      // Graceful shutdown: in-flight work has drained; persist what we can
+      // and exit with the conventional interrupted status.
+      if (cache != nullptr) cache->flushManifest();
+      if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
+      std::printf("avivd: shutdown requested, exiting\n");
+      return 130;
+    }
     if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
     if (!allOk) return 1;
-    if (expectAllHits && (cache == nullptr || finalPassMisses > 0)) {
+    if (expectAllHits &&
+        (cache == nullptr ||
+         finalPassMisses - finalPassDegradedMisses > 0)) {
       std::fprintf(stderr,
-                   "avivd: --expect-all-hits: final pass had %lld misses\n",
-                   static_cast<long long>(finalPassMisses));
+                   "avivd: --expect-all-hits: final pass had %lld misses "
+                   "(%lld from degraded requests, excluded)\n",
+                   static_cast<long long>(finalPassMisses),
+                   static_cast<long long>(finalPassDegradedMisses));
       return 2;
     }
     return 0;

@@ -34,7 +34,7 @@ Assignment selectUnitsLocally(const SplitNodeDag& snd) {
     for (SndId alt : alts) {
       if (best == kNoSnd || key(alt) < key(best)) best = alt;
     }
-    AVIV_CHECK(best != kNoSnd);
+    AVIV_REQUIRE(best != kNoSnd);
     assignment.chosenAlt[id] = best;
     unitLoad[snd.node(best).unit] += 1;
     for (size_t c = 1; c < snd.node(best).covers.size(); ++c)
@@ -97,7 +97,7 @@ BaselineResult sequentialCodegen(const BlockDag& ir, const Machine& machine,
       for (AgId pred : graph.node(id).preds) allPreds &= covered.test(pred);
       if (allPreds) ready.push_back(id);
     }
-    AVIV_CHECK_MSG(!ready.empty(), "baseline scheduling deadlock");
+    AVIV_REQUIRE_MSG(!ready.empty(), "baseline scheduling deadlock");
     std::stable_sort(ready.begin(), ready.end(), [&](AgId a, AgId b) {
       return heights[a] > heights[b];
     });

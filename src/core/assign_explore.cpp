@@ -24,8 +24,9 @@ SndId Assignment::producerAltOf(NodeId irNode, const SplitNodeDag& snd) const {
 }
 
 AssignmentExplorer::AssignmentExplorer(const SplitNodeDag& snd,
-                                       const CodegenOptions& options)
-    : snd_(snd), options_(options) {}
+                                       const CodegenOptions& options,
+                                       const Deadline* deadline)
+    : snd_(snd), options_(options), deadline_(deadline) {}
 
 namespace {
 
@@ -162,6 +163,7 @@ std::vector<Assignment> AssignmentExplorer::explore(
   };
 
   for (const NodeId n : order) {
+    if (deadline_ != nullptr) deadline_->check("assignment exploration");
     std::vector<State> next;
     next.reserve(states.size());
     for (size_t si = 0; si < states.size(); ++si) {
@@ -176,7 +178,11 @@ std::vector<Assignment> AssignmentExplorer::explore(
       for (size_t a = 0; a < alts.size(); ++a) {
         inc[a] = incrementalCost(s, n, alts[a]);
         minInc = std::min(minInc, inc[a]);
-        ++st.statesExpanded;
+        // Heuristics-off exploration grows multiplicatively; poll the
+        // deadline often enough that a hard budget stops it within
+        // milliseconds, but not on every evaluation.
+        if (++st.statesExpanded % 256 == 0 && deadline_ != nullptr)
+          deadline_->check("assignment exploration");
       }
       for (size_t a = 0; a < alts.size(); ++a) {
         const bool keep = !options_.assignPruneIncremental ||
@@ -194,7 +200,7 @@ std::vector<Assignment> AssignmentExplorer::explore(
       }
     }
     states = std::move(next);
-    AVIV_CHECK(!states.empty());
+    AVIV_REQUIRE(!states.empty());
 
     const size_t cap = options_.assignBeamWidth > 0
                            ? static_cast<size_t>(options_.assignBeamWidth)

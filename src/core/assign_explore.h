@@ -18,6 +18,7 @@
 
 #include "core/options.h"
 #include "core/splitnode.h"
+#include "support/deadline.h"
 
 namespace aviv {
 
@@ -52,7 +53,12 @@ struct ExploreTraceEntry {
 
 class AssignmentExplorer {
  public:
-  AssignmentExplorer(const SplitNodeDag& snd, const CodegenOptions& options);
+  // When `deadline` is non-null it is polled between node expansions and
+  // every few hundred state evaluations; expiry throws DeadlineExceeded
+  // (no partial assignment is usable — the driver degrades to the
+  // sequential baseline instead).
+  AssignmentExplorer(const SplitNodeDag& snd, const CodegenOptions& options,
+                     const Deadline* deadline = nullptr);
 
   // Returns the selected assignments, lowest cost first (at most
   // options.assignKeepBest). Never empty for a buildable Split-Node DAG.
@@ -63,6 +69,7 @@ class AssignmentExplorer {
  private:
   const SplitNodeDag& snd_;
   const CodegenOptions& options_;
+  const Deadline* deadline_;
 };
 
 }  // namespace aviv

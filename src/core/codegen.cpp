@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/timer.h"
 
 namespace aviv {
@@ -55,10 +56,24 @@ bool candidateBetter(const Candidate& a, int instructions, int spills,
 CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                       const MachineDatabases& dbs,
                       const CodegenOptions& options, ThreadPool* pool,
-                      TelemetryNode* phase) {
+                      TelemetryNode* phase, const Deadline* deadline) {
   WallTimer timer;
   TelemetryNode scratch("block:" + ir.name());
   TelemetryNode& tel = phase != nullptr ? *phase : scratch;
+
+  // Deadline-free callers still honor the legacy timeLimitSeconds knob: the
+  // budget clock starts here, exactly as the old ad-hoc timer did.
+  Deadline localDeadline;
+  if (deadline == nullptr) {
+    localDeadline.arm(options.timeLimitSeconds);
+    deadline = &localDeadline;
+  }
+
+  // Fault-injection site for the daemon's isolation tests: a covering that
+  // dies mid-request must degrade, not take the process down.
+  if (FailPoints::instance().shouldFail("cover-internal"))
+    throw InternalError("block '" + ir.name() +
+                        "': fail point 'cover-internal' fired");
 
   requireNoDeadOps(ir);
   // Register requirements below two per bank cannot even hold a binary
@@ -69,6 +84,7 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                   rf.name + " has fewer than 2 registers");
   }
 
+  deadline->check("split-node construction");
   const SplitNodeDag snd = [&] {
     PhaseScope ph(tel, "splitnode");
     return SplitNodeDag::build(ir, machine, dbs, options);
@@ -95,10 +111,10 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   }
   const std::vector<Assignment> assignments = [&] {
     PhaseScope ph(tel, "explore");
-    AssignmentExplorer explorer(snd, exploreOptions);
+    AssignmentExplorer explorer(snd, exploreOptions, deadline);
     return explorer.explore(&stats.explore);
   }();
-  AVIV_CHECK(!assignments.empty());
+  AVIV_REQUIRE(!assignments.empty());
 
   const bool parallel = pool != nullptr && options.jobs > 1;
   const int numWorkers = parallel ? pool->parallelism() : 1;
@@ -123,20 +139,24 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
 
     auto coverOne = [&](size_t index, int workerInt) {
       const auto worker = static_cast<size_t>(workerInt);
-      if (options.timeLimitSeconds > 0 &&
-          anySuccess.load(std::memory_order_relaxed) &&
-          timer.seconds() > options.timeLimitSeconds) {
+      if (deadline->expired()) {
         timedOut.store(true, std::memory_order_relaxed);
         return;
       }
       const Assignment& assignment = candidates[index];
       AssignedGraph graph =
           AssignedGraph::materialize(snd, assignment, options);
-      CoveringEngine engine(graph, dbs.transfers, dbs.constraints, options);
+      CoveringEngine engine(graph, dbs.transfers, dbs.constraints, options,
+                            deadline);
       CoverStats coverStats;
       Schedule schedule;
       try {
         schedule = engine.run(&coverStats);
+      } catch (const DeadlineExceeded&) {
+        // Budget ran out mid-covering: the partial schedule is unusable,
+        // but an earlier candidate's complete covering (if any) still wins.
+        timedOut.store(true, std::memory_order_relaxed);
+        return;
       } catch (const Error& e) {
         // This assignment cannot satisfy the register limits; try others.
         auto& fail = failures[worker];
@@ -185,6 +205,11 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   };
   tryAssignments(assignments);
 
+  if (!best.has_value() && timedOut.load(std::memory_order_relaxed))
+    throw DeadlineExceeded("block '" + ir.name() + "' on machine '" +
+                           machine.name() +
+                           "': deadline expired before any assignment was "
+                           "covered");
   if (!best.has_value()) {
     // Every selected assignment was register-infeasible (the paper's cost
     // function does not see register limits; Section VI names this as
@@ -193,9 +218,14 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
     wide.assignPruneIncremental = false;
     wide.assignBeamWidth = 256;
     wide.assignKeepBest = 64;
-    AssignmentExplorer wideExplorer(snd, wide);
+    AssignmentExplorer wideExplorer(snd, wide, deadline);
     tryAssignments(wideExplorer.explore());
   }
+  if (!best.has_value() && timedOut.load(std::memory_order_relaxed))
+    throw DeadlineExceeded("block '" + ir.name() + "' on machine '" +
+                           machine.name() +
+                           "': deadline expired before any assignment was "
+                           "covered");
   if (!best.has_value())
     throw Error("block '" + ir.name() + "' on machine '" + machine.name() +
                 "': no feasible schedule found (" + lastFailure + ")");
@@ -223,7 +253,7 @@ CoreResult coverBlock(const BlockDag& ir, CodegenContext& ctx,
                            ? *phase
                            : ctx.telemetry().child("block:" + ir.name());
   return coverBlock(ir, ctx.machine(), ctx.databases(), options, ctx.pool(),
-                    &tel);
+                    &tel, &ctx.deadline());
 }
 
 void recordCoreStats(const CoreStats& stats, TelemetryNode& phase) {

@@ -52,11 +52,20 @@ struct CoreResult {
 // bit-identical to the serial run. When `phase` is non-null the stage
 // timings and counters are recorded under it (children "splitnode",
 // "explore", "cover" — see recordCoreStats for the counter names).
+//
+// Deadline semantics (anytime algorithm): `deadline` defaults to a local
+// budget armed from options.timeLimitSeconds (the context overloads pass
+// the session deadline instead). Once it expires, no further candidate
+// assignments are started and the best complete covering found so far is
+// returned with stats.timedOut set; if it expires before ANY candidate
+// completes — including mid-exploration — DeadlineExceeded is thrown and
+// the driver degrades to the sequential baseline.
 [[nodiscard]] CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                                     const MachineDatabases& dbs,
                                     const CodegenOptions& options,
                                     ThreadPool* pool = nullptr,
-                                    TelemetryNode* phase = nullptr);
+                                    TelemetryNode* phase = nullptr,
+                                    const Deadline* deadline = nullptr);
 
 // Session form: machine, databases, pool, and telemetry all come from `ctx`.
 // Stage telemetry lands under ctx.telemetry().child("block:<name>") unless

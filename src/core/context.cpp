@@ -18,6 +18,7 @@ CodegenContext::CodegenContext(Machine machine, CodegenOptions options,
       telemetry_("codegen") {
   telemetry_.setCounter("seed", static_cast<int64_t>(seed_));
   telemetry_.setCounter("jobs", jobs());
+  deadline_.arm(options_.timeLimitSeconds);
   if (options_.jobs > 1)
     pool_ = std::make_unique<ThreadPool>(options_.jobs);
 }

@@ -17,6 +17,7 @@
 #include "core/options.h"
 #include "isdl/databases.h"
 #include "isdl/machine.h"
+#include "support/deadline.h"
 #include "support/hash.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
@@ -42,6 +43,15 @@ class CodegenContext {
   // Session thread pool; nullptr when the session is single-threaded.
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
+  // The session's wall-clock budget / cancellation token, polled
+  // cooperatively by the covering stages (assign_explore, CoveringEngine,
+  // coverBlock's candidate loop). The constructor arms it from
+  // options.timeLimitSeconds; the driver re-arms it at every
+  // compileBlock/compileProgram entry so the budget is per compile, not
+  // per session. Unarmed (timeLimitSeconds <= 0) it never expires.
+  [[nodiscard]] Deadline& deadline() { return deadline_; }
+  [[nodiscard]] const Deadline& deadline() const { return deadline_; }
+
   [[nodiscard]] TelemetryNode& telemetry() { return telemetry_; }
   [[nodiscard]] const TelemetryNode& telemetry() const { return telemetry_; }
 
@@ -60,6 +70,7 @@ class CodegenContext {
   CodegenOptions options_;
   uint64_t seed_;
   TelemetryNode telemetry_;
+  Deadline deadline_;
   std::unique_ptr<ThreadPool> pool_;
   std::optional<Hash128> machineFp_;
 };

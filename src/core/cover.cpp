@@ -25,11 +25,13 @@ std::vector<int> Schedule::cycles(size_t graphSize) const {
 CoveringEngine::CoveringEngine(AssignedGraph& graph,
                                const TransferDatabase& xferDb,
                                const ConstraintDatabase& constraints,
-                               const CodegenOptions& options)
+                               const CodegenOptions& options,
+                               const Deadline* deadline)
     : graph_(graph),
       xferDb_(xferDb),
       constraints_(constraints),
-      options_(options) {}
+      options_(options),
+      deadline_(deadline) {}
 
 namespace {
 
@@ -61,6 +63,7 @@ Schedule CoveringEngine::run(CoverStats* stats) {
 
   while (true) {
     if (covered.count() == graph_.size()) break;
+    if (deadline_ != nullptr) deadline_->check("covering");
 
     if (rebuild) {
       const ParallelismMatrix matrix(graph_, options_.cliqueLevelWindow);
@@ -97,7 +100,8 @@ Schedule CoveringEngine::run(CoverStats* stats) {
       for (AgId pred : graph_.node(id).preds) allPreds &= covered.test(pred);
       if (allPreds) ready.set(id);
     }
-    AVIV_CHECK_MSG(ready.any(), "covering deadlock: uncovered nodes but none ready");
+    AVIV_REQUIRE_MSG(ready.any(),
+                     "covering deadlock: uncovered nodes but none ready");
 
 
     // Candidate selection: largest number of ready uncovered nodes whose
@@ -223,8 +227,8 @@ Schedule CoveringEngine::run(CoverStats* stats) {
                 graph_.describe(static_cast<AgId>(i)).c_str());
       });
     }
-    AVIV_CHECK_MSG(anyReadyClique,
-                   "ready nodes exist but no clique contains one");
+    AVIV_REQUIRE_MSG(anyReadyClique,
+                     "ready nodes exist but no clique contains one");
     if (st.spillsInserted >= static_cast<int>(spillGuard))
       throw Error("block '" + graph_.ir().name() + "' on machine '" +
                   graph_.machine().name() +
@@ -258,7 +262,7 @@ void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
     for (AgId id : instr) seen[id] += 1;
   for (AgId id = 0; id < graph.size(); ++id) {
     const bool active = !graph.node(id).deleted();
-    AVIV_CHECK_MSG(seen[id] == (active ? 1 : 0),
+    AVIV_REQUIRE_MSG(seen[id] == (active ? 1 : 0),
                    graph.describe(id) << " scheduled " << seen[id]
                                       << " times");
   }
@@ -268,7 +272,7 @@ void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
     // Dependencies strictly earlier.
     for (AgId id : instr) {
       for (AgId pred : graph.node(id).preds) {
-        AVIV_CHECK_MSG(cycle[pred] >= 0 &&
+        AVIV_REQUIRE_MSG(cycle[pred] >= 0 &&
                            cycle[pred] < static_cast<int>(c),
                        graph.describe(id) << " scheduled before its operand "
                                           << graph.describe(pred));
@@ -281,7 +285,7 @@ void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
     for (AgId id : instr) {
       const AgNode& n = graph.node(id);
       if (n.kind == AgKind::kOp) {
-        AVIV_CHECK_MSG(units.insert(n.unit).second,
+        AVIV_REQUIRE_MSG(units.insert(n.unit).second,
                        "two ops on unit " << machine.unit(n.unit).name
                                           << " in instruction " << c);
         sels.push_back({n.unit, n.machineOp});
@@ -290,10 +294,10 @@ void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
       }
     }
     for (const auto& [bus, load] : busLoad)
-      AVIV_CHECK_MSG(load <= machine.bus(bus).capacity,
+      AVIV_REQUIRE_MSG(load <= machine.bus(bus).capacity,
                      "bus " << machine.bus(bus).name << " oversubscribed in "
                             << c);
-    AVIV_CHECK_MSG(constraints.allows(sels),
+    AVIV_REQUIRE_MSG(constraints.allows(sels),
                    "ISDL constraint violated in instruction " << c);
   }
 
@@ -320,7 +324,7 @@ void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
         pressure[n.defLoc.index] += 1;
     }
     for (size_t bank = 0; bank < pressure.size(); ++bank)
-      AVIV_CHECK_MSG(
+      AVIV_REQUIRE_MSG(
           pressure[bank] <=
               machine.regFile(static_cast<RegFileId>(bank)).numRegs,
           "bank " << machine.regFile(static_cast<RegFileId>(bank)).name

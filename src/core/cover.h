@@ -15,6 +15,7 @@
 #include "core/options.h"
 #include "isdl/databases.h"
 #include "support/bitset.h"
+#include "support/deadline.h"
 
 namespace aviv {
 
@@ -39,10 +40,14 @@ struct CoverStats {
 class CoveringEngine {
  public:
   // `graph` is mutated when spills are inserted. `xferDb` provides spill
-  // store/load routes.
+  // store/load routes. When `deadline` is non-null it is polled once per
+  // covering round; expiry throws DeadlineExceeded (the partially covered
+  // schedule is unusable — callers keep an earlier complete candidate or
+  // degrade to the baseline).
   CoveringEngine(AssignedGraph& graph, const TransferDatabase& xferDb,
                  const ConstraintDatabase& constraints,
-                 const CodegenOptions& options);
+                 const CodegenOptions& options,
+                 const Deadline* deadline = nullptr);
 
   // Runs the covering; throws aviv::Error when the register files are too
   // small to hold the block's outputs / any feasible schedule.
@@ -53,12 +58,14 @@ class CoveringEngine {
   const TransferDatabase& xferDb_;
   const ConstraintDatabase& constraints_;
   const CodegenOptions& options_;
+  const Deadline* deadline_;
 };
 
-// Asserts (AVIV_CHECK) that `schedule` is a valid execution of `graph`:
-// every active node exactly once, dependencies strictly earlier, unit/bus/
-// constraint legality per instruction, and per-bank register pressure within
-// the machine's register counts.
+// Asserts (AVIV_REQUIRE — recoverable, so a daemon request that trips an
+// invariant fails without killing the process) that `schedule` is a valid
+// execution of `graph`: every active node exactly once, dependencies
+// strictly earlier, unit/bus/constraint legality per instruction, and
+// per-bank register pressure within the machine's register counts.
 void verifySchedule(const AssignedGraph& graph, const Schedule& schedule,
                     const ConstraintDatabase& constraints);
 

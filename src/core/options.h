@@ -58,10 +58,14 @@ struct CodegenOptions {
   // Lookahead tie-break among equally-covering cliques.
   bool coverLookahead = true;
 
-  // Wall-clock budget for exploring the selected assignments in detail
-  // (0 = unlimited). When exceeded, the best solution found so far is
-  // returned and the stats flag it; used to keep heuristics-off runs
-  // bounded.
+  // Wall-clock budget for the whole covering flow (0 = unlimited), backed
+  // by the session Deadline (support/deadline.h) and polled inside
+  // assignment exploration, every covering round, and the candidate loop.
+  // Anytime semantics: when the budget runs out after at least one
+  // candidate covering completed, the best solution found so far is
+  // returned and stats.timedOut flags the quality loss; when it runs out
+  // before any covering completed, DeadlineExceeded is thrown and the
+  // driver degrades to the sequential baseline (CompiledBlock::degraded).
   double timeLimitSeconds = 0.0;
 
   // Materialize constants through a data-memory constant pool instead of

@@ -2,9 +2,11 @@
 
 #include <optional>
 
+#include "baseline/sequential.h"
 #include "service/cache.h"
 #include "service/fingerprint.h"
 #include "sim/simulator.h"
+#include "support/deadline.h"
 #include "support/error.h"
 
 namespace aviv {
@@ -38,6 +40,41 @@ static void checkDataMemoryFits(const CodeImage& image,
               std::to_string(image.numSpillSlots) + " spill slots");
 }
 
+// Degradation ladder, last rung: produce the block with the sequential
+// baseline generator after the covering flow failed for reason `why`
+// (deadline expiry or a recoverable internal error). Mirrors the driver's
+// outputs-to-memory retry so the fallback succeeds wherever the baseline
+// benches do. Throws Error when the baseline cannot compile it either —
+// the block is then genuinely uncompilable on this machine.
+CoreResult CodeGenerator::baselineCore(const BlockDag& ir,
+                                       const CodegenOptions& coreOptions,
+                                       TelemetryNode& tel,
+                                       const std::string& why) {
+  PhaseScope ph(tel, "baseline-fallback");
+  BaselineResult base = [&] {
+    try {
+      try {
+        return sequentialCodegen(ir, ctx_.machine(), ctx_.databases(),
+                                 coreOptions);
+      } catch (const Error&) {
+        if (coreOptions.outputsToMemory || !options_.outputsToMemoryFallback)
+          throw;
+        CodegenOptions retry = coreOptions;
+        retry.outputsToMemory = true;
+        return sequentialCodegen(ir, ctx_.machine(), ctx_.databases(), retry);
+      }
+    } catch (const Error& e) {
+      throw Error(why + "; baseline fallback also failed: " + e.what());
+    }
+  }();
+  CoreResult core{std::move(base.assignment), std::move(base.graph),
+                  std::move(base.schedule), {}};
+  core.stats.irNodes = ir.size();
+  core.stats.cover.spillsInserted = base.spillsInserted;
+  tel.setCounter("degraded", 1);
+  return core;
+}
+
 CompiledBlock CodeGenerator::compileBlockWith(
     const BlockDag& ir, SymbolScope& symbols,
     const CodegenOptions& coreOptions, TelemetryNode& tel) {
@@ -61,10 +98,19 @@ CompiledBlock CodeGenerator::compileBlockWith(
       return block;
     }
   }
-  CoreResult core = [&] {
+  CompiledBlock block;
+  // Rung 1: the full covering flow, with the existing outputs-to-memory
+  // retry. DeadlineExceeded / InternalError must not trigger that retry —
+  // re-running the covering flow cannot help (the budget stays spent, the
+  // invariant stays tripped); they fall through to the baseline rung.
+  auto coverWithRetry = [&]() -> CoreResult {
     try {
       return coverBlock(ir, ctx_.machine(), ctx_.databases(), coreOptions,
-                        ctx_.pool(), &tel);
+                        ctx_.pool(), &tel, &ctx_.deadline());
+    } catch (const DeadlineExceeded&) {
+      throw;
+    } catch (const InternalError&) {
+      throw;
     } catch (const Error&) {
       if (coreOptions.outputsToMemory || !options_.outputsToMemoryFallback)
         throw;
@@ -72,10 +118,21 @@ CompiledBlock CodeGenerator::compileBlockWith(
       retry.outputsToMemory = true;
       tel.addCounter("outputsToMemoryRetries", 1);
       return coverBlock(ir, ctx_.machine(), ctx_.databases(), retry,
-                        ctx_.pool(), &tel);
+                        ctx_.pool(), &tel, &ctx_.deadline());
+    }
+  };
+  CoreResult core = [&] {
+    if (!options_.baselineFallback) return coverWithRetry();
+    try {
+      return coverWithRetry();
+    } catch (const DeadlineExceeded& e) {
+      block.degraded = true;
+      return baselineCore(ir, coreOptions, tel, e.what());
+    } catch (const InternalError& e) {
+      block.degraded = true;
+      return baselineCore(ir, coreOptions, tel, e.what());
     }
   }();
-  CompiledBlock block;
   block.core = std::move(core);
   if (options_.runPeephole) {
     // Peephole reads only the graph and schedule, never a register
@@ -92,11 +149,17 @@ CompiledBlock CodeGenerator::compileBlockWith(
     block.regs = allocateRegisters(block.core.graph, block.core.schedule);
     recordRegAllocStats(block.regs, ph.node());
   }
-  if (cache == nullptr) {
+  // Degraded or timed-out results are NOT cacheable: their quality depends
+  // on wall-clock luck, and a cache hit must replay the covering flow's
+  // deterministic output, not whatever a starved run managed to produce.
+  const bool cacheable =
+      cache != nullptr && !block.degraded && !block.core.stats.timedOut;
+  if (!cacheable) {
     PhaseScope ph(tel, "encode");
     block.image =
         encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
     ph.node().setCounter("instructions", block.image.numInstructions());
+    if (cache != nullptr) tel.addCounter("cacheMisses", 1);
   } else {
     // Encode against a private deferred scope so the stored image is
     // scope-independent, then replay it into the consumer's scope exactly
@@ -129,6 +192,9 @@ CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir) {
 
 CompiledBlock CodeGenerator::compileBlock(const BlockDag& ir,
                                           SymbolTable& symbols) {
+  // Each compile entry gets a fresh budget: the session deadline's clock
+  // starts now, not at generator construction.
+  ctx_.deadline().arm(options_.core.timeLimitSeconds);
   SymbolScope scope(symbols);
   CompiledBlock block =
       compileBlockWith(ir, scope, options_.core,
@@ -148,6 +214,10 @@ void CodeGenerator::recordServiceTelemetry() {
 
 CompiledProgram CodeGenerator::compileProgram(const Program& program) {
   program.validate();
+  // One budget for the whole program compile (blocks share the session
+  // deadline, so a parallel fan-out races the same clock the serial loop
+  // would).
+  ctx_.deadline().arm(options_.core.timeLimitSeconds);
   CompiledProgram compiled;
   CodegenOptions coreOptions = options_.core;
   coreOptions.outputsToMemory = true;

@@ -32,6 +32,14 @@ struct DriverOptions {
   // register limits (e.g. two outputs pinned to one tiny bank), retry with
   // outputs stored back to data memory instead of failing.
   bool outputsToMemoryFallback = true;
+  // Last rung of the degradation ladder: when the covering flow runs out of
+  // deadline budget before producing any schedule (DeadlineExceeded) or
+  // trips a recoverable internal invariant (InternalError), fall back to
+  // the sequential baseline generator (src/baseline) instead of failing the
+  // compile. The result is valid, simulatable code of lower quality;
+  // CompiledBlock::degraded records the quality loss and such results are
+  // never stored in the cache. False restores throw-on-failure semantics.
+  bool baselineFallback = true;
   // Seed recorded in the pipeline session (CodegenContext) so randomized
   // tooling layered on top of a session stays reproducible.
   uint64_t seed = CodegenContext::kDefaultSeed;
@@ -56,6 +64,11 @@ struct CompiledBlock {
   // Phase-telemetry JSON of the compile that produced the cached entry
   // (what the hit saved); empty for cold compiles.
   std::string cachedStatsJson;
+  // True when the AVIV covering flow failed (deadline expiry or recoverable
+  // internal error) and this block was produced by the sequential baseline
+  // instead (DriverOptions::baselineFallback). The image is valid but its
+  // quality is not the covering flow's; degraded results bypass the cache.
+  bool degraded = false;
 
   [[nodiscard]] int numInstructions() const {
     return image.numInstructions();
@@ -119,6 +132,9 @@ class CodeGenerator {
   CompiledBlock compileBlockWith(const BlockDag& ir, SymbolScope& symbols,
                                  const CodegenOptions& coreOptions,
                                  TelemetryNode& tel);
+  CoreResult baselineCore(const BlockDag& ir,
+                          const CodegenOptions& coreOptions,
+                          TelemetryNode& tel, const std::string& why);
   void recordServiceTelemetry();
 
   DriverOptions options_;

@@ -1,10 +1,13 @@
 #include "service/cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "service/fingerprint.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/io.h"
 #include "support/serial.h"
 #include "support/timer.h"
@@ -183,7 +186,42 @@ ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
     if (ec)
       throw Error("cannot create cache directory '" + config_.dir +
                   "': " + ec.message());
+    sweepTempFiles();
     writeManifest();
+  }
+}
+
+// A writer that crashed (or was killed) between writeFile and rename leaves
+// a *.tmp<N> file behind. They are dead weight — no reader ever opens them
+// and no writer reuses their names — so each startup clears them out.
+void ResultCache::sweepTempFiles() {
+  std::error_code ec;
+  const fs::path objects = fs::path(config_.dir) / "objects";
+  fs::recursive_directory_iterator it(objects, ec), end;
+  while (!ec && it != end) {
+    std::error_code fileEc;
+    if (it->is_regular_file(fileEc) && !fileEc &&
+        it->path().filename().string().find(".tmp") != std::string::npos) {
+      fs::remove(it->path(), fileEc);
+      if (!fileEc) tmpSwept_.fetch_add(1, std::memory_order_relaxed);
+    }
+    it.increment(ec);
+  }
+}
+
+void ResultCache::retryTransient(const std::function<void()>& fn) const {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fn();
+      return;
+    } catch (const TransientError&) {
+      if (attempt >= config_.ioRetries) throw;
+      ioRetries_.fetch_add(1, std::memory_order_relaxed);
+      const double ms = config_.retryBackoffMs * static_cast<double>(1 << attempt);
+      if (ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    }
   }
 }
 
@@ -199,12 +237,27 @@ void ResultCache::writeManifest() const {
   std::error_code ec;
   if (fs::exists(path, ec)) {
     try {
+      FailPoints::instance().maybeThrow("cache-manifest");
       if (readFile(path.string()) == manifest) return;
     } catch (const Error&) {
       // Unreadable manifest: rewrite it below.
     }
   }
-  writeFile(path.string(), manifest);
+  try {
+    retryTransient([&] {
+      FailPoints::instance().maybeThrow("cache-manifest");
+      writeFile(path.string(), manifest);
+    });
+  } catch (const Error&) {
+    // The manifest is advisory (entries self-heal through their own
+    // framing); a store that cannot write it keeps serving.
+    writeErrors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::flushManifest() const {
+  if (config_.dir.empty()) return;
+  writeManifest();
 }
 
 ResultCache::Shard& ResultCache::shardFor(const Hash128& key) {
@@ -256,8 +309,18 @@ std::shared_ptr<const CacheEntry> ResultCache::diskLookup(
   const std::string path = entryPath(key);
   std::error_code ec;
   if (!fs::exists(path, ec)) return nullptr;
+  std::string framed;
   try {
-    const std::string framed = readFile(path);
+    retryTransient([&] {
+      FailPoints::instance().maybeThrow("cache-read");
+      framed = readFile(path);
+    });
+  } catch (const Error&) {
+    // A read that keeps failing says nothing about the entry's health —
+    // report a miss and leave the file for a later, luckier lookup.
+    return nullptr;
+  }
+  try {
     ByteReader r(framed);
     if (r.u32() != kEntryMagic)
       throw Error("cache entry: bad magic");
@@ -276,6 +339,7 @@ std::shared_ptr<const CacheEntry> ResultCache::diskLookup(
         std::string_view(framed).substr(payloadOffset + payloadSize));
     if (tail.u64() != hash64(payload.data(), payload.size()))
       throw Error("cache entry: checksum mismatch");
+    FailPoints::instance().maybeThrow("cache-deserialize");
     auto entry =
         std::make_shared<const CacheEntry>(deserializeCacheEntry(payload));
     memoryInsert(key, entry);
@@ -291,6 +355,13 @@ std::shared_ptr<const CacheEntry> ResultCache::diskLookup(
 
 void ResultCache::diskStore(const Hash128& key, const CacheEntry& entry) {
   if (config_.dir.empty()) return;
+  FailPoints& fp = FailPoints::instance();
+  if (fp.shouldFail("cache-serialize")) {
+    // Simulated serialization failure: the entry stays uncached, nothing
+    // reaches the disk.
+    writeErrors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::string payload = serializeCacheEntry(entry);
   ByteWriter w;
   w.u32(kEntryMagic);
@@ -315,12 +386,27 @@ void ResultCache::diskStore(const Hash128& key, const CacheEntry& entry) {
       (path.filename().string() + ".tmp" +
        std::to_string(tempCounter_.fetch_add(1, std::memory_order_relaxed)));
   try {
-    writeFile(temp.string(), out);
-    fs::rename(temp, path, ec);
-    if (ec) fs::remove(temp, ec);
+    retryTransient([&] {
+      fp.maybeThrow("cache-write");
+      if (fp.shouldFail("cache-torn-write")) {
+        // Simulated power loss mid-write: only a prefix of the entry makes
+        // it to disk, and the rename still lands it at the final path. The
+        // framing (size + checksum) catches it on the next lookup.
+        writeFile(temp.string(), out.substr(0, out.size() / 2));
+      } else {
+        writeFile(temp.string(), out);
+      }
+      fp.maybeThrow("cache-rename");
+      std::error_code renameEc;
+      fs::rename(temp, path, renameEc);
+      if (renameEc)
+        throw Error("cache entry rename failed: " + renameEc.message());
+    });
   } catch (const Error&) {
-    // A cache that cannot write (full disk, permissions) must not fail the
-    // compile; the result simply stays uncached.
+    // A cache that cannot write (full disk, permissions, injected faults)
+    // must not fail the compile; the result simply stays uncached, the
+    // temp file is cleaned up, and the event is counted.
+    writeErrors_.fetch_add(1, std::memory_order_relaxed);
     fs::remove(temp, ec);
   }
 }
@@ -360,6 +446,9 @@ CacheStats ResultCache::stats() const {
   s.stores = stores_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.writeErrors = writeErrors_.load(std::memory_order_relaxed);
+  s.ioRetries = ioRetries_.load(std::memory_order_relaxed);
+  s.tmpSwept = tmpSwept_.load(std::memory_order_relaxed);
   s.lookupNanos = lookupNanos_.load(std::memory_order_relaxed);
   return s;
 }
@@ -373,6 +462,9 @@ void recordServiceStats(const CacheStats& stats, TelemetryNode& node) {
   node.setCounter("stores", stats.stores);
   node.setCounter("evictions", stats.evictions);
   node.setCounter("corrupt", stats.corrupt);
+  node.setCounter("writeErrors", stats.writeErrors);
+  node.setCounter("ioRetries", stats.ioRetries);
+  node.setCounter("tmpSwept", stats.tmpSwept);
   node.setCounter("lookupNanos", stats.lookupNanos);
 }
 

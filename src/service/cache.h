@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -67,6 +68,9 @@ struct CacheStats {
   int64_t stores = 0;
   int64_t evictions = 0;   // memory-tier LRU evictions
   int64_t corrupt = 0;     // disk entries rejected (and removed)
+  int64_t writeErrors = 0; // disk stores abandoned (entry stays uncached)
+  int64_t ioRetries = 0;   // transient I/O failures retried with backoff
+  int64_t tmpSwept = 0;    // stale temp files removed by the startup sweep
   int64_t lookupNanos = 0; // total wall time spent inside lookup()
 };
 
@@ -77,6 +81,12 @@ struct CacheConfig {
   size_t memoryEntries = 1024;
   // Lock shards for the memory tier.
   int shards = 8;
+  // Transient disk I/O failures (TransientError, e.g. fault-injected via
+  // AVIV_FAILPOINTS) are retried up to this many times with exponential
+  // backoff before the operation is abandoned. 0 disables retries.
+  int ioRetries = 2;
+  // Backoff before the first retry, doubling per attempt.
+  double retryBackoffMs = 1.0;
 };
 
 class ResultCache {
@@ -102,6 +112,12 @@ class ResultCache {
   // caches. Exposed for the corruption tests and cache tooling.
   [[nodiscard]] std::string entryPath(const Hash128& key) const;
 
+  // Rewrites the store manifest if it is missing or unreadable. The daemon
+  // calls this during graceful shutdown so a manifest lost to a mid-run
+  // fault is restored before the process exits. No-op for memory-only
+  // caches; never throws.
+  void flushManifest() const;
+
  private:
   struct Shard {
     std::mutex mu;
@@ -122,6 +138,11 @@ class ResultCache {
       const Hash128& key);
   void diskStore(const Hash128& key, const CacheEntry& entry);
   void writeManifest() const;
+  // Removes temp files a crashed/killed writer left under objects/.
+  void sweepTempFiles();
+  // Runs `fn`, retrying TransientError up to config_.ioRetries times with
+  // exponential backoff; the final failure propagates to the caller.
+  void retryTransient(const std::function<void()>& fn) const;
 
   CacheConfig config_;
   size_t perShardCapacity_ = 0;
@@ -135,6 +156,9 @@ class ResultCache {
   mutable std::atomic<int64_t> stores_{0};
   mutable std::atomic<int64_t> evictions_{0};
   mutable std::atomic<int64_t> corrupt_{0};
+  mutable std::atomic<int64_t> writeErrors_{0};
+  mutable std::atomic<int64_t> ioRetries_{0};
+  mutable std::atomic<int64_t> tmpSwept_{0};
   mutable std::atomic<int64_t> lookupNanos_{0};
 };
 

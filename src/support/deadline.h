@@ -1,0 +1,104 @@
+// Deadline — a monotonic wall-clock budget plus cooperative cancellation
+// token, shared read-only across the pipeline's pool workers.
+//
+// The covering search is an anytime branch-and-bound whose runtime varies
+// wildly with block shape and machine description; under a deadline it
+// keeps the best complete solution found so far (CoreStats::timedOut) or,
+// when nothing completed yet, throws DeadlineExceeded so the driver can
+// degrade to the guaranteed-to-terminate sequential baseline.
+//
+// An unarmed deadline never expires, so deadline-free callers pay one
+// relaxed atomic load per poll. arm()/cancel() must not race with expired()
+// polls from other threads having observable consequences beyond an earlier
+// or later expiry — all state is atomic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "support/error.h"
+
+namespace aviv {
+
+// Thrown when a compile runs out of its wall-clock budget (or is
+// cancelled) before producing any usable result. Derives from Error so
+// top-level reporting keeps working, but catch sites that swallow Error to
+// retry alternatives must rethrow it — the budget is gone.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& message) : Error(message) {}
+};
+
+class Deadline {
+ public:
+  Deadline() = default;
+  Deadline(const Deadline&) = delete;
+  Deadline& operator=(const Deadline&) = delete;
+
+  // Starts (or restarts) the budget clock: the deadline is now + seconds.
+  // seconds <= 0 disarms (never expires); cancellation state is reset.
+  void arm(double seconds) {
+    cancelled_.store(false, std::memory_order_relaxed);
+    if (seconds <= 0.0) {
+      armed_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = Clock::now().time_since_epoch();
+    const auto budget = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+    deadlineTicks_.store((now + budget).count(), std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  void disarm() {
+    armed_.store(false, std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_relaxed);
+  }
+
+  // Cooperative cancellation: every subsequent expired() poll returns true,
+  // armed or not. Safe to call from a signal-handling thread.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!armed_.load(std::memory_order_acquire)) return false;
+    return Clock::now().time_since_epoch().count() >=
+           deadlineTicks_.load(std::memory_order_relaxed);
+  }
+
+  // Seconds left in the budget; +infinity when unarmed, 0 when expired.
+  [[nodiscard]] double remainingSeconds() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0.0;
+    if (!armed_.load(std::memory_order_acquire))
+      return std::numeric_limits<double>::infinity();
+    const auto left = Clock::duration(
+        deadlineTicks_.load(std::memory_order_relaxed) -
+        Clock::now().time_since_epoch().count());
+    const double seconds = std::chrono::duration<double>(left).count();
+    return seconds > 0.0 ? seconds : 0.0;
+  }
+
+  // Poll-and-throw convenience for pipeline stages: `what` names the stage
+  // in the exception message.
+  void check(const char* what) const {
+    if (!expired()) return;
+    throw DeadlineExceeded(std::string(what) +
+                           (cancelled() ? ": cancelled" : ": deadline expired"));
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<Clock::rep> deadlineTicks_{0};
+};
+
+}  // namespace aviv

@@ -15,4 +15,12 @@ void checkFailed(const char* file, int line, const char* expr,
   std::abort();
 }
 
+void requireFailed(const char* file, int line, const char* expr,
+                   const std::string& message) {
+  std::string what = std::string("AVIV internal invariant failed at ") + file +
+                     ":" + std::to_string(line) + ": " + expr;
+  if (!message.empty()) what += " (" + message + ")";
+  throw InternalError(what);
+}
+
 }  // namespace aviv::detail

@@ -1,15 +1,22 @@
 // Error handling primitives shared across the AVIV code base.
 //
-// Two mechanisms, per the usual split:
+// Three mechanisms, per the usual split:
 //   * aviv::Error       — exception for *input* errors (malformed ISDL,
 //                         malformed block source, impossible machine).
 //                         These carry a source location when available and
 //                         are meant to be shown to the user.
-//   * AVIV_CHECK(...)   — internal invariant checks. A failed check is a bug
-//                         in AVIV itself, never a user error; it aborts with
-//                         a message. Checks stay enabled in release builds:
-//                         a code generator that emits wrong code silently is
-//                         worse than one that stops.
+//   * AVIV_REQUIRE(...) — internal invariant checks on the block-compile
+//                         path. A failure is still a bug in AVIV, but one
+//                         that a long-lived process (the avivd daemon) must
+//                         survive: it throws aviv::InternalError, which the
+//                         driver turns into a failed/degraded request
+//                         instead of process death.
+//   * AVIV_CHECK(...)   — internal invariant checks for states where
+//                         continuing is meaningless (corrupted process
+//                         state, unreachable code). A failed check aborts
+//                         with a message. Checks stay enabled in release
+//                         builds: a code generator that emits wrong code
+//                         silently is worse than one that stops.
 #pragma once
 
 #include <cstdint>
@@ -46,9 +53,27 @@ class Error : public std::runtime_error {
   SourceLoc loc_;
 };
 
+// Internal invariant violation on a recoverable path (AVIV_REQUIRE): a bug
+// in AVIV, surfaced as an exception so one bad request cannot take down a
+// warm daemon. The driver catches it and degrades to the baseline code
+// generator (see DriverOptions::baselineFallback).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& message) : Error(message) {}
+};
+
+// Transient failure (injected fault, I/O hiccup) that callers may retry
+// with backoff; thrown by fail-point sites (support/failpoint.h).
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& message) : Error(message) {}
+};
+
 namespace detail {
 [[noreturn]] void checkFailed(const char* file, int line, const char* expr,
                               const std::string& message);
+[[noreturn]] void requireFailed(const char* file, int line, const char* expr,
+                                const std::string& message);
 }  // namespace detail
 
 }  // namespace aviv
@@ -74,3 +99,23 @@ namespace detail {
 
 #define AVIV_UNREACHABLE(msg)                                              \
   ::aviv::detail::checkFailed(__FILE__, __LINE__, "unreachable", (msg))
+
+// Recoverable invariant check (block-compile path); throws InternalError.
+#define AVIV_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::aviv::detail::requireFailed(__FILE__, __LINE__, #expr,              \
+                                    std::string{});                         \
+    }                                                                       \
+  } while (false)
+
+// Recoverable check with a streamed message, mirroring AVIV_CHECK_MSG.
+#define AVIV_REQUIRE_MSG(expr, stream_expr)                                 \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream aviv_require_os_;                                  \
+      aviv_require_os_ << stream_expr;                                      \
+      ::aviv::detail::requireFailed(__FILE__, __LINE__, #expr,              \
+                                    aviv_require_os_.str());                \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,102 @@
+#include "support/failpoint.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace aviv {
+
+namespace {
+
+// splitmix64 — deterministic per-hit probability draws.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t hashSite(const std::string& site) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : site) h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
+
+FailPoints& FailPoints::instance() {
+  static FailPoints registry;
+  return registry;
+}
+
+FailPoints::FailPoints() {
+  const char* spec = std::getenv("AVIV_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  uint64_t seed = 0;
+  if (const char* seedEnv = std::getenv("AVIV_FAILPOINT_SEED");
+      seedEnv != nullptr && *seedEnv != '\0')
+    seed = std::strtoull(seedEnv, nullptr, 10);
+  configure(spec, seed);
+}
+
+void FailPoints::configure(const std::string& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  seed_ = seed;
+  for (const std::string& item : split(spec, ',')) {
+    const std::string entry{trim(item)};
+    if (entry.empty()) continue;
+    const auto parts = split(entry, ':');
+    Point point;
+    bool ok = !parts.empty() && !parts[0].empty() && parts.size() <= 3;
+    if (ok && parts.size() >= 2) {
+      char* end = nullptr;
+      point.prob = std::strtod(parts[1].c_str(), &end);
+      ok = end != nullptr && *end == '\0' && point.prob >= 0.0 &&
+           point.prob <= 1.0;
+    }
+    if (ok && parts.size() == 3) {
+      char* end = nullptr;
+      point.remaining = std::strtoll(parts[2].c_str(), &end, 10);
+      ok = end != nullptr && *end == '\0' && point.remaining >= 0;
+    }
+    // A bad entry must never crash the process it was meant to test.
+    if (!ok) continue;
+    points_[parts[0]] = point;
+  }
+  active_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+bool FailPoints::shouldFail(const char* site) {
+  if (!active_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(site);
+  if (it == points_.end()) return false;
+  Point& point = it->second;
+  if (point.remaining == 0) return false;
+  const int64_t hit = point.hits++;
+  if (point.prob < 1.0) {
+    const uint64_t draw =
+        mix64(seed_ ^ hashSite(it->first) ^ static_cast<uint64_t>(hit));
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= point.prob) return false;
+  }
+  if (point.remaining > 0) --point.remaining;
+  ++point.fires;
+  return true;
+}
+
+void FailPoints::maybeThrow(const char* site) {
+  if (shouldFail(site))
+    throw TransientError(std::string("fail point '") + site + "' fired");
+}
+
+int64_t FailPoints::fires(const char* site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(site);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace aviv

@@ -1,0 +1,172 @@
+// Deadline (wall-clock budget + cancellation token) and FailPoints
+// (fault-injection registry) unit tests — the support pieces of the
+// robustness layer.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/deadline.h"
+#include "support/failpoint.h"
+
+namespace aviv {
+namespace {
+
+TEST(DeadlineTest, UnarmedNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.armed());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remainingSeconds(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_NO_THROW(deadline.check("stage"));
+}
+
+TEST(DeadlineTest, ZeroOrNegativeBudgetDisarms) {
+  Deadline deadline;
+  deadline.arm(0.0);
+  EXPECT_FALSE(deadline.armed());
+  deadline.arm(-1.0);
+  EXPECT_FALSE(deadline.armed());
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(DeadlineTest, TinyBudgetExpires) {
+  Deadline deadline;
+  deadline.arm(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(deadline.armed());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remainingSeconds(), 0.0);
+  EXPECT_THROW(deadline.check("covering"), DeadlineExceeded);
+}
+
+TEST(DeadlineTest, GenerousBudgetDoesNotExpire) {
+  Deadline deadline;
+  deadline.arm(3600.0);
+  EXPECT_TRUE(deadline.armed());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remainingSeconds(), 3000.0);
+  EXPECT_NO_THROW(deadline.check("stage"));
+}
+
+TEST(DeadlineTest, CancelExpiresEvenUnarmed) {
+  Deadline deadline;
+  deadline.cancel();
+  EXPECT_TRUE(deadline.cancelled());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remainingSeconds(), 0.0);
+  try {
+    deadline.check("stage");
+    FAIL() << "check must throw after cancel";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(DeadlineTest, RearmResetsCancellation) {
+  Deadline deadline;
+  deadline.cancel();
+  deadline.arm(3600.0);
+  EXPECT_FALSE(deadline.cancelled());
+  EXPECT_FALSE(deadline.expired());
+  deadline.disarm();
+  EXPECT_FALSE(deadline.armed());
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(DeadlineTest, ExceptionDerivesFromError) {
+  // Catch sites that report `Error` generically must keep working.
+  try {
+    throw DeadlineExceeded("budget gone");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "budget gone");
+  }
+}
+
+// The registry is process-global; every test restores the clean state.
+class FailPointsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::instance().clear(); }
+};
+
+TEST_F(FailPointsTest, InactiveByDefault) {
+  FailPoints& fp = FailPoints::instance();
+  fp.clear();
+  EXPECT_FALSE(fp.active());
+  EXPECT_FALSE(fp.shouldFail("anything"));
+  EXPECT_NO_THROW(fp.maybeThrow("anything"));
+}
+
+TEST_F(FailPointsTest, ConfiguredSiteAlwaysFires) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("cache-write");
+  EXPECT_TRUE(fp.active());
+  EXPECT_TRUE(fp.shouldFail("cache-write"));
+  EXPECT_TRUE(fp.shouldFail("cache-write"));
+  EXPECT_FALSE(fp.shouldFail("cache-read")) << "other sites stay quiet";
+  EXPECT_EQ(fp.fires("cache-write"), 2);
+}
+
+TEST_F(FailPointsTest, CountLimitsFires) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("cache-rename:1:2");
+  EXPECT_TRUE(fp.shouldFail("cache-rename"));
+  EXPECT_TRUE(fp.shouldFail("cache-rename"));
+  EXPECT_FALSE(fp.shouldFail("cache-rename")) << "budget of 2 is spent";
+  EXPECT_EQ(fp.fires("cache-rename"), 2);
+}
+
+TEST_F(FailPointsTest, ZeroProbabilityNeverFires) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("site:0");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fp.shouldFail("site"));
+}
+
+TEST_F(FailPointsTest, ProbabilityDrawsAreDeterministicPerSeed) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("site:0.5", /*seed=*/42);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(fp.shouldFail("site"));
+  fp.configure("site:0.5", /*seed=*/42);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(fp.shouldFail("site"), first[static_cast<size_t>(i)]) << i;
+  // A fair draw at p=0.5 over 64 hits fires at least once either way.
+  EXPECT_GT(fp.fires("site"), 0);
+}
+
+TEST_F(FailPointsTest, MaybeThrowRaisesTransientError) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("cache-read:1:1");
+  EXPECT_THROW(fp.maybeThrow("cache-read"), TransientError);
+  EXPECT_NO_THROW(fp.maybeThrow("cache-read"));
+}
+
+TEST_F(FailPointsTest, MultipleSitesParseFromOneSpec) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("a:1:1, b:1:2 ,c");
+  EXPECT_TRUE(fp.shouldFail("a"));
+  EXPECT_FALSE(fp.shouldFail("a"));
+  EXPECT_TRUE(fp.shouldFail("b"));
+  EXPECT_TRUE(fp.shouldFail("b"));
+  EXPECT_FALSE(fp.shouldFail("b"));
+  EXPECT_TRUE(fp.shouldFail("c"));
+}
+
+TEST_F(FailPointsTest, MalformedEntriesAreSkippedNotFatal) {
+  FailPoints& fp = FailPoints::instance();
+  // Fault injection must never crash the process it is injected into.
+  EXPECT_NO_THROW(fp.configure("good:1:1,:broken:,bad:prob:x,, only-name"));
+  EXPECT_TRUE(fp.shouldFail("good"));
+  EXPECT_TRUE(fp.shouldFail("only-name"));
+}
+
+TEST_F(FailPointsTest, ClearDeactivates) {
+  FailPoints& fp = FailPoints::instance();
+  fp.configure("site");
+  EXPECT_TRUE(fp.active());
+  fp.clear();
+  EXPECT_FALSE(fp.active());
+  EXPECT_FALSE(fp.shouldFail("site"));
+}
+
+}  // namespace
+}  // namespace aviv
