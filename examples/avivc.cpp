@@ -31,6 +31,18 @@
 //                        compiles are replayed from the cache with zero
 //                        covering work and bit-identical output
 //   --no-cache           ignore --cache-dir (force a cold compile)
+//   --verify-output <m>  differential output verification mode: off (default),
+//                        sampled, or all. Every selected block is replayed on
+//                        the simulator against the reference interpreter
+//                        before its result is trusted or cached; a mismatch
+//                        quarantines a repro artifact and degrades to the
+//                        (re-verified) sequential baseline
+//   --verify-vectors <n> input vectors per verified block (default 4)
+//   --quarantine-dir <d> where verification failures write repro artifacts
+//   --max-snd-nodes <n>  split-node DAG node ceiling (0 = unlimited); past
+//                        it the compile degrades to the baseline generator
+//   --max-snd-bytes <n>  split-node DAG arena-byte ceiling (0 = unlimited)
+//   --max-cliques <n>    total generated-clique ceiling (0 = unlimited)
 #include <cstdio>
 #include <iostream>
 
@@ -80,7 +92,10 @@ int main(int argc, char** argv) {
                   "[--verify N] [--heuristics on|off] [--no-peephole] "
                   "[--const-pool] [--outputs-mem] [--bin-stats] "
                   "[--jobs N] [--timeout SEC] [--stats-json out.json] "
-                  "[--cache-dir DIR] [--no-cache]");
+                  "[--cache-dir DIR] [--no-cache] "
+                  "[--verify-output off|sampled|all] [--verify-vectors N] "
+                  "[--quarantine-dir DIR] [--max-snd-nodes N] "
+                  "[--max-snd-bytes N] [--max-cliques N]");
     const std::string sourcePath = flags.positional()[0];
     Machine machine = resolveMachine(flags.getString("machine", "arch1"));
     const int regs = static_cast<int>(flags.getInt("regs", 0));
@@ -105,6 +120,27 @@ int main(int argc, char** argv) {
     const std::string statsJson = flags.getString("stats-json", "");
     const std::string cacheDir = flags.getString("cache-dir", "");
     const bool noCache = flags.getBool("no-cache", false);
+    const std::string verifyOutput = flags.getString("verify-output", "off");
+    if (verifyOutput == "sampled") {
+      options.verify.level = VerifyLevel::kSampled;
+    } else if (verifyOutput == "all") {
+      options.verify.level = VerifyLevel::kAll;
+    } else if (verifyOutput != "off") {
+      throw Error("--verify-output expects off|sampled|all, got '" +
+                  verifyOutput + "'");
+    }
+    options.verify.vectors =
+        static_cast<int>(flags.getInt("verify-vectors", 4));
+    options.verify.quarantineDir = flags.getString("quarantine-dir", "");
+    options.core.maxSndNodes = static_cast<size_t>(
+        flags.getInt("max-snd-nodes",
+                     static_cast<int64_t>(options.core.maxSndNodes)));
+    options.core.maxSndBytes = static_cast<size_t>(
+        flags.getInt("max-snd-bytes",
+                     static_cast<int64_t>(options.core.maxSndBytes)));
+    options.core.maxTotalCliques = static_cast<size_t>(
+        flags.getInt("max-cliques",
+                     static_cast<int64_t>(options.core.maxTotalCliques)));
     if (!cacheDir.empty() && !noCache) {
       CacheConfig cacheConfig;
       cacheConfig.dir = cacheDir;
@@ -132,9 +168,24 @@ int main(int argc, char** argv) {
     };
     const bool multiBlock = program.numBlocks() > 1;
 
+    // Verification failures degrade to the verified baseline; surface them
+    // on stderr so batch logs show which blocks were quarantined.
+    auto reportQuarantined = [&](const CompiledBlock& b,
+                                 const std::string& name) {
+      if (!b.quarantined) return;
+      std::fprintf(stderr,
+                   "avivc: block '%s' failed output verification; emitted "
+                   "the verified baseline instead (repro quarantined%s%s)\n",
+                   name.c_str(),
+                   options.verify.quarantineDir.empty() ? "" : " under ",
+                   options.verify.quarantineDir.c_str());
+    };
+
     if (multiBlock) {
       const CompiledProgram compiled = generator.compileProgram(program);
       dumpStats();
+      for (size_t i = 0; i < compiled.blocks.size(); ++i)
+        reportQuarantined(compiled.blocks[i], program.block(i).name());
       std::printf("; program '%s' on %s: %d instructions total "
                   "(%zu blocks + control)\n\n",
                   program.name().c_str(), machine.name().c_str(),
@@ -180,6 +231,7 @@ int main(int argc, char** argv) {
     SymbolTable symbols;
     const CompiledBlock compiled = generator.compileBlock(block, symbols);
     dumpStats();
+    reportQuarantined(compiled, block.name());
     if (printAsm)
       std::printf("%s\n", compiled.image.asmText(machine).c_str());
 

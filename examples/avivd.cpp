@@ -10,6 +10,7 @@
 //
 //   machine=<name|path.isdl> block=<name|path.blk|path.c> [heuristics=on|off]
 //   [const-pool] [outputs-mem] [no-peephole] [regs=N] [timeout=SEC]
+//   [verify=off|sampled|all]
 //
 // `machine` resolves shipped names via the machine directory; `block`
 // resolves shipped names via the block directory, or takes a path to a
@@ -44,6 +45,10 @@
 //                        timeout= token (0 = unlimited)
 //   --retries <n>        retry a request hit by a transient fault up to n
 //                        times with exponential backoff (default 2)
+//   --verify <m>         default differential-verification mode for requests
+//                        without their own verify= token: off (default),
+//                        sampled, or all (src/verify, DESIGN.md §6.5)
+//   --quarantine-dir <d> where verification failures write repro artifacts
 //   --failpoints <spec>  activate fault-injection points, same grammar as
 //                        the AVIV_FAILPOINTS env var: name[:prob[:count]],
 //                        comma-separated (see src/support/failpoint.h)
@@ -55,8 +60,14 @@
 //   req 4: degraded block=biquad machine=arch2 blocks=1 instrs=9 cache=miss
 //   req 5: error <message>
 //   req 6: skipped (shutdown)
+//   req 7: quarantined block=fir machine=dsp16 blocks=1 instrs=12 cache=miss
+// `quarantined` means output verification caught a miscompile: the emitted
+// result is the verified baseline, a repro artifact was quarantined, and —
+// like degraded requests — nothing was cached, so --expect-all-hits
+// excludes its misses.
 // Summary lines (per pass):
-//   avivd: pass 1: 10 requests, 9 ok, 1 degraded, 0 failed, 0 skipped
+//   avivd: pass 1: 10 requests, 9 ok, 1 degraded, 0 quarantined, 0 failed,
+//   0 skipped
 //   avivd: cache: 10 lookups, 0 hits, 10 misses, 0 corrupt, 0 evictions
 #include <chrono>
 #include <csignal>
@@ -102,6 +113,9 @@ struct Request {
 struct RequestResult {
   bool ok = false;
   bool degraded = false;  // ok, but at least one block fell back to baseline
+  // ok, but verification caught a miscompile in at least one block (the
+  // result is the verified baseline; a repro artifact was quarantined).
+  bool quarantined = false;
   std::string error;
   std::string statusDetail;  // "block=... machine=... blocks=N instrs=N cache=..."
   std::string asmText;
@@ -122,11 +136,13 @@ Program resolveProgram(const std::string& spec) {
 }
 
 Request parseRequest(const std::string& text, int line,
-                     double defaultTimeout) {
+                     double defaultTimeout,
+                     const VerifyOptions& defaultVerify) {
   Request request;
   request.line = line;
   request.options.core = CodegenOptions::heuristicsOn();
   request.options.core.timeLimitSeconds = defaultTimeout;
+  request.options.verify = defaultVerify;
   std::istringstream tokens(text);
   std::string token;
   while (tokens >> token) {
@@ -162,8 +178,24 @@ Request parseRequest(const std::string& text, int line,
       request.options.core.outputsToMemory = true;
     } else if (key == "no-peephole") {
       request.options.runPeephole = false;
+    } else if (key == "verify") {
+      if (value == "off") {
+        request.options.verify.level = VerifyLevel::kOff;
+      } else if (value == "sampled") {
+        request.options.verify.level = VerifyLevel::kSampled;
+      } else if (value == "all") {
+        request.options.verify.level = VerifyLevel::kAll;
+      } else {
+        throw Error("verify expects off|sampled|all, got '" + value + "'");
+      }
     } else if (key == "regs") {
-      request.regsOverride = std::stoi(value);
+      try {
+        request.regsOverride = std::stoi(value);
+      } catch (const std::exception&) {
+        throw Error("regs expects an integer, got '" + value + "'");
+      }
+      if (request.regsOverride < 1 || request.regsOverride > 4096)
+        throw Error("regs must be in [1, 4096], got '" + value + "'");
     } else {
       throw Error("unknown request token '" + token + "'");
     }
@@ -204,6 +236,7 @@ RequestResult runRequestOnce(const Request& request,
     for (const CompiledBlock& block : compiled.blocks) {
       if (block.fromCache) ++result.cachedBlocks;
       if (block.degraded) result.degraded = true;
+      if (block.quarantined) result.quarantined = true;
       if (wantAsm) asmText += block.image.asmText(machine) + "\n";
     }
   } else {
@@ -214,6 +247,7 @@ RequestResult runRequestOnce(const Request& request,
     result.blocks = 1;
     if (block.fromCache) ++result.cachedBlocks;
     if (block.degraded) result.degraded = true;
+    if (block.quarantined) result.quarantined = true;
     if (wantAsm) asmText = block.image.asmText(machine) + "\n";
   }
   tel.merge(generator.telemetry());
@@ -268,6 +302,7 @@ int main(int argc, char** argv) {
           "usage: avivd <requests.txt|-> [--cache-dir DIR] [--no-cache] "
           "[--mem-entries N] [--jobs N] [--repeat N] [--expect-all-hits] "
           "[--default-timeout SEC] [--retries N] [--failpoints SPEC] "
+          "[--verify off|sampled|all] [--quarantine-dir DIR] "
           "[--print-asm] [--stats-json out.json]");
     const std::string batchPath = flags.positional()[0];
     const std::string cacheDir = flags.getString("cache-dir", "");
@@ -279,6 +314,17 @@ int main(int argc, char** argv) {
     const bool expectAllHits = flags.getBool("expect-all-hits", false);
     const double defaultTimeout = flags.getDouble("default-timeout", 0.0);
     const int retries = static_cast<int>(flags.getInt("retries", 2));
+    VerifyOptions defaultVerify;
+    const std::string verifyMode = flags.getString("verify", "off");
+    if (verifyMode == "sampled") {
+      defaultVerify.level = VerifyLevel::kSampled;
+    } else if (verifyMode == "all") {
+      defaultVerify.level = VerifyLevel::kAll;
+    } else if (verifyMode != "off") {
+      throw Error("--verify expects off|sampled|all, got '" + verifyMode +
+                  "'");
+    }
+    defaultVerify.quarantineDir = flags.getString("quarantine-dir", "");
     const std::string failpoints = flags.getString("failpoints", "");
     const bool printAsm = flags.getBool("print-asm", false);
     const std::string statsJson = flags.getString("stats-json", "");
@@ -310,8 +356,8 @@ int main(int argc, char** argv) {
         const std::string_view stripped = trim(line);
         if (stripped.empty() || stripped[0] == '#') continue;
         try {
-          requests.push_back(
-              parseRequest(std::string(stripped), lineNo, defaultTimeout));
+          requests.push_back(parseRequest(std::string(stripped), lineNo,
+                                          defaultTimeout, defaultVerify));
         } catch (const Error& e) {
           ++parseErrors;
           std::printf("avivd: request line %d: %s (skipped)\n", lineNo,
@@ -335,6 +381,7 @@ int main(int argc, char** argv) {
     bool allOk = true;
     int64_t finalPassMisses = 0;
     int64_t finalPassDegradedMisses = 0;
+    int64_t finalPassQuarantinedMisses = 0;
     bool shutdown = false;
 
     for (int pass = 1; pass <= repeat && !shutdown; ++pass) {
@@ -350,11 +397,13 @@ int main(int argc, char** argv) {
           cache != nullptr ? cache->stats() : CacheStats{};
       size_t okCount = 0;
       size_t degradedCount = 0;
+      size_t quarantinedCount = 0;
       size_t skippedCount = 0;
-      // Misses attributable to degraded requests: their results are
-      // deliberately never cached, so --expect-all-hits must not count
+      // Misses attributable to degraded/quarantined requests: their results
+      // are deliberately never cached, so --expect-all-hits must not count
       // them against the pass.
       int64_t degradedMisses = 0;
+      int64_t quarantinedMisses = 0;
       pool.parallelFor(requests.size(), [&](size_t i, int) {
         if (g_shutdownRequested != 0) {
           // Drain mode: in-flight requests finish, pending ones skip.
@@ -368,7 +417,15 @@ int main(int argc, char** argv) {
             runRequest(requests[i], cache, printAsm, retries, *requestTel[i]);
         std::lock_guard<std::mutex> lock(outMu);
         if (result.ok) {
-          if (result.degraded) {
+          if (result.quarantined) {
+            // Takes precedence over plain degradation: verification caught a
+            // miscompile, the emitted result is the verified baseline.
+            ++quarantinedCount;
+            quarantinedMisses += static_cast<int64_t>(result.blocks) -
+                                 static_cast<int64_t>(result.cachedBlocks);
+            std::printf("req %zu: quarantined %s\n", i,
+                        result.statusDetail.c_str());
+          } else if (result.degraded) {
             ++degradedCount;
             degradedMisses += static_cast<int64_t>(result.blocks) -
                               static_cast<int64_t>(result.cachedBlocks);
@@ -386,10 +443,11 @@ int main(int argc, char** argv) {
       });
 
       std::printf(
-          "avivd: pass %d: %zu requests, %zu ok, %zu degraded, %zu failed, "
-          "%zu skipped\n",
-          pass, requests.size(), okCount, degradedCount,
-          requests.size() - okCount - degradedCount - skippedCount,
+          "avivd: pass %d: %zu requests, %zu ok, %zu degraded, "
+          "%zu quarantined, %zu failed, %zu skipped\n",
+          pass, requests.size(), okCount, degradedCount, quarantinedCount,
+          requests.size() - okCount - degradedCount - quarantinedCount -
+              skippedCount,
           skippedCount);
       if (parseErrors > 0)
         std::printf("avivd: pass %d: %d parse-errors\n", pass, parseErrors);
@@ -408,9 +466,11 @@ int main(int argc, char** argv) {
             static_cast<long long>(now.evictions - before.evictions));
         finalPassMisses = now.misses - before.misses;
         finalPassDegradedMisses = degradedMisses;
+        finalPassQuarantinedMisses = quarantinedMisses;
         recordServiceStats(now, root.child("service"));
       }
-      if (okCount + degradedCount != requests.size()) allOk = false;
+      if (okCount + degradedCount + quarantinedCount != requests.size())
+        allOk = false;
       if (g_shutdownRequested != 0) shutdown = true;
     }
 
@@ -426,12 +486,16 @@ int main(int argc, char** argv) {
     if (!allOk) return 1;
     if (expectAllHits &&
         (cache == nullptr ||
-         finalPassMisses - finalPassDegradedMisses > 0)) {
+         finalPassMisses - finalPassDegradedMisses -
+                 finalPassQuarantinedMisses >
+             0)) {
       std::fprintf(stderr,
                    "avivd: --expect-all-hits: final pass had %lld misses "
-                   "(%lld from degraded requests, excluded)\n",
+                   "(%lld from degraded and %lld from quarantined requests, "
+                   "excluded)\n",
                    static_cast<long long>(finalPassMisses),
-                   static_cast<long long>(finalPassDegradedMisses));
+                   static_cast<long long>(finalPassDegradedMisses),
+                   static_cast<long long>(finalPassQuarantinedMisses));
       return 2;
     }
     return 0;

@@ -88,6 +88,14 @@ Schedule CoveringEngine::run(CoverStats* stats) {
       }
       st.cliquesGenerated += cliques.size();
       st.cliqueRounds += 1;
+      // Hard ceiling across rounds: the per-round cap bounds each rebuild,
+      // but a hostile parallelism graph can keep regenerating huge clique
+      // sets round after round. Recoverable — the driver degrades to the
+      // baseline generator.
+      if (options_.maxTotalCliques != 0 &&
+          st.cliquesGenerated > options_.maxTotalCliques)
+        throw ResourceLimitExceeded("total cliques", st.cliquesGenerated,
+                                    options_.maxTotalCliques);
       heights = graph_.levelsFromTop();
       rebuild = false;
     }

@@ -84,6 +84,22 @@ struct CodegenOptions {
   // scopes are merged in block order. 1 = fully serial.
   int jobs = 1;
 
+  // --- robustness: resource ceilings ---
+  // Guard rails against pathological or hostile inputs (adversarially deep
+  // DAGs, dense parallelism graphs): exceeding one throws a recoverable
+  // ResourceLimitExceeded (support/error.h) that the driver routes into
+  // the baseline-fallback path with the ceilings lifted. 0 = unlimited.
+  // Hard cap on split-node DAG nodes (leaves + splits + alternatives +
+  // transfer hops) built for one block.
+  size_t maxSndNodes = 1'000'000;
+  // Approximate cap on bytes held by the split-node arena (node structs
+  // plus their covers/operand payloads).
+  size_t maxSndBytes = 512ull << 20;
+  // Hard cap on cliques generated across all rounds of one covering (the
+  // per-round maxCliquesPerRound cap truncates softly; this one stops a
+  // covering whose rounds keep regenerating huge clique sets).
+  size_t maxTotalCliques = 5'000'000;
+
   // --- output placement ---
   // Store block outputs back to data memory (required for multi-block
   // programs whose successor blocks reload them); when false outputs stay
@@ -118,6 +134,9 @@ struct CodegenOptions {
     sink("coverLookahead", coverLookahead);
     sink("timeLimitSeconds", timeLimitSeconds);
     sink("constantsInMemory", constantsInMemory);
+    sink("maxSndNodes", maxSndNodes);
+    sink("maxSndBytes", maxSndBytes);
+    sink("maxTotalCliques", maxTotalCliques);
     sink("outputsToMemory", outputsToMemory);
   }
 

@@ -68,6 +68,15 @@ std::vector<PatternMatch> matchComplexPatterns(const BlockDag& ir,
 // ---------------------------------------------------------------------
 
 SndId SplitNodeDag::append(SndNode node) {
+  if (maxNodes_ != 0 && nodes_.size() >= maxNodes_)
+    throw ResourceLimitExceeded("split-node count", nodes_.size() + 1,
+                                maxNodes_);
+  approxBytes_ += sizeof(SndNode) +
+                  (node.covers.size() + node.operandIr.size()) *
+                      sizeof(NodeId);
+  if (maxBytes_ != 0 && approxBytes_ > maxBytes_)
+    throw ResourceLimitExceeded("split-node arena bytes", approxBytes_,
+                                maxBytes_);
   const auto id = static_cast<SndId>(nodes_.size());
   counts_[static_cast<size_t>(node.kind)]++;
   nodes_.push_back(std::move(node));
@@ -103,6 +112,8 @@ SplitNodeDag SplitNodeDag::build(const BlockDag& ir, const Machine& machine,
   snd.ir_ = &ir;
   snd.machine_ = &machine;
   snd.dbs_ = &dbs;
+  snd.maxNodes_ = options.maxSndNodes;
+  snd.maxBytes_ = options.maxSndBytes;
   snd.leafOf_.assign(ir.size(), kNoSnd);
   snd.splitOf_.assign(ir.size(), kNoSnd);
   snd.altsOf_.assign(ir.size(), {});

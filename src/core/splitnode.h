@@ -111,6 +111,9 @@ class SplitNodeDag {
 
  private:
   SplitNodeDag() = default;
+  // Appends one node, enforcing the build-time resource ceilings
+  // (CodegenOptions::maxSndNodes / maxSndBytes); throws
+  // ResourceLimitExceeded past either one.
   SndId append(SndNode node);
 
   const BlockDag* ir_ = nullptr;
@@ -122,6 +125,9 @@ class SplitNodeDag {
   std::vector<std::vector<SndId>> altsOf_;  // per IR node
   std::map<std::pair<SndId, SndId>, std::vector<TransferChain>> chains_;
   size_t counts_[4] = {0, 0, 0, 0};
+  size_t maxNodes_ = 0;     // 0 = unlimited; set from CodegenOptions
+  size_t maxBytes_ = 0;
+  size_t approxBytes_ = 0;  // running arena estimate
 };
 
 // A complex-instruction pattern match found in the IR (Section III-B).

@@ -8,6 +8,9 @@
 #include "sim/simulator.h"
 #include "support/deadline.h"
 #include "support/error.h"
+#include "support/failpoint.h"
+#include "verify/quarantine.h"
+#include "verify/verify.h"
 
 namespace aviv {
 
@@ -51,15 +54,24 @@ CoreResult CodeGenerator::baselineCore(const BlockDag& ir,
                                        TelemetryNode& tel,
                                        const std::string& why) {
   PhaseScope ph(tel, "baseline-fallback");
+  // The baseline also builds the Split-Node DAG, so when the covering flow
+  // fell here because a resource ceiling tripped, the same ceiling would
+  // trip again. Lift the ceilings for the fallback: the baseline walks the
+  // SND sequentially without clique enumeration, so its footprint is the
+  // part the ceilings exist to protect against, not the part that blows up.
+  CodegenOptions baseOptions = coreOptions;
+  baseOptions.maxSndNodes = 0;
+  baseOptions.maxSndBytes = 0;
+  baseOptions.maxTotalCliques = 0;
   BaselineResult base = [&] {
     try {
       try {
         return sequentialCodegen(ir, ctx_.machine(), ctx_.databases(),
-                                 coreOptions);
+                                 baseOptions);
       } catch (const Error&) {
-        if (coreOptions.outputsToMemory || !options_.outputsToMemoryFallback)
+        if (baseOptions.outputsToMemory || !options_.outputsToMemoryFallback)
           throw;
-        CodegenOptions retry = coreOptions;
+        CodegenOptions retry = baseOptions;
         retry.outputsToMemory = true;
         return sequentialCodegen(ir, ctx_.machine(), ctx_.databases(), retry);
       }
@@ -79,30 +91,85 @@ CompiledBlock CodeGenerator::compileBlockWith(
     const BlockDag& ir, SymbolScope& symbols,
     const CodegenOptions& coreOptions, TelemetryNode& tel) {
   ResultCache* cache = options_.cache.get();
+  const bool verifyThis = shouldVerifyBlock(options_.verify, ir.name());
+
+  // One differential verification, counted under the block's "verify"
+  // phase. The image is checked in scope-independent form (names = its
+  // first-use-order symbol list), so cached entries and fresh recordings
+  // go through the identical path.
+  auto runVerify = [&](const CodeImage& image,
+                       const std::vector<std::string>& names) {
+    PhaseScope ph(tel, "verify");
+    const VerifyReport report =
+        verifyCompiledBlock(ctx_.machine(), ir, image, names, options_.verify);
+    ph.node().addCounter("blocksChecked", 1);
+    ph.node().addCounter("vectorsRun", report.vectorsRun);
+    if (!report.passed) ph.node().addCounter("verifyFailures", 1);
+    return report;
+  };
+  auto quarantine = [&](const CodeImage& image,
+                        const std::vector<std::string>& names,
+                        const VerifyReport& report) {
+    (void)writeQuarantineArtifact(options_.verify.quarantineDir,
+                                  ctx_.machine(), ir, image, names,
+                                  options_.verify, report);
+  };
+
   Hash128 cacheKey;
   if (cache != nullptr) {
+    // Verifying sessions live in their own key space (salted with the
+    // verifier version): entries produced with verification off are never
+    // mistaken for checked ones, and a verifier bump forces a recompile.
+    const uint32_t verifierSalt = options_.verify.level == VerifyLevel::kOff
+                                      ? 0
+                                      : options_.verify.verifierVersion;
     cacheKey = compileFingerprint(ctx_, ir, coreOptions, options_.runPeephole,
-                                  options_.outputsToMemoryFallback);
+                                  options_.outputsToMemoryFallback,
+                                  verifierSalt);
     if (const auto entry = cache->lookup(cacheKey)) {
-      // Hydrate: replay the scope-independent image into the consumer's
-      // symbol scope. No covering/regalloc/encode work happens, so the
-      // block's telemetry subtree stays free of pipeline phases — the
-      // acceptance check for "zero covering work".
-      CompiledBlock block;
-      block.image = entry->image;
-      rebindSymbols(block.image, entry->symbolNames, symbols);
-      checkDataMemoryFits(block.image, symbols, ctx_.machine());
-      block.fromCache = true;
-      block.cachedStatsJson = entry->statsJson;
-      tel.addCounter("cacheHits", 1);
-      return block;
+      // A warm hit whose entry carries a current verified bit skips the
+      // simulator entirely; an unverified or stale-verifier entry is
+      // re-checked once and upgraded in place so the next hit is free.
+      bool usable = true;
+      if (verifyThis &&
+          !(entry->verified &&
+            entry->verifierVersion == options_.verify.verifierVersion)) {
+        const VerifyReport report =
+            runVerify(entry->image, entry->symbolNames);
+        if (report.passed) {
+          CacheEntry upgraded = *entry;
+          upgraded.verified = true;
+          upgraded.verifierVersion = options_.verify.verifierVersion;
+          cache->store(cacheKey, std::move(upgraded));
+        } else {
+          // A cached miscompile. Quarantine it and fall through to a cold
+          // compile, which verifies before anything is trusted or stored.
+          quarantine(entry->image, entry->symbolNames, report);
+          usable = false;
+        }
+      }
+      if (usable) {
+        // Hydrate: replay the scope-independent image into the consumer's
+        // symbol scope. No covering/regalloc/encode work happens, so with
+        // verification off the block's telemetry subtree stays free of
+        // pipeline phases — the acceptance check for "zero covering work".
+        CompiledBlock block;
+        block.image = entry->image;
+        rebindSymbols(block.image, entry->symbolNames, symbols);
+        checkDataMemoryFits(block.image, symbols, ctx_.machine());
+        block.fromCache = true;
+        block.cachedStatsJson = entry->statsJson;
+        tel.addCounter("cacheHits", 1);
+        return block;
+      }
     }
   }
   CompiledBlock block;
   // Rung 1: the full covering flow, with the existing outputs-to-memory
-  // retry. DeadlineExceeded / InternalError must not trigger that retry —
-  // re-running the covering flow cannot help (the budget stays spent, the
-  // invariant stays tripped); they fall through to the baseline rung.
+  // retry. DeadlineExceeded / InternalError / ResourceLimitExceeded must
+  // not trigger that retry — re-running the covering flow cannot help (the
+  // budget stays spent, the invariant stays tripped, the same Split-Node
+  // DAG blows the same ceiling); they fall through to the baseline rung.
   auto coverWithRetry = [&]() -> CoreResult {
     try {
       return coverBlock(ir, ctx_.machine(), ctx_.databases(), coreOptions,
@@ -110,6 +177,8 @@ CompiledBlock CodeGenerator::compileBlockWith(
     } catch (const DeadlineExceeded&) {
       throw;
     } catch (const InternalError&) {
+      throw;
+    } catch (const ResourceLimitExceeded&) {
       throw;
     } catch (const Error&) {
       if (coreOptions.outputsToMemory || !options_.outputsToMemoryFallback)
@@ -131,58 +200,102 @@ CompiledBlock CodeGenerator::compileBlockWith(
     } catch (const InternalError& e) {
       block.degraded = true;
       return baselineCore(ir, coreOptions, tel, e.what());
+    } catch (const ResourceLimitExceeded& e) {
+      block.degraded = true;
+      return baselineCore(ir, coreOptions, tel, e.what());
     }
   }();
   block.core = std::move(core);
-  if (options_.runPeephole) {
-    // Peephole reads only the graph and schedule, never a register
-    // assignment, so the allocation that used to run before it was pure
-    // throwaway work — run the single authoritative allocation after.
-    PhaseScope ph(tel, "peephole");
-    peepholeOptimize(block.core.graph, block.core.schedule,
-                     ctx_.databases().constraints, &block.peephole);
-    recordPeepholeStats(block.peephole, ph.node());
-    tel.child("regalloc").addCounter("passesSaved", 1);
-  }
-  {
-    PhaseScope ph(tel, "regalloc");
-    block.regs = allocateRegisters(block.core.graph, block.core.schedule);
-    recordRegAllocStats(block.regs, ph.node());
-  }
+  auto finishCore = [&] {
+    if (options_.runPeephole) {
+      // Peephole reads only the graph and schedule, never a register
+      // assignment, so the allocation that used to run before it was pure
+      // throwaway work — run the single authoritative allocation after.
+      PhaseScope ph(tel, "peephole");
+      peepholeOptimize(block.core.graph, block.core.schedule,
+                       ctx_.databases().constraints, &block.peephole);
+      recordPeepholeStats(block.peephole, ph.node());
+      tel.child("regalloc").addCounter("passesSaved", 1);
+    }
+    {
+      PhaseScope ph(tel, "regalloc");
+      block.regs = allocateRegisters(block.core.graph, block.core.schedule);
+      recordRegAllocStats(block.regs, ph.node());
+    }
+  };
+  finishCore();
   // Degraded or timed-out results are NOT cacheable: their quality depends
   // on wall-clock luck, and a cache hit must replay the covering flow's
   // deterministic output, not whatever a starved run managed to produce.
-  const bool cacheable =
+  const bool wantCache =
       cache != nullptr && !block.degraded && !block.core.stats.timedOut;
-  if (!cacheable) {
+  if (!wantCache && !verifyThis) {
     PhaseScope ph(tel, "encode");
     block.image =
         encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
     ph.node().setCounter("instructions", block.image.numInstructions());
     if (cache != nullptr) tel.addCounter("cacheMisses", 1);
-  } else {
-    // Encode against a private deferred scope so the stored image is
-    // scope-independent, then replay it into the consumer's scope exactly
-    // as a hit would. The entry's stats are serialized BEFORE the cache
-    // counters land on `tel`, so they match a cache-less compile verbatim.
-    SymbolScope recording;
+    return block;
+  }
+  // Encode against a private deferred scope so the stored/verified image is
+  // scope-independent, then replay it into the consumer's scope exactly
+  // as a hit would. The entry's stats are serialized BEFORE the cache
+  // counters land on `tel`, so they match a cache-less compile verbatim.
+  SymbolScope recording;
+  auto encodeRecording = [&] {
+    SymbolScope fresh;
     {
       PhaseScope ph(tel, "encode");
       block.image = encodeBlock(block.core.graph, block.core.schedule,
-                                block.regs, recording);
+                                block.regs, fresh);
       ph.node().setCounter("instructions", block.image.numInstructions());
     }
+    recording = std::move(fresh);
+  };
+  encodeRecording();
+  if (verifyThis) {
+    // Fault-injection site: corrupt the encoded image BEFORE the first
+    // verification, so a quarantined artifact carries — and deterministically
+    // reproduces — the exact image the verifier rejected.
+    if (FailPoints::instance().shouldFail("verify-corrupt-asm"))
+      (void)corruptImageForTesting(block.image);
+    VerifyReport report = runVerify(block.image, recording.recorded());
+    if (!report.passed) {
+      quarantine(block.image, recording.recorded(), report);
+      block.quarantined = true;
+      if (block.degraded || !options_.baselineFallback)
+        throw Error("verification failed for block '" + ir.name() + "': " +
+                    report.detail());
+      // Degradation ladder: replace the miscompiled covering result with
+      // the sequential baseline, and verify THAT before emitting anything.
+      block.degraded = true;
+      block.core = baselineCore(ir, coreOptions, tel,
+                                "verification failed: " + report.detail());
+      block.peephole = {};
+      finishCore();
+      encodeRecording();
+      report = runVerify(block.image, recording.recorded());
+      if (!report.passed)
+        throw Error("verification failed for block '" + ir.name() +
+                    "' and for its baseline fallback: " + report.detail());
+    }
+  }
+  // A quarantined block is degraded, hence uncacheable — an unverifiable
+  // result must never become a warm hit.
+  if (wantCache && !block.quarantined) {
     CacheEntry entry;
     entry.blockName = ir.name();
     entry.machineName = ctx_.machine().name();
     entry.symbolNames = recording.recorded();
     entry.statsJson = tel.toJson();
+    entry.verified = verifyThis;
+    entry.verifierVersion = verifyThis ? options_.verify.verifierVersion : 0;
     entry.image = block.image;
     cache->store(cacheKey, std::move(entry));
-    rebindSymbols(block.image, recording.recorded(), symbols);
-    checkDataMemoryFits(block.image, symbols, ctx_.machine());
-    tel.addCounter("cacheMisses", 1);
   }
+  rebindSymbols(block.image, recording.recorded(), symbols);
+  checkDataMemoryFits(block.image, symbols, ctx_.machine());
+  if (cache != nullptr) tel.addCounter("cacheMisses", 1);
   return block;
 }
 

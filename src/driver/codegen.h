@@ -20,6 +20,7 @@
 #include "ir/program.h"
 #include "regalloc/peephole.h"
 #include "regalloc/regalloc.h"
+#include "verify/verify.h"
 
 namespace aviv {
 
@@ -49,6 +50,15 @@ struct DriverOptions {
   // avivd daemon shares one); its counters surface as the session's
   // "service" telemetry phase. Null disables caching.
   std::shared_ptr<ResultCache> cache;
+  // Differential output verification (src/verify, DESIGN.md §6.5): replay
+  // compiled blocks on the simulator against the reference interpreter
+  // before trusting them. A mismatch quarantines a repro artifact, counts
+  // into the block's "verify" phase, and degrades to the (re-verified)
+  // baseline generator; unverifiable results are never cached. The
+  // verifier version salts the cache fingerprint, so verifying sessions
+  // never share keys with non-verifying ones and a verifier bump forces
+  // fresh compiles. Level kOff preserves pre-verification behaviour.
+  VerifyOptions verify;
 };
 
 struct CompiledBlock {
@@ -69,6 +79,11 @@ struct CompiledBlock {
   // instead (DriverOptions::baselineFallback). The image is valid but its
   // quality is not the covering flow's; degraded results bypass the cache.
   bool degraded = false;
+  // True when differential verification caught this block's covering-flow
+  // output disagreeing with the reference interpreter. The image is the
+  // verified baseline replacement (degraded is also set); a repro artifact
+  // was quarantined if a quarantine dir is configured. Never cached.
+  bool quarantined = false;
 
   [[nodiscard]] int numInstructions() const {
     return image.numInstructions();

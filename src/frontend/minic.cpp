@@ -77,27 +77,44 @@ struct Stmt {
   std::vector<Stmt> elseBody;  // kIf fall-through
 };
 
+constexpr size_t kMaxDiagnostics = 32;
+
 class MiniCParser {
  public:
-  explicit MiniCParser(std::string_view source) : lexer_(source, kPuncts) {}
+  MiniCParser(std::string_view source, std::string sourceName)
+      : lexer_(source, kPuncts), sourceName_(std::move(sourceName)) {}
 
   MiniCFunction parse() {
-    expectKeyword("int");
     MiniCFunction fn;
-    fn.name = lexer_.expectIdent().text;
-    lexer_.expectPunct("(");
-    if (!lexer_.peek().isPunct(")")) {
-      do {
-        expectKeyword("int");
-        const Token param = lexer_.expectIdent();
-        declare(param);
-        fn.params.push_back(param.text);
-      } while (lexer_.tryConsume(","));
+    // The signature is unrecoverable: everything after hangs off it.
+    try {
+      expectKeyword("int");
+      fn.name = lexer_.expectIdent().text;
+      lexer_.expectPunct("(");
+      if (!lexer_.peek().isPunct(")")) {
+        do {
+          expectKeyword("int");
+          const Token param = lexer_.expectIdent();
+          declare(param);
+          fn.params.push_back(param.text);
+        } while (lexer_.tryConsume(","));
+      }
+      lexer_.expectPunct(")");
+    } catch (const Error& e) {
+      diags_.push_back(toDiagnostic(e));
+      throw ParseError(sourceName_, std::move(diags_));
     }
-    lexer_.expectPunct(")");
-    const std::vector<Stmt> body = parseBody();
-    if (!lexer_.atEnd())
-      throw Error(lexer_.peek().loc, "trailing input after function body");
+    std::vector<Stmt> body;
+    try {
+      body = parseBody();
+      if (!lexer_.atEnd())
+        throw Error(lexer_.peek().loc, "trailing input after function body");
+    } catch (const Error& e) {
+      diags_.push_back(toDiagnostic(e));
+    }
+    // Never lower a statement list that produced diagnostics: the Lowering
+    // invariants assume a well-formed AST.
+    if (!diags_.empty()) throw ParseError(sourceName_, std::move(diags_));
 
     Lowering lowering(fn.name);
     const bool live = lowering.lowerInto(body);
@@ -113,10 +130,23 @@ class MiniCParser {
   std::vector<Stmt> parseBody() {
     lexer_.expectPunct("{");
     std::vector<Stmt> body;
-    while (!lexer_.peek().isPunct("}")) {
-      body.push_back(parseStmt());
-      // A for-loop expands to init (returned) + while (queued).
-      for (Stmt& queued : pendingAfter_) body.push_back(std::move(queued));
+    while (!lexer_.peek().isPunct("}") &&
+           !lexer_.peek().is(Token::Kind::kEnd) &&
+           diags_.size() < kMaxDiagnostics) {
+      try {
+        body.push_back(parseStmt());
+        // A for-loop expands to init (returned) + while (queued).
+        for (Stmt& queued : pendingAfter_) body.push_back(std::move(queued));
+      } catch (const Error& e) {
+        // Panic-mode: record and resynchronize after the next ';' (or stop
+        // before the closing brace) so the rest of the body is still
+        // checked for further errors.
+        diags_.push_back(toDiagnostic(e));
+        while (!lexer_.peek().is(Token::Kind::kEnd) &&
+               !lexer_.peek().isPunct("}")) {
+          if (lexer_.next().isPunct(";")) break;
+        }
+      }
       pendingAfter_.clear();
     }
     lexer_.expectPunct("}");
@@ -464,14 +494,17 @@ class MiniCParser {
   };
 
   Lexer lexer_;
+  std::string sourceName_;
+  std::vector<Diagnostic> diags_;
   std::set<std::string> declared_;
   std::vector<Stmt> pendingAfter_;  // for-loop expansion queue
 };
 
 }  // namespace
 
-MiniCFunction parseMiniC(std::string_view source) {
-  MiniCParser parser(source);
+MiniCFunction parseMiniC(std::string_view source,
+                         const std::string& sourceName) {
+  MiniCParser parser(source, sourceName);
   return parser.parse();
 }
 

@@ -49,9 +49,12 @@ struct MiniCFunction {
 
 inline constexpr const char* kMiniCReturnVariable = "__ret";
 
-// Parses and lowers one MiniC function. Throws aviv::Error with source
-// locations on malformed input (unknown variables, missing returns,
-// unreachable code, ...).
-[[nodiscard]] MiniCFunction parseMiniC(std::string_view source);
+// Parses and lowers one MiniC function. Malformed input raises
+// aviv::ParseError carrying every diagnostic found by panic-mode recovery
+// (file:line:col per entry); semantic errors on a well-formed parse
+// (missing return, unreachable code, ...) raise plain aviv::Error.
+[[nodiscard]] MiniCFunction parseMiniC(std::string_view source,
+                                       const std::string& sourceName =
+                                           "<minic>");
 
 }  // namespace aviv

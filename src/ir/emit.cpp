@@ -1,0 +1,119 @@
+#include "ir/emit.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace aviv {
+
+namespace {
+
+// Infix spelling for the ops the block language writes as operators;
+// nullptr for the intrinsic-call ops (min/max/abs/mac/msu).
+const char* infixSpelling(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kAnd: return "&";
+    case Op::kOr: return "|";
+    case Op::kXor: return "^";
+    case Op::kShl: return "<<";
+    case Op::kShr: return ">>";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    default: return nullptr;
+  }
+}
+
+std::string lowerName(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
+}
+
+}  // namespace
+
+std::string emitBlockText(const BlockDag& dag) {
+  // Temp-name prefix that cannot collide with any input name: one more
+  // leading underscore than the longest underscore run opening an input.
+  std::string prefix = "_t";
+  for (const DagNode& node : dag.nodes()) {
+    if (node.op != Op::kInput) continue;
+    size_t run = 0;
+    while (run < node.name.size() && node.name[run] == '_') ++run;
+    if (run + 1 >= prefix.size()) prefix = std::string(run + 1, '_') + "t";
+  }
+
+  // Per-node reference expression. Leaves inline (name / literal); op nodes
+  // get a temp statement and are referenced by temp name.
+  std::vector<std::string> ref(dag.size());
+  std::string body;
+  for (NodeId id = 0; id < dag.size(); ++id) {
+    const DagNode& node = dag.node(id);
+    if (node.op == Op::kInput) {
+      ref[id] = node.name;
+      continue;
+    }
+    if (node.op == Op::kConst) {
+      ref[id] = node.value < 0
+                    ? "(0 - " + std::to_string(-(node.value + 1)) + " - 1)"
+                    : std::to_string(node.value);
+      continue;
+    }
+    const std::string temp = prefix + std::to_string(id);
+    std::string expr;
+    if (const char* spelling = infixSpelling(node.op)) {
+      expr = "(" + ref[node.operands[0]] + " " + spelling + " " +
+             ref[node.operands[1]] + ")";
+    } else if (node.op == Op::kNeg) {
+      expr = "(0 - " + ref[node.operands[0]] + ")";
+    } else if (node.op == Op::kCompl) {
+      expr = "(~" + ref[node.operands[0]] + ")";
+    } else {
+      // Intrinsic call: min/max/abs/mac/msu.
+      expr = lowerName(opName(node.op)) + "(";
+      for (size_t i = 0; i < node.operands.size(); ++i) {
+        if (i > 0) expr += ", ";
+        expr += ref[node.operands[i]];
+      }
+      expr += ")";
+    }
+    body += "  " + temp + " = " + expr + ";\n";
+    ref[id] = temp;
+  }
+
+  std::string text = "block " + dag.name() + " {\n";
+  const std::vector<std::string> inputs = dag.inputNames();
+  if (!inputs.empty()) {
+    text += "  input";
+    for (size_t i = 0; i < inputs.size(); ++i)
+      text += (i == 0 ? " " : ", ") + inputs[i];
+    text += ";\n";
+  }
+  if (!dag.outputs().empty()) {
+    text += "  output";
+    bool first = true;
+    for (const auto& [name, id] : dag.outputs()) {
+      text += (first ? " " : ", ") + name;
+      first = false;
+    }
+    text += ";\n";
+  }
+  text += body;
+  for (const auto& [name, id] : dag.outputs()) {
+    if (ref[id] == name) continue;  // output marks an input of the same name
+    text += "  " + name + " = " + ref[id] + ";\n";
+  }
+  text += "}\n";
+  return text;
+}
+
+}  // namespace aviv

@@ -1,0 +1,20 @@
+// Block-language emitter: renders a BlockDag back into source text that
+// parseBlock accepts and that evaluates identically under the reference
+// interpreter. Used by the verification guardrail to write self-contained
+// quarantine artifacts (src/verify/quarantine.h): the replayed artifact
+// re-parses this text instead of trusting any binary IR dump.
+//
+// The emission is semantic, not structural: re-parsing value-numbers the
+// nodes again, so shared subexpressions may get different ids, but
+// evalDagOutputs over the round-tripped DAG is identical for all inputs.
+#pragma once
+
+#include <string>
+
+#include "ir/dag.h"
+
+namespace aviv {
+
+[[nodiscard]] std::string emitBlockText(const BlockDag& dag);
+
+}  // namespace aviv

@@ -40,12 +40,15 @@ Token substituteIndex(Token tok, int iteration) {
     text.replace(pos, needle.size(), std::to_string(iteration));
   }
   if (text != tok.text) {
-    // A bare "$i" becomes a plain number token.
+    // A bare "$i" becomes a plain number token. Substitution results too
+    // long for int64 (e.g. "$i" pasted between digit runs) stay
+    // identifiers — std::stoll would throw std::out_of_range, which is not
+    // part of the error taxonomy.
     const bool allDigits =
         !text.empty() && std::all_of(text.begin(), text.end(), [](char c) {
           return std::isdigit(static_cast<unsigned char>(c));
         });
-    if (allDigits) {
+    if (allDigits && text.size() <= 18) {
       tok.kind = Token::Kind::kNumber;
       tok.number = std::stoll(text);
     }
@@ -99,15 +102,21 @@ std::vector<Token> expandRepeats(const std::vector<Token>& in) {
 // Recursive-descent expression/statement parser over the expanded tokens.
 // ---------------------------------------------------------------------
 
+// Diagnostic cap: a pathological input (fuzzer output, truncated file)
+// should not produce an unbounded report.
+constexpr size_t kMaxDiagnostics = 32;
+
 class BlockParser {
  public:
-  explicit BlockParser(std::vector<Token> tokens)
-      : tokens_(std::move(tokens)) {}
+  BlockParser(std::vector<Token> tokens, std::string sourceName)
+      : tokens_(std::move(tokens)), sourceName_(std::move(sourceName)) {}
 
   Program parse(const std::string& programName) {
     Program program(programName);
-    if (!peek().isIdent("block"))
-      throw Error(peek().loc, "expected 'block', got " + peek().describe());
+    if (!peek().isIdent("block")) {
+      recordDiag(peek().loc, "expected 'block', got " + peek().describe());
+      throw ParseError(sourceName_, std::move(diags_));
+    }
     // Collect blocks plus implicit fallthrough terminators.
     struct Parsed {
       BlockDag dag;
@@ -115,10 +124,21 @@ class BlockParser {
       bool explicitTerm;
     };
     std::vector<Parsed> parsed;
-    while (!peek().is(Token::Kind::kEnd)) {
-      auto [dag, term, explicitTerm] = parseBlockDef();
-      parsed.push_back({std::move(dag), std::move(term), explicitTerm});
+    while (!peek().is(Token::Kind::kEnd) &&
+           diags_.size() < kMaxDiagnostics) {
+      try {
+        auto [dag, term, explicitTerm] = parseBlockDef();
+        parsed.push_back({std::move(dag), std::move(term), explicitTerm});
+      } catch (const ParseError&) {
+        throw;  // already aggregated
+      } catch (const Error& e) {
+        // Panic-mode: record and resynchronize at the next 'block' header.
+        recordDiag(toDiagnostic(e));
+        while (!peek().is(Token::Kind::kEnd) && !peek().isIdent("block"))
+          next();
+      }
     }
+    if (!diags_.empty()) throw ParseError(sourceName_, std::move(diags_));
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].explicitTerm && i + 1 < parsed.size()) {
         parsed[i].term.kind = TermKind::kJump;
@@ -147,10 +167,54 @@ class BlockParser {
     declaredOutputs_.clear();
     Terminator term;
     bool explicitTerm = false;
+    const size_t diagsBefore = diags_.size();
 
-    while (!peek().isPunct("}")) {
-      if (explicitTerm)
-        throw Error(peek().loc, "statements after block terminator");
+    while (!peek().isPunct("}") && !peek().is(Token::Kind::kEnd) &&
+           diags_.size() < kMaxDiagnostics) {
+      if (explicitTerm) {
+        recordDiag(peek().loc, "statements after block terminator");
+        // One report per block, then skip to the closing brace.
+        while (!peek().is(Token::Kind::kEnd) && !peek().isPunct("}")) next();
+        break;
+      }
+      try {
+        parseStatement(dag, term, explicitTerm);
+      } catch (const Error& e) {
+        // Panic-mode: record, then resynchronize after the next ';' (or
+        // stop at '}' / 'block' / end so the enclosing loops regain
+        // control).
+        recordDiag(toDiagnostic(e));
+        while (!peek().is(Token::Kind::kEnd) && !peek().isPunct("}") &&
+               !peek().isIdent("block")) {
+          if (next().isPunct(";")) break;
+        }
+        if (peek().isIdent("block")) {
+          // Probably a missing '}': bail out of this block entirely.
+          return {std::move(dag), std::move(term), explicitTerm};
+        }
+      }
+    }
+    expectPunct("}");
+
+    // A block that produced diagnostics is structurally suspect: skip
+    // output binding and verification (parse() throws before anything
+    // downstream can consume the half-built DAG).
+    if (diags_.size() > diagsBefore)
+      return {std::move(dag), std::move(term), explicitTerm};
+
+    for (const std::string& outName : declaredOutputs_) {
+      const auto it = env_.find(outName);
+      if (it == env_.end())
+        throw Error(nameTok.loc,
+                    "output '" + outName + "' never assigned in block '" +
+                        nameTok.text + "'");
+      dag.markOutput(outName, it->second);
+    }
+    dag.verify();
+    return {std::move(dag), std::move(term), explicitTerm};
+  }
+
+  void parseStatement(BlockDag& dag, Terminator& term, bool& explicitTerm) {
       if (tryConsumeIdent("input")) {
         do {
           const Token var = expectIdent();
@@ -195,19 +259,6 @@ class BlockParser {
         expectPunct(";");
         env_[lhs.text] = value;
       }
-    }
-    expectPunct("}");
-
-    for (const std::string& outName : declaredOutputs_) {
-      const auto it = env_.find(outName);
-      if (it == env_.end())
-        throw Error(nameTok.loc,
-                    "output '" + outName + "' never assigned in block '" +
-                        nameTok.text + "'");
-      dag.markOutput(outName, it->second);
-    }
-    dag.verify();
-    return {std::move(dag), std::move(term), explicitTerm};
   }
 
   // Precedence climbing: | < ^ < & < comparisons < shifts < +- < */%.
@@ -275,14 +326,22 @@ class BlockParser {
     return parsePrimary(dag);
   }
   NodeId parsePrimary(BlockDag& dag) {
-    const Token tok = next();
-    if (tok.is(Token::Kind::kNumber)) return dag.addConst(tok.number);
+    // Peek before consuming: on a syntax error the offending token must
+    // stay in the stream so panic-mode resynchronization (which scans for
+    // the next ';') doesn't swallow the following statement.
+    const Token tok = peek();
+    if (tok.is(Token::Kind::kNumber)) {
+      next();
+      return dag.addConst(tok.number);
+    }
     if (tok.isPunct("(")) {
+      next();
       const NodeId inner = parseExpr(dag);
       expectPunct(")");
       return inner;
     }
     if (tok.is(Token::Kind::kIdent)) {
+      next();
       if (peek().isPunct("(")) return parseIntrinsic(dag, tok);
       const auto it = env_.find(tok.text);
       if (it == env_.end())
@@ -355,8 +414,17 @@ class BlockParser {
                                tok.describe());
   }
 
+  void recordDiag(Diagnostic d) {
+    if (diags_.size() < kMaxDiagnostics) diags_.push_back(std::move(d));
+  }
+  void recordDiag(SourceLoc loc, std::string message) {
+    recordDiag(Diagnostic{loc, std::move(message)});
+  }
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  std::string sourceName_;
+  std::vector<Diagnostic> diags_;
   std::map<std::string, NodeId> env_;
   std::set<std::string> declaredOutputs_;
 };
@@ -364,7 +432,16 @@ class BlockParser {
 }  // namespace
 
 Program parseProgram(std::string_view source, const std::string& programName) {
-  BlockParser parser(expandRepeats(lexAll(source)));
+  std::vector<Token> tokens;
+  try {
+    tokens = expandRepeats(lexAll(source));
+  } catch (const Error& e) {
+    // Lexer / repeat-expansion errors end the token stream, so there is
+    // exactly one of them — still reported through the ParseError channel
+    // for a uniform file:line:col diagnostic format.
+    throw ParseError(programName, {toDiagnostic(e)});
+  }
+  BlockParser parser(std::move(tokens), programName);
   return parser.parse(programName);
 }
 

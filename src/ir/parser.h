@@ -31,7 +31,9 @@ namespace aviv {
 
 // Parses a whole file (one or more blocks) into a Program. The first block
 // is the entry block. Blocks without an explicit terminator get kReturn if
-// last, else kJump to the next block in the file.
+// last, else kJump to the next block in the file. Malformed input raises
+// aviv::ParseError with every diagnostic found by panic-mode recovery;
+// nothing on this path aborts the process.
 [[nodiscard]] Program parseProgram(std::string_view source,
                                    const std::string& programName);
 

@@ -1,0 +1,58 @@
+#include "isdl/emit.h"
+
+namespace aviv {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string emitMachineText(const Machine& machine) {
+  std::string text = "machine " + machine.name() + " {\n";
+  for (const RegFile& rf : machine.regFiles())
+    text += "  regfile " + rf.name + " size " + std::to_string(rf.numRegs) +
+            ";\n";
+  for (const Memory& mem : machine.memories())
+    text += "  memory " + mem.name + " size " +
+            std::to_string(mem.sizeWords) + (mem.isDataMemory ? " data" : "") +
+            ";\n";
+  for (const Bus& bus : machine.buses())
+    text += "  bus " + bus.name + " capacity " +
+            std::to_string(bus.capacity) + ";\n";
+  for (const FunctionalUnit& unit : machine.units()) {
+    text += "  unit " + unit.name + " regfile " +
+            machine.regFile(unit.regFile).name + " {\n";
+    for (const UnitOp& op : unit.ops)
+      text += "    op " + std::string(opName(op.op)) + " " +
+              quoted(op.mnemonic) + " latency " + std::to_string(op.latency) +
+              ";\n";
+    text += "  }\n";
+  }
+  for (const TransferPath& t : machine.transfers())
+    text += "  transfer " + machine.locName(t.from) + " -> " +
+            machine.locName(t.to) + " bus " + machine.bus(t.bus).name + ";\n";
+  for (const Constraint& c : machine.constraints()) {
+    text += "  constraint ";
+    if (!c.note.empty()) text += quoted(c.note) + " ";
+    text += "{ ";
+    for (size_t i = 0; i < c.together.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += machine.unit(c.together[i].unit).name + "." +
+              std::string(opName(c.together[i].op));
+    }
+    text += " }\n";
+  }
+  text += "}\n";
+  return text;
+}
+
+}  // namespace aviv

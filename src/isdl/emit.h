@@ -1,0 +1,16 @@
+// ISDL emitter: renders a validated Machine back into ISDL text that
+// parseMachine accepts and that produces an equivalent machine (same
+// storages, units, ops, transfer paths, and constraints in the same order).
+// Used by the verification guardrail's quarantine artifacts so a mismatch
+// repro is fully self-contained source text.
+#pragma once
+
+#include <string>
+
+#include "isdl/machine.h"
+
+namespace aviv {
+
+[[nodiscard]] std::string emitMachineText(const Machine& machine);
+
+}  // namespace aviv

@@ -123,12 +123,33 @@ void Machine::validate() const {
   if (units_.empty())
     throw Error("machine '" + name_ + "' declares no functional units");
 
-  for (const RegFile& rf : regFiles_)
+  // Upper bounds are input hardening, not architectural limits: an ISDL
+  // file served to the daemon must not be able to make the simulator or
+  // the allocator commit gigabytes (state vectors are sized from these).
+  constexpr int kMaxRegsPerFile = 4096;
+  constexpr int kMaxMemoryWords = 1 << 22;  // 32 MiB of int64 state
+  constexpr int kMaxBusCapacity = 1024;
+  for (const RegFile& rf : regFiles_) {
     if (rf.numRegs < 1)
       throw Error("regfile '" + rf.name + "' must have >= 1 register");
-  for (const Bus& b : buses_)
+    if (rf.numRegs > kMaxRegsPerFile)
+      throw Error("regfile '" + rf.name + "' exceeds the register ceiling (" +
+                  std::to_string(kMaxRegsPerFile) + ")");
+  }
+  for (const Memory& m : memories_) {
+    if (m.sizeWords < 1)
+      throw Error("memory '" + m.name + "' must have >= 1 word");
+    if (m.sizeWords > kMaxMemoryWords)
+      throw Error("memory '" + m.name + "' exceeds the size ceiling (" +
+                  std::to_string(kMaxMemoryWords) + " words)");
+  }
+  for (const Bus& b : buses_) {
     if (b.capacity < 1)
       throw Error("bus '" + b.name + "' must have capacity >= 1");
+    if (b.capacity > kMaxBusCapacity)
+      throw Error("bus '" + b.name + "' exceeds the capacity ceiling (" +
+                  std::to_string(kMaxBusCapacity) + ")");
+  }
 
   for (const FunctionalUnit& u : units_) {
     if (u.regFile >= regFiles_.size())

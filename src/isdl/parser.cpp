@@ -8,44 +8,80 @@ namespace aviv {
 
 namespace {
 
+constexpr size_t kMaxDiagnostics = 32;
+
+bool isClauseKeyword(const Token& tok) {
+  return tok.isIdent("regfile") || tok.isIdent("memory") ||
+         tok.isIdent("bus") || tok.isIdent("unit") ||
+         tok.isIdent("transfer") || tok.isIdent("constraint");
+}
+
 class IsdlParser {
  public:
-  explicit IsdlParser(std::string_view source)
-      : lexer_(source, {"->", "<->"}) {}
+  IsdlParser(std::string_view source, std::string sourceName)
+      : lexer_(source, {"->", "<->"}), sourceName_(std::move(sourceName)) {}
 
   Machine parse() {
-    expectKeyword("machine");
-    Machine machine(lexer_.expectIdent().text);
-    lexer_.expectPunct("{");
-    while (!lexer_.peek().isPunct("}")) {
-      const Token& head = lexer_.peek();
-      if (head.isIdent("regfile")) {
-        parseRegFile(machine);
-      } else if (head.isIdent("memory")) {
-        parseMemory(machine);
-      } else if (head.isIdent("bus")) {
-        parseBus(machine);
-      } else if (head.isIdent("unit")) {
-        parseUnit(machine);
-      } else if (head.isIdent("transfer")) {
-        parseTransfer(machine);
-      } else if (head.isIdent("constraint")) {
-        parseConstraint(machine);
-      } else {
-        throw Error(head.loc, "expected a machine clause (regfile, memory, "
-                              "bus, unit, transfer, constraint), got " +
-                                  head.describe());
-      }
+    // The header is unrecoverable: without a machine name there is nothing
+    // to attach later clauses to.
+    try {
+      expectKeyword("machine");
+      Machine machine(lexer_.expectIdent().text);
+      lexer_.expectPunct("{");
+      return parseBody(std::move(machine));
+    } catch (const ParseError&) {
+      throw;
+    } catch (const Error& e) {
+      throw ParseError(sourceName_, {toDiagnostic(e)});
     }
-    lexer_.expectPunct("}");
-    if (!lexer_.atEnd())
-      throw Error(lexer_.peek().loc,
-                  "trailing input after machine definition");
-    machine.validate();
-    return machine;
   }
 
  private:
+  Machine parseBody(Machine machine) {
+    while (!lexer_.peek().isPunct("}") &&
+           !lexer_.peek().is(Token::Kind::kEnd) &&
+           diags_.size() < kMaxDiagnostics) {
+      const Token& head = lexer_.peek();
+      try {
+        if (head.isIdent("regfile")) {
+          parseRegFile(machine);
+        } else if (head.isIdent("memory")) {
+          parseMemory(machine);
+        } else if (head.isIdent("bus")) {
+          parseBus(machine);
+        } else if (head.isIdent("unit")) {
+          parseUnit(machine);
+        } else if (head.isIdent("transfer")) {
+          parseTransfer(machine);
+        } else if (head.isIdent("constraint")) {
+          parseConstraint(machine);
+        } else {
+          throw Error(head.loc,
+                      "expected a machine clause (regfile, memory, "
+                      "bus, unit, transfer, constraint), got " +
+                          head.describe());
+        }
+      } catch (const Error& e) {
+        // Panic-mode: record the diagnostic, then resynchronize at the
+        // next ';' or clause keyword so later clauses still get checked.
+        diags_.push_back(toDiagnostic(e));
+        while (!lexer_.peek().is(Token::Kind::kEnd) &&
+               !lexer_.peek().isPunct("}") &&
+               !isClauseKeyword(lexer_.peek())) {
+          if (lexer_.next().isPunct(";")) break;
+        }
+      }
+    }
+    if (diags_.empty()) {
+      lexer_.expectPunct("}");
+      if (!lexer_.atEnd())
+        throw Error(lexer_.peek().loc,
+                    "trailing input after machine definition");
+      machine.validate();
+      return machine;
+    }
+    throw ParseError(sourceName_, std::move(diags_));
+  }
   void parseRegFile(Machine& machine) {
     lexer_.next();  // 'regfile'
     RegFile rf;
@@ -185,17 +221,19 @@ class IsdlParser {
   }
 
   Lexer lexer_;
+  std::string sourceName_;
+  std::vector<Diagnostic> diags_;
 };
 
 }  // namespace
 
-Machine parseMachine(std::string_view source) {
-  IsdlParser parser(source);
+Machine parseMachine(std::string_view source, const std::string& sourceName) {
+  IsdlParser parser(source, sourceName);
   return parser.parse();
 }
 
 Machine loadMachine(const std::string& name) {
-  return parseMachine(readFile(machinePath(name)));
+  return parseMachine(readFile(machinePath(name)), name + ".isdl");
 }
 
 }  // namespace aviv

@@ -16,8 +16,10 @@
 //     constraint ["note"] { U1.ADD, U2.MUL, ... }   // illegal combination
 //   }
 //
-// Exactly one machine per file. Throws aviv::Error with source locations on
-// malformed input.
+// Exactly one machine per file. Malformed input raises aviv::ParseError
+// carrying every diagnostic found by panic-mode recovery (file:line:col:
+// message, one per line); semantic errors on a well-formed parse raise
+// plain aviv::Error. Nothing on this path aborts the process.
 #pragma once
 
 #include <string>
@@ -27,7 +29,8 @@
 
 namespace aviv {
 
-[[nodiscard]] Machine parseMachine(std::string_view source);
+[[nodiscard]] Machine parseMachine(std::string_view source,
+                                   const std::string& sourceName = "<isdl>");
 
 // Loads machines/<name>.isdl and parses it.
 [[nodiscard]] Machine loadMachine(const std::string& name);

@@ -50,6 +50,14 @@ struct CacheEntry {
   std::vector<std::string> symbolNames;
   // TelemetryNode JSON of the original compile's block subtree.
   std::string statsJson;
+  // Differential-verification pedigree (src/verify/): `verified` records
+  // that the image passed simulator-vs-interpreter replay before it was
+  // stored, under verifier version `verifierVersion`. Verified warm hits
+  // skip the simulator entirely; unverified entries (stored under
+  // VerifyLevel::kSampled, or with verification off but the same salt) are
+  // re-checked on the first verifying hit and upgraded in place.
+  bool verified = false;
+  uint32_t verifierVersion = 0;
   // Scope-independent encoded block (provisional data-memory addresses).
   CodeImage image;
 };
@@ -93,7 +101,8 @@ class ResultCache {
  public:
   // Bump when the entry payload or framing layout changes; old files then
   // fail the version check, are counted corrupt, and get rewritten.
-  static constexpr uint32_t kEntryFormatVersion = 1;
+  // v2: verified bit + verifier version (PR 4 verification guardrail).
+  static constexpr uint32_t kEntryFormatVersion = 2;
 
   // Creates the store directory and manifest when `config.dir` is set.
   // Throws aviv::Error when the directory cannot be created.

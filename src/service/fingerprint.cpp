@@ -111,7 +111,8 @@ Hash128 fingerprintOptions(const CodegenOptions& core, bool runPeephole,
 
 Hash128 compileFingerprint(const CodegenContext& ctx, const BlockDag& dag,
                            const CodegenOptions& core, bool runPeephole,
-                           bool outputsToMemoryFallback) {
+                           bool outputsToMemoryFallback,
+                           uint32_t verifierSalt) {
   const Hash128 machineFp = ctx.machineFingerprint()
                                 ? *ctx.machineFingerprint()
                                 : fingerprintMachine(ctx.machine());
@@ -121,6 +122,7 @@ Hash128 compileFingerprint(const CodegenContext& ctx, const BlockDag& dag,
   Hasher h;
   h.str("aviv-compile");
   h.u32(kFingerprintVersion);
+  h.u32(verifierSalt);
   h.u64(machineFp.hi).u64(machineFp.lo);
   h.u64(dagFp.hi).u64(dagFp.lo);
   h.u64(optionsFp.hi).u64(optionsFp.lo);

@@ -44,10 +44,18 @@ inline constexpr uint32_t kFingerprintVersion = 1;
 // it once per session, before any parallel region) and computes the
 // machine hash locally otherwise — so concurrent block compiles never
 // write shared state.
+//
+// `verifierSalt` partitions the key space by verification regime: 0 when
+// differential output verification is off, the verifier version when it is
+// on. A verifier bump therefore forces verifying sessions onto fresh keys
+// (recompile + recheck) without invalidating non-verifying users, and
+// entries produced without verification are never mistaken for verified
+// ones of an older verifier.
 [[nodiscard]] Hash128 compileFingerprint(const CodegenContext& ctx,
                                          const BlockDag& dag,
                                          const CodegenOptions& core,
                                          bool runPeephole,
-                                         bool outputsToMemoryFallback);
+                                         bool outputsToMemoryFallback,
+                                         uint32_t verifierSalt = 0);
 
 }  // namespace aviv

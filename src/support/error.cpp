@@ -3,6 +3,59 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace aviv {
+
+namespace {
+
+std::string formatDiagnostics(const std::string& sourceName,
+                              const std::vector<Diagnostic>& diagnostics) {
+  if (diagnostics.empty()) return sourceName + ": parse failed";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!out.empty()) out += '\n';
+    out += d.str(sourceName);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::str(const std::string& sourceName) const {
+  std::string out = sourceName.empty() ? "<input>" : sourceName;
+  if (loc.valid()) out += ":" + loc.str();
+  out += ": " + message;
+  return out;
+}
+
+Diagnostic toDiagnostic(const Error& e) {
+  Diagnostic d;
+  d.loc = e.loc();
+  d.message = e.what();
+  if (d.loc.valid()) {
+    const std::string prefix = d.loc.str() + ": ";
+    if (d.message.rfind(prefix, 0) == 0) d.message.erase(0, prefix.size());
+  }
+  return d;
+}
+
+ParseError::ParseError(std::string sourceName,
+                       std::vector<Diagnostic> diagnostics)
+    : Error(Preformatted{},
+            diagnostics.empty() ? SourceLoc{} : diagnostics.front().loc,
+            formatDiagnostics(sourceName, diagnostics)),
+      sourceName_(std::move(sourceName)),
+      diagnostics_(std::move(diagnostics)) {}
+
+ResourceLimitExceeded::ResourceLimitExceeded(std::string resource,
+                                             uint64_t used, uint64_t limit)
+    : Error("resource limit exceeded: " + resource + " used " +
+            std::to_string(used) + " > limit " + std::to_string(limit)),
+      resource_(std::move(resource)),
+      used_(used),
+      limit_(limit) {}
+
+}  // namespace aviv
+
 namespace aviv::detail {
 
 void checkFailed(const char* file, int line, const char* expr,

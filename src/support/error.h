@@ -23,6 +23,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace aviv {
 
@@ -49,6 +50,13 @@ class Error : public std::runtime_error {
 
   [[nodiscard]] SourceLoc loc() const { return loc_; }
 
+ protected:
+  // For subclasses whose message already embeds its locations (ParseError):
+  // attaches loc for programmatic access without prefixing it to what().
+  struct Preformatted {};
+  Error(Preformatted, SourceLoc loc, const std::string& message)
+      : std::runtime_error(message), loc_(loc) {}
+
  private:
   SourceLoc loc_;
 };
@@ -67,6 +75,59 @@ class InternalError : public Error {
 class TransientError : public Error {
  public:
   explicit TransientError(const std::string& message) : Error(message) {}
+};
+
+// One located message from a parser. Parsers in panic-mode recovery collect
+// several of these before giving up, so a user sees every syntax error in
+// one pass instead of one-error-per-invocation.
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+
+  // "file:line:col: message" (or just the message when unlocated).
+  [[nodiscard]] std::string str(const std::string& sourceName) const;
+};
+
+// Rebuilds a Diagnostic from a thrown Error, un-prefixing the "line:col: "
+// that Error's locating constructor baked into what(). Used by the parsers
+// when folding a caught single error into a multi-diagnostic ParseError.
+[[nodiscard]] Diagnostic toDiagnostic(const Error& e);
+
+// Malformed source text (ISDL, block language, MiniC). Carries the full
+// diagnostic list from a panic-mode parse; what() formats them one per
+// line. Derives from Error so existing catch(const Error&) sites — the
+// driver, avivd's per-request isolation — already treat it as a
+// recoverable user-input failure, never an abort.
+class ParseError : public Error {
+ public:
+  ParseError(std::string sourceName, std::vector<Diagnostic> diagnostics);
+
+  [[nodiscard]] const std::string& sourceName() const { return sourceName_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::string sourceName_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// A configurable resource ceiling (split-node count, clique count, arena
+// bytes — see CodegenOptions) was exceeded while compiling one block. The
+// input is not *wrong*, just too expensive for the aggressive engine; the
+// driver routes this into the baseline-fallback path with ceilings lifted.
+class ResourceLimitExceeded : public Error {
+ public:
+  ResourceLimitExceeded(std::string resource, uint64_t used, uint64_t limit);
+
+  [[nodiscard]] const std::string& resource() const { return resource_; }
+  [[nodiscard]] uint64_t used() const { return used_; }
+  [[nodiscard]] uint64_t limit() const { return limit_; }
+
+ private:
+  std::string resource_;
+  uint64_t used_;
+  uint64_t limit_;
 };
 
 namespace detail {

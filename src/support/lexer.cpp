@@ -109,7 +109,14 @@ Token Lexer::lex() {
       }
     }
     tok.text = digits;
-    tok.number = std::stoll(digits, nullptr, base);
+    // std::stoll throws std::out_of_range (not aviv::Error) on oversized
+    // literals, which would escape the parser's recovery machinery.
+    try {
+      tok.number = std::stoll(digits, nullptr, base);
+    } catch (const std::out_of_range&) {
+      throw Error(tok.loc, "integer literal out of range: " +
+                               (base == 16 ? "0x" + digits : digits));
+    }
     return tok;
   }
 

@@ -1,0 +1,50 @@
+// Quarantine artifacts — self-contained repro bundles for verification
+// failures. When a compiled block disagrees with the reference interpreter
+// the driver writes one directory under the quarantine dir:
+//
+//   <quarantineDir>/<machine>-<block>-<hash>/
+//     machine.isdl   re-parsable ISDL of the target machine
+//     block.blk      re-parsable block source (semantic round-trip)
+//     entry.bin      the failing CodeImage + symbol names (cache codec)
+//     asm.txt        human-readable assembly listing of the failing image
+//     meta.txt       key=value: seed, vectors, verifier version, mismatch
+//
+// The bundle needs nothing from the originating session: replaying it
+// re-parses machine and block, rehydrates the image, and re-runs the exact
+// seeded verification, reproducing the mismatch deterministically.
+// Artifact writing is best-effort — quarantine I/O failures (including the
+// `quarantine-write` failpoint) never escalate past the caller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asmgen/code_image.h"
+#include "ir/dag.h"
+#include "isdl/machine.h"
+#include "verify/verify.h"
+
+namespace aviv {
+
+// Writes the artifact directory; returns its path, or "" when writing
+// failed or `quarantineDir` is empty (failures are swallowed — quarantine
+// is diagnostics, not control flow).
+std::string writeQuarantineArtifact(const std::string& quarantineDir,
+                                    const Machine& machine,
+                                    const BlockDag& dag,
+                                    const CodeImage& image,
+                                    const std::vector<std::string>& symbolNames,
+                                    const VerifyOptions& options,
+                                    const VerifyReport& report);
+
+struct ReplayResult {
+  bool reproduced = false;  // the replay also failed verification
+  VerifyReport report;
+};
+
+// Loads an artifact directory written by writeQuarantineArtifact and
+// re-runs the recorded verification. Throws aviv::Error when the bundle
+// is missing or malformed.
+[[nodiscard]] ReplayResult replayQuarantineArtifact(const std::string& dir);
+
+}  // namespace aviv

@@ -1,0 +1,136 @@
+#include "verify/verify.h"
+
+#include <utility>
+
+#include "asmgen/encode.h"
+#include "ir/interp.h"
+#include "sim/simulator.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace aviv {
+
+std::string VerifyReport::detail() const {
+  if (!checked) return "not verified";
+  if (passed) return "verified";
+  std::string s = "output '" + mismatchOutput + "' mismatch on vector " +
+                  std::to_string(mismatchVector) + ": simulator " +
+                  std::to_string(actual) + " != reference " +
+                  std::to_string(expected) + " with inputs {";
+  bool first = true;
+  for (const auto& [name, value] : mismatchInputs) {
+    if (!first) s += ", ";
+    first = false;
+    s += name + "=" + std::to_string(value);
+  }
+  s += "}";
+  return s;
+}
+
+bool shouldVerifyBlock(const VerifyOptions& options,
+                       const std::string& blockName) {
+  switch (options.level) {
+    case VerifyLevel::kOff:
+      return false;
+    case VerifyLevel::kAll:
+      return true;
+    case VerifyLevel::kSampled:
+      break;
+  }
+  // Deterministic draw from (seed, name): the same session configuration
+  // always verifies the same subset, so warm runs re-check exactly the
+  // blocks the cold run checked.
+  Hasher h;
+  h.str("verify-sample");
+  h.u64(options.seed);
+  h.str(blockName);
+  const double draw = static_cast<double>(h.digest().lo >> 11) *
+                      (1.0 / 9007199254740992.0);
+  return draw < options.sampleRate;
+}
+
+VerifyReport verifyCompiledBlock(const Machine& machine, const BlockDag& dag,
+                                 const CodeImage& image,
+                                 const std::vector<std::string>& symbolNames,
+                                 const VerifyOptions& options) {
+  VerifyReport report;
+
+  // Hydrate a private copy: verification must not intern anything into the
+  // consumer's symbol scope, and a cached entry has only provisional
+  // addresses anyway.
+  CodeImage copy = image;
+  SymbolTable table;
+  SymbolScope scope(table);
+  rebindSymbols(copy, symbolNames, scope);
+
+  const Simulator sim(machine);
+  Rng rng(options.seed);
+  const std::vector<std::string> inputNames = dag.inputNames();
+
+  for (int v = 0; v < options.vectors; ++v) {
+    std::map<std::string, int64_t> inputs;
+    for (const std::string& name : inputNames)
+      inputs[name] = rng.intIn(-1000, 1000);
+
+    const std::map<std::string, int64_t> expected =
+        evalDagOutputs(dag, inputs);
+    const std::map<std::string, int64_t> actual =
+        sim.runBlockFresh(copy, table, inputs);
+    report.vectorsRun = v + 1;
+
+    for (const auto& [name, want] : expected) {
+      const auto it = actual.find(name);
+      const int64_t got = it == actual.end() ? 0 : it->second;
+      if (got == want) continue;
+      report.checked = true;
+      report.passed = false;
+      report.mismatchVector = v;
+      report.mismatchOutput = name;
+      report.expected = want;
+      report.actual = got;
+      report.mismatchInputs = std::move(inputs);
+      return report;
+    }
+  }
+
+  report.checked = true;
+  report.passed = true;
+  return report;
+}
+
+bool corruptImageForTesting(CodeImage& image) {
+  // Prefer mutations whose effect on the outputs is unconditional.
+  for (EncInstr& instr : image.instrs) {
+    for (EncOp& op : instr.ops) {
+      for (EncOperand& src : op.srcs) {
+        if (src.isImm) {
+          src.imm += 1;
+          return true;
+        }
+      }
+    }
+  }
+  for (EncInstr& instr : image.instrs) {
+    for (EncOp& op : instr.ops) {
+      if (op.srcs.size() == 2) {
+        op.op = op.op == Op::kSub ? Op::kAdd : Op::kSub;
+        return true;
+      }
+      if (op.srcs.size() == 1) {
+        op.op = op.op == Op::kNeg ? Op::kCompl : Op::kNeg;
+        return true;
+      }
+    }
+  }
+  if (!image.constPool.empty()) {
+    image.constPool.front().second += 1;
+    return true;
+  }
+  if (!image.instrs.empty()) {
+    image.instrs.pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace aviv

@@ -1,0 +1,99 @@
+// Differential output verification (DESIGN.md System 25, §6.5) — the
+// guardrail that catches miscompiles before their output is trusted or
+// cached. A compiled block is replayed on the instruction-level simulator
+// (sim/simulator.h) over deterministic seeded input vectors and the
+// observed outputs are compared, value for value, against the reference
+// DAG interpreter (ir/interp.h). Both sides share the total evalOp
+// semantics (div/mod-by-zero yield 0, shift counts are masked), so random
+// vectors can never trip undefined behaviour — any disagreement is a real
+// codegen defect.
+//
+// Verification is scope-independent: the image is copied and its symbols
+// are rebound into a private SymbolTable, so cached entries and freshly
+// recorded images verify identically and the consumer's scope is never
+// touched. A failure quarantines a self-contained repro artifact
+// (verify/quarantine.h) and feeds the driver's degradation ladder.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asmgen/code_image.h"
+#include "ir/dag.h"
+#include "isdl/machine.h"
+
+namespace aviv {
+
+enum class VerifyLevel : uint8_t {
+  kOff,      // no verification (the pre-PR-4 behaviour)
+  kSampled,  // verify a deterministic pseudo-random subset of blocks
+  kAll,      // verify every compiled block
+};
+
+// Bump whenever the verifier's judgement for unchanged inputs can change
+// (new vector distribution, more vectors, comparison semantics, ...).
+// Cached entries verified under an older version are re-checked; the
+// driver also salts the cache fingerprint with this value so verifying
+// sessions never share keys with non-verifying ones.
+inline constexpr uint32_t kVerifierVersion = 1;
+
+struct VerifyOptions {
+  VerifyLevel level = VerifyLevel::kOff;
+  // Input vectors replayed per block. More vectors, more confidence.
+  int vectors = 4;
+  // kSampled: fraction of blocks verified, drawn deterministically from
+  // (seed, block name) so the same session always checks the same blocks.
+  double sampleRate = 0.25;
+  // Directory quarantined repro artifacts are written under; empty
+  // disables artifact writing (failures still degrade and count).
+  std::string quarantineDir;
+  // Version recorded into cache entries and used for staleness checks.
+  // Defaults to kVerifierVersion; overridable so tests can simulate a
+  // verifier upgrade without editing the constant.
+  uint32_t verifierVersion = kVerifierVersion;
+  // Seed for the deterministic input vectors ("VERI").
+  uint64_t seed = 0x56455249;
+};
+
+// Outcome of one block verification.
+struct VerifyReport {
+  bool checked = false;  // verification actually ran
+  bool passed = false;
+  int vectorsRun = 0;
+  // Mismatch details (valid when checked && !passed).
+  int mismatchVector = -1;
+  std::string mismatchOutput;
+  int64_t expected = 0;
+  int64_t actual = 0;
+  std::map<std::string, int64_t> mismatchInputs;
+
+  // One-line human-readable mismatch description.
+  [[nodiscard]] std::string detail() const;
+};
+
+// Whether `blockName` is selected for verification under `options`:
+// always under kAll, never under kOff, a deterministic per-name draw
+// under kSampled.
+[[nodiscard]] bool shouldVerifyBlock(const VerifyOptions& options,
+                                     const std::string& blockName);
+
+// Replays `image` against the reference interpretation of `dag` over
+// options.vectors seeded input vectors. `symbolNames` is the image's
+// first-use-order symbol list (CacheEntry::symbolNames / a recording
+// scope's recorded()); the image itself is not modified.
+[[nodiscard]] VerifyReport verifyCompiledBlock(
+    const Machine& machine, const BlockDag& dag, const CodeImage& image,
+    const std::vector<std::string>& symbolNames,
+    const VerifyOptions& options);
+
+// Applies one structurally-valid semantic mutation to `image` (bumps an
+// immediate, flips an add/sub, perturbs a constant-pool value, or drops
+// the final instruction) so the simulator still runs it but the outputs
+// disagree with the reference. Used by the verify-corrupt-asm failpoint
+// and the quarantine tests. Returns false when the image offers nothing
+// to corrupt (no instructions, no constants).
+bool corruptImageForTesting(CodeImage& image);
+
+}  // namespace aviv

@@ -1,0 +1,9 @@
+// Fuzz corpus seed: MiniC with while, if/else, and compound expressions.
+int blend(int a, int b, int n) {
+  int acc = 0;
+  while (n > 0) {
+    if (a > b) { acc = acc + (a - b); } else { acc = acc + (b - a) * 2; }
+    n = n - 1;
+  }
+  return acc + a % 3;
+}

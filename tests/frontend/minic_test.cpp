@@ -261,5 +261,35 @@ TEST(MiniC, ForLoopCompilesAndSimulates) {
   }
 }
 
+// PR 4 input hardening: the MiniC parser recovers at statement boundaries
+// and reports every syntax error with its location in one pass.
+TEST(MiniC, PanicModeReportsMultipleDiagnostics) {
+  try {
+    (void)parseMiniC(R"(
+      int f(int a) {
+        int x = ;
+        int y = a + ;
+        return x + y;
+      }
+    )",
+                     "bad.c");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.sourceName(), "bad.c");
+    ASSERT_GE(e.diagnostics().size(), 2u) << e.what();
+    for (const Diagnostic& d : e.diagnostics())
+      EXPECT_TRUE(d.loc.valid()) << d.message;
+    EXPECT_LT(e.diagnostics()[0].loc.line, e.diagnostics()[1].loc.line);
+  }
+}
+
+TEST(MiniC, GarbageInputRejectedWithoutAbort) {
+  for (const char* junk :
+       {"", "int", "int f(", "int f() { return", "x = 1;",
+        "int f() { while } ", "int f() { return 99999999999999999999; }"}) {
+    EXPECT_THROW((void)parseMiniC(junk, "junk.c"), Error) << junk;
+  }
+}
+
 }  // namespace
 }  // namespace aviv

@@ -202,6 +202,60 @@ TEST(ProgramParser, LoopProgramTerminates) {
   EXPECT_EQ(evalProgram(program, {{"i", 4}, {"acc", 0}}).at("acc"), 10);
 }
 
+// PR 4 input hardening: the parser must survive the first syntax error,
+// resynchronise, and report every error in the source with its location.
+TEST(BlockParser, PanicModeReportsMultipleDiagnostics) {
+  try {
+    (void)parseProgram(R"(
+      block bad {
+        input a, b;
+        output y, z;
+        y = a + ;
+        z = * b;
+        return;
+      }
+    )",
+                       "multi-error");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.sourceName(), "multi-error");
+    ASSERT_GE(e.diagnostics().size(), 2u);
+    for (const Diagnostic& d : e.diagnostics()) {
+      EXPECT_TRUE(d.loc.valid()) << d.message;
+      EXPECT_FALSE(d.message.empty());
+    }
+    // Both bad statements reported, in source order.
+    EXPECT_LT(e.diagnostics()[0].loc.line, e.diagnostics()[1].loc.line);
+    // what() carries the source name and every location.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("multi-error"), std::string::npos);
+  }
+}
+
+TEST(BlockParser, RecoveryReachesErrorsInLaterBlocks) {
+  try {
+    (void)parseProgram(R"(
+      block first {
+        input a;
+        output y;
+        y = a + ;
+        goto second;
+      }
+      block second {
+        input y;
+        output z;
+        z = y * ;
+        return;
+      }
+    )",
+                       "two-blocks");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    ASSERT_GE(e.diagnostics().size(), 2u)
+        << "recovery must continue past the first block: " << e.what();
+  }
+}
+
 TEST(ShippedBlocks, ParseWithExpectedPaperNodeCounts) {
   // Original-DAG node counts from Table I of the paper.
   const std::vector<std::pair<std::string, size_t>> expected = {

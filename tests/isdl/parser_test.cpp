@@ -177,5 +177,39 @@ TEST(IsdlParser, ValidationRejectsConstraintOnMissingOp) {
                Error);
 }
 
+// PR 4 input hardening: one bad clause must not hide errors in later
+// clauses — panic-mode recovery resynchronises at clause boundaries.
+TEST(IsdlParser, PanicModeReportsMultipleDiagnostics) {
+  try {
+    (void)parseMachine(R"(
+      machine Broken {
+        regfile A size ;
+        memory DM size 8 data;
+        bus X;
+        unit U regfile A { op ADD; }
+        transfer complete bus ;
+      }
+    )",
+                       "broken.isdl");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.sourceName(), "broken.isdl");
+    ASSERT_GE(e.diagnostics().size(), 2u) << e.what();
+    for (const Diagnostic& d : e.diagnostics())
+      EXPECT_TRUE(d.loc.valid()) << d.message;
+    EXPECT_LT(e.diagnostics()[0].loc.line, e.diagnostics()[1].loc.line);
+  }
+}
+
+TEST(IsdlParser, GarbageInputRejectedWithoutAbort) {
+  // Arbitrary non-ISDL bytes must raise a recoverable Error, never an
+  // AVIV_CHECK abort (the fuzzer's contract, spot-checked here).
+  for (const char* junk :
+       {"", "machine", "machine M {", "}{;;;", "machine M { unit }",
+        "machine M { regfile A size 99999999999999999999; }"}) {
+    EXPECT_THROW((void)parseMachine(junk, "junk"), Error) << junk;
+  }
+}
+
 }  // namespace
 }  // namespace aviv

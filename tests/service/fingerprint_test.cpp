@@ -75,6 +75,9 @@ TEST(FingerprintOptions, EveryEnumeratedFieldChangesTheHash) {
       {"timeLimitSeconds", [](auto& o) { o.timeLimitSeconds += 1.0; }},
       {"constantsInMemory", [](auto& o) { o.constantsInMemory = !o.constantsInMemory; }},
       {"outputsToMemory", [](auto& o) { o.outputsToMemory = !o.outputsToMemory; }},
+      {"maxSndNodes", [](auto& o) { o.maxSndNodes += 1; }},
+      {"maxSndBytes", [](auto& o) { o.maxSndBytes += 1; }},
+      {"maxTotalCliques", [](auto& o) { o.maxTotalCliques += 1; }},
   };
 
   size_t enumerated = 0;

@@ -1,0 +1,73 @@
+// Emitter round-trip tests. The quarantine artifact stores machines and
+// blocks as re-emitted source text, so text emission must be lossless in
+// the ways the replay depends on: a re-parsed machine must fingerprint
+// identically, and a re-parsed block must compute the same function.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "ir/emit.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "isdl/emit.h"
+#include "isdl/parser.h"
+#include "service/fingerprint.h"
+#include "support/rng.h"
+
+namespace aviv {
+namespace {
+
+constexpr const char* kMachines[] = {"arch1", "arch2", "arch3", "arch4",
+                                     "dsp16"};
+constexpr const char* kBlocks[] = {"ex1",  "ex2",  "ex3",    "ex4",
+                                   "ex5",  "fig2", "fig6",   "biquad",
+                                   "dct4", "matvec2"};
+
+TEST(EmitRoundTrip, MachineTextReparsesToSameFingerprint) {
+  for (const char* name : kMachines) {
+    SCOPED_TRACE(name);
+    const Machine machine = loadMachine(name);
+    const std::string text = emitMachineText(machine);
+    const Machine reparsed = parseMachine(text, std::string(name) + "-emit");
+    EXPECT_EQ(fingerprintMachine(machine), fingerprintMachine(reparsed))
+        << "emitted ISDL for " << name << " is not semantics-preserving";
+  }
+}
+
+TEST(EmitRoundTrip, BlockTextReparsesToSameFunction) {
+  for (const char* name : kBlocks) {
+    SCOPED_TRACE(name);
+    const BlockDag dag = loadBlock(name);
+    const std::string text = emitBlockText(dag);
+    // parseBlock is the exact entry point quarantine replay uses.
+    const BlockDag redag = parseBlock(text);
+    ASSERT_EQ(dag.inputNames(), redag.inputNames());
+    Rng rng(0xE317);
+    for (int vector = 0; vector < 8; ++vector) {
+      std::map<std::string, int64_t> inputs;
+      for (const std::string& input : dag.inputNames())
+        inputs[input] = rng.intIn(-1000, 1000);
+      EXPECT_EQ(evalDagOutputs(dag, inputs), evalDagOutputs(redag, inputs))
+          << "vector " << vector;
+    }
+  }
+}
+
+TEST(EmitRoundTrip, EmittedTextIsStable) {
+  // Emit→parse→emit must be a fixed point: the quarantine dir contents
+  // are diffable across runs.
+  for (const char* name : kBlocks) {
+    SCOPED_TRACE(name);
+    const std::string once = emitBlockText(loadBlock(name));
+    EXPECT_EQ(emitBlockText(parseBlock(once)), once);
+  }
+  for (const char* name : kMachines) {
+    SCOPED_TRACE(name);
+    const std::string once = emitMachineText(loadMachine(name));
+    EXPECT_EQ(emitMachineText(parseMachine(once, "stable")), once);
+  }
+}
+
+}  // namespace
+}  // namespace aviv
