@@ -21,6 +21,8 @@
 #include "service/fingerprint.h"
 #include "ir/random_dag.h"
 #include "isdl/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace {
@@ -248,6 +250,48 @@ void BM_BatchCompileColdVsWarm(benchmark::State& state) {
   state.SetLabel(warm ? "warm" : "cold");
 }
 BENCHMARK(BM_BatchCompileColdVsWarm)->Arg(0)->Arg(1);
+
+// Observability overhead. Disabled is the price every call site pays when
+// nobody asked for a trace — the acceptance bar is "one predictable
+// branch", i.e. sub-nanosecond and allocation-free. Enabled is the cost of
+// actually recording into the per-thread ring.
+void BM_TraceEventOverheadDisabled(benchmark::State& state) {
+  trace::Tracer::instance().disable();
+  for (auto _ : state) {
+    trace::Span span("bench", "noop");
+    span.arg("i", 1);
+    trace::instant("bench", "noop");
+  }
+}
+BENCHMARK(BM_TraceEventOverheadDisabled);
+
+void BM_TraceEventOverheadEnabled(benchmark::State& state) {
+  trace::Tracer::instance().enable();
+  trace::Tracer::instance().clear();
+  for (auto _ : state) {
+    trace::Span span("bench", "noop");
+    span.arg("i", 1);
+    trace::instant("bench", "noop");
+  }
+  state.SetLabel("events=" +
+                 std::to_string(trace::Tracer::instance().retained()) +
+                 " overwritten=" +
+                 std::to_string(trace::Tracer::instance().overwritten()));
+  trace::Tracer::instance().disable();
+  trace::Tracer::instance().clear();
+}
+BENCHMARK(BM_TraceEventOverheadEnabled);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  metrics::Registry::instance().enable();
+  metrics::Histogram& hist =
+      metrics::Registry::instance().histogram("bench.hist.us");
+  int64_t v = 0;
+  for (auto _ : state) hist.record(v++ & 0xfff);
+  metrics::Registry::instance().disable();
+  metrics::Registry::instance().reset();
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 }  // namespace
 

@@ -43,6 +43,12 @@
 //                        it the compile degrades to the baseline generator
 //   --max-snd-bytes <n>  split-node DAG arena-byte ceiling (0 = unlimited)
 //   --max-cliques <n>    total generated-clique ceiling (0 = unlimited)
+//   --trace-out <file>   record a flight-recorder trace of the compile and
+//                        write it as Chrome trace-event JSON (load in
+//                        Perfetto / chrome://tracing, or summarize with
+//                        tools/trace_report)
+//   --metrics-json <file> enable the metrics registry and write its
+//                        aggregated counters/gauges/histograms as JSON
 #include <cstdio>
 #include <iostream>
 
@@ -53,6 +59,8 @@
 #include "ir/interp.h"
 #include "ir/parser.h"
 #include "isdl/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "support/cli.h"
 #include "support/io.h"
@@ -95,7 +103,8 @@ int main(int argc, char** argv) {
                   "[--cache-dir DIR] [--no-cache] "
                   "[--verify-output off|sampled|all] [--verify-vectors N] "
                   "[--quarantine-dir DIR] [--max-snd-nodes N] "
-                  "[--max-snd-bytes N] [--max-cliques N]");
+                  "[--max-snd-bytes N] [--max-cliques N] "
+                  "[--trace-out out.json] [--metrics-json out.json]");
     const std::string sourcePath = flags.positional()[0];
     Machine machine = resolveMachine(flags.getString("machine", "arch1"));
     const int regs = static_cast<int>(flags.getInt("regs", 0));
@@ -146,7 +155,15 @@ int main(int argc, char** argv) {
       cacheConfig.dir = cacheDir;
       options.cache = std::make_shared<ResultCache>(cacheConfig);
     }
+    const std::string traceOut = flags.getString("trace-out", "");
+    const std::string metricsJson = flags.getString("metrics-json", "");
     flags.finish();
+
+    // Observability is opt-in per run: until these flags flip the global
+    // gates, every emit site in the pipeline is a single-branch no-op and
+    // the compiled output is byte-identical to an uninstrumented build.
+    if (!traceOut.empty()) trace::Tracer::instance().enable();
+    if (!metricsJson.empty()) metrics::Registry::instance().enable();
 
     const Program program = [&] {
       if (endsWith(sourcePath, ".c"))
@@ -157,6 +174,10 @@ int main(int argc, char** argv) {
     auto dumpStats = [&] {
       if (!statsJson.empty())
         writeFile(statsJson, generator.telemetry().toJson() + "\n");
+      if (!traceOut.empty())
+        writeFile(traceOut, trace::Tracer::instance().exportJson());
+      if (!metricsJson.empty())
+        writeFile(metricsJson, metrics::Registry::instance().toJson());
       if (options.cache != nullptr) {
         // To stderr so cached and cold runs produce byte-identical stdout.
         const CacheStats cs = options.cache->stats();

@@ -54,13 +54,24 @@
 //                        comma-separated (see src/support/failpoint.h)
 //   --print-asm          print each result's assembly after its status line
 //   --stats-json <file>  write the daemon's phase-telemetry tree as JSON
+//   --trace-out <file>   flight-recorder tracing: write the retained events
+//                        as Chrome trace-event JSON at exit (and on the
+//                        SIGINT drain)
+//   --metrics-json <file> metrics registry: write aggregated
+//                        counters/histograms after every pass and on the
+//                        SIGINT drain
 //
 // Status lines (streamed as requests complete; order varies with --jobs):
 //   req 3: ok block=ex1 machine=arch1 blocks=1 instrs=7 cache=hit
+//     wall=12.4ms queue=0.1ms
 //   req 4: degraded block=biquad machine=arch2 blocks=1 instrs=9 cache=miss
+//     wall=503.0ms queue=0.2ms
 //   req 5: error <message>
 //   req 6: skipped (shutdown)
 //   req 7: quarantined block=fir machine=dsp16 blocks=1 instrs=12 cache=miss
+//     wall=88.1ms queue=0.3ms
+// (each status is one line; wall= is the request's compile wall time,
+// queue= how long it waited for a ThreadPool slot after the pass started)
 // `quarantined` means output verification caught a miscompile: the emitted
 // result is the verified baseline, a repro artifact was quarantined, and —
 // like degraded requests — nothing was cached, so --expect-all-hits
@@ -84,6 +95,8 @@
 #include "frontend/minic.h"
 #include "ir/parser.h"
 #include "isdl/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/cache.h"
 #include "support/cli.h"
 #include "support/error.h"
@@ -91,6 +104,7 @@
 #include "support/io.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
+#include "support/timer.h"
 
 namespace {
 
@@ -303,7 +317,8 @@ int main(int argc, char** argv) {
           "[--mem-entries N] [--jobs N] [--repeat N] [--expect-all-hits] "
           "[--default-timeout SEC] [--retries N] [--failpoints SPEC] "
           "[--verify off|sampled|all] [--quarantine-dir DIR] "
-          "[--print-asm] [--stats-json out.json]");
+          "[--print-asm] [--stats-json out.json] [--trace-out out.json] "
+          "[--metrics-json out.json]");
     const std::string batchPath = flags.positional()[0];
     const std::string cacheDir = flags.getString("cache-dir", "");
     const bool noCache = flags.getBool("no-cache", false);
@@ -328,8 +343,23 @@ int main(int argc, char** argv) {
     const std::string failpoints = flags.getString("failpoints", "");
     const bool printAsm = flags.getBool("print-asm", false);
     const std::string statsJson = flags.getString("stats-json", "");
+    const std::string traceOut = flags.getString("trace-out", "");
+    const std::string metricsJson = flags.getString("metrics-json", "");
     flags.finish();
     if (!failpoints.empty()) FailPoints::instance().configure(failpoints);
+    if (!traceOut.empty()) trace::Tracer::instance().enable();
+    if (!metricsJson.empty()) metrics::Registry::instance().enable();
+
+    // Best-effort observability dumps, shared by the per-pass flush, the
+    // graceful-shutdown drain, and normal exit.
+    auto dumpMetrics = [&] {
+      if (!metricsJson.empty())
+        writeFile(metricsJson, metrics::Registry::instance().toJson());
+    };
+    auto dumpTrace = [&] {
+      if (!traceOut.empty())
+        writeFile(traceOut, trace::Tracer::instance().exportJson());
+    };
 
     std::signal(SIGINT, handleShutdownSignal);
     std::signal(SIGTERM, handleShutdownSignal);
@@ -404,7 +434,11 @@ int main(int argc, char** argv) {
       // them against the pass.
       int64_t degradedMisses = 0;
       int64_t quarantinedMisses = 0;
+      // Queue time = how long the request waited for a ThreadPool slot
+      // after the pass fan-out began; wall time = the compile itself.
+      const WallTimer passTimer;
       pool.parallelFor(requests.size(), [&](size_t i, int) {
+        const double queueMs = passTimer.seconds() * 1e3;
         if (g_shutdownRequested != 0) {
           // Drain mode: in-flight requests finish, pending ones skip.
           std::lock_guard<std::mutex> lock(outMu);
@@ -413,8 +447,15 @@ int main(int argc, char** argv) {
           std::fflush(stdout);
           return;
         }
+        trace::Span reqSpan("avivd", "req:", std::to_string(i));
+        const WallTimer reqTimer;
         const RequestResult result =
             runRequest(requests[i], cache, printAsm, retries, *requestTel[i]);
+        const double wallMs = reqTimer.seconds() * 1e3;
+        if (metrics::on())
+          metrics::Registry::instance()
+              .histogram("avivd.request.us")
+              .record(static_cast<int64_t>(wallMs * 1e3));
         std::lock_guard<std::mutex> lock(outMu);
         if (result.ok) {
           if (result.quarantined) {
@@ -423,21 +464,23 @@ int main(int argc, char** argv) {
             ++quarantinedCount;
             quarantinedMisses += static_cast<int64_t>(result.blocks) -
                                  static_cast<int64_t>(result.cachedBlocks);
-            std::printf("req %zu: quarantined %s\n", i,
-                        result.statusDetail.c_str());
+            std::printf("req %zu: quarantined %s wall=%.1fms queue=%.1fms\n",
+                        i, result.statusDetail.c_str(), wallMs, queueMs);
           } else if (result.degraded) {
             ++degradedCount;
             degradedMisses += static_cast<int64_t>(result.blocks) -
                               static_cast<int64_t>(result.cachedBlocks);
-            std::printf("req %zu: degraded %s\n", i,
-                        result.statusDetail.c_str());
+            std::printf("req %zu: degraded %s wall=%.1fms queue=%.1fms\n", i,
+                        result.statusDetail.c_str(), wallMs, queueMs);
           } else {
             ++okCount;
-            std::printf("req %zu: ok %s\n", i, result.statusDetail.c_str());
+            std::printf("req %zu: ok %s wall=%.1fms queue=%.1fms\n", i,
+                        result.statusDetail.c_str(), wallMs, queueMs);
           }
           if (printAsm) std::printf("%s", result.asmText.c_str());
         } else {
-          std::printf("req %zu: error %s\n", i, result.error.c_str());
+          std::printf("req %zu: error %s wall=%.1fms queue=%.1fms\n", i,
+                      result.error.c_str(), wallMs, queueMs);
         }
         std::fflush(stdout);
       });
@@ -471,6 +514,9 @@ int main(int argc, char** argv) {
       }
       if (okCount + degradedCount + quarantinedCount != requests.size())
         allOk = false;
+      // Periodic metrics flush: one aggregated dump per pass, so a long
+      // --repeat run exposes progress without waiting for exit.
+      dumpMetrics();
       if (g_shutdownRequested != 0) shutdown = true;
     }
 
@@ -479,10 +525,14 @@ int main(int argc, char** argv) {
       // and exit with the conventional interrupted status.
       if (cache != nullptr) cache->flushManifest();
       if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
+      dumpMetrics();
+      dumpTrace();
       std::printf("avivd: shutdown requested, exiting\n");
       return 130;
     }
     if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
+    dumpMetrics();
+    dumpTrace();
     if (!allOk) return 1;
     if (expectAllHits &&
         (cache == nullptr ||

@@ -190,7 +190,10 @@ std::vector<Assignment> AssignmentExplorer::explore(
         if (trace != nullptr) {
           trace->push_back({static_cast<int>(si), n, alts[a], inc[a], keep});
         }
-        if (!keep) continue;
+        if (!keep) {
+          ++st.prunedByBound;
+          continue;
+        }
         State branch = s;  // copy (the moved-from case is the last keep)
         branch.chosenAlt[n] = alts[a];
         branch.cost += inc[a];
@@ -210,6 +213,7 @@ std::vector<Assignment> AssignmentExplorer::explore(
                        [](const State& a, const State& b) {
                          return a.cost < b.cost;
                        });
+      st.beamDropped += states.size() - cap;
       states.resize(cap);
       st.capped = true;
     }

@@ -38,6 +38,9 @@ struct Assignment {
 struct ExploreStats {
   size_t completeAssignments = 0;  // states alive at the end (pre keep-best)
   size_t statesExpanded = 0;       // state * alternative evaluations
+  size_t prunedByBound = 0;        // alternatives rejected by the Fig 6
+                                   // incremental-cost bound
+  size_t beamDropped = 0;          // states discarded by beam truncation
   bool capped = false;             // hit maxAssignments / beam truncation
 };
 

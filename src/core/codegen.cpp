@@ -4,6 +4,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/failpoint.h"
 #include "support/timer.h"
@@ -116,10 +118,28 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   }();
   AVIV_REQUIRE(!assignments.empty());
 
+  if (metrics::on()) {
+    auto& registry = metrics::Registry::instance();
+    registry.histogram("core.snd.nodes")
+        .record(static_cast<int64_t>(snd.size()));
+    registry.histogram("core.ir.nodes")
+        .record(static_cast<int64_t>(ir.size()));
+  }
+
+  // Exploration's contribution to the search totals; per-candidate covering
+  // contributions are summed inside tryAssignments.
+  stats.search.nodesVisited += stats.explore.statesExpanded;
+  stats.search.prunedByBound += stats.explore.prunedByBound;
+  stats.search.backtracks += stats.explore.beamDropped;
+
   const bool parallel = pool != nullptr && options.jobs > 1;
   const int numWorkers = parallel ? pool->parallelism() : 1;
 
   std::optional<Candidate> best;
+  // Prefix-minima state for the best-cost trajectory (spans both
+  // tryAssignments calls; indices only collide when the first call produced
+  // no completion at all).
+  std::optional<std::pair<int, int>> trajBest;
   std::string lastFailure;
   std::atomic<bool> anySuccess{false};
   std::atomic<bool> timedOut{false};
@@ -136,6 +156,26 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
     std::vector<size_t> covered(static_cast<size_t>(numWorkers), 0);
     std::vector<std::pair<size_t, std::string>> failures(
         static_cast<size_t>(numWorkers));
+    // Per-worker search-total accumulators (summed serially afterwards, so
+    // the totals are independent of which worker covered which candidate).
+    struct WorkerSearch {
+      size_t cliqueRecursions = 0;
+      size_t cliquePruned = 0;
+      size_t candidatesAbandoned = 0;
+      size_t spills = 0;
+      size_t failed = 0;
+    };
+    std::vector<WorkerSearch> workerSearch(static_cast<size_t>(numWorkers));
+    // Per-candidate completion records (disjoint slots — no contention);
+    // the serial prefix-minima walk below turns them into the trajectory.
+    struct Completion {
+      bool completed = false;
+      int instructions = 0;
+      int spills = 0;
+      double seconds = 0.0;
+      int64_t tsNanos = 0;
+    };
+    std::vector<Completion> completions(candidates.size());
 
     auto coverOne = [&](size_t index, int workerInt) {
       const auto worker = static_cast<size_t>(workerInt);
@@ -143,6 +183,8 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
         timedOut.store(true, std::memory_order_relaxed);
         return;
       }
+      trace::Span span("search", "cover.candidate");
+      span.arg("index", static_cast<int64_t>(index));
       const Assignment& assignment = candidates[index];
       AssignedGraph graph =
           AssignedGraph::materialize(snd, assignment, options);
@@ -150,6 +192,7 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                             deadline);
       CoverStats coverStats;
       Schedule schedule;
+      WorkerSearch& search = workerSearch[worker];
       try {
         schedule = engine.run(&coverStats);
       } catch (const DeadlineExceeded&) {
@@ -159,15 +202,35 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
         return;
       } catch (const Error& e) {
         // This assignment cannot satisfy the register limits; try others.
+        // Its partial covering work still happened — count it (the partial
+        // stats are deterministic: each candidate fails at the same point
+        // regardless of the worker that ran it).
+        search.cliqueRecursions += coverStats.cliqueRecursions;
+        search.cliquePruned += coverStats.cliquePruned;
+        search.candidatesAbandoned += coverStats.candidatesAbandoned;
+        search.spills += static_cast<size_t>(coverStats.spillsInserted);
+        search.failed += 1;
         auto& fail = failures[worker];
         if (fail.second.empty() || index > fail.first)
           fail = {index, e.what()};
         return;
       }
+      search.cliqueRecursions += coverStats.cliqueRecursions;
+      search.cliquePruned += coverStats.cliquePruned;
+      search.candidatesAbandoned += coverStats.candidatesAbandoned;
+      search.spills += static_cast<size_t>(coverStats.spillsInserted);
       ++covered[worker];
       anySuccess.store(true, std::memory_order_relaxed);
       std::optional<Candidate>& mine = workerBest[worker];
       const int instructions = schedule.numInstructions();
+      Completion& done = completions[index];
+      done.completed = true;
+      done.instructions = instructions;
+      done.spills = coverStats.spillsInserted;
+      done.seconds = timer.seconds();
+      if (trace::on())
+        done.tsNanos = trace::Tracer::instance().nowNanos();
+      span.arg("instructions", instructions);
       if (!mine.has_value() ||
           candidateBetter(*mine, instructions, coverStats.spillsInserted,
                           index)) {
@@ -187,6 +250,11 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
     std::string failMessage;
     for (size_t w = 0; w < static_cast<size_t>(numWorkers); ++w) {
       stats.assignmentsCovered += covered[w];
+      const WorkerSearch& search = workerSearch[w];
+      stats.search.nodesVisited += search.cliqueRecursions;
+      stats.search.prunedByBound += search.cliquePruned;
+      stats.search.backtracks += search.spills + search.failed;
+      stats.search.candidatesAbandoned += search.candidatesAbandoned;
       if (!failures[w].second.empty() &&
           (failMessage.empty() || failures[w].first > failIndex)) {
         failIndex = failures[w].first;
@@ -200,6 +268,22 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
         best = std::move(cand);
     }
     if (!failMessage.empty()) lastFailure = std::move(failMessage);
+
+    // Best-cost trajectory: the deterministic prefix-minima of
+    // (instructions, spills) in candidate-index order. Equals what the
+    // serial loop would have called "best so far" after each improvement;
+    // only the wall-clock seconds differ between runs.
+    for (size_t i = 0; i < completions.size(); ++i) {
+      const Completion& done = completions[i];
+      if (!done.completed) continue;
+      const std::pair<int, int> key{done.instructions, done.spills};
+      if (trajBest.has_value() && !(key < *trajBest)) continue;
+      trajBest = key;
+      stats.trajectory.push_back(
+          {i, done.instructions, done.spills, done.seconds});
+      trace::counterAt("search", "cover.best-cost", "instructions",
+                       done.instructions, done.tsNanos);
+    }
     ph.node().addCounter("candidates",
                          static_cast<int64_t>(candidates.size()));
   };
@@ -234,6 +318,18 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   stats.timedOut = timedOut.load(std::memory_order_relaxed);
   stats.seconds = timer.seconds();
 
+  if (metrics::on()) {
+    auto& registry = metrics::Registry::instance();
+    registry.counter("search.nodesVisited")
+        .add(static_cast<int64_t>(stats.search.nodesVisited));
+    registry.counter("search.prunedByBound")
+        .add(static_cast<int64_t>(stats.search.prunedByBound));
+    registry.counter("search.backtracks")
+        .add(static_cast<int64_t>(stats.search.backtracks));
+    registry.counter("search.candidatesAbandoned")
+        .add(static_cast<int64_t>(stats.search.candidatesAbandoned));
+  }
+
   CoreResult result{std::move(best->assignment), std::move(best->graph),
                     std::move(best->schedule), stats};
   tel.child("cover").setCounter("jobs", numWorkers);
@@ -264,6 +360,10 @@ void recordCoreStats(const CoreStats& stats, TelemetryNode& phase) {
                      static_cast<int64_t>(stats.explore.completeAssignments));
   explore.setCounter("statesExpanded",
                      static_cast<int64_t>(stats.explore.statesExpanded));
+  explore.setCounter("prunedByBound",
+                     static_cast<int64_t>(stats.explore.prunedByBound));
+  explore.setCounter("beamDropped",
+                     static_cast<int64_t>(stats.explore.beamDropped));
   explore.setCounter("capped", stats.explore.capped ? 1 : 0);
   TelemetryNode& cover = phase.child("cover");
   cover.setCounter("assignmentsCovered",
@@ -272,8 +372,33 @@ void recordCoreStats(const CoreStats& stats, TelemetryNode& phase) {
                    static_cast<int64_t>(stats.cover.cliquesGenerated));
   cover.setCounter("cliqueRounds",
                    static_cast<int64_t>(stats.cover.cliqueRounds));
+  cover.setCounter("cliqueRecursions",
+                   static_cast<int64_t>(stats.cover.cliqueRecursions));
+  cover.setCounter("cliquePruned",
+                   static_cast<int64_t>(stats.cover.cliquePruned));
+  cover.setCounter("candidatesEvaluated",
+                   static_cast<int64_t>(stats.cover.candidatesEvaluated));
+  cover.setCounter("candidatesAbandoned",
+                   static_cast<int64_t>(stats.cover.candidatesAbandoned));
   cover.setCounter("spillsInserted", stats.cover.spillsInserted);
   cover.setCounter("timedOut", stats.timedOut ? 1 : 0);
+  for (size_t k = 0; k < stats.trajectory.size(); ++k) {
+    const TrajectoryPoint& point = stats.trajectory[k];
+    TelemetryNode& node = cover.child("best:" + std::to_string(k));
+    node.setCounter("candidate", static_cast<int64_t>(point.candidate));
+    node.setCounter("instructions", point.instructions);
+    node.setCounter("spills", point.spills);
+    node.addSeconds(point.seconds - node.seconds());  // set, not accumulate
+  }
+  TelemetryNode& search = phase.child("search");
+  search.setCounter("nodesVisited",
+                    static_cast<int64_t>(stats.search.nodesVisited));
+  search.setCounter("prunedByBound",
+                    static_cast<int64_t>(stats.search.prunedByBound));
+  search.setCounter("backtracks",
+                    static_cast<int64_t>(stats.search.backtracks));
+  search.setCounter("candidatesAbandoned",
+                    static_cast<int64_t>(stats.search.candidatesAbandoned));
 }
 
 CoreStats coreStatsView(const TelemetryNode& phase) {
@@ -286,6 +411,10 @@ CoreStats coreStatsView(const TelemetryNode& phase) {
         static_cast<size_t>(explore->counter("completeAssignments"));
     stats.explore.statesExpanded =
         static_cast<size_t>(explore->counter("statesExpanded"));
+    stats.explore.prunedByBound =
+        static_cast<size_t>(explore->counter("prunedByBound"));
+    stats.explore.beamDropped =
+        static_cast<size_t>(explore->counter("beamDropped"));
     stats.explore.capped = explore->counter("capped") != 0;
   }
   if (const TelemetryNode* cover = phase.findChild("cover")) {
@@ -295,9 +424,35 @@ CoreStats coreStatsView(const TelemetryNode& phase) {
         static_cast<size_t>(cover->counter("cliquesGenerated"));
     stats.cover.cliqueRounds =
         static_cast<size_t>(cover->counter("cliqueRounds"));
+    stats.cover.cliqueRecursions =
+        static_cast<size_t>(cover->counter("cliqueRecursions"));
+    stats.cover.cliquePruned =
+        static_cast<size_t>(cover->counter("cliquePruned"));
+    stats.cover.candidatesEvaluated =
+        static_cast<size_t>(cover->counter("candidatesEvaluated"));
+    stats.cover.candidatesAbandoned =
+        static_cast<size_t>(cover->counter("candidatesAbandoned"));
     stats.cover.spillsInserted =
         static_cast<int>(cover->counter("spillsInserted"));
     stats.timedOut = cover->counter("timedOut") != 0;
+    for (size_t k = 0;; ++k) {
+      const TelemetryNode* node = cover->findChild("best:" + std::to_string(k));
+      if (node == nullptr) break;
+      stats.trajectory.push_back(
+          {static_cast<size_t>(node->counter("candidate")),
+           static_cast<int>(node->counter("instructions")),
+           static_cast<int>(node->counter("spills")), node->seconds()});
+    }
+  }
+  if (const TelemetryNode* search = phase.findChild("search")) {
+    stats.search.nodesVisited =
+        static_cast<size_t>(search->counter("nodesVisited"));
+    stats.search.prunedByBound =
+        static_cast<size_t>(search->counter("prunedByBound"));
+    stats.search.backtracks =
+        static_cast<size_t>(search->counter("backtracks"));
+    stats.search.candidatesAbandoned =
+        static_cast<size_t>(search->counter("candidatesAbandoned"));
   }
   return stats;
 }

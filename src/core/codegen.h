@@ -24,6 +24,32 @@
 
 namespace aviv {
 
+// Order-independent totals over the whole covering search — exploration plus
+// every candidate covering, successful or register-infeasible. Summed per
+// candidate, so jobs=1 and jobs=N produce identical values (the determinism
+// invariant the service cache tests pin down).
+struct SearchStats {
+  size_t nodesVisited = 0;         // explore states expanded + clique
+                                   // branch-and-bound recursions
+  size_t prunedByBound = 0;        // explore bound rejections + clique
+                                   // branches cut
+  size_t backtracks = 0;           // beam drops + spill-forced regenerations
+                                   // + register-infeasible candidates
+  size_t candidatesAbandoned = 0;  // covering candidates with no fitting
+                                   // member subset
+};
+
+// One improvement of the best complete covering, recorded at the candidate
+// index where the serial reduction first sees it. The sequence is the
+// deterministic prefix-minima over (instructions, spills, candidate index);
+// only `seconds` (wall time since covering started) is run-dependent.
+struct TrajectoryPoint {
+  size_t candidate = 0;
+  int instructions = 0;
+  int spills = 0;
+  double seconds = 0.0;
+};
+
 // Typed view over a block's phase-telemetry subtree (the session's single
 // source of stage statistics) — see recordCoreStats / coreStatsView below.
 struct CoreStats {
@@ -32,6 +58,8 @@ struct CoreStats {
   ExploreStats explore;
   size_t assignmentsCovered = 0;  // assignments taken through full covering
   CoverStats cover;               // of the winning assignment
+  SearchStats search;             // totals across ALL candidates
+  std::vector<TrajectoryPoint> trajectory;  // best-cost-over-time
   bool timedOut = false;
   double seconds = 0.0;
 };
@@ -81,9 +109,17 @@ struct CoreResult {
 // stage statistics; these convert between it and the stage-level structs.
 // Layout under a block's phase node:
 //   counters irNodes, sndNodes
-//   child "explore": completeAssignments, statesExpanded, capped
+//   child "explore": completeAssignments, statesExpanded, prunedByBound,
+//                    beamDropped, capped
 //   child "cover": assignmentsCovered, candidates, jobs, cliquesGenerated,
-//                  cliqueRounds, spillsInserted, timedOut
+//                  cliqueRounds, cliqueRecursions, cliquePruned,
+//                  candidatesEvaluated, candidatesAbandoned, spillsInserted,
+//                  timedOut
+//     children "best:<k>": the best-cost trajectory, counters candidate,
+//                          instructions, spills (seconds = wall time, which
+//                          sameShapeAs ignores)
+//   child "search": nodesVisited, prunedByBound, backtracks,
+//                   candidatesAbandoned (order-independent totals)
 void recordCoreStats(const CoreStats& stats, TelemetryNode& phase);
 [[nodiscard]] CoreStats coreStatsView(const TelemetryNode& phase);
 

@@ -11,6 +11,8 @@
 #include "core/legality.h"
 #include "core/spill.h"
 #include "core/parallel_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace aviv {
@@ -63,9 +65,15 @@ Schedule CoveringEngine::run(CoverStats* stats) {
 
   while (true) {
     if (covered.count() == graph_.size()) break;
-    if (deadline_ != nullptr) deadline_->check("covering");
+    if (deadline_ != nullptr) {
+      trace::instant("search", "cover.deadline-poll", {}, "covered",
+                     static_cast<int64_t>(covered.count()), "total",
+                     static_cast<int64_t>(graph_.size()));
+      deadline_->check("covering");
+    }
 
     if (rebuild) {
+      trace::Span roundSpan("search", "cover.clique-round");
       const ParallelismMatrix matrix(graph_, options_.cliqueLevelWindow);
       DynBitset active(graph_.size(), true);
       active.andNot(covered);
@@ -74,6 +82,20 @@ Schedule CoveringEngine::run(CoverStats* stats) {
           generateMaximalCliques(matrix, active, options_.maxCliquesPerRound,
                                  &genStats),
           graph_, constraints_);
+      st.cliqueRecursions += genStats.recursions;
+      st.cliquePruned += genStats.pruned;
+      roundSpan.arg("cliques", static_cast<int64_t>(genStats.emitted));
+      roundSpan.arg("recursions", static_cast<int64_t>(genStats.recursions));
+      if (metrics::on()) {
+        auto& registry = metrics::Registry::instance();
+        auto& sizes = registry.histogram("cover.clique.size");
+        for (const DynBitset& clique : cliques)
+          sizes.record(static_cast<int64_t>(clique.count()));
+        registry.counter("search.cliqueRecursions")
+            .add(static_cast<int64_t>(genStats.recursions));
+        registry.counter("search.cliquePruned")
+            .add(static_cast<int64_t>(genStats.pruned));
+      }
       // If the generation cap truncated the clique set, guarantee coverage
       // with singletons so every node remains schedulable.
       if (genStats.capped) {
@@ -129,6 +151,7 @@ Schedule CoveringEngine::run(CoverStats* stats) {
       eligible &= ready;
       if (eligible.none()) continue;
       anyReadyClique = true;
+      ++st.candidatesEvaluated;
 
       DynBitset members(graph_.size());
       if (pressureWithinLimits(graph_,
@@ -154,7 +177,12 @@ Schedule CoveringEngine::run(CoverStats* stats) {
         }
       }
       const size_t score = members.count();
-      if (score == 0) continue;
+      if (score == 0) {
+        // No member subset fits the register banks: the candidate is
+        // abandoned and the spill path may have to fire this round.
+        ++st.candidatesAbandoned;
+        continue;
+      }
       candidates.push_back({ci, std::move(members), score});
     }
 
@@ -243,6 +271,9 @@ Schedule CoveringEngine::run(CoverStats* stats) {
                   "': this functional-unit assignment cannot satisfy the "
                   "register limits (spill limit reached)");
 
+    trace::instant("search", "cover.spill", {}, "spillsSoFar",
+                   st.spillsInserted, "covered",
+                   static_cast<int64_t>(covered.count()));
     performSpill(graph_, xferDb_, covered, spillState);
     st.spillsInserted += 1;
 

@@ -34,6 +34,12 @@ struct Schedule {
 struct CoverStats {
   size_t cliquesGenerated = 0;  // across all regeneration rounds
   size_t cliqueRounds = 0;
+  size_t cliqueRecursions = 0;      // branch-and-bound recursions in clique
+                                    // generation, summed across rounds
+  size_t cliquePruned = 0;          // clique branches cut by the bound
+  size_t candidatesEvaluated = 0;   // clique ∩ ready candidates scored
+  size_t candidatesAbandoned = 0;   // candidates abandoned with no fitting
+                                    // member subset (register pressure)
   int spillsInserted = 0;  // victim values spilled (Table I "#Spills")
 };
 

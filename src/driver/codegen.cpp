@@ -1,8 +1,11 @@
 #include "driver/codegen.h"
 
+#include <filesystem>
 #include <optional>
 
 #include "baseline/sequential.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/cache.h"
 #include "service/fingerprint.h"
 #include "sim/simulator.h"
@@ -13,6 +16,27 @@
 #include "verify/verify.h"
 
 namespace aviv {
+
+namespace {
+
+// Flight-recorder dump for the failure paths: writes the retained tail of
+// the trace next to the quarantine artifacts so the events leading up to an
+// InternalError or verification failure survive the degradation. Best
+// effort, like quarantine itself — returns silently when tracing is off,
+// no directory is configured, or the write fails.
+void dumpFlightRecord(const std::string& dir, const std::string& tag) {
+  if (dir.empty() || !trace::on()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  std::string name = tag;
+  for (char& c : name)
+    if (c == '/' || c == '\\' || c == ':') c = '_';
+  (void)trace::Tracer::instance().writeFlightRecord(
+      (std::filesystem::path(dir) / (name + ".flight.json")).string());
+}
+
+}  // namespace
 
 int CompiledProgram::totalInstructions() const {
   int total = 0;
@@ -90,6 +114,7 @@ CoreResult CodeGenerator::baselineCore(const BlockDag& ir,
 CompiledBlock CodeGenerator::compileBlockWith(
     const BlockDag& ir, SymbolScope& symbols,
     const CodegenOptions& coreOptions, TelemetryNode& tel) {
+  trace::Span compileSpan("driver", "compile:", ir.name());
   ResultCache* cache = options_.cache.get();
   const bool verifyThis = shouldVerifyBlock(options_.verify, ir.name());
 
@@ -110,9 +135,17 @@ CompiledBlock CodeGenerator::compileBlockWith(
   auto quarantine = [&](const CodeImage& image,
                         const std::vector<std::string>& names,
                         const VerifyReport& report) {
-    (void)writeQuarantineArtifact(options_.verify.quarantineDir,
-                                  ctx_.machine(), ir, image, names,
-                                  options_.verify, report);
+    trace::instant("driver", "quarantine:", ir.name());
+    if (metrics::on())
+      metrics::Registry::instance().counter("driver.quarantined").add(1);
+    const std::string artifactDir = writeQuarantineArtifact(
+        options_.verify.quarantineDir, ctx_.machine(), ir, image, names,
+        options_.verify, report);
+    // The flight record lands inside the artifact bundle when one was
+    // written, next to the configured quarantine dir otherwise.
+    dumpFlightRecord(
+        artifactDir.empty() ? options_.verify.quarantineDir : artifactDir,
+        "verify-" + ctx_.machine().name() + "-" + ir.name());
   };
 
   Hash128 cacheKey;
@@ -160,9 +193,15 @@ CompiledBlock CodeGenerator::compileBlockWith(
         block.fromCache = true;
         block.cachedStatsJson = entry->statsJson;
         tel.addCounter("cacheHits", 1);
+        trace::instant("driver", "cache.hit:", ir.name());
+        if (metrics::on())
+          metrics::Registry::instance().counter("driver.cacheHits").add(1);
         return block;
       }
     }
+    trace::instant("driver", "cache.miss:", ir.name());
+    if (metrics::on())
+      metrics::Registry::instance().counter("driver.cacheMisses").add(1);
   }
   CompiledBlock block;
   // Rung 1: the full covering flow, with the existing outputs-to-memory
@@ -190,18 +229,29 @@ CompiledBlock CodeGenerator::compileBlockWith(
                         ctx_.pool(), &tel, &ctx_.deadline());
     }
   };
+  auto noteDegraded = [&](const char* reason) {
+    block.degraded = true;
+    trace::instant("driver", "degraded:", ir.name());
+    trace::instant("driver", "degraded.reason:", reason);
+    if (metrics::on())
+      metrics::Registry::instance().counter("driver.degraded").add(1);
+  };
   CoreResult core = [&] {
     if (!options_.baselineFallback) return coverWithRetry();
     try {
       return coverWithRetry();
     } catch (const DeadlineExceeded& e) {
-      block.degraded = true;
+      noteDegraded("deadline");
       return baselineCore(ir, coreOptions, tel, e.what());
     } catch (const InternalError& e) {
-      block.degraded = true;
+      // The flight recorder exists for exactly this moment: dump the event
+      // tail before the baseline fallback overwrites it with its own work.
+      dumpFlightRecord(options_.verify.quarantineDir,
+                       "internal-" + ctx_.machine().name() + "-" + ir.name());
+      noteDegraded("internal-error");
       return baselineCore(ir, coreOptions, tel, e.what());
     } catch (const ResourceLimitExceeded& e) {
-      block.degraded = true;
+      noteDegraded("resource-limit");
       return baselineCore(ir, coreOptions, tel, e.what());
     }
   }();

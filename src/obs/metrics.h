@@ -1,0 +1,153 @@
+// Metrics registry — process-wide counters, gauges, and log₂-bucketed
+// histograms, aggregated on demand and emitted as JSON via the binaries'
+// `--metrics-json` flag (avivc once at exit; avivd per pass and on the
+// SIGINT drain).
+//
+// Recording is thread-sharded: every metric owns kShards cache-line-padded
+// atomic cells and a thread hashes to one of them, so concurrent recorders
+// rarely touch the same line. Aggregation (snapshot/toJson) sums the shards
+// with relaxed loads — totals are exact once recorders quiesce, and within
+// one relaxed-atomic tear of exact while they run.
+//
+// Like the tracer, the whole subsystem is gated on one relaxed atomic flag:
+// with metrics off (the default) a call site pays a single branch. Metric
+// objects are created on first use and never destroyed, so a reference
+// obtained once (e.g. a function-local static at a hot call site) stays
+// valid across Registry::reset().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aviv::metrics {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+inline constexpr int kShards = 16;
+
+struct alignas(64) Cell {
+  std::atomic<int64_t> value{0};
+};
+
+// Stable per-thread shard index (threads hash to a fixed cell).
+int thisThreadShard();
+}  // namespace detail
+
+[[nodiscard]] inline bool on() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Monotonic sum across all recording threads.
+class Counter {
+ public:
+  void add(int64_t delta) {
+    cells_[detail::thisThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t value() const;
+  void reset();
+
+ private:
+  detail::Cell cells_[detail::kShards];
+};
+
+// Last-written-wins instantaneous value (one cell, not sharded: gauges are
+// set rarely and torn per-shard aggregation of "latest" is meaningless).
+class Gauge {
+ public:
+  void set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// log₂-bucketed histogram of non-negative integer samples. Bucket b counts
+// samples whose value needs b significant bits: bucket 0 holds value 0,
+// bucket b (1-based) holds [2^(b-1), 2^b). 65 buckets cover all of int64.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(int64_t value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;  // 0 when count == 0
+    int64_t max = 0;
+    int64_t buckets[kBuckets] = {};
+
+    // Quantile estimate (q in [0,1]) by linear interpolation inside the
+    // containing log₂ bucket.
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  // Bucket index a sample lands in (exposed for tests).
+  [[nodiscard]] static int bucketOf(int64_t value);
+  // Inclusive lower bound of bucket b.
+  [[nodiscard]] static int64_t bucketLowerBound(int b);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+    std::atomic<int64_t> buckets[kBuckets] = {};
+  };
+  Shard shards_[detail::kShards];
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
+  void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+  // Zeroes every registered metric (objects and references stay valid).
+  void reset();
+
+  // Find-or-create. The returned references are stable for the process
+  // lifetime. A name denotes one kind of metric: asking for a counter named
+  // like an existing histogram throws aviv-style std::runtime_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Aggregated snapshot of every metric:
+  //   {"counters": {...}, "gauges": {...},
+  //    "histograms": {"name": {"count":N,"sum":S,"min":m,"max":M,
+  //                            "p50":...,"p90":...,"p99":...,
+  //                            "buckets": [[upperBound, count], ...]}}}
+  [[nodiscard]] std::string toJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace aviv::metrics

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/fingerprint.h"
 #include "support/error.h"
 #include "support/failpoint.h"
@@ -428,12 +430,17 @@ std::shared_ptr<const CacheEntry> ResultCache::lookup(const Hash128& key) {
     else
       misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  lookupNanos_.fetch_add(static_cast<int64_t>(timer.seconds() * 1e9),
-                         std::memory_order_relaxed);
+  const auto nanos = static_cast<int64_t>(timer.seconds() * 1e9);
+  lookupNanos_.fetch_add(nanos, std::memory_order_relaxed);
+  if (metrics::on())
+    metrics::Registry::instance()
+        .histogram("cache.lookup.us")
+        .record(nanos / 1000);
   return entry;
 }
 
 void ResultCache::store(const Hash128& key, CacheEntry entry) {
+  trace::instant("service", "cache.store:", entry.blockName);
   auto shared = std::make_shared<const CacheEntry>(std::move(entry));
   diskStore(key, *shared);
   memoryInsert(key, std::move(shared));

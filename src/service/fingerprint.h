@@ -31,7 +31,11 @@
 
 namespace aviv {
 
-inline constexpr uint32_t kFingerprintVersion = 1;
+// Version 2: cached statsJson gained the search-telemetry counters
+// (explore prunedByBound/beamDropped, cover clique/candidate totals, the
+// "search" child, and the best-cost trajectory), so version-1 entries would
+// replay stale stat shapes.
+inline constexpr uint32_t kFingerprintVersion = 2;
 
 [[nodiscard]] Hash128 fingerprintMachine(const Machine& machine);
 [[nodiscard]] Hash128 fingerprintDag(const BlockDag& dag);

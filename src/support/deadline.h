@@ -17,6 +17,7 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace aviv {
@@ -90,6 +91,7 @@ class Deadline {
   // in the exception message.
   void check(const char* what) const {
     if (!expired()) return;
+    trace::instant("deadline", "deadline.expired:", what);
     throw DeadlineExceeded(std::string(what) +
                            (cancelled() ? ": cancelled" : ": deadline expired"));
   }

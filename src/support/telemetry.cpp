@@ -57,13 +57,23 @@ namespace {
 
 void appendEscaped(std::string& out, const std::string& s) {
   out += '"';
-  for (const char c : s) {
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          // Remaining control characters (JSON forbids them raw).
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
     }
   }
   out += '"';
@@ -175,7 +185,29 @@ class JsonReader {
       if (c == '\\') {
         if (pos_ >= text_.size()) fail("unterminated escape");
         const char esc = text_[pos_++];
-        c = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              const int digit = h >= '0' && h <= '9'   ? h - '0'
+                                : h >= 'a' && h <= 'f' ? h - 'a' + 10
+                                : h >= 'A' && h <= 'F' ? h - 'A' + 10
+                                                       : -1;
+              if (digit < 0) fail("bad hex digit in \\u escape");
+              code = code * 16 + static_cast<unsigned>(digit);
+            }
+            // Telemetry names are byte strings; we only emit \u00XX.
+            if (code > 0xff) fail("\\u escape beyond \\u00ff unsupported");
+            c = static_cast<char>(code);
+            break;
+          }
+          default: c = esc;
+        }
       }
       out += c;
     }

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/timer.h"
 
 namespace aviv {
@@ -71,19 +73,31 @@ class TelemetryNode {
 };
 
 // RAII phase timer: find-or-creates `name` under `parent` and adds the
-// scope's wall time to it on destruction.
+// scope's wall time to it on destruction. Every phase is also an
+// observability event: when tracing is on the scope emits one complete
+// trace span (category "phase"), and when metrics are on its latency is
+// recorded into the `phase.<name>.us` histogram — both are single-branch
+// no-ops otherwise (src/obs/).
 class PhaseScope {
  public:
   PhaseScope(TelemetryNode& parent, const std::string& name)
-      : node_(parent.child(name)) {}
+      : node_(parent.child(name)), span_("phase", name) {}
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
-  ~PhaseScope() { node_.addSeconds(timer_.seconds()); }
+  ~PhaseScope() {
+    const double seconds = timer_.seconds();
+    node_.addSeconds(seconds);
+    if (metrics::on())
+      metrics::Registry::instance()
+          .histogram("phase." + node_.name() + ".us")
+          .record(static_cast<int64_t>(seconds * 1e6));
+  }
 
   [[nodiscard]] TelemetryNode& node() { return node_; }
 
  private:
   TelemetryNode& node_;
+  trace::Span span_;
   WallTimer timer_;
 };
 

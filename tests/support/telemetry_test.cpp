@@ -68,6 +68,48 @@ TEST(Telemetry, JsonEscapesSpecialCharacters) {
   EXPECT_EQ(parsed.name(), root.name());
 }
 
+TEST(Telemetry, JsonEscapesHostileControlCharacters) {
+  // Block names come from user input (IR files), so the serializer must
+  // survive every control byte: \r has a short escape, the rest go \u00XX.
+  std::string hostile = "blk:\r\n\t";
+  hostile += '\x01';
+  hostile += '\x1f';
+  hostile += "\xc3\xa9";  // UTF-8 passes through raw
+  TelemetryNode root(hostile);
+  root.setCounter("k\rv", 7);
+  const std::string json = root.toJson();
+  for (const char c : json)
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte in serialized JSON";
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  const TelemetryNode parsed = TelemetryNode::fromJson(json);
+  EXPECT_EQ(parsed.name(), hostile);
+  EXPECT_EQ(parsed.counter("k\rv"), 7);
+  // Canonical: a second round trip is byte-identical.
+  EXPECT_EQ(parsed.toJson(), json);
+}
+
+TEST(Telemetry, FromJsonDecodesUnicodeEscapes) {
+  const TelemetryNode parsed = TelemetryNode::fromJson(
+      "{\"name\": \"a\\u0007b\\u00FFc\", \"seconds\": 0, "
+      "\"counters\": {}, \"children\": []}");
+  std::string expected = "a";
+  expected += '\x07';
+  expected += 'b';
+  expected += '\xff';
+  expected += 'c';
+  EXPECT_EQ(parsed.name(), expected);
+  // Only \u00XX is emitted, so anything beyond latin-1 is rejected rather
+  // than silently mangled, as are truncated or non-hex escapes.
+  EXPECT_THROW(
+      (void)TelemetryNode::fromJson("{\"name\": \"\\u0100\"}"), Error);
+  EXPECT_THROW(
+      (void)TelemetryNode::fromJson("{\"name\": \"\\u00g1\"}"), Error);
+  EXPECT_THROW((void)TelemetryNode::fromJson("{\"name\": \"\\u00"), Error);
+}
+
 TEST(Telemetry, FromJsonRejectsMalformedInput) {
   EXPECT_THROW((void)TelemetryNode::fromJson("{"), Error);
   EXPECT_THROW((void)TelemetryNode::fromJson("[]"), Error);
