@@ -6,8 +6,11 @@
 // variants show the Section IV-C.2 remedy.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "core/assign_explore.h"
@@ -15,6 +18,7 @@
 #include "core/clique.h"
 #include "core/codegen.h"
 #include "core/parallel_matrix.h"
+#include "core/workspace.h"
 #include "driver/codegen.h"
 #include "ir/parser.h"
 #include "service/cache.h"
@@ -25,7 +29,62 @@
 #include "obs/trace.h"
 #include "support/thread_pool.h"
 
+// --- heap-allocation accounting ----------------------------------------
+// This binary replaces the global allocation functions with counting
+// versions, so benchmarks can report allocations/op and heap-bytes/op —
+// the arena refactor's target metric (time alone hides small-vector
+// churn that only shows up under allocator contention at scale).
+static std::atomic<uint64_t> g_heapAllocs{0};
+static std::atomic<uint64_t> g_heapBytes{0};
+
+static void* countedAlloc(std::size_t n) {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  g_heapBytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n) { return countedAlloc(n); }
+void* operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  g_heapBytes.fetch_add(n, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return operator new(n, al);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
+
+// Snapshot-and-report helper: construct before the timing loop, call
+// report() after it to attach allocations/op and heap-KB/op counters.
+struct HeapMeter {
+  uint64_t allocs0 = g_heapAllocs.load(std::memory_order_relaxed);
+  uint64_t bytes0 = g_heapBytes.load(std::memory_order_relaxed);
+  void report(benchmark::State& state) const {
+    const double iters = static_cast<double>(state.iterations());
+    if (iters == 0) return;
+    state.counters["allocs/op"] = static_cast<double>(
+        g_heapAllocs.load(std::memory_order_relaxed) - allocs0) / iters;
+    state.counters["heapKB/op"] = static_cast<double>(
+        g_heapBytes.load(std::memory_order_relaxed) - bytes0) / 1024.0 / iters;
+  }
+};
 
 using namespace aviv;
 
@@ -56,6 +115,27 @@ void BM_SplitNodeBuild(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_SplitNodeBuild)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+// Same build, instrumented: with the flattened span/pool storage a build
+// makes a handful of chunk allocations instead of one vector per node, so
+// allocations/op should grow far slower than node count.
+void BM_SplitNodeBuildArena(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
+  const CodegenOptions options;
+  const HeapMeter heap;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SplitNodeDag::build(dag, arch1(), arch1Dbs(), options));
+  }
+  heap.report(state);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SplitNodeBuildArena)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Complexity();
 
 void BM_AssignmentExploration(benchmark::State& state) {
   const BlockDag dag = syntheticDag(static_cast<int>(state.range(0)));
@@ -130,13 +210,51 @@ void BM_CoverSelectedAssignments(benchmark::State& state) {
   options.assignKeepBest = 8;
   options.jobs = static_cast<int>(state.range(0));
   ThreadPool pool(options.jobs);
+  const HeapMeter heap;
   for (auto _ : state) {
     benchmark::DoNotOptimize(coverBlock(dag, arch1(), arch1Dbs(), options,
                                         options.jobs > 1 ? &pool : nullptr));
   }
+  heap.report(state);
   state.SetLabel("jobs=" + std::to_string(options.jobs));
 }
 BENCHMARK(BM_CoverSelectedAssignments)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The candidate-state cost model head to head: Arg(0) re-homes every
+// candidate's payload spans into graph-owned pools right after materialize
+// (the pre-refactor per-candidate deep copy); Arg(1) leaves them aliasing
+// the Split-Node DAG's pools, as the covering loop now does — only the
+// winner pays the detach. Same candidate set, so the time and allocs/op
+// deltas are exactly the copy tax.
+void BM_CandidateCopyVsDelta(benchmark::State& state) {
+  const BlockDag dag = syntheticDag(26);
+  CodegenOptions options = CodegenOptions::heuristicsOn();
+  options.outputsToMemory = true;
+  options.assignPruneIncremental = false;
+  options.assignBeamWidth = 32;
+  options.assignKeepBest = 8;
+  const SplitNodeDag snd =
+      SplitNodeDag::build(dag, arch1(), arch1Dbs(), options);
+  const std::vector<Assignment> assignments =
+      AssignmentExplorer(snd, options).explore();
+  const bool copyMode = state.range(0) == 0;
+  CoverWorkspace ws;
+  const HeapMeter heap;
+  for (auto _ : state) {
+    for (const Assignment& assignment : assignments) {
+      const ArenaScope candidateScope(ws.arena);
+      AssignedGraph graph =
+          AssignedGraph::materialize(snd, assignment, options, &ws);
+      if (copyMode) graph.detachPayloads();
+      benchmark::DoNotOptimize(graph.size());
+    }
+  }
+  heap.report(state);
+  state.counters["candidates"] =
+      benchmark::Counter(static_cast<double>(assignments.size()));
+  state.SetLabel(copyMode ? "copy" : "delta");
+}
+BENCHMARK(BM_CandidateCopyVsDelta)->Arg(0)->Arg(1);
 
 void BM_PaperBlocks(benchmark::State& state) {
   static const char* names[] = {"ex1", "ex2", "ex3", "ex4", "ex5"};

@@ -147,6 +147,9 @@ BaselineResult sequentialCodegen(const BlockDag& ir, const Machine& machine,
   }
 
   verifySchedule(graph, schedule, dbs.constraints);
+  // The graph's covers/operandIr spans alias `snd`, which dies with this
+  // frame; re-home them before the result escapes.
+  graph.detachPayloads();
   return {std::move(assignment), std::move(graph), std::move(schedule),
           spills};
 }

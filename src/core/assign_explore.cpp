@@ -25,14 +25,19 @@ SndId Assignment::producerAltOf(NodeId irNode, const SplitNodeDag& snd) const {
 
 AssignmentExplorer::AssignmentExplorer(const SplitNodeDag& snd,
                                        const CodegenOptions& options,
-                                       const Deadline* deadline)
-    : snd_(snd), options_(options), deadline_(deadline) {}
+                                       const Deadline* deadline, Arena* scratch)
+    : snd_(snd), options_(options), deadline_(deadline), scratch_(scratch) {}
 
 namespace {
 
+// Exploration states hold their per-node arrays in the scratch arena; a
+// State is two (pointer, length) views plus a cost, so the frontier vectors
+// shuffle 40-byte values instead of deep-copying heap vectors. Branching
+// allocCopy-s fresh arrays; the whole generation graph is released at once
+// by explore()'s ArenaScope.
 struct State {
-  std::vector<SndId> chosenAlt;   // per IR node
-  std::vector<uint8_t> covered;   // per IR node: fused into a complex alt
+  Span<SndId> chosenAlt;   // per IR node
+  Span<uint8_t> covered;   // per IR node: fused into a complex alt
   double cost = 0.0;
 };
 
@@ -78,9 +83,13 @@ std::vector<Assignment> AssignmentExplorer::explore(
   ExploreStats& st = stats != nullptr ? *stats : localStats;
   st = ExploreStats{};
 
+  Arena localArena;
+  Arena& arena = scratch_ != nullptr ? *scratch_ : localArena;
+  const ArenaScope scope(arena);
+
   std::vector<State> states(1);
-  states[0].chosenAlt.assign(ir.size(), kNoSnd);
-  states[0].covered.assign(ir.size(), 0);
+  states[0].chosenAlt = arena.allocSpan<SndId>(ir.size(), kNoSnd);
+  states[0].covered = arena.allocSpan<uint8_t>(ir.size(), 0);
 
   // The alternative that consumes irNode's value on behalf of user u under
   // a given state (u itself, or the complex alt covering u).
@@ -167,9 +176,9 @@ std::vector<Assignment> AssignmentExplorer::explore(
     std::vector<State> next;
     next.reserve(states.size());
     for (size_t si = 0; si < states.size(); ++si) {
-      State& s = states[si];
+      const State& s = states[si];
       if (s.covered[n]) {
-        next.push_back(std::move(s));
+        next.push_back(s);  // spans: shallow, the arrays carry over
         continue;
       }
       const auto& alts = snd_.altsOf(n);
@@ -194,12 +203,17 @@ std::vector<Assignment> AssignmentExplorer::explore(
           ++st.prunedByBound;
           continue;
         }
-        State branch = s;  // copy (the moved-from case is the last keep)
+        // A plain `State branch = s` would alias s's arrays (spans are
+        // views); each kept branch needs its own copies to mutate.
+        State branch;
+        branch.chosenAlt = arena.allocCopy(s.chosenAlt.data(),
+                                           s.chosenAlt.size());
+        branch.covered = arena.allocCopy(s.covered.data(), s.covered.size());
+        branch.cost = s.cost + inc[a];
         branch.chosenAlt[n] = alts[a];
-        branch.cost += inc[a];
         for (size_t c = 1; c < snd_.node(alts[a]).covers.size(); ++c)
           branch.covered[snd_.node(alts[a]).covers[c]] = 1;
-        next.push_back(std::move(branch));
+        next.push_back(branch);
       }
     }
     states = std::move(next);
@@ -232,7 +246,8 @@ std::vector<Assignment> AssignmentExplorer::explore(
   out.reserve(keep);
   for (size_t i = 0; i < keep; ++i) {
     Assignment a;
-    a.chosenAlt = std::move(states[i].chosenAlt);
+    a.chosenAlt.assign(states[i].chosenAlt.begin(),
+                       states[i].chosenAlt.end());
     a.cost = states[i].cost;
     out.push_back(std::move(a));
   }

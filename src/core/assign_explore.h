@@ -18,6 +18,7 @@
 
 #include "core/options.h"
 #include "core/splitnode.h"
+#include "support/arena.h"
 #include "support/deadline.h"
 
 namespace aviv {
@@ -60,8 +61,14 @@ class AssignmentExplorer {
   // every few hundred state evaluations; expiry throws DeadlineExceeded
   // (no partial assignment is usable — the driver degrades to the
   // sequential baseline instead).
+  //
+  // When `scratch` is non-null the per-state payloads (chosen-alternative
+  // and fused-cover arrays) live there instead of in a local arena; explore()
+  // rewinds whichever arena it used before returning, so a warm workspace
+  // arena explores the next block without touching malloc.
   AssignmentExplorer(const SplitNodeDag& snd, const CodegenOptions& options,
-                     const Deadline* deadline = nullptr);
+                     const Deadline* deadline = nullptr,
+                     Arena* scratch = nullptr);
 
   // Returns the selected assignments, lowest cost first (at most
   // options.assignKeepBest). Never empty for a buildable Split-Node DAG.
@@ -73,6 +80,7 @@ class AssignmentExplorer {
   const SplitNodeDag& snd_;
   const CodegenOptions& options_;
   const Deadline* deadline_;
+  Arena* scratch_;
 };
 
 }  // namespace aviv

@@ -1,8 +1,8 @@
 #include "core/assigned.h"
 
 #include <algorithm>
-#include <deque>
 
+#include "core/workspace.h"
 #include "support/error.h"
 
 namespace aviv {
@@ -40,7 +40,7 @@ namespace {
 // least congested so far ("the cost function is based solely on
 // parallelism").
 size_t selectRoute(const std::vector<TransferRoute>& routes,
-                   const Machine& machine, const std::vector<int>& busUse) {
+                   const Machine& machine, Span<const int> busUse) {
   AVIV_CHECK(!routes.empty());
   size_t best = 0;
   int bestScore = INT32_MAX;
@@ -60,7 +60,8 @@ size_t selectRoute(const std::vector<TransferRoute>& routes,
 
 AssignedGraph AssignedGraph::materialize(const SplitNodeDag& snd,
                                          const Assignment& assignment,
-                                         const CodegenOptions& options) {
+                                         const CodegenOptions& options,
+                                         CoverWorkspace* ws) {
   const BlockDag& ir = snd.ir();
   const Machine& machine = snd.machine();
   const TransferDatabase& xferDb = snd.databases().transfers;
@@ -69,17 +70,30 @@ AssignedGraph AssignedGraph::materialize(const SplitNodeDag& snd,
   g.ir_ = &ir;
   g.machine_ = &machine;
   g.xferDb_ = &xferDb;
+  g.nodes_.reserve(ir.size() * 3);
 
-  std::vector<int> busUse(machine.buses().size(), 0);
-  std::vector<AgId> opOf(ir.size(), kNoAg);
-  // (IR value node, storage) -> AgNode holding the value there.
-  std::map<std::pair<NodeId, Loc>, AgId> avail;
+  // Transient build scratch comes from the workspace arena when a workspace
+  // is supplied (per-candidate scope, rewound by the caller).
+  Arena localArena;
+  Arena& arena = ws != nullptr ? ws->arena : localArena;
+  Span<int> busUse = arena.allocSpan<int>(machine.buses().size(), 0);
+  Span<AgId> opOf = arena.allocSpan<AgId>(ir.size(), kNoAg);
+  // Value-availability table, (IR value node, storage) -> AgNode holding the
+  // value there; flat-indexed by valueIr * numLocs + locKey instead of a
+  // std::map (the hottest lookup during materialization).
+  const size_t numRegFiles = machine.regFiles().size();
+  const size_t numLocs = numRegFiles + machine.memories().size();
+  Span<AgId> avail = arena.allocSpan<AgId>(ir.size() * numLocs, kNoAg);
+  auto availSlot = [&](NodeId valueIr, Loc loc) -> AgId& {
+    const size_t key = loc.isMemory() ? numRegFiles + loc.index : loc.index;
+    AVIV_DCHECK(key < numLocs);
+    return avail[valueIr * numLocs + key];
+  };
 
   // Builds (or reuses) the move of `valueIr`'s value into `dest`; returns
   // the AgNode whose result is the value in `dest`.
   auto resolveValue = [&](NodeId valueIr, Loc dest) -> AgId {
-    const auto key = std::make_pair(valueIr, dest);
-    if (const auto it = avail.find(key); it != avail.end()) return it->second;
+    if (const AgId hit = availSlot(valueIr, dest); hit != kNoAg) return hit;
 
     const bool leaf = isLeafOp(ir.node(valueIr).op);
     AgId srcAg = kNoAg;
@@ -123,8 +137,9 @@ AssignedGraph AssignedGraph::materialize(const SplitNodeDag& snd,
       if (path.to.isMemory()) hop.spillSlot = g.nextSpillSlot_++;
       last = g.append(std::move(hop));
       if (prev != kNoAg) g.addDep(prev, last);
-      // Intermediate landings are reusable copies of the value.
-      avail.emplace(std::make_pair(valueIr, path.to), last);
+      // Intermediate landings are reusable copies of the value (first
+      // landing wins, matching the old map's emplace semantics).
+      if (AgId& slot = availSlot(valueIr, path.to); slot == kNoAg) slot = last;
       prev = last;
     }
     return last;
@@ -137,26 +152,35 @@ AssignedGraph AssignedGraph::materialize(const SplitNodeDag& snd,
                             : assignment.chosenAlt[irNode];
     if (altId == kNoSnd) continue;
     const SndNode& alt = snd.node(altId);
+    const Loc opLoc = machine.unitLoc(alt.unit);
     AgNode op;
     op.kind = AgKind::kOp;
     op.ir = irNode;
     op.unit = alt.unit;
     op.machineOp = alt.machineOp;
     op.unitOpIdx = alt.unitOpIdx;
+    // Zero-copy: the spans keep aliasing the SND's pools until the winning
+    // candidate detaches them.
     op.covers = alt.covers;
     op.operandIr = alt.operandIr;
-    op.defLoc = machine.unitLoc(alt.unit);
+    op.defLoc = opLoc;
     const AgId opId = g.append(std::move(op));
     opOf[irNode] = opId;
-    avail.emplace(std::make_pair(irNode, machine.unitLoc(alt.unit)), opId);
+    if (AgId& slot = availSlot(irNode, opLoc); slot == kNoAg) slot = opId;
 
-    for (const NodeId operand : g.nodes_[opId].operandIr) {
-      if (ir.node(operand).op == Op::kConst && !options.constantsInMemory) {
-        g.nodes_[opId].operandDefs.push_back(kNoAg);
+    // operandDefs is allocated at full size up front (entries for constant
+    // immediates stay kNoAg), then filled as operands resolve. Keep local
+    // copies of the spans: resolveValue appends nodes, invalidating
+    // references into nodes_ (never the pooled storage they point at).
+    const Span<const NodeId> operands = alt.operandIr;
+    Span<AgId> defs = g.defPool_.appendFill(operands.size(), kNoAg);
+    g.nodes_[opId].operandDefs = defs;
+    for (size_t i = 0; i < operands.size(); ++i) {
+      const NodeId operand = operands[i];
+      if (ir.node(operand).op == Op::kConst && !options.constantsInMemory)
         continue;
-      }
-      const AgId def = resolveValue(operand, g.nodes_[opId].defLoc);
-      g.nodes_[opId].operandDefs.push_back(def);
+      const AgId def = resolveValue(operand, opLoc);
+      defs[i] = def;
       g.addDep(def, opId);
     }
   }
@@ -351,9 +375,36 @@ void AssignedGraph::deleteNode(AgId id) {
     succs.erase(std::remove(succs.begin(), succs.end(), id), succs.end());
   }
   n.preds.clear();
-  n.operandDefs.clear();
+  n.operandDefs = {};
   n.valueSrc = kNoAg;
   n.kind = AgKind::kDeleted;
+}
+
+AssignedGraph AssignedGraph::clone() const {
+  AssignedGraph c;
+  c.ir_ = ir_;
+  c.machine_ = machine_;
+  c.xferDb_ = xferDb_;
+  c.nodes_ = nodes_;  // spans still alias the source pools here...
+  c.outputDefs_ = outputDefs_;
+  c.constPool_ = constPool_;
+  c.nextSpillSlot_ = nextSpillSlot_;
+  // ...so re-home every span into the clone's own pools.
+  for (AgNode& n : c.nodes_) {
+    if (!n.covers.empty()) n.covers = c.payloadPool_.append(n.covers);
+    if (!n.operandIr.empty())
+      n.operandIr = c.payloadPool_.append(n.operandIr);
+    if (!n.operandDefs.empty())
+      n.operandDefs = c.defPool_.append(Span<const AgId>(n.operandDefs));
+  }
+  return c;
+}
+
+void AssignedGraph::detachPayloads() {
+  for (AgNode& n : nodes_) {
+    if (!n.covers.empty()) n.covers = payloadPool_.append(n.covers);
+    if (!n.operandIr.empty()) n.operandIr = payloadPool_.append(n.operandIr);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -362,28 +413,37 @@ void AssignedGraph::deleteNode(AgId id) {
 
 namespace {
 
-// Kahn topological order over active nodes.
-std::vector<AgId> topoOrder(const std::vector<AgNode>& nodes) {
-  std::vector<int> pending(nodes.size(), 0);
-  std::deque<AgId> ready;
+// Kahn topological order over active nodes, written into `order`. The order
+// vector doubles as the FIFO (ids are consumed by advancing a head index),
+// which visits nodes in exactly the same sequence as a deque-based queue
+// without a second container.
+void topoOrderInto(const std::vector<AgNode>& nodes,
+                   std::vector<uint32_t>& pending,
+                   std::vector<AgId>& order) {
+  pending.assign(nodes.size(), 0);
+  order.clear();
+  order.reserve(nodes.size());
   for (AgId id = 0; id < nodes.size(); ++id) {
     if (nodes[id].deleted()) continue;
-    pending[id] = static_cast<int>(nodes[id].preds.size());
-    if (pending[id] == 0) ready.push_back(id);
+    pending[id] = static_cast<uint32_t>(nodes[id].preds.size());
+    if (pending[id] == 0) order.push_back(id);
   }
-  std::vector<AgId> order;
-  order.reserve(nodes.size());
-  while (!ready.empty()) {
-    const AgId id = ready.front();
-    ready.pop_front();
-    order.push_back(id);
+  size_t head = 0;
+  while (head < order.size()) {
+    const AgId id = order[head++];
     for (AgId succ : nodes[id].succs) {
-      if (--pending[succ] == 0) ready.push_back(succ);
+      if (--pending[succ] == 0) order.push_back(succ);
     }
   }
   size_t active = 0;
   for (const AgNode& n : nodes) active += n.deleted() ? 0 : 1;
   AVIV_CHECK_MSG(order.size() == active, "assigned graph has a cycle");
+}
+
+std::vector<AgId> topoOrder(const std::vector<AgNode>& nodes) {
+  std::vector<uint32_t> pending;
+  std::vector<AgId> order;
+  topoOrderInto(nodes, pending, order);
   return order;
 }
 
@@ -400,6 +460,22 @@ std::vector<DynBitset> AssignedGraph::computeDescendants() const {
     }
   }
   return desc;
+}
+
+std::vector<DynBitset>& AssignedGraph::computeDescendantsInto(
+    CoverWorkspace& ws) const {
+  const size_t n = nodes_.size();
+  if (ws.desc.size() < n) ws.desc.resize(n);
+  for (size_t i = 0; i < n; ++i) ws.desc[i].clearAndResize(n);
+  topoOrderInto(nodes_, ws.topoPending, ws.topoOrder);
+  for (size_t i = ws.topoOrder.size(); i-- > 0;) {
+    const AgId id = ws.topoOrder[i];
+    for (AgId succ : nodes_[id].succs) {
+      ws.desc[id].set(succ);
+      ws.desc[id] |= ws.desc[succ];
+    }
+  }
+  return ws.desc;
 }
 
 std::vector<int> AssignedGraph::levelsFromTop() const {

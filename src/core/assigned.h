@@ -26,9 +26,13 @@
 
 #include "core/assign_explore.h"
 #include "core/splitnode.h"
+#include "support/arena.h"
 #include "support/bitset.h"
+#include "support/smallvec.h"
 
 namespace aviv {
+
+struct CoverWorkspace;
 
 using AgId = uint32_t;
 inline constexpr AgId kNoAg = 0xffffffffu;
@@ -47,14 +51,18 @@ struct AgNode {
   // value is moved (kNoNode for reloads of spilled non-leaf values).
   NodeId ir = kNoNode;
 
-  // kOp only.
+  // kOp only. covers/operandIr alias the SplitNodeDag's flat id pool while
+  // the covering engine runs (zero-copy materialization); the winning
+  // candidate calls AssignedGraph::detachPayloads() to re-home them into
+  // graph-owned storage before the SND is destroyed.
   UnitId unit = kNoId16;
   Op machineOp = Op::kAdd;
   int unitOpIdx = -1;
-  std::vector<NodeId> covers;
-  std::vector<NodeId> operandIr;
-  // Producing AgNode per operand; kNoAg for constant immediates.
-  std::vector<AgId> operandDefs;
+  Span<const NodeId> covers;
+  Span<const NodeId> operandIr;
+  // Producing AgNode per operand; kNoAg for constant immediates. Backed by
+  // the graph's flat def pool (mutable: spills retarget entries in place).
+  Span<AgId> operandDefs;
 
   // Transfer-ish only.
   int pathId = -1;        // index into Machine::transfers() (bus, from, to)
@@ -69,9 +77,10 @@ struct AgNode {
   // hop destination for transfers (data memory for spill stores).
   Loc defLoc;
 
-  // Dependency edges (deduplicated).
-  std::vector<AgId> preds;
-  std::vector<AgId> succs;
+  // Dependency edges (deduplicated). Almost always <= 4 entries, so the
+  // inline storage avoids two heap allocations per node per candidate.
+  SmallVec<AgId, 4> preds;
+  SmallVec<AgId, 4> succs;
 
   [[nodiscard]] bool isTransferish() const {
     return kind == AgKind::kTransfer || kind == AgKind::kSpillStore ||
@@ -93,10 +102,29 @@ class AssignedGraph {
   AssignedGraph() = default;
 
   // Materializes an assignment. Throws aviv::Error when an output is a
-  // constant (unsupported) or required routes are missing.
+  // constant (unsupported) or required routes are missing. When `ws` is
+  // given, its arena provides the transient build scratch (busUse, opOf,
+  // the value-availability table) — the caller must keep an ArenaScope
+  // open around materialize + covering.
+  //
+  // NOTE: the returned graph's covers/operandIr spans alias `snd`'s pools;
+  // call detachPayloads() before the graph outlives the SND.
   static AssignedGraph materialize(const SplitNodeDag& snd,
                                    const Assignment& assignment,
-                                   const CodegenOptions& options);
+                                   const CodegenOptions& options,
+                                   CoverWorkspace* ws = nullptr);
+
+  // Copies every node's covers/operandIr out of the SND's pools into
+  // graph-owned storage. Called on the winning candidate only (and by the
+  // baseline path); idempotent per node payload but cheap enough to call
+  // once unconditionally.
+  void detachPayloads();
+
+  // Deep copy: every span is re-homed into the clone's own pools, so the
+  // clone is independent of the source graph (and of the source SND). The
+  // graph is deliberately not copyable implicitly — the per-candidate hot
+  // path must never deep-copy by accident.
+  [[nodiscard]] AssignedGraph clone() const;
 
   [[nodiscard]] const BlockDag& ir() const { return *ir_; }
   [[nodiscard]] const Machine& machine() const { return *machine_; }
@@ -148,6 +176,9 @@ class AssignedGraph {
   // descendants[i].test(j) == a dependency path i -> j exists. Recomputed on
   // demand after mutations.
   [[nodiscard]] std::vector<DynBitset> computeDescendants() const;
+  // Workspace variant: reuses ws.desc's bitset storage (and ws.topoOrder /
+  // ws.topoPending) instead of allocating fresh vectors each call.
+  std::vector<DynBitset>& computeDescendantsInto(CoverWorkspace& ws) const;
   // Levels over active nodes (deleted nodes get 0).
   [[nodiscard]] std::vector<int> levelsFromTop() const;
   [[nodiscard]] std::vector<int> levelsFromBottom() const;
@@ -165,6 +196,11 @@ class AssignedGraph {
   const Machine* machine_ = nullptr;
   const TransferDatabase* xferDb_ = nullptr;
   std::vector<AgNode> nodes_;
+  // Flat pools backing AgNode spans. defPool_ holds operandDefs (graph-owned
+  // from the start); payloadPool_ receives covers/operandIr copies when
+  // detachPayloads() re-homes them off the SND.
+  FlatPool<AgId> defPool_;
+  FlatPool<NodeId> payloadPool_;
   std::vector<std::pair<std::string, AgId>> outputDefs_;
   std::map<std::string, int64_t> constPool_;
   int nextSpillSlot_ = 0;

@@ -8,23 +8,25 @@ namespace aviv {
 
 namespace {
 
+// The recursion works on raw word buffers bump-allocated from an arena (one
+// clique + cand pair per branch, rewound as each branch returns), so a round
+// of generation touches malloc only for the emitted cliques themselves.
 struct Generator {
   const ParallelismMatrix& matrix;
   const DynBitset& active;
   size_t maxCliques;
   CliqueGenStats* stats;
+  Arena& arena;
+  size_t n;      // node count (bits per set)
+  size_t words;  // uint64_t words per set
   std::vector<DynBitset> out;
 
-  // Restricted parallel row: neighbours within the active set.
-  [[nodiscard]] DynBitset activeRow(size_t i) const {
-    DynBitset row = matrix.row(i);
-    row &= active;
-    return row;
-  }
+  [[nodiscard]] uint64_t* allocSet() { return arena.alloc<uint64_t>(words); }
 
   // Paper Fig 8. `clique` is the current clique; `cand` the nodes parallel
   // with every clique member; `index` the largest seed/branch node so far.
-  void gen(DynBitset clique, DynBitset cand, size_t index) {
+  // Both buffers are owned (mutated) by this invocation.
+  void gen(uint64_t* clique, uint64_t* cand, size_t index) {
     if (stats != nullptr) ++stats->recursions;
     if (out.size() >= maxCliques) {
       if (stats != nullptr) stats->capped = true;
@@ -35,39 +37,53 @@ struct Generator {
     bool changed = true;
     while (changed) {
       changed = false;
-      for (size_t i = cand.findFirst(); i < cand.size();
-           i = cand.findFirst(i + 1)) {
+      for (size_t i = bits::findFirst(cand, 0, n); i < n;
+           i = bits::findFirst(cand, i + 1, n)) {
         // "adding i will not preclude adding any other node": every other
-        // candidate is parallel with i.
-        DynBitset precluded = cand;
-        precluded.andNot(matrix.row(i));
-        precluded.reset(i);
-        if (precluded.any()) continue;
+        // candidate is parallel with i, i.e. cand & ~row(i) is {i} or empty.
+        const uint64_t* row = matrix.row(static_cast<AgId>(i)).wordData();
+        const size_t selfWord = i >> 6;
+        bool anyPrecluded = false;
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t precluded = cand[w] & ~row[w];
+          if (w == selfWord) precluded &= ~(uint64_t{1} << (i & 63));
+          if (precluded != 0) {
+            anyPrecluded = true;
+            break;
+          }
+        }
+        if (anyPrecluded) continue;
         if (i < index) {
           // Pruning condition: every maximal clique through this branch was
           // already generated starting from i.
           if (stats != nullptr) ++stats->pruned;
           return;
         }
-        clique.set(i);
-        cand.reset(i);
+        bits::set(clique, i);
+        bits::reset(cand, i);
         changed = true;
       }
     }
 
-    if (cand.none()) {
-      out.push_back(clique);
+    if (!bits::any(cand, words)) {
+      DynBitset emitted;
+      emitted.assignWords(n, clique);
+      out.push_back(std::move(emitted));
       return;
     }
 
     // Second loop: branch on each remaining candidate.
-    for (size_t i = cand.findFirst(); i < cand.size();
-         i = cand.findFirst(i + 1)) {
-      DynBitset nextClique = clique;
-      nextClique.set(i);
-      DynBitset nextCand = cand;
-      nextCand &= matrix.row(i);
-      gen(std::move(nextClique), std::move(nextCand), std::max(i, index));
+    for (size_t i = bits::findFirst(cand, 0, n); i < n;
+         i = bits::findFirst(cand, i + 1, n)) {
+      const Arena::Mark branchMark = arena.mark();
+      uint64_t* nextClique = allocSet();
+      bits::copy(nextClique, clique, words);
+      bits::set(nextClique, i);
+      uint64_t* nextCand = allocSet();
+      bits::andInto(nextCand, cand, matrix.row(static_cast<AgId>(i)).wordData(),
+                    words);
+      gen(nextClique, nextCand, std::max(i, index));
+      arena.rewind(branchMark);
       if (out.size() >= maxCliques) return;
     }
   }
@@ -75,9 +91,16 @@ struct Generator {
   void run() {
     for (size_t seed = active.findFirst(); seed < active.size();
          seed = active.findFirst(seed + 1)) {
-      DynBitset clique(active.size());
-      clique.set(seed);
-      gen(std::move(clique), activeRow(seed), seed);
+      const Arena::Mark seedMark = arena.mark();
+      uint64_t* clique = allocSet();
+      bits::clear(clique, words);
+      bits::set(clique, seed);
+      // Candidates: neighbours within the active set.
+      uint64_t* cand = allocSet();
+      bits::andInto(cand, matrix.row(static_cast<AgId>(seed)).wordData(),
+                    active.wordData(), words);
+      gen(clique, cand, seed);
+      arena.rewind(seedMark);
       if (out.size() >= maxCliques) {
         if (stats != nullptr && active.findFirst(seed + 1) < active.size())
           stats->capped = true;
@@ -98,9 +121,14 @@ void sortAndDedup(std::vector<DynBitset>& cliques) {
 std::vector<DynBitset> generateMaximalCliques(const ParallelismMatrix& matrix,
                                               const DynBitset& active,
                                               size_t maxCliques,
-                                              CliqueGenStats* stats) {
+                                              CliqueGenStats* stats,
+                                              Arena* scratch) {
   AVIV_CHECK(active.size() == matrix.size());
-  Generator gen{matrix, active, maxCliques, stats, {}};
+  Arena localArena;
+  Arena& arena = scratch != nullptr ? *scratch : localArena;
+  const ArenaScope scope(arena);
+  Generator gen{matrix, active,        maxCliques,         stats,
+                arena,  active.size(), active.wordCount(), {}};
   gen.run();
   sortAndDedup(gen.out);
   if (stats != nullptr) stats->emitted = gen.out.size();

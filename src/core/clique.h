@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/parallel_matrix.h"
+#include "support/arena.h"
 #include "support/bitset.h"
 
 namespace aviv {
@@ -26,10 +27,14 @@ struct CliqueGenStats {
 
 // All maximal cliques of parallel nodes among `active`. Results are
 // deduplicated and deterministically ordered. `maxCliques` bounds runaway
-// generation (sets stats->capped).
+// generation (sets stats->capped). When `scratch` is given the recursion's
+// clique/candidate sets live in it as raw word buffers (rewound per seed);
+// otherwise a private arena is used. Output and stats are identical either
+// way.
 [[nodiscard]] std::vector<DynBitset> generateMaximalCliques(
     const ParallelismMatrix& matrix, const DynBitset& active,
-    size_t maxCliques, CliqueGenStats* stats = nullptr);
+    size_t maxCliques, CliqueGenStats* stats = nullptr,
+    Arena* scratch = nullptr);
 
 // Reference Bron-Kerbosch (with pivoting) for property tests.
 [[nodiscard]] std::vector<DynBitset> referenceMaximalCliques(

@@ -1,5 +1,6 @@
 #include "core/codegen.h"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <utility>
@@ -58,7 +59,8 @@ bool candidateBetter(const Candidate& a, int instructions, int spills,
 CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                       const MachineDatabases& dbs,
                       const CodegenOptions& options, ThreadPool* pool,
-                      TelemetryNode* phase, const Deadline* deadline) {
+                      TelemetryNode* phase, const Deadline* deadline,
+                      WorkspaceCache* wsCache) {
   WallTimer timer;
   TelemetryNode scratch("block:" + ir.name());
   TelemetryNode& tel = phase != nullptr ? *phase : scratch;
@@ -111,9 +113,31 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
       exploreOptions.assignKeepBest = 1 << 30;
     }
   }
+  const bool parallel = pool != nullptr && options.jobs > 1;
+  const int numWorkers = parallel ? pool->parallelism() : 1;
+
+  // Per-worker covering workspaces, leased from the session cache (or a
+  // call-local one) and shared by exploration (worker 0's arena) and both
+  // tryAssignments passes. Returned to the cache on every exit path so a
+  // warm session keeps its arena chunks.
+  WorkspaceCache localWsCache;
+  WorkspaceCache& wsPool = wsCache != nullptr ? *wsCache : localWsCache;
+  struct WorkspaceLease {
+    WorkspaceCache& cache;
+    std::vector<std::unique_ptr<CoverWorkspace>> ws;
+    WorkspaceLease(WorkspaceCache& cache, size_t n) : cache(cache), ws(n) {
+      for (auto& w : ws) w = cache.acquire();
+    }
+    ~WorkspaceLease() {
+      for (auto& w : ws) cache.release(std::move(w));
+    }
+  };
+  WorkspaceLease lease(wsPool, static_cast<size_t>(numWorkers));
+
   const std::vector<Assignment> assignments = [&] {
     PhaseScope ph(tel, "explore");
-    AssignmentExplorer explorer(snd, exploreOptions, deadline);
+    AssignmentExplorer explorer(snd, exploreOptions, deadline,
+                                &lease.ws[0]->arena);
     return explorer.explore(&stats.explore);
   }();
   AVIV_REQUIRE(!assignments.empty());
@@ -131,9 +155,6 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   stats.search.nodesVisited += stats.explore.statesExpanded;
   stats.search.prunedByBound += stats.explore.prunedByBound;
   stats.search.backtracks += stats.explore.beamDropped;
-
-  const bool parallel = pool != nullptr && options.jobs > 1;
-  const int numWorkers = parallel ? pool->parallelism() : 1;
 
   std::optional<Candidate> best;
   // Prefix-minima state for the best-cost trajectory (spans both
@@ -164,6 +185,9 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
       size_t candidatesAbandoned = 0;
       size_t spills = 0;
       size_t failed = 0;
+      uint64_t arenaCalls = 0;
+      uint64_t arenaBytes = 0;
+      uint64_t arenaHighWater = 0;
     };
     std::vector<WorkerSearch> workerSearch(static_cast<size_t>(numWorkers));
     // Per-candidate completion records (disjoint slots — no contention);
@@ -186,13 +210,29 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
       trace::Span span("search", "cover.candidate");
       span.arg("index", static_cast<int64_t>(index));
       const Assignment& assignment = candidates[index];
+      WorkerSearch& search = workerSearch[worker];
+      CoverWorkspace& ws = *lease.ws[worker];
+      // Everything a candidate allocates in the workspace arena is released
+      // here; the graph's own pools are untouched (the winner escapes).
+      const ArenaScope candidateScope(ws.arena);
+      ws.arena.resetHighWater();
+      const ArenaStats arenaBefore = ws.arena.stats();
+      // Per-candidate arena deltas: exact sums/maxima independent of worker
+      // placement (see SearchStats), recorded on the same paths cover stats
+      // are (completed + register-infeasible, not deadline-expired).
+      auto recordArena = [&] {
+        const ArenaStats& after = ws.arena.stats();
+        search.arenaCalls += after.allocCalls - arenaBefore.allocCalls;
+        search.arenaBytes += after.bytesRequested - arenaBefore.bytesRequested;
+        const uint64_t peak = after.highWater - arenaBefore.inUse;
+        search.arenaHighWater = std::max(search.arenaHighWater, peak);
+      };
       AssignedGraph graph =
-          AssignedGraph::materialize(snd, assignment, options);
+          AssignedGraph::materialize(snd, assignment, options, &ws);
       CoveringEngine engine(graph, dbs.transfers, dbs.constraints, options,
-                            deadline);
+                            deadline, &ws);
       CoverStats coverStats;
       Schedule schedule;
-      WorkerSearch& search = workerSearch[worker];
       try {
         schedule = engine.run(&coverStats);
       } catch (const DeadlineExceeded&) {
@@ -210,6 +250,7 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
         search.candidatesAbandoned += coverStats.candidatesAbandoned;
         search.spills += static_cast<size_t>(coverStats.spillsInserted);
         search.failed += 1;
+        recordArena();
         auto& fail = failures[worker];
         if (fail.second.empty() || index > fail.first)
           fail = {index, e.what()};
@@ -219,6 +260,7 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
       search.cliquePruned += coverStats.cliquePruned;
       search.candidatesAbandoned += coverStats.candidatesAbandoned;
       search.spills += static_cast<size_t>(coverStats.spillsInserted);
+      recordArena();
       ++covered[worker];
       anySuccess.store(true, std::memory_order_relaxed);
       std::optional<Candidate>& mine = workerBest[worker];
@@ -255,6 +297,10 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
       stats.search.prunedByBound += search.cliquePruned;
       stats.search.backtracks += search.spills + search.failed;
       stats.search.candidatesAbandoned += search.candidatesAbandoned;
+      stats.search.arenaCalls += search.arenaCalls;
+      stats.search.arenaBytes += search.arenaBytes;
+      stats.search.arenaHighWater =
+          std::max(stats.search.arenaHighWater, search.arenaHighWater);
       if (!failures[w].second.empty() &&
           (failMessage.empty() || failures[w].first > failIndex)) {
         failIndex = failures[w].first;
@@ -302,7 +348,8 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
     wide.assignPruneIncremental = false;
     wide.assignBeamWidth = 256;
     wide.assignKeepBest = 64;
-    AssignmentExplorer wideExplorer(snd, wide, deadline);
+    AssignmentExplorer wideExplorer(snd, wide, deadline,
+                                    &lease.ws[0]->arena);
     tryAssignments(wideExplorer.explore());
   }
   if (!best.has_value() && timedOut.load(std::memory_order_relaxed))
@@ -313,6 +360,10 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
   if (!best.has_value())
     throw Error("block '" + ir.name() + "' on machine '" + machine.name() +
                 "': no feasible schedule found (" + lastFailure + ")");
+
+  // The winner's covers/operandIr spans still alias the SND's pools; re-home
+  // them into graph-owned storage before the result outlives `snd`.
+  best->graph.detachPayloads();
 
   stats.cover = best->cover;
   stats.timedOut = timedOut.load(std::memory_order_relaxed);
@@ -328,6 +379,12 @@ CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
         .add(static_cast<int64_t>(stats.search.backtracks));
     registry.counter("search.candidatesAbandoned")
         .add(static_cast<int64_t>(stats.search.candidatesAbandoned));
+    registry.counter("alloc.arena.calls")
+        .add(static_cast<int64_t>(stats.search.arenaCalls));
+    registry.counter("alloc.arena.bytes")
+        .add(static_cast<int64_t>(stats.search.arenaBytes));
+    registry.histogram("alloc.arena.highWater")
+        .record(static_cast<int64_t>(stats.search.arenaHighWater));
   }
 
   CoreResult result{std::move(best->assignment), std::move(best->graph),
@@ -349,7 +406,7 @@ CoreResult coverBlock(const BlockDag& ir, CodegenContext& ctx,
                            ? *phase
                            : ctx.telemetry().child("block:" + ir.name());
   return coverBlock(ir, ctx.machine(), ctx.databases(), options, ctx.pool(),
-                    &tel, &ctx.deadline());
+                    &tel, &ctx.deadline(), &ctx.workspaces());
 }
 
 void recordCoreStats(const CoreStats& stats, TelemetryNode& phase) {
@@ -399,6 +456,12 @@ void recordCoreStats(const CoreStats& stats, TelemetryNode& phase) {
                     static_cast<int64_t>(stats.search.backtracks));
   search.setCounter("candidatesAbandoned",
                     static_cast<int64_t>(stats.search.candidatesAbandoned));
+  search.setCounter("arenaCalls",
+                    static_cast<int64_t>(stats.search.arenaCalls));
+  search.setCounter("arenaBytes",
+                    static_cast<int64_t>(stats.search.arenaBytes));
+  search.setCounter("arenaHighWater",
+                    static_cast<int64_t>(stats.search.arenaHighWater));
 }
 
 CoreStats coreStatsView(const TelemetryNode& phase) {
@@ -453,6 +516,12 @@ CoreStats coreStatsView(const TelemetryNode& phase) {
         static_cast<size_t>(search->counter("backtracks"));
     stats.search.candidatesAbandoned =
         static_cast<size_t>(search->counter("candidatesAbandoned"));
+    stats.search.arenaCalls =
+        static_cast<uint64_t>(search->counter("arenaCalls"));
+    stats.search.arenaBytes =
+        static_cast<uint64_t>(search->counter("arenaBytes"));
+    stats.search.arenaHighWater =
+        static_cast<uint64_t>(search->counter("arenaHighWater"));
   }
   return stats;
 }

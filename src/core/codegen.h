@@ -37,6 +37,13 @@ struct SearchStats {
                                    // + register-infeasible candidates
   size_t candidatesAbandoned = 0;  // covering candidates with no fitting
                                    // member subset
+  // Workspace-arena accounting over all candidate coverings. Chunk-boundary
+  // waste is never charged (see support/arena.h), so calls/bytes are exact
+  // per-candidate sums and highWater is a max of per-candidate peaks —
+  // all three are jobs-invariant.
+  uint64_t arenaCalls = 0;      // arena allocations across candidates
+  uint64_t arenaBytes = 0;      // raw bytes requested across candidates
+  uint64_t arenaHighWater = 0;  // max per-candidate arena peak (bytes)
 };
 
 // One improvement of the best complete covering, recorded at the candidate
@@ -88,12 +95,15 @@ struct CoreResult {
 // returned with stats.timedOut set; if it expires before ANY candidate
 // completes — including mid-exploration — DeadlineExceeded is thrown and
 // the driver degrades to the sequential baseline.
+// `wsCache` (optional) supplies per-worker CoverWorkspaces; the context
+// overloads pass the session cache so scratch survives across compiles.
 [[nodiscard]] CoreResult coverBlock(const BlockDag& ir, const Machine& machine,
                                     const MachineDatabases& dbs,
                                     const CodegenOptions& options,
                                     ThreadPool* pool = nullptr,
                                     TelemetryNode* phase = nullptr,
-                                    const Deadline* deadline = nullptr);
+                                    const Deadline* deadline = nullptr,
+                                    WorkspaceCache* wsCache = nullptr);
 
 // Session form: machine, databases, pool, and telemetry all come from `ctx`.
 // Stage telemetry lands under ctx.telemetry().child("block:<name>") unless

@@ -28,12 +28,18 @@ CoveringEngine::CoveringEngine(AssignedGraph& graph,
                                const TransferDatabase& xferDb,
                                const ConstraintDatabase& constraints,
                                const CodegenOptions& options,
-                               const Deadline* deadline)
+                               const Deadline* deadline, CoverWorkspace* ws)
     : graph_(graph),
       xferDb_(xferDb),
       constraints_(constraints),
       options_(options),
-      deadline_(deadline) {}
+      deadline_(deadline),
+      ws_(ws) {
+  if (ws_ == nullptr) {
+    ownedWs_ = std::make_unique<CoverWorkspace>();
+    ws_ = ownedWs_.get();
+  }
+}
 
 namespace {
 
@@ -53,9 +59,18 @@ Schedule CoveringEngine::run(CoverStats* stats) {
   st = CoverStats{};
 
   Schedule schedule;
-  DynBitset covered(graph_.size());
+  CoverWorkspace& ws = *ws_;
+  DynBitset& covered = ws.covered;
+  covered.clearAndResize(graph_.size());
   for (AgId id = 0; id < graph_.size(); ++id)
     if (graph_.node(id).deleted()) covered.set(id);
+
+  // Output bindings never change during covering, so the live-out set for
+  // the pressure probes is computed once (extended in place after spills).
+  DynBitset& liveOut = ws.liveOut;
+  liveOut.clearAndResize(graph_.size());
+  for (const auto& [name, def] : graph_.outputDefs())
+    if (def != kNoAg) liveOut.set(def);
 
   SpillState spillState;
   std::vector<DynBitset> cliques;
@@ -74,13 +89,16 @@ Schedule CoveringEngine::run(CoverStats* stats) {
 
     if (rebuild) {
       trace::Span roundSpan("search", "cover.clique-round");
-      const ParallelismMatrix matrix(graph_, options_.cliqueLevelWindow);
-      DynBitset active(graph_.size(), true);
+      ws.matrix.rebuild(graph_, options_.cliqueLevelWindow, ws);
+      DynBitset& active = ws.active;
+      active.clearAndResize(graph_.size());
+      active.setAll();
       active.andNot(covered);
       CliqueGenStats genStats;
       cliques = enforceLegality(
-          generateMaximalCliques(matrix, active, options_.maxCliquesPerRound,
-                                 &genStats),
+          generateMaximalCliques(ws.matrix, active,
+                                 options_.maxCliquesPerRound, &genStats,
+                                 &ws.arena),
           graph_, constraints_);
       st.cliqueRecursions += genStats.recursions;
       st.cliquePruned += genStats.pruned;
@@ -122,8 +140,17 @@ Schedule CoveringEngine::run(CoverStats* stats) {
       rebuild = false;
     }
 
+    // A clique whose members are all covered can never intersect a ready
+    // set again (ready ⊆ uncovered), so later rounds and the lookahead need
+    // not rescan it. Stable removal keeps the enumeration order — and with
+    // it every tie-break — unchanged.
+    std::erase_if(cliques, [&](const DynBitset& clique) {
+      return clique.isSubsetOf(covered);
+    });
+
     // Ready nodes: uncovered with all predecessors covered.
-    DynBitset ready(graph_.size());
+    DynBitset& ready = ws.ready;
+    ready.clearAndResize(graph_.size());
     for (AgId id = 0; id < graph_.size(); ++id) {
       if (covered.test(id)) continue;
       bool allPreds = true;
@@ -133,57 +160,153 @@ Schedule CoveringEngine::run(CoverStats* stats) {
     AVIV_REQUIRE_MSG(ready.any(),
                      "covering deadlock: uncovered nodes but none ready");
 
+    // Pressure baseline for this round: `covered` is fixed across the clique
+    // scan below, so the live set of covered producers (and the bank
+    // pressure they induce) is computed once. The per-clique probe then only
+    // adjusts for the clique's own members and for the covered producers
+    // whose last uncovered consumers those members are — equivalent to
+    // bankPressureInto(graph_, liveOut, covered, &eligible, ...) but
+    // O(clique size) instead of O(graph size) per candidate.
+    DynBitset& baseLive = ws.baseLive;
+    baseLive.clearAndResize(graph_.size());
+    std::vector<int>& basePressure = ws.basePressure;
+    basePressure.assign(graph_.machine().regFiles().size(), 0);
+    for (AgId v = 0; v < graph_.size(); ++v) {
+      const AgNode& n = graph_.node(v);
+      if (!n.definesRegister() || !covered.test(v)) continue;
+      bool live = liveOut.test(v);
+      if (!live)
+        for (AgId succ : n.succs)
+          if (!covered.test(succ)) {
+            live = true;
+            break;
+          }
+      if (live) {
+        baseLive.set(v);
+        basePressure[n.defLoc.index] += 1;
+      }
+    }
+    DynBitset& retireTouched = ws.retireTouched;
+    retireTouched.clearAndResize(graph_.size());
 
     // Candidate selection: largest number of ready uncovered nodes whose
     // register requirements fit. A maximal clique whose full ready set
     // would exceed a bank is shrunk to its largest fitting subset (operation
-    // nodes preferred — they kill operands — then transfers).
+    // nodes preferred — they kill operands — then transfers). Surviving
+    // candidates are (offset, count) slices into ws.memberPool instead of
+    // per-candidate bitsets.
     struct Candidate {
       size_t cliqueIdx;
-      DynBitset members;  // fitting subset of clique ∩ ready ∩ uncovered
-      size_t score;
+      size_t memberBegin;  // slice into ws.memberPool (ascending ids)
+      size_t score;        // slice length == member count
     };
     std::vector<Candidate> candidates;
+    ws.memberPool.clear();
     bool anyReadyClique = false;
+    // Distinct eligible sets probed so far this round. The probe and the
+    // member shrink are pure functions of (eligible, covered), and a
+    // duplicate candidate can never win a strict tie-break against its
+    // original — so repeats are resolved without re-probing: a duplicate
+    // of a survivor is dropped, a duplicate of an abandoned set is
+    // abandoned again.
+    size_t seenCount = 0;
+    ws.seenAbandoned.clear();
     for (size_t ci = 0; ci < cliques.size(); ++ci) {
-      DynBitset eligible = cliques[ci];
-      eligible.andNot(covered);
+      // ready excludes covered by construction, so clique ∩ ready equals
+      // the old clique ∩ ~covered ∩ ready. Most cliques miss the ready set
+      // entirely; the intersects probe skips them without copying.
+      if (!cliques[ci].intersects(ready)) continue;
+      DynBitset& eligible = ws.eligible;
+      eligible = cliques[ci];
       eligible &= ready;
-      if (eligible.none()) continue;
       anyReadyClique = true;
       ++st.candidatesEvaluated;
 
-      DynBitset members(graph_.size());
-      if (pressureWithinLimits(graph_,
-                             bankPressure(graph_, covered, &eligible))) {
-        members = eligible;
-      } else {
+      bool duplicate = false;
+      for (size_t j = 0; j < seenCount; ++j) {
+        if (ws.seenEligible[j] != eligible) continue;
+        duplicate = true;
+        if (ws.seenAbandoned[j] != 0) ++st.candidatesAbandoned;
+        break;
+      }
+      if (duplicate) continue;
+      if (seenCount < ws.seenEligible.size())
+        ws.seenEligible[seenCount] = eligible;
+      else
+        ws.seenEligible.push_back(eligible);
+      ws.seenAbandoned.push_back(0);
+      const size_t seenIdx = seenCount++;
+
+      const DynBitset* members = &eligible;
+      // Incremental pressure probe (see the baseline above): start from the
+      // round's base pressure, add the clique's own register-defining
+      // members, and retire covered producers whose every remaining
+      // consumer sits in the clique.
+      ws.pressure = basePressure;
+      ws.retireList.clear();
+      eligible.forEach([&](size_t i) {
+        const auto m = static_cast<AgId>(i);
+        const AgNode& n = graph_.node(m);
+        if (n.definesRegister()) {
+          bool live = liveOut.test(m);
+          if (!live)
+            for (AgId succ : n.succs)
+              if (!covered.test(succ) && !eligible.test(succ)) {
+                live = true;
+                break;
+              }
+          if (live) ws.pressure[n.defLoc.index] += 1;
+        }
+        for (AgId pred : n.preds) {
+          // Only covered producers counted live via an uncovered consumer
+          // can flip; liveOut producers never retire.
+          if (!baseLive.test(pred) || liveOut.test(pred)) continue;
+          if (retireTouched.test(pred)) continue;
+          retireTouched.set(pred);
+          ws.retireList.push_back(pred);
+          bool stillLive = false;
+          for (AgId succ : graph_.node(pred).succs)
+            if (!covered.test(succ) && !eligible.test(succ)) {
+              stillLive = true;
+              break;
+            }
+          if (!stillLive) ws.pressure[graph_.node(pred).defLoc.index] -= 1;
+        }
+      });
+      for (const uint32_t pred : ws.retireList) retireTouched.reset(pred);
+      if (!pressureWithinLimits(graph_, ws.pressure)) {
         // Greedy fit: ops first (they retire operand values), then
         // transfers, in id order.
-        std::vector<AgId> tryOrder;
+        ws.tryOrder.clear();
         eligible.forEach([&](size_t i) {
           if (graph_.node(static_cast<AgId>(i)).kind == AgKind::kOp)
-            tryOrder.push_back(static_cast<AgId>(i));
+            ws.tryOrder.push_back(static_cast<uint32_t>(i));
         });
         eligible.forEach([&](size_t i) {
           if (graph_.node(static_cast<AgId>(i)).kind != AgKind::kOp)
-            tryOrder.push_back(static_cast<AgId>(i));
+            ws.tryOrder.push_back(static_cast<uint32_t>(i));
         });
-        for (AgId id : tryOrder) {
-          members.set(id);
-          if (!pressureWithinLimits(graph_,
-                                    bankPressure(graph_, covered, &members)))
-            members.reset(id);
+        DynBitset& fit = ws.members;
+        fit.clearAndResize(graph_.size());
+        for (uint32_t id : ws.tryOrder) {
+          fit.set(id);
+          bankPressureInto(graph_, liveOut, covered, &fit, ws.pressure);
+          if (!pressureWithinLimits(graph_, ws.pressure)) fit.reset(id);
         }
+        members = &fit;
       }
-      const size_t score = members.count();
+      const size_t memberBegin = ws.memberPool.size();
+      members->forEach(
+          [&](size_t i) { ws.memberPool.push_back(static_cast<uint32_t>(i)); });
+      const size_t score = ws.memberPool.size() - memberBegin;
       if (score == 0) {
         // No member subset fits the register banks: the candidate is
         // abandoned and the spill path may have to fire this round.
         ++st.candidatesAbandoned;
+        ws.seenAbandoned[seenIdx] = 1;
         continue;
       }
-      candidates.push_back({ci, std::move(members), score});
+      candidates.push_back({ci, memberBegin, score});
     }
 
     if (!candidates.empty()) {
@@ -199,32 +322,48 @@ Schedule CoveringEngine::run(CoverStats* stats) {
       // rest can be covered, refined by critical-path height so operand
       // chains that gate the most downstream work are started first.
       auto lookaheadScore = [&](const Candidate& cand) -> size_t {
-        DynBitset coveredAfter = covered;
-        coveredAfter |= cand.members;
-        DynBitset readyAfter(graph_.size());
-        for (AgId id = 0; id < graph_.size(); ++id) {
-          if (coveredAfter.test(id)) continue;
-          bool allPreds = true;
-          for (AgId pred : graph_.node(id).preds)
-            allPreds &= coveredAfter.test(pred);
-          if (allPreds) readyAfter.set(id);
+        // Simulate covering the members in place (`covered` is restored
+        // before returning). Ready-set delta: the members leave it, and the
+        // only nodes that can join are their successors — everyone else's
+        // predecessors are untouched.
+        DynBitset& readyAfter = ws.readyAfter;
+        readyAfter = ready;
+        for (size_t k = 0; k < cand.score; ++k) {
+          const uint32_t m = ws.memberPool[cand.memberBegin + k];
+          covered.set(m);
+          readyAfter.reset(m);
         }
+        for (size_t k = 0; k < cand.score; ++k) {
+          const uint32_t m = ws.memberPool[cand.memberBegin + k];
+          for (AgId succ : graph_.node(m).succs) {
+            if (covered.test(succ)) continue;
+            bool allPreds = true;
+            for (AgId pred : graph_.node(succ).preds)
+              allPreds &= covered.test(pred);
+            if (allPreds) readyAfter.set(succ);
+          }
+        }
+        // readyAfter excludes covered-after by construction, so the old
+        // clique ∩ ~coveredAfter ∩ readyAfter count is a plain intersection
+        // — and no clique can beat |readyAfter| itself.
         size_t next = 0;
+        const size_t cap = readyAfter.count();
         for (const DynBitset& clique : cliques) {
-          DynBitset m = clique;
-          m.andNot(coveredAfter);
-          m &= readyAfter;
-          next = std::max(next, m.count());
+          next = std::max(next, clique.intersectCount(readyAfter));
+          if (next == cap) break;
         }
+        for (size_t k = 0; k < cand.score; ++k)
+          covered.reset(ws.memberPool[cand.memberBegin + k]);
         return next;
       };
       auto heightKey = [&](const Candidate& cand) {
         int maxHeight = 0;
         long sumHeight = 0;
-        cand.members.forEach([&](size_t i) {
+        for (size_t k = 0; k < cand.score; ++k) {
+          const uint32_t i = ws.memberPool[cand.memberBegin + k];
           maxHeight = std::max(maxHeight, heights[i]);
           sumHeight += heights[i];
-        });
+        }
         return std::make_pair(maxHeight, sumHeight);
       };
 
@@ -246,9 +385,12 @@ Schedule CoveringEngine::run(CoverStats* stats) {
       }
 
       std::vector<AgId> instr;
-      chosen->members.forEach(
-          [&](size_t i) { instr.push_back(static_cast<AgId>(i)); });
-      covered |= chosen->members;
+      instr.reserve(chosen->score);
+      for (size_t k = 0; k < chosen->score; ++k) {
+        const AgId id = ws.memberPool[chosen->memberBegin + k];
+        instr.push_back(id);
+        covered.set(id);
+      }
       schedule.instrs.push_back(std::move(instr));
       continue;
     }
@@ -280,6 +422,7 @@ Schedule CoveringEngine::run(CoverStats* stats) {
     // Graph grew: extend the bookkeeping (scheduled bits are preserved by
     // the resize; new nodes start uncovered; deletions become covered).
     covered.resize(graph_.size(), false);
+    liveOut.resize(graph_.size(), false);
     for (AgId id = 0; id < graph_.size(); ++id)
       if (graph_.node(id).deleted()) covered.set(id);
     graph_.verify();

@@ -9,10 +9,12 @@
 // are regenerated).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/assigned.h"
 #include "core/options.h"
+#include "core/workspace.h"
 #include "isdl/databases.h"
 #include "support/bitset.h"
 #include "support/deadline.h"
@@ -49,11 +51,15 @@ class CoveringEngine {
   // store/load routes. When `deadline` is non-null it is polled once per
   // covering round; expiry throws DeadlineExceeded (the partially covered
   // schedule is unusable — callers keep an earlier complete candidate or
-  // degrade to the baseline).
+  // degrade to the baseline). When `ws` is given all per-round/per-clique
+  // scratch (bitsets, pressure vectors, the parallelism matrix, the clique
+  // recursion arena) lives in it, so a warm workspace covers a candidate
+  // without touching malloc; otherwise a private workspace is created.
   CoveringEngine(AssignedGraph& graph, const TransferDatabase& xferDb,
                  const ConstraintDatabase& constraints,
                  const CodegenOptions& options,
-                 const Deadline* deadline = nullptr);
+                 const Deadline* deadline = nullptr,
+                 CoverWorkspace* ws = nullptr);
 
   // Runs the covering; throws aviv::Error when the register files are too
   // small to hold the block's outputs / any feasible schedule.
@@ -65,6 +71,8 @@ class CoveringEngine {
   const ConstraintDatabase& constraints_;
   const CodegenOptions& options_;
   const Deadline* deadline_;
+  CoverWorkspace* ws_;
+  std::unique_ptr<CoverWorkspace> ownedWs_;  // fallback when ws == nullptr
 };
 
 // Asserts (AVIV_REQUIRE — recoverable, so a daemon request that trips an

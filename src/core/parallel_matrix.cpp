@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "core/workspace.h"
 #include "support/error.h"
 #include "support/table.h"
 
@@ -9,9 +10,16 @@ namespace aviv {
 
 ParallelismMatrix::ParallelismMatrix(const AssignedGraph& graph,
                                      int levelWindow) {
+  CoverWorkspace ws;
+  rebuild(graph, levelWindow, ws);
+}
+
+void ParallelismMatrix::rebuild(const AssignedGraph& graph, int levelWindow,
+                                CoverWorkspace& ws) {
   const size_t n = graph.size();
-  rows_.assign(n, DynBitset(n));
-  const auto desc = graph.computeDescendants();
+  rows_.resize(n);
+  for (DynBitset& row : rows_) row.clearAndResize(n);
+  const std::vector<DynBitset>& desc = graph.computeDescendantsInto(ws);
   std::vector<int> top;
   std::vector<int> bottom;
   if (levelWindow >= 0) {
@@ -44,6 +52,14 @@ ParallelismMatrix::ParallelismMatrix(const AssignedGraph& graph,
       rows_[b].set(a);
     }
   }
+#if AVIV_DCHECKS_ENABLED
+  // A deleted node participates in no instruction: its row must stay empty,
+  // or the clique generator would schedule a ghost.
+  for (AgId a = 0; a < n; ++a)
+    if (graph.node(a).deleted())
+      AVIV_DCHECK_MSG(rows_[a].none(),
+                      "deleted node has parallelism-matrix entries");
+#endif
 }
 
 std::string ParallelismMatrix::str(

@@ -19,9 +19,18 @@ namespace aviv {
 
 class ParallelismMatrix {
  public:
+  // An empty matrix; call rebuild() before use. Lets the covering engine
+  // keep one matrix alive across rounds and reuse its row storage.
+  ParallelismMatrix() = default;
+
   // `levelWindow` < 0 disables the level heuristic. Deleted nodes get empty
   // rows.
   ParallelismMatrix(const AssignedGraph& graph, int levelWindow);
+
+  // Recomputes the matrix in place, reusing row storage and the workspace's
+  // descendant/topo scratch instead of allocating per round.
+  void rebuild(const AssignedGraph& graph, int levelWindow,
+               CoverWorkspace& ws);
 
   [[nodiscard]] size_t size() const { return rows_.size(); }
   [[nodiscard]] bool parallel(AgId a, AgId b) const {

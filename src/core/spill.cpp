@@ -32,7 +32,15 @@ std::vector<int> bankPressure(const AssignedGraph& graph,
                               const DynBitset& covered,
                               const DynBitset* extra) {
   const DynBitset liveOut = liveOutSetOf(graph);
-  std::vector<int> pressure(graph.machine().regFiles().size(), 0);
+  std::vector<int> pressure;
+  bankPressureInto(graph, liveOut, covered, extra, pressure);
+  return pressure;
+}
+
+void bankPressureInto(const AssignedGraph& graph, const DynBitset& liveOut,
+                      const DynBitset& covered, const DynBitset* extra,
+                      std::vector<int>& pressure) {
+  pressure.assign(graph.machine().regFiles().size(), 0);
   for (AgId v = 0; v < graph.size(); ++v) {
     const AgNode& n = graph.node(v);
     if (!n.definesRegister()) continue;
@@ -43,7 +51,6 @@ std::vector<int> bankPressure(const AssignedGraph& graph,
                       remainingConsumers(graph, v, covered, extra) > 0;
     if (live) pressure[n.defLoc.index] += 1;
   }
-  return pressure;
 }
 
 bool pressureWithinLimits(const AssignedGraph& graph,
@@ -143,7 +150,7 @@ AgId performSpill(AssignedGraph& graph, const TransferDatabase& xferDb,
       return;
     }
     AVIV_CHECK(c.isTransferish());
-    const std::vector<AgId> downstream = c.succs;  // snapshot
+    const SmallVec<AgId, 4> downstream = c.succs;  // snapshot
     for (AgId d : downstream) {
       AVIV_CHECK(!covered.test(d));
       self(self, d, consumer);

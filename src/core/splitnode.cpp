@@ -116,7 +116,10 @@ SplitNodeDag SplitNodeDag::build(const BlockDag& ir, const Machine& machine,
   snd.maxBytes_ = options.maxSndBytes;
   snd.leafOf_.assign(ir.size(), kNoSnd);
   snd.splitOf_.assign(ir.size(), kNoSnd);
-  snd.altsOf_.assign(ir.size(), {});
+  // Alternative lists are gathered per IR node here, then flattened into
+  // altPool_ once every alternative exists (before the transfer phase,
+  // which only reads them).
+  std::vector<std::vector<SndId>> altsBuild(ir.size());
 
   // Leaves and split nodes + plain alternatives.
   for (NodeId id = 0; id < ir.size(); ++id) {
@@ -149,11 +152,11 @@ SplitNodeDag SplitNodeDag::build(const BlockDag& ir, const Machine& machine,
       alt.unit = impl.unit;
       alt.machineOp = n.op;
       alt.unitOpIdx = impl.opIndex;
-      alt.covers = {id};
-      alt.operandIr = n.operands;
-      snd.altsOf_[id].push_back(snd.append(std::move(alt)));
+      alt.covers = snd.idPool_.append({id});
+      alt.operandIr = snd.idPool_.append(n.operands);
+      altsBuild[id].push_back(snd.append(std::move(alt)));
     }
-    if (snd.altsOf_[id].empty())
+    if (altsBuild[id].empty())
       throw Error("machine '" + machine.name() + "': no register file large "
                   "enough to hold the operands of " + ir.describe(id) +
                   " in block '" + ir.name() + "'");
@@ -172,12 +175,18 @@ SplitNodeDag SplitNodeDag::build(const BlockDag& ir, const Machine& machine,
         alt.unit = impl.unit;
         alt.machineOp = match.machineOp;
         alt.unitOpIdx = impl.opIndex;
-        alt.covers = match.covers;
-        alt.operandIr = match.operands;
-        snd.altsOf_[match.root].push_back(snd.append(std::move(alt)));
+        alt.covers = snd.idPool_.append(match.covers);
+        alt.operandIr = snd.idPool_.append(match.operands);
+        altsBuild[match.root].push_back(snd.append(std::move(alt)));
       }
     }
   }
+
+  // Flatten the alternative lists: every alternative exists now, and the
+  // remaining phases only read them.
+  snd.altsOf_.reserve(ir.size());
+  for (NodeId id = 0; id < ir.size(); ++id)
+    snd.altsOf_.push_back(snd.altPool_.append(altsBuild[id]));
 
   // Transfer chains: for every consumer alternative and every operand
   // producer alternative/leaf, one chain per minimal route between their
@@ -187,14 +196,20 @@ SplitNodeDag SplitNodeDag::build(const BlockDag& ir, const Machine& machine,
   for (SndId consumer = 0; consumer < numAltsTotal; ++consumer) {
     if (snd.nodes_[consumer].kind != SndKind::kAlt) continue;
     const Loc consLoc = machine.unitLoc(snd.nodes_[consumer].unit);
-    for (const NodeId operand : snd.nodes_[consumer].operandIr) {
+    // Copy the span by value: appending transfer nodes below grows nodes_,
+    // which would invalidate a reference into it (the pooled ids it points
+    // at are stable).
+    const Span<const NodeId> consOperands = snd.nodes_[consumer].operandIr;
+    for (const NodeId operand : consOperands) {
       const DagNode& opNode = ir.node(operand);
       if (opNode.op == Op::kConst && !options.constantsInMemory)
         continue;  // inline immediate
 
-      std::vector<SndId> producers;
+      SndId leafProducer[1];
+      Span<const SndId> producers;
       if (isLeafOp(opNode.op)) {
-        producers.push_back(snd.leafOf_[operand]);
+        leafProducer[0] = snd.leafOf_[operand];
+        producers = Span<const SndId>(leafProducer, 1);
       } else {
         producers = snd.altsOf_[operand];
       }
@@ -250,7 +265,7 @@ SndId SplitNodeDag::splitOf(NodeId irNode) const {
   return splitOf_[irNode];
 }
 
-const std::vector<SndId>& SplitNodeDag::altsOf(NodeId irNode) const {
+Span<const SndId> SplitNodeDag::altsOf(NodeId irNode) const {
   AVIV_CHECK(irNode < altsOf_.size());
   return altsOf_[irNode];
 }

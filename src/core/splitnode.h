@@ -25,6 +25,7 @@
 #include "ir/dag.h"
 #include "isdl/databases.h"
 #include "isdl/machine.h"
+#include "support/arena.h"
 
 namespace aviv {
 
@@ -44,11 +45,12 @@ struct SndNode {
   Op machineOp = Op::kAdd;
   int unitOpIdx = -1;
   // IR nodes this alternative covers; size 1 for plain alternatives, > 1
-  // for complex instructions (covers[0] is the root).
-  std::vector<NodeId> covers;
+  // for complex instructions (covers[0] is the root). Views into the dag's
+  // flat id pool — valid for the dag's lifetime.
+  Span<const NodeId> covers;
   // IR operands the alternative consumes (== the IR node's operands for
   // plain alternatives; the fused pattern's external operands for complex).
-  std::vector<NodeId> operandIr;
+  Span<const NodeId> operandIr;
 
   // kTransfer only.
   int pathId = -1;           // index into Machine::transfers()
@@ -86,7 +88,7 @@ class SplitNodeDag {
   // Split SND node of an IR op node; kNoSnd for leaves.
   [[nodiscard]] SndId splitOf(NodeId irNode) const;
   // All alternatives rooted at the given IR op node (plain + complex).
-  [[nodiscard]] const std::vector<SndId>& altsOf(NodeId irNode) const;
+  [[nodiscard]] Span<const SndId> altsOf(NodeId irNode) const;
 
   // All minimal-route transfer chains for moving `producer`'s value into
   // `consumer`'s unit storage. Empty when no transfer is needed (same
@@ -120,9 +122,14 @@ class SplitNodeDag {
   const Machine* machine_ = nullptr;
   const MachineDatabases* dbs_ = nullptr;
   std::vector<SndNode> nodes_;
+  // Flat pools backing the SndNode spans and the per-IR-node alternative
+  // lists (structure-of-arrays: one shared buffer addressed by span instead
+  // of a heap vector per node).
+  FlatPool<NodeId> idPool_;
+  FlatPool<SndId> altPool_;
   std::vector<SndId> leafOf_;   // per IR node
   std::vector<SndId> splitOf_;  // per IR node
-  std::vector<std::vector<SndId>> altsOf_;  // per IR node
+  std::vector<Span<const SndId>> altsOf_;  // per IR node, into altPool_
   std::map<std::pair<SndId, SndId>, std::vector<TransferChain>> chains_;
   size_t counts_[4] = {0, 0, 0, 0};
   size_t maxNodes_ = 0;     // 0 = unlimited; set from CodegenOptions

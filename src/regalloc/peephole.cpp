@@ -102,9 +102,9 @@ void peepholeOptimize(AssignedGraph& graph, Schedule& schedule,
       if (n.succs.empty()) continue;
 
       // Scratch-copy simulation.
-      AssignedGraph scratch = graph;
+      AssignedGraph scratch = graph.clone();
       Schedule scratchSched = schedule;
-      const std::vector<AgId> consumers = scratch.node(id).succs;
+      const auto consumers = scratch.node(id).succs;
       for (AgId c : consumers) scratch.retargetConsumer(c, id, victim);
       const auto cycles = scratchSched.cycles(scratch.size());
       eraseFromInstr(scratchSched.instrs[static_cast<size_t>(cycles[id])], id);
@@ -166,9 +166,9 @@ void peepholeOptimize(AssignedGraph& graph, Schedule& schedule,
         for (AgId c : b.succs) ordered &= cycles[c] > cycles[first];
         if (!ordered) continue;
 
-        AssignedGraph scratch = graph;
+        AssignedGraph scratch = graph.clone();
         Schedule scratchSched = schedule;
-        const std::vector<AgId> consumers = scratch.node(second).succs;
+        const auto consumers = scratch.node(second).succs;
         for (AgId c : consumers) scratch.retargetConsumer(c, second, first);
         eraseFromInstr(
             scratchSched.instrs[static_cast<size_t>(cycles[second])], second);

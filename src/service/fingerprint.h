@@ -35,7 +35,10 @@ namespace aviv {
 // (explore prunedByBound/beamDropped, cover clique/candidate totals, the
 // "search" child, and the best-cost trajectory), so version-1 entries would
 // replay stale stat shapes.
-inline constexpr uint32_t kFingerprintVersion = 2;
+// Version 3: the "search" child gained the workspace-arena accounting
+// (arenaCalls/arenaBytes/arenaHighWater), so version-2 entries would replay
+// without the alloc counters.
+inline constexpr uint32_t kFingerprintVersion = 3;
 
 [[nodiscard]] Hash128 fingerprintMachine(const Machine& machine);
 [[nodiscard]] Hash128 fingerprintDag(const BlockDag& dag);

@@ -1,0 +1,51 @@
+#include "support/arena.h"
+
+#include <algorithm>
+
+namespace aviv {
+
+void* Arena::allocate(size_t bytes) {
+  const size_t rounded = (bytes + (kQuantum - 1)) & ~(kQuantum - 1);
+  stats_.allocCalls += 1;
+  stats_.bytesRequested += bytes;
+  stats_.inUse += rounded;
+  stats_.highWater = std::max(stats_.highWater, stats_.inUse);
+
+  // Fast path: the current chunk has room. Chunk base addresses are
+  // new[]-aligned (>= 16 on this ABI) and offsets stay quantum-rounded, so
+  // every returned pointer is 16-byte aligned.
+  if (!chunks_.empty()) {
+    Chunk& cur = chunks_[current_];
+    if (cur.size - cur.used >= rounded) {
+      void* p = cur.data.get() + cur.used;
+      cur.used += rounded;
+      return p;
+    }
+    // Advance through chunks retained by earlier rewinds.
+    while (current_ + 1 < chunks_.size()) {
+      Chunk& next = chunks_[++current_];
+      next.used = 0;
+      if (next.size >= rounded) {
+        next.used = rounded;
+        return next.data.get();
+      }
+    }
+  }
+
+  // Grow: double the last chunk (or start at firstChunkBytes_), but always
+  // big enough for this request.
+  const size_t lastSize = chunks_.empty() ? firstChunkBytes_ / 2
+                                          : chunks_.back().size;
+  const size_t size = std::max(std::max(lastSize * 2, firstChunkBytes_),
+                               rounded);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunk.used = rounded;
+  stats_.chunkBytes += size;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  return chunks_.back().data.get();
+}
+
+}  // namespace aviv

@@ -1,0 +1,206 @@
+// Monotonic bump allocation for the compile hot path.
+//
+// Three pieces, used together by the covering engine (see DESIGN.md,
+// "Memory and ownership model"):
+//   * Span<T>       — a non-owning (pointer, length) view over contiguous
+//                     elements; the flattened replacement for the small
+//                     per-node std::vectors (covers/operandIr/operandDefs).
+//   * Arena         — a chunked monotonic bump allocator. Chunk memory is
+//                     heap blocks held by unique_ptr, so allocated addresses
+//                     stay stable while the arena grows AND when the arena
+//                     (or an object owning it) is moved. ArenaScope gives
+//                     RAII mark/rewind for per-candidate scratch: rewinding
+//                     retains the chunks, so a warm workspace re-covers the
+//                     next candidate without touching malloc.
+//   * FlatPool<T>   — an append-only pool of Span<T> payloads backed by a
+//                     private Arena (never rewound, so spans handed out stay
+//                     valid for the pool's whole lifetime).
+//
+// Allocation sizes are rounded to a 16-byte quantum and chunk-boundary waste
+// is not charged to the usage counters, so ArenaStats deltas for identical
+// work are identical regardless of how chunks happened to grow — this is
+// what makes the alloc.* search telemetry jobs-invariant (jobs=1 ≡ jobs=N).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.h"
+
+namespace aviv {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  // Span<T> converts to Span<const T>.
+  template <typename U,
+            typename = std::enable_if_t<std::is_same_v<const U, T>>>
+  constexpr Span(Span<U> o) : data_(o.data()), size_(o.size()) {}
+
+  [[nodiscard]] constexpr T* data() const { return data_; }
+  [[nodiscard]] constexpr size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr T* begin() const { return data_; }
+  [[nodiscard]] constexpr T* end() const { return data_ + size_; }
+  [[nodiscard]] T& operator[](size_t i) const {
+    AVIV_DCHECK(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& front() const {
+    AVIV_DCHECK(size_ > 0);
+    return data_[0];
+  }
+  [[nodiscard]] T& back() const {
+    AVIV_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+struct ArenaStats {
+  uint64_t allocCalls = 0;      // allocate() invocations
+  uint64_t bytesRequested = 0;  // raw bytes asked for (pre-rounding)
+  uint64_t inUse = 0;           // live bytes (16-byte-rounded), post-rewinds
+  uint64_t highWater = 0;       // max inUse since construction/resetHighWater
+  uint64_t chunkBytes = 0;      // heap bytes reserved across all chunks
+};
+
+class Arena {
+ public:
+  static constexpr size_t kQuantum = 16;  // alignment + size rounding
+
+  explicit Arena(size_t firstChunkBytes = 4096)
+      : firstChunkBytes_(firstChunkBytes) {}
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // 16-byte-aligned storage; never returns nullptr (aborts on OOM via new).
+  void* allocate(size_t bytes);
+
+  template <typename T>
+  [[nodiscard]] T* alloc(size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= kQuantum);
+    return static_cast<T*>(allocate(n * sizeof(T)));
+  }
+
+  template <typename T>
+  [[nodiscard]] Span<T> allocSpan(size_t n, T fill) {
+    T* p = alloc<T>(n);
+    for (size_t i = 0; i < n; ++i) p[i] = fill;
+    return {p, n};
+  }
+
+  template <typename T>
+  [[nodiscard]] Span<T> allocCopy(const T* src, size_t n) {
+    T* p = alloc<T>(n);
+    if (n != 0) std::memcpy(p, src, n * sizeof(T));
+    return {p, n};
+  }
+  template <typename T>
+  [[nodiscard]] Span<T> allocCopy(Span<const T> src) {
+    return allocCopy(src.data(), src.size());
+  }
+
+  struct Mark {
+    size_t chunk = 0;
+    size_t used = 0;
+    uint64_t inUse = 0;
+  };
+  [[nodiscard]] Mark mark() const {
+    return {current_, chunks_.empty() ? 0 : chunks_[current_].used,
+            stats_.inUse};
+  }
+  // Releases everything allocated since `m`; chunks are retained for reuse.
+  void rewind(const Mark& m) {
+    if (chunks_.empty()) return;
+    current_ = m.chunk < chunks_.size() ? m.chunk : chunks_.size() - 1;
+    chunks_[current_].used = m.used;
+    stats_.inUse = m.inUse;
+  }
+
+  [[nodiscard]] const ArenaStats& stats() const { return stats_; }
+  // Restarts the high-water tracking from the current usage, so a caller
+  // can measure the peak of one scoped region (per-candidate peaks).
+  void resetHighWater() { stats_.highWater = stats_.inUse; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;
+  size_t firstChunkBytes_;
+  ArenaStats stats_;
+};
+
+// RAII mark/rewind over an Arena. Everything allocated inside the scope is
+// released (chunks retained) when the scope ends.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+// Append-only flat pool: variable-length per-node payloads stored
+// back-to-back in one arena, addressed by Span instead of per-node vectors.
+// Spans stay valid for the pool's lifetime, across pool growth and moves.
+template <typename T>
+class FlatPool {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  FlatPool() : arena_(kFirstChunk) {}
+  FlatPool(FlatPool&&) = default;
+  FlatPool& operator=(FlatPool&&) = default;
+
+  Span<T> append(const T* src, size_t n) {
+    count_ += n;
+    return arena_.allocCopy(src, n);
+  }
+  Span<T> append(Span<const T> src) { return append(src.data(), src.size()); }
+  Span<T> append(const std::vector<T>& src) {
+    return append(src.data(), src.size());
+  }
+  Span<T> append(std::initializer_list<T> src) {
+    return append(src.begin(), src.size());
+  }
+  Span<T> appendFill(size_t n, T fill) {
+    count_ += n;
+    return arena_.allocSpan(n, fill);
+  }
+
+  // Total elements ever appended.
+  [[nodiscard]] size_t size() const { return count_; }
+  [[nodiscard]] const ArenaStats& arenaStats() const { return arena_.stats(); }
+
+ private:
+  static constexpr size_t kFirstChunk = 1024;
+
+  Arena arena_;
+  size_t count_ = 0;
+};
+
+}  // namespace aviv

@@ -161,6 +161,39 @@ namespace detail {
 #define AVIV_UNREACHABLE(msg)                                              \
   ::aviv::detail::checkFailed(__FILE__, __LINE__, "unreachable", (msg))
 
+// Debug-only invariant check for hot paths (DynBitset accessors, Span
+// indexing, inner covering loops): compiled out in optimized release builds
+// (NDEBUG), but kept active in Debug builds AND in sanitizer builds even
+// when they define NDEBUG — the ASan/UBSan/TSan CI jobs build
+// RelWithDebInfo, and an out-of-bounds word access must still fail loudly
+// there rather than rely on the sanitizer catching the symptom.
+#if !defined(NDEBUG) || defined(AVIV_FORCE_DCHECKS) ||                     \
+    defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define AVIV_DCHECKS_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define AVIV_DCHECKS_ENABLED 1
+#else
+#define AVIV_DCHECKS_ENABLED 0
+#endif
+#else
+#define AVIV_DCHECKS_ENABLED 0
+#endif
+
+#if AVIV_DCHECKS_ENABLED
+#define AVIV_DCHECK(expr) AVIV_CHECK(expr)
+#define AVIV_DCHECK_MSG(expr, stream_expr) AVIV_CHECK_MSG(expr, stream_expr)
+#else
+// The condition is not evaluated (hot-path accessors must cost nothing),
+// but it stays visible to the compiler so it cannot bit-rot.
+#define AVIV_DCHECK(expr)              \
+  do {                                 \
+    if (false) { (void)(expr); }       \
+  } while (false)
+#define AVIV_DCHECK_MSG(expr, stream_expr) AVIV_DCHECK(expr)
+#endif
+
 // Recoverable invariant check (block-compile path); throws InternalError.
 #define AVIV_REQUIRE(expr)                                                  \
   do {                                                                      \

@@ -1,0 +1,133 @@
+// SmallVec<T, N> — a vector with N elements of inline storage, for the
+// dependency-edge lists (AgNode::preds/succs) that are almost always 1-4
+// entries: the inline buffer removes two heap allocations per graph node on
+// the per-candidate materialization path. Only trivially copyable element
+// types are supported (ids), which keeps copy/move/erase to memcpy/memmove.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "support/error.h"
+
+namespace aviv {
+
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& o) { assign(o.data(), o.size_); }
+  SmallVec(SmallVec&& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      assign(o.data(), o.size_);
+    }
+  }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign(o.data(), o.size_);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      delete[] heap_;
+      heap_ = nullptr;
+      cap_ = N;
+      size_ = 0;
+      if (o.heap_ != nullptr) {
+        heap_ = o.heap_;
+        cap_ = o.cap_;
+        size_ = o.size_;
+        o.heap_ = nullptr;
+        o.cap_ = N;
+        o.size_ = 0;
+      } else {
+        assign(o.data(), o.size_);
+      }
+    }
+    return *this;
+  }
+  ~SmallVec() { delete[] heap_; }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+  [[nodiscard]] T& operator[](size_t i) {
+    AVIV_DCHECK(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](size_t i) const {
+    AVIV_DCHECK(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow();
+    data()[size_++] = value;
+  }
+  void clear() { size_ = 0; }
+
+  // Erases [first, last); iterators are plain pointers into data().
+  T* erase(T* first, T* last) {
+    AVIV_DCHECK(data() <= first && first <= last && last <= end());
+    const size_t tail = static_cast<size_t>(end() - last);
+    if (tail != 0) std::memmove(first, last, tail * sizeof(T));
+    size_ -= static_cast<uint32_t>(last - first);
+    return first;
+  }
+
+  bool operator==(const SmallVec& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+
+ private:
+  void assign(const T* src, uint32_t n) {
+    if (n > cap_) {
+      delete[] heap_;
+      heap_ = new T[n];
+      cap_ = n;
+    }
+    if (n != 0) std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+  void grow() {
+    const uint32_t newCap = cap_ * 2;
+    T* bigger = new T[newCap];
+    std::memcpy(bigger, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = bigger;
+    cap_ = newCap;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t cap_ = N;
+};
+
+}  // namespace aviv

@@ -4,6 +4,8 @@
 #include "core/clique.h"
 #include "core/legality.h"
 #include "core/parallel_matrix.h"
+#include "core/spill.h"
+#include "core/workspace.h"
 #include "ir/parser.h"
 #include "isdl/parser.h"
 
@@ -137,6 +139,66 @@ TEST(ParallelismMatrix, StrRendersFig7StyleMatrix) {
                                : "";
   EXPECT_NE(text.find("N0"), std::string::npos);
   EXPECT_NE(text.find("| 0"), std::string::npos);
+}
+
+// Regression for the latent deleted-row issue: the matrix stores one row
+// per node *including* kDeleted nodes, and the covering engine relies on
+// those rows being empty (a deleted node in a clique would resurrect it).
+// Spill-induced transfer deletions are the only way nodes die in practice,
+// so stage one and check every deleted row — through both the constructor
+// and the workspace rebuild() path the engine actually uses.
+TEST(ParallelismMatrix, DeletedNodeRowsStayEmptyAfterSpill) {
+  const BlockDag dag = loadBlock("fig2");
+  const Machine machine = loadMachine("arch1");
+  const MachineDatabases dbs(machine);
+  CodegenOptions options;
+  const SplitNodeDag snd = SplitNodeDag::build(dag, machine, dbs, options);
+  // The Fig 9 staging from spill_test: ADD on U3 feeding SUB on U2 through
+  // a pending RF3->RF2 transfer; spilling the ADD deletes that transfer.
+  Assignment assignment;
+  assignment.chosenAlt.assign(dag.size(), kNoSnd);
+  auto pick = [&](Op op, const char* unitName) {
+    for (NodeId id = 0; id < dag.size(); ++id) {
+      if (dag.node(id).op != op) continue;
+      for (SndId alt : snd.altsOf(id))
+        if (machine.unit(snd.node(alt).unit).name == unitName)
+          assignment.chosenAlt[id] = alt;
+    }
+  };
+  pick(Op::kAdd, "U3");
+  pick(Op::kMul, "U2");
+  pick(Op::kSub, "U2");
+  AssignedGraph graph = AssignedGraph::materialize(snd, assignment, options);
+
+  AgId add = kNoAg;
+  for (AgId id = 0; id < graph.size(); ++id) {
+    const AgNode& n = graph.node(id);
+    if (n.kind == AgKind::kOp && n.machineOp == Op::kAdd) add = id;
+  }
+  ASSERT_NE(add, kNoAg);
+  DynBitset covered(graph.size());
+  covered.set(add);
+  for (AgId pred : graph.node(add).preds) covered.set(pred);
+  SpillState state;
+  (void)performSpill(graph, dbs.transfers, covered, state);
+
+  std::vector<AgId> deleted;
+  for (AgId id = 0; id < graph.size(); ++id)
+    if (graph.node(id).deleted()) deleted.push_back(id);
+  ASSERT_FALSE(deleted.empty()) << "spill staged no deletion";
+
+  const ParallelismMatrix fresh(graph, -1);
+  CoverWorkspace ws;
+  ParallelismMatrix rebuilt;
+  rebuilt.rebuild(graph, /*levelWindow=*/-1, ws);
+  for (AgId dead : deleted) {
+    for (AgId other = 0; other < graph.size(); ++other) {
+      EXPECT_FALSE(fresh.parallel(dead, other)) << dead << " " << other;
+      EXPECT_FALSE(fresh.parallel(other, dead)) << other << " " << dead;
+      EXPECT_FALSE(rebuilt.parallel(dead, other)) << dead << " " << other;
+      EXPECT_FALSE(rebuilt.parallel(other, dead)) << other << " " << dead;
+    }
+  }
 }
 
 // --- legality / constraint splitting ----------------------------------

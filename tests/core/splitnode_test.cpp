@@ -167,8 +167,11 @@ TEST(SplitNodeDag, ThrowsWhenOpUnimplementable) {
 
 TEST(SplitNodeDag, DotContainsSplitAndTransferNodes) {
   Env env("arch1");
+  // Bound to a local: SplitNodeDag keeps a pointer to the BlockDag, so a
+  // temporary argument would dangle by the time dot() walks it.
+  const BlockDag dag = fig2Block();
   const SplitNodeDag snd =
-      SplitNodeDag::build(fig2Block(), env.machine, env.dbs, CodegenOptions{});
+      SplitNodeDag::build(dag, env.machine, env.dbs, CodegenOptions{});
   const std::string dot = snd.dot();
   EXPECT_NE(dot.find("diamond"), std::string::npos);  // split nodes
   EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // transfers

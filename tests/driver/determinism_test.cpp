@@ -4,10 +4,19 @@
 // text, same schedules, same instruction counts, and the same error when
 // compilation fails. Enumerates every shipped block × machine pair so new
 // data files are covered automatically.
+//
+// Each pair is additionally cross-checked against tests/golden/ — assembly
+// (or the error message) frozen before the hot-path memory refactor. Any
+// layout or ownership change that perturbs the emitted code fails here, at
+// both jobs=1 and jobs=4. Regenerate the files deliberately when an
+// intentional output change lands (see tests/golden/README).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -69,6 +78,20 @@ struct DeterminismCase {
 
 class ParallelDeterminism : public ::testing::TestWithParam<DeterminismCase> {};
 
+// The frozen outcome for one (block, machine) pair: the assembly text for
+// successful compiles, "ERROR: <message>\n" for expected failures. Empty
+// optional when no golden file exists (a newly added data file).
+std::optional<std::string> goldenOutcome(const std::string& block,
+                                         const std::string& machine) {
+  const fs::path path =
+      fs::path(AVIV_GOLDEN_DIR) / (block + "_" + machine + ".asm");
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
 TEST_P(ParallelDeterminism, SerialAndParallelBitIdentical) {
   const BlockDag dag = loadBlock(GetParam().block);
   const Machine machine = loadMachine(GetParam().machine);
@@ -79,6 +102,16 @@ TEST_P(ParallelDeterminism, SerialAndParallelBitIdentical) {
   EXPECT_EQ(serial.asmText, parallel.asmText);
   EXPECT_EQ(serial.schedule, parallel.schedule);
   EXPECT_EQ(serial.instructions, parallel.instructions);
+
+  const std::optional<std::string> golden =
+      goldenOutcome(GetParam().block, GetParam().machine);
+  if (!golden.has_value()) return;  // new data file, no frozen output yet
+  const std::string serialOutcome =
+      serial.ok ? serial.asmText : "ERROR: " + serial.error + "\n";
+  const std::string parallelOutcome =
+      parallel.ok ? parallel.asmText : "ERROR: " + parallel.error + "\n";
+  EXPECT_EQ(serialOutcome, *golden);
+  EXPECT_EQ(parallelOutcome, *golden);
 }
 
 std::vector<DeterminismCase> allCases() {

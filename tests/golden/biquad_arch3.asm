@@ -1,0 +1,18 @@
+; block biquad on Arch3 — 12 instructions
+i0: { DBB: mov RF3.r1, DM[7]{b2} | DBA: mov RF2.r1, DM[8]{a1} }
+i1: { DBB: mov RF3.r0, DM[2]{x2} | DBA: mov RF2.r0, DM[3]{y1} }
+i2: { U3: mul RF3.r0, RF3.r1, RF3.r0 | U2: mul RF2.r2, RF2.r1, RF2.r0 | DBB: mov RF3.r2, DM[5]{b0} | DBA: mov RF2.r1, DM[9]{a2} }
+i3: { DBB: mov RF3.r1, DM[0]{x} | DBA: mov RF2.r0, DM[4]{y2} }
+i4: { U3: mul RF3.r3, RF3.r2, RF3.r1 | U2: mul RF2.r0, RF2.r1, RF2.r0 | DBB: mov RF3.r2, DM[6]{b1} | DBA: mov RF1.r2, DM[0]{x} }
+i5: { DBB: mov RF3.r1, DM[1]{x1} | DBA: mov RF1.r1, DM[1]{x1} }
+i6: { U3: mul RF3.r1, RF3.r2, RF3.r1 | DBA: mov RF1.r0, DM[3]{y1} }
+i7: { U3: add RF3.r1, RF3.r3, RF3.r1 }
+i8: { U3: add RF3.r0, RF3.r1, RF3.r0 }
+i9: { DBB: mov RF2.r1, RF3.r0 }
+i10: { U2: sub RF2.r1, RF2.r1, RF2.r2 }
+i11: { U2: sub RF2.r0, RF2.r1, RF2.r0 }
+; output x1n in RF1.r2
+; output x2n in RF1.r1
+; output y in RF2.r0
+; output y1n in RF2.r0
+; output y2n in RF1.r0

@@ -1,0 +1,20 @@
+; block biquad on Arch4 — 14 instructions
+i0: { DB: mov RF2.r1, DM[6]{b1} }
+i1: { DB: mov RF2.r0, DM[1]{x1} }
+i2: { U2: mul RF2.r2, RF2.r1, RF2.r0 | DB: mov RF2.r1, DM[5]{b0} }
+i3: { DB: mov RF2.r0, DM[0]{x} }
+i4: { U2: mac RF2.r2, RF2.r1, RF2.r0, RF2.r2 | DB: mov RF2.r1, DM[7]{b2} }
+i5: { DB: mov RF2.r0, DM[2]{x2} }
+i6: { U2: mac RF2.r2, RF2.r1, RF2.r0, RF2.r2 | DB: mov RF2.r1, DM[8]{a1} }
+i7: { DB: mov RF3.r1, DM[9]{a2} }
+i8: { DB: mov RF3.r0, DM[4]{y2} }
+i9: { U3: mul RF3.r0, RF3.r1, RF3.r0 | DB: mov RF2.r0, DM[3]{y1} }
+i10: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DB: mov RF1.r2, DM[0]{x} }
+i11: { U2: sub RF2.r1, RF2.r2, RF2.r0 | DB: mov RF2.r0, RF3.r0 }
+i12: { U2: sub RF2.r0, RF2.r1, RF2.r0 | DB: mov RF1.r1, DM[1]{x1} }
+i13: { DB: mov RF1.r0, DM[3]{y1} }
+; output x1n in RF1.r2
+; output x2n in RF1.r1
+; output y in RF2.r0
+; output y1n in RF2.r0
+; output y2n in RF1.r0

@@ -1,0 +1,18 @@
+; block biquad on Dsp16 — 12 instructions
+i0: { YB: mov RM.r3, DM[8]{a1} | XB: mov RA.r2, DM[0]{x} }
+i1: { YB: mov RM.r2, DM[3]{y1} | XB: mov RA.r1, DM[1]{x1} }
+i2: { YB: mov RM.r1, DM[9]{a2} | XB: mov RA.r0, DM[3]{y1} }
+i3: { YB: mov RM.r4, DM[6]{b1} }
+i4: { YB: mov RM.r0, DM[1]{x1} }
+i5: { MACU: mul RM.r5, RM.r4, RM.r0 | YB: mov RM.r4, DM[5]{b0} }
+i6: { YB: mov RM.r0, DM[0]{x} }
+i7: { MACU: mac RM.r5, RM.r4, RM.r0, RM.r5 | YB: mov RM.r4, DM[7]{b2} }
+i8: { YB: mov RM.r0, DM[2]{x2} }
+i9: { MACU: mac RM.r4, RM.r4, RM.r0, RM.r5 | YB: mov RM.r0, DM[4]{y2} }
+i10: { MACU: msu RM.r2, RM.r3, RM.r2, RM.r4 }
+i11: { MACU: msu RM.r0, RM.r1, RM.r0, RM.r2 }
+; output x1n in RA.r2
+; output x2n in RA.r1
+; output y in RM.r0
+; output y1n in RM.r0
+; output y2n in RA.r0

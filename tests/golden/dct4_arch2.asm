@@ -1,0 +1,21 @@
+; block dct4 on Arch2 — 16 instructions
+i0: { DB: mov RF2.r1, DM[1]{s1} }
+i1: { DB: mov RF2.r0, DM[2]{s2} }
+i2: { U2: sub RF2.r2, RF2.r1, RF2.r0 | DB: mov RF2.r3, DM[0]{s0} }
+i3: { U2: add RF2.r1, RF2.r1, RF2.r0 | DB: mov RF2.r0, DM[3]{s3} }
+i4: { U2: sub RF2.r3, RF2.r3, RF2.r0 | DB: mov RF2.r0, DM[4]{c1} }
+i5: { DB: mov RF1.r1, DM[0]{s0} }
+i6: { DB: mov RF1.r0, DM[3]{s3} }
+i7: { U1: add RF1.r3, RF1.r1, RF1.r0 | DB: mov RF1.r0, RF2.r1 }
+i8: { U1: add RF1.r2, RF1.r3, RF1.r0 | U2: mul RF2.r1, RF2.r3, RF2.r0 | DB: mov DM[255]{spill0}, RF2.r1 }
+i9: { U2: mul RF2.r0, RF2.r2, RF2.r0 | DB: mov RF1.r1, RF2.r1 }
+i10: { DB: mov RF2.r1, DM[5]{c2} }
+i11: { U2: mul RF2.r2, RF2.r2, RF2.r1 }
+i12: { U2: mul RF2.r1, RF2.r3, RF2.r1 | DB: mov RF1.r0, RF2.r2 }
+i13: { U1: add RF1.r0, RF1.r1, RF1.r0 | U2: sub RF2.r1, RF2.r1, RF2.r0 | DB: mov RF2.r2, RF1.r3 }
+i14: { DB: mov RF2.r0, DM[255]{spill0} }
+i15: { U2: sub RF2.r0, RF2.r2, RF2.r0 }
+; output t0 in RF1.r2
+; output t1 in RF1.r0
+; output t2 in RF2.r0
+; output t3 in RF2.r1

@@ -1,0 +1,18 @@
+; block dct4 on Arch3 — 13 instructions
+i0: { DBA: mov RF1.r1, DM[0]{s0} | DBB: mov RF2.r1, DM[0]{s0} }
+i1: { DBA: mov RF1.r0, DM[3]{s3} | DBB: mov RF2.r0, DM[3]{s3} }
+i2: { U1: add RF1.r2, RF1.r1, RF1.r0 | U2: sub RF2.r0, RF2.r1, RF2.r0 | DBB: mov RF2.r3, DM[1]{s1} | DBA: mov RF2.r2, DM[5]{c2} }
+i3: { U2: mul RF2.r1, RF2.r0, RF2.r2 | DBA: mov RF1.r1, DM[1]{s1} | LINK12: mov RF2.r0, RF1.r2 | DBB: mov RF3.r1, RF2.r0 }
+i4: { DBA: mov RF1.r0, DM[2]{s2} | DBB: mov RF3.r0, DM[4]{c1} }
+i5: { U1: add RF1.r0, RF1.r1, RF1.r0 | U3: mul RF3.r1, RF3.r1, RF3.r0 | DBB: mov RF3.r2, RF2.r0 }
+i6: { U1: sub RF1.r0, RF1.r2, RF1.r0 | LINK12: mov RF2.r0, RF1.r0 }
+i7: { DBB: mov RF3.r0, RF2.r0 }
+i8: { U3: add RF3.r2, RF3.r2, RF3.r0 | DBB: mov RF2.r0, DM[2]{s2} }
+i9: { U2: sub RF2.r3, RF2.r3, RF2.r0 | DBA: mov RF2.r0, DM[4]{c1} }
+i10: { U2: mul RF2.r2, RF2.r3, RF2.r2 }
+i11: { U2: mul RF2.r0, RF2.r3, RF2.r0 | DBB: mov RF3.r0, RF2.r2 }
+i12: { U3: add RF3.r0, RF3.r1, RF3.r0 | U2: sub RF2.r0, RF2.r1, RF2.r0 }
+; output t0 in RF3.r2
+; output t1 in RF3.r0
+; output t2 in RF1.r0
+; output t3 in RF2.r0

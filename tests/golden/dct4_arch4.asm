@@ -1,0 +1,21 @@
+; block dct4 on Arch4 — 16 instructions
+i0: { DB: mov RF2.r1, DM[0]{s0} }
+i1: { DB: mov RF2.r0, DM[3]{s3} }
+i2: { U2: sub RF2.r2, RF2.r1, RF2.r0 | DB: mov RF1.r1, DM[0]{s0} }
+i3: { DB: mov RF1.r0, DM[3]{s3} }
+i4: { U1: add RF1.r2, RF1.r1, RF1.r0 | DB: mov RF1.r1, DM[1]{s1} }
+i5: { DB: mov RF1.r0, DM[2]{s2} }
+i6: { U1: add RF1.r1, RF1.r1, RF1.r0 | DB: mov RF2.r3, DM[1]{s1} }
+i7: { U1: sub RF1.r0, RF1.r2, RF1.r1 | DB: mov RF2.r0, DM[5]{c2} }
+i8: { DB: mov RF2.r1, DM[2]{s2} }
+i9: { U2: sub RF2.r1, RF2.r3, RF2.r1 | DB: mov RF3.r1, RF2.r2 }
+i10: { U2: mul RF2.r3, RF2.r1, RF2.r0 | DB: mov RF3.r0, DM[5]{c2} }
+i11: { U3: mul RF3.r0, RF3.r1, RF3.r0 | DB: mov RF3.r2, RF1.r2 }
+i12: { DB: mov RF2.r0, DM[4]{c1} }
+i13: { U2: mac RF2.r2, RF2.r2, RF2.r0, RF2.r3 | DB: mov RF3.r1, RF1.r1 }
+i14: { U3: add RF3.r0, RF3.r2, RF3.r1 | U2: mul RF2.r1, RF2.r1, RF2.r0 | DB: mov RF2.r0, RF3.r0 }
+i15: { U2: sub RF2.r0, RF2.r0, RF2.r1 }
+; output t0 in RF3.r0
+; output t1 in RF2.r2
+; output t2 in RF1.r0
+; output t3 in RF2.r0

@@ -1,0 +1,16 @@
+; block dct4 on Dsp16 — 11 instructions
+i0: { YB: mov RL.r1, DM[1]{s1} | XB: mov RB.r1, DM[0]{s0} }
+i1: { YB: mov RL.r0, DM[2]{s2} | XB: mov RB.r0, DM[3]{s3} }
+i2: { LU: add RL.r1, RL.r1, RL.r0 | ALU1: sub RB.r2, RB.r1, RB.r0 | XB: mov RB.r1, DM[1]{s1} | YB: mov RM.r1, DM[5]{c2} }
+i3: { XB: mov RB.r0, DM[2]{s2} | YB: mov DM[511]{spill1}, RL.r1 }
+i4: { ALU1: sub RB.r0, RB.r1, RB.r0 | XB: mov RA.r2, DM[0]{s0} | YB: mov RM.r2, RB.r2 }
+i5: { MACU: mul RM.r0, RM.r2, RM.r1 | XB: mov RA.r0, DM[511]{scratch1} | YB: mov RM.r3, RB.r0 }
+i6: { MACU: mul RM.r4, RM.r3, RM.r1 | XB: mov RA.r1, DM[3]{s3} | YB: mov RM.r1, DM[4]{c1} }
+i7: { ALU0: add RA.r1, RA.r2, RA.r1 | MACU: mac RM.r2, RM.r2, RM.r1, RM.r4 }
+i8: { ALU0: sub RA.r0, RA.r1, RA.r0 | MACU: msu RM.r0, RM.r3, RM.r1, RM.r0 | XB: mov DM[510]{spill0}, RA.r1 }
+i9: { YB: mov RL.r0, DM[510]{scratch0} }
+i10: { LU: add RL.r0, RL.r0, RL.r1 }
+; output t0 in RL.r0
+; output t1 in RM.r2
+; output t2 in RA.r0
+; output t3 in RM.r0

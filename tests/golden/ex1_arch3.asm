@@ -1,0 +1,7 @@
+; block ex1 on Arch3 — 5 instructions
+i0: { DBA: mov RF2.r0, DM[0]{a} | DBB: mov RF2.r2, DM[1]{b} }
+i1: { U2: add RF2.r3, RF2.r0, RF2.r2 | DBA: mov RF2.r1, DM[2]{c} | DBB: mov RF2.r0, DM[3]{d} }
+i2: { U2: mul RF2.r1, RF2.r3, RF2.r1 }
+i3: { U2: add RF2.r0, RF2.r0, RF2.r1 }
+i4: { U2: sub RF2.r0, RF2.r0, RF2.r2 }
+; output y in RF2.r0

@@ -1,0 +1,8 @@
+; block ex1 on Arch4 — 6 instructions
+i0: { DB: mov RF2.r0, DM[0]{a} }
+i1: { DB: mov RF2.r2, DM[1]{b} }
+i2: { U2: add RF2.r3, RF2.r0, RF2.r2 | DB: mov RF2.r1, DM[2]{c} }
+i3: { DB: mov RF2.r0, DM[3]{d} }
+i4: { U2: mac RF2.r0, RF2.r3, RF2.r1, RF2.r0 }
+i5: { U2: sub RF2.r0, RF2.r0, RF2.r2 }
+; output y in RF2.r0

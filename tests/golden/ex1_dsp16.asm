@@ -1,0 +1,9 @@
+; block ex1 on Dsp16 — 7 instructions
+i0: { YB: mov RM.r1, DM[2]{c} | XB: mov RB.r0, DM[1]{b} }
+i1: { YB: mov RM.r2, DM[0]{a} }
+i2: { YB: mov RM.r0, DM[1]{b} }
+i3: { MACU: add RM.r2, RM.r2, RM.r0 | YB: mov RM.r0, DM[3]{d} }
+i4: { MACU: mac RM.r0, RM.r2, RM.r1, RM.r0 }
+i5: { YB: mov RB.r1, RM.r0 }
+i6: { ALU1: sub RB.r0, RB.r1, RB.r0 }
+; output y in RB.r0

@@ -1,0 +1,12 @@
+; block ex2 on Arch1 — 10 instructions
+i0: { DB: mov RF3.r1, DM[1]{x0} }
+i1: { DB: mov RF3.r0, DM[2]{c0} }
+i2: { U3: mul RF3.r1, RF3.r1, RF3.r0 | DB: mov RF3.r0, DM[0]{acc} }
+i3: { U3: add RF3.r0, RF3.r0, RF3.r1 | DB: mov RF2.r1, DM[3]{x1} }
+i4: { DB: mov RF2.r0, DM[4]{c1} }
+i5: { U2: mul RF2.r2, RF2.r1, RF2.r0 | DB: mov RF2.r1, DM[5]{x2} }
+i6: { DB: mov RF2.r0, DM[6]{c2} }
+i7: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DB: mov RF2.r1, RF3.r0 }
+i8: { U2: add RF2.r1, RF2.r1, RF2.r2 }
+i9: { U2: add RF2.r0, RF2.r1, RF2.r0 }
+; output y in RF2.r0

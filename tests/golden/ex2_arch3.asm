@@ -1,0 +1,9 @@
+; block ex2 on Arch3 — 7 instructions
+i0: { DBB: mov RF3.r1, DM[1]{x0} | DBA: mov RF2.r1, DM[3]{x1} }
+i1: { DBB: mov RF3.r0, DM[2]{c0} | DBA: mov RF2.r0, DM[4]{c1} }
+i2: { U3: mul RF3.r1, RF3.r1, RF3.r0 | U2: mul RF2.r2, RF2.r1, RF2.r0 | DBB: mov RF3.r0, DM[0]{acc} | DBA: mov RF2.r1, DM[5]{x2} }
+i3: { U3: add RF3.r0, RF3.r0, RF3.r1 | DBA: mov RF2.r0, DM[6]{c2} }
+i4: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DBB: mov RF2.r1, RF3.r0 }
+i5: { U2: add RF2.r1, RF2.r1, RF2.r2 }
+i6: { U2: add RF2.r0, RF2.r1, RF2.r0 }
+; output y in RF2.r0

@@ -1,0 +1,10 @@
+; block ex2 on Arch4 — 8 instructions
+i0: { DB: mov RF2.r2, DM[1]{x0} }
+i1: { DB: mov RF2.r1, DM[2]{c0} }
+i2: { DB: mov RF2.r0, DM[0]{acc} }
+i3: { U2: mac RF2.r2, RF2.r2, RF2.r1, RF2.r0 | DB: mov RF2.r1, DM[3]{x1} }
+i4: { DB: mov RF2.r0, DM[4]{c1} }
+i5: { U2: mac RF2.r2, RF2.r1, RF2.r0, RF2.r2 | DB: mov RF2.r1, DM[5]{x2} }
+i6: { DB: mov RF2.r0, DM[6]{c2} }
+i7: { U2: mac RF2.r0, RF2.r1, RF2.r0, RF2.r2 }
+; output y in RF2.r0

@@ -1,0 +1,10 @@
+; block ex2 on Dsp16 — 8 instructions
+i0: { YB: mov RM.r2, DM[1]{x0} }
+i1: { YB: mov RM.r1, DM[2]{c0} }
+i2: { YB: mov RM.r0, DM[0]{acc} }
+i3: { MACU: mac RM.r2, RM.r2, RM.r1, RM.r0 | YB: mov RM.r1, DM[3]{x1} }
+i4: { YB: mov RM.r0, DM[4]{c1} }
+i5: { MACU: mac RM.r2, RM.r1, RM.r0, RM.r2 | YB: mov RM.r1, DM[5]{x2} }
+i6: { YB: mov RM.r0, DM[6]{c2} }
+i7: { MACU: mac RM.r0, RM.r1, RM.r0, RM.r2 }
+; output y in RM.r0

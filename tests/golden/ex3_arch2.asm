@@ -1,0 +1,12 @@
+; block ex3 on Arch2 — 9 instructions
+i0: { DB: mov RF1.r1, DM[1]{a0} }
+i1: { DB: mov RF1.r0, DM[2]{b0} }
+i2: { U1: add RF1.r0, RF1.r1, RF1.r0 | DB: mov RF2.r0, DM[3]{a1} }
+i3: { DB: mov RF2.r3, DM[4]{b1} }
+i4: { U2: add RF2.r0, RF2.r0, RF2.r3 | DB: mov RF2.r2, DM[0]{k} }
+i5: { U2: mul RF2.r0, RF2.r0, RF2.r2 | DB: mov RF2.r1, DM[2]{b0} }
+i6: { U2: sub RF2.r0, RF2.r0, RF2.r3 | DB: mov RF2.r3, RF1.r0 }
+i7: { U2: mul RF2.r2, RF2.r3, RF2.r2 }
+i8: { U2: sub RF2.r1, RF2.r2, RF2.r1 }
+; output y0 in RF2.r1
+; output y1 in RF2.r0

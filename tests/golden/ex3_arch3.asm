@@ -1,0 +1,9 @@
+; block ex3 on Arch3 — 6 instructions
+i0: { DBB: mov RF3.r1, DM[1]{a0} | DBA: mov RF2.r0, DM[3]{a1} }
+i1: { DBB: mov RF3.r0, DM[2]{b0} | DBA: mov RF2.r1, DM[4]{b1} }
+i2: { U3: add RF3.r1, RF3.r1, RF3.r0 | U2: add RF2.r2, RF2.r0, RF2.r1 | DBB: mov RF3.r0, DM[0]{k} | DBA: mov RF2.r0, DM[0]{k} }
+i3: { U3: mul RF3.r0, RF3.r1, RF3.r0 | U2: mul RF2.r0, RF2.r2, RF2.r0 | DBA: mov RF2.r2, DM[2]{b0} }
+i4: { U2: sub RF2.r0, RF2.r0, RF2.r1 | DBB: mov RF2.r1, RF3.r0 }
+i5: { U2: sub RF2.r1, RF2.r1, RF2.r2 }
+; output y0 in RF2.r1
+; output y1 in RF2.r0

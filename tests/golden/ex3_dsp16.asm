@@ -1,0 +1,10 @@
+; block ex3 on Dsp16 — 7 instructions
+i0: { YB: mov RM.r1, DM[1]{a0} | XB: mov RB.r0, DM[3]{a1} }
+i1: { YB: mov RM.r0, DM[2]{b0} | XB: mov RB.r1, DM[4]{b1} }
+i2: { MACU: add RM.r0, RM.r1, RM.r0 | ALU1: add RB.r0, RB.r0, RB.r1 | YB: mov RM.r1, DM[0]{k} | XB: mov RA.r0, DM[2]{b0} }
+i3: { MACU: mul RM.r2, RM.r0, RM.r1 | YB: mov RM.r0, RB.r0 }
+i4: { MACU: mul RM.r0, RM.r0, RM.r1 | YB: mov DM[511]{spill0}, RM.r2 }
+i5: { XB: mov RA.r1, DM[511]{scratch0} | YB: mov RB.r0, RM.r0 }
+i6: { ALU0: sub RA.r0, RA.r1, RA.r0 | ALU1: sub RB.r0, RB.r0, RB.r1 }
+; output y0 in RA.r0
+; output y1 in RB.r0

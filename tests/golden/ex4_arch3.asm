@@ -1,0 +1,12 @@
+; block ex4 on Arch3 — 9 instructions
+i0: { DBA: mov RF2.r1, DM[1]{a0} | DBB: mov RF2.r2, DM[0]{k} }
+i1: { U2: mul RF2.r3, RF2.r1, RF2.r2 | DBB: mov RF3.r0, DM[3]{a1} | DBA: mov RF1.r1, DM[3]{a1} }
+i2: { DBB: mov RF3.r1, DM[0]{k} | DBA: mov RF1.r0, DM[4]{b1} }
+i3: { U3: mul RF3.r2, RF3.r0, RF3.r1 | U1: sub RF1.r0, RF1.r1, RF1.r0 | DBA: mov RF2.r0, DM[2]{b0} | DBB: mov RF3.r0, DM[4]{b1} }
+i4: { U2: sub RF2.r1, RF2.r1, RF2.r0 | U3: add RF3.r2, RF3.r2, RF3.r0 }
+i5: { U2: add RF2.r3, RF2.r3, RF2.r0 | LINK12: mov RF2.r0, RF1.r0 }
+i6: { U2: mul RF2.r0, RF2.r3, RF2.r1 | DBB: mov RF3.r0, RF2.r0 }
+i7: { U2: add RF2.r0, RF2.r0, RF2.r2 | U3: mul RF3.r0, RF3.r2, RF3.r0 }
+i8: { U3: add RF3.r0, RF3.r0, RF3.r1 }
+; output y0 in RF2.r0
+; output y1 in RF3.r0

@@ -1,0 +1,14 @@
+; block ex4 on Arch4 — 11 instructions
+i0: { DB: mov RF3.r0, DM[3]{a1} }
+i1: { DB: mov RF3.r1, DM[0]{k} }
+i2: { U3: mul RF3.r2, RF3.r0, RF3.r1 | DB: mov RF3.r0, DM[4]{b1} }
+i3: { U3: add RF3.r2, RF3.r2, RF3.r0 | DB: mov RF1.r1, DM[3]{a1} }
+i4: { DB: mov RF1.r0, DM[4]{b1} }
+i5: { U1: sub RF1.r0, RF1.r1, RF1.r0 | DB: mov RF2.r1, DM[0]{k} }
+i6: { DB: mov RF2.r3, DM[1]{a0} }
+i7: { DB: mov RF2.r0, DM[2]{b0} }
+i8: { U2: mac RF2.r2, RF2.r3, RF2.r1, RF2.r0 | DB: mov RF3.r0, RF1.r0 }
+i9: { U2: sub RF2.r0, RF2.r3, RF2.r0 | U3: mul RF3.r0, RF3.r2, RF3.r0 }
+i10: { U2: mac RF2.r0, RF2.r2, RF2.r0, RF2.r1 | U3: add RF3.r0, RF3.r0, RF3.r1 }
+; output y0 in RF2.r0
+; output y1 in RF3.r0

@@ -1,0 +1,11 @@
+; block ex4 on Dsp16 — 8 instructions
+i0: { YB: mov RM.r1, DM[1]{a0} | XB: mov RA.r1, DM[3]{a1} }
+i1: { YB: mov RM.r3, DM[0]{k} | XB: mov RA.r0, DM[4]{b1} }
+i2: { ALU0: sub RA.r0, RA.r1, RA.r0 | YB: mov RM.r0, DM[2]{b0} | XB: mov RB.r1, DM[1]{a0} }
+i3: { MACU: mac RM.r2, RM.r1, RM.r3, RM.r0 | XB: mov RB.r0, DM[2]{b0} | YB: mov RM.r1, DM[3]{a1} }
+i4: { ALU1: sub RB.r0, RB.r1, RB.r0 | YB: mov RM.r0, DM[4]{b1} | XB: mov DM[511]{spill0}, RA.r0 }
+i5: { MACU: mac RM.r1, RM.r1, RM.r3, RM.r0 | YB: mov RM.r0, RB.r0 }
+i6: { MACU: mac RM.r2, RM.r2, RM.r0, RM.r3 | YB: mov RM.r0, DM[511]{scratch0} }
+i7: { MACU: mac RM.r0, RM.r1, RM.r0, RM.r3 }
+; output y0 in RM.r2
+; output y1 in RM.r0

@@ -1,0 +1,17 @@
+; block ex5 on Arch1 — 13 instructions
+i0: { DB: mov RF3.r1, DM[0]{ar} }
+i1: { DB: mov RF3.r0, DM[3]{bi} }
+i2: { U3: mul RF3.r2, RF3.r1, RF3.r0 | DB: mov RF3.r1, DM[1]{ai} }
+i3: { DB: mov RF3.r0, DM[2]{br} }
+i4: { U3: mul RF3.r0, RF3.r1, RF3.r0 | DB: mov RF2.r1, DM[0]{ar} }
+i5: { U3: add RF3.r1, RF3.r2, RF3.r0 | DB: mov RF2.r0, DM[2]{br} }
+i6: { U2: mul RF2.r2, RF2.r1, RF2.r0 | DB: mov RF2.r1, DM[1]{ai} }
+i7: { DB: mov RF2.r0, DM[3]{bi} }
+i8: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DB: mov RF3.r0, DM[5]{ci} }
+i9: { U2: sub RF2.r0, RF2.r2, RF2.r0 | U3: add RF3.r0, RF3.r1, RF3.r0 | DB: mov RF2.r2, DM[4]{cr} }
+i10: { U2: add RF2.r1, RF2.r0, RF2.r2 | DB: mov RF2.r0, RF3.r0 }
+i11: { U2: add RF2.r0, RF2.r1, RF2.r0 }
+i12: { U2: mul RF2.r0, RF2.r0, RF2.r2 }
+; output e in RF2.r0
+; output yi in RF3.r0
+; output yr in RF2.r1

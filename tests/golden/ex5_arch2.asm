@@ -1,0 +1,16 @@
+; block ex5 on Arch2 — 12 instructions
+i0: { DB: mov RF2.r3, DM[2]{br} }
+i1: { DB: mov RF2.r1, DM[1]{ai} }
+i2: { U2: mul RF2.r0, RF2.r1, RF2.r3 | DB: mov RF2.r2, DM[0]{ar} }
+i3: { U2: mul RF2.r3, RF2.r2, RF2.r3 | DB: mov RF1.r1, RF2.r0 }
+i4: { DB: mov RF2.r0, DM[3]{bi} }
+i5: { U2: mul RF2.r2, RF2.r2, RF2.r0 | DB: mov RF1.r0, DM[5]{ci} }
+i6: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DB: mov RF1.r2, RF2.r2 }
+i7: { U2: sub RF2.r0, RF2.r3, RF2.r0 | U1: add RF1.r1, RF1.r2, RF1.r1 | DB: mov RF2.r2, DM[4]{cr} }
+i8: { U2: add RF2.r1, RF2.r0, RF2.r2 | U1: add RF1.r0, RF1.r1, RF1.r0 }
+i9: { DB: mov RF2.r0, RF1.r0 }
+i10: { U2: add RF2.r0, RF2.r1, RF2.r0 }
+i11: { U2: mul RF2.r0, RF2.r0, RF2.r2 }
+; output e in RF2.r0
+; output yi in RF1.r0
+; output yr in RF2.r1

@@ -1,0 +1,16 @@
+; block ex5 on Arch3 — 12 instructions
+i0: { DBA: mov RF2.r1, DM[0]{ar} | DBB: mov RF2.r0, DM[2]{br} }
+i1: { U2: mul RF2.r2, RF2.r1, RF2.r0 | DBA: mov RF2.r1, DM[1]{ai} | DBB: mov RF2.r0, DM[3]{bi} }
+i2: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DBB: mov RF3.r1, DM[0]{ar} }
+i3: { U2: sub RF2.r0, RF2.r2, RF2.r0 | DBB: mov RF3.r0, DM[3]{bi} }
+i4: { U3: mul RF3.r2, RF3.r1, RF3.r0 | DBB: mov RF3.r1, DM[1]{ai} }
+i5: { DBB: mov RF3.r0, DM[2]{br} }
+i6: { U3: mul RF3.r0, RF3.r1, RF3.r0 | DBB: mov RF3.r3, DM[4]{cr} }
+i7: { U3: add RF3.r1, RF3.r2, RF3.r0 | DBB: mov RF3.r0, DM[5]{ci} }
+i8: { U3: add RF3.r1, RF3.r1, RF3.r0 | DBB: mov RF3.r0, RF2.r0 }
+i9: { U3: add RF3.r2, RF3.r0, RF3.r3 }
+i10: { U3: add RF3.r0, RF3.r2, RF3.r1 }
+i11: { U3: mul RF3.r0, RF3.r0, RF3.r3 }
+; output e in RF3.r0
+; output yi in RF3.r1
+; output yr in RF3.r2

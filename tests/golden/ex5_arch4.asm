@@ -1,0 +1,19 @@
+; block ex5 on Arch4 — 15 instructions
+i0: { DB: mov RF3.r1, DM[0]{ar} }
+i1: { DB: mov RF3.r0, DM[3]{bi} }
+i2: { U3: mul RF3.r3, RF3.r1, RF3.r0 | DB: mov RF3.r0, DM[5]{ci} }
+i3: { DB: mov RF3.r2, DM[1]{ai} }
+i4: { DB: mov RF3.r1, DM[2]{br} }
+i5: { U3: mul RF3.r1, RF3.r2, RF3.r1 | DB: mov RF2.r2, DM[4]{cr} }
+i6: { U3: add RF3.r1, RF3.r3, RF3.r1 | DB: mov RF2.r1, DM[0]{ar} }
+i7: { U3: add RF3.r0, RF3.r1, RF3.r0 | DB: mov RF2.r0, DM[2]{br} }
+i8: { U2: mul RF2.r1, RF2.r1, RF2.r0 | DB: mov RF2.r3, DM[1]{ai} }
+i9: { DB: mov RF2.r0, DM[3]{bi} }
+i10: { U2: mul RF2.r3, RF2.r3, RF2.r0 | DB: mov RF2.r0, RF3.r0 }
+i11: { U2: sub RF2.r1, RF2.r1, RF2.r3 }
+i12: { U2: add RF2.r1, RF2.r1, RF2.r2 }
+i13: { U2: add RF2.r0, RF2.r1, RF2.r0 }
+i14: { U2: mul RF2.r0, RF2.r0, RF2.r2 }
+; output e in RF2.r0
+; output yi in RF3.r0
+; output yr in RF2.r1

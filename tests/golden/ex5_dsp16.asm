@@ -1,0 +1,14 @@
+; block ex5 on Dsp16 — 10 instructions
+i0: { YB: mov RM.r2, DM[1]{ai} }
+i1: { YB: mov RM.r1, DM[2]{br} }
+i2: { MACU: mul RM.r0, RM.r2, RM.r1 | YB: mov RM.r4, DM[0]{ar} }
+i3: { MACU: mul RM.r3, RM.r4, RM.r1 | YB: mov RM.r1, DM[3]{bi} }
+i4: { MACU: msu RM.r3, RM.r2, RM.r1, RM.r3 | YB: mov RM.r2, DM[4]{cr} }
+i5: { MACU: mac RM.r1, RM.r4, RM.r1, RM.r0 | YB: mov RM.r0, DM[5]{ci} }
+i6: { MACU: add RM.r3, RM.r3, RM.r2 }
+i7: { MACU: add RM.r1, RM.r1, RM.r0 }
+i8: { MACU: add RM.r0, RM.r3, RM.r1 }
+i9: { MACU: mul RM.r0, RM.r0, RM.r2 }
+; output e in RM.r0
+; output yi in RM.r1
+; output yr in RM.r3

@@ -1,0 +1,8 @@
+; block fig2 on Arch1 — 6 instructions
+i0: { DB: mov RF2.r1, DM[2]{c} }
+i1: { DB: mov RF2.r0, DM[3]{d} }
+i2: { U2: mul RF2.r0, RF2.r1, RF2.r0 | DB: mov RF1.r1, DM[0]{a} }
+i3: { DB: mov RF1.r0, DM[1]{b} }
+i4: { U1: add RF1.r1, RF1.r1, RF1.r0 | DB: mov RF1.r0, RF2.r0 }
+i5: { U1: sub RF1.r0, RF1.r1, RF1.r0 }
+; output y in RF1.r0

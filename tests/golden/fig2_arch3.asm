@@ -1,0 +1,6 @@
+; block fig2 on Arch3 — 4 instructions
+i0: { DBA: mov RF2.r1, DM[0]{a} | DBB: mov RF2.r0, DM[1]{b} }
+i1: { U2: add RF2.r2, RF2.r1, RF2.r0 | DBA: mov RF2.r1, DM[2]{c} | DBB: mov RF2.r0, DM[3]{d} }
+i2: { U2: mul RF2.r0, RF2.r1, RF2.r0 }
+i3: { U2: sub RF2.r0, RF2.r2, RF2.r0 }
+; output y in RF2.r0

@@ -1,0 +1,7 @@
+; block fig2 on Dsp16 — 5 instructions
+i0: { YB: mov RM.r1, DM[0]{a} }
+i1: { YB: mov RM.r0, DM[1]{b} }
+i2: { MACU: add RM.r2, RM.r1, RM.r0 | YB: mov RM.r1, DM[2]{c} }
+i3: { YB: mov RM.r0, DM[3]{d} }
+i4: { MACU: msu RM.r0, RM.r1, RM.r0, RM.r2 }
+; output y in RM.r0

@@ -1,0 +1,10 @@
+; block fig6 on Arch2 — 8 instructions
+i0: { DB: mov RF1.r1, DM[0]{a} }
+i1: { DB: mov RF1.r0, DM[1]{b} }
+i2: { U1: add RF1.r0, RF1.r1, RF1.r0 | DB: mov RF2.r1, DM[2]{c} }
+i3: { DB: mov RF2.r0, DM[3]{d} }
+i4: { U2: mul RF2.r1, RF2.r1, RF2.r0 | DB: mov RF2.r0, RF1.r0 }
+i5: { U2: sub RF2.r0, RF2.r0, RF2.r1 }
+i6: { DB: mov RF1.r0, RF2.r0 }
+i7: { U1: compl RF1.r0, RF1.r0 }
+; output y in RF1.r0

@@ -1,0 +1,1 @@
+ERROR: no functional unit of machine 'Arch3' implements COMPL (required by n7:COMPL(n6) in block 'fig6')

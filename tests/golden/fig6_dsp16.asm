@@ -1,0 +1,9 @@
+; block fig6 on Dsp16 — 7 instructions
+i0: { YB: mov RM.r1, DM[0]{a} }
+i1: { YB: mov RM.r0, DM[1]{b} }
+i2: { MACU: add RM.r2, RM.r1, RM.r0 | YB: mov RM.r1, DM[2]{c} }
+i3: { YB: mov RM.r0, DM[3]{d} }
+i4: { MACU: msu RM.r0, RM.r1, RM.r0, RM.r2 }
+i5: { YB: mov RL.r0, RM.r0 }
+i6: { LU: compl RL.r0, RL.r0 }
+; output y in RL.r0

@@ -1,0 +1,15 @@
+; block matvec2 on Dsp16 — 12 instructions
+i0: { YB: mov RM.r0, DM[1]{m01} | XB: mov RA.r2, DM[7]{hi} }
+i1: { YB: mov RM.r1, DM[5]{v1} | XB: mov RA.r1, DM[6]{lo} }
+i2: { MACU: mul RM.r3, RM.r0, RM.r1 | YB: mov RM.r0, DM[3]{m11} }
+i3: { MACU: mul RM.r1, RM.r0, RM.r1 | YB: mov RM.r0, DM[0]{m00} }
+i4: { YB: mov RM.r2, DM[4]{v0} }
+i5: { MACU: mac RM.r3, RM.r0, RM.r2, RM.r3 | YB: mov RM.r0, DM[2]{m10} }
+i6: { MACU: mac RM.r0, RM.r0, RM.r2, RM.r1 | YB: mov DM[510]{spill0}, RM.r3 }
+i7: { XB: mov RA.r0, DM[510]{scratch0} | YB: mov DM[511]{spill1}, RM.r0 }
+i8: { ALU0: min RA.r3, RA.r0, RA.r2 | XB: mov RA.r0, DM[511]{scratch1} }
+i9: { ALU0: min RA.r0, RA.r0, RA.r2 }
+i10: { ALU0: max RA.r2, RA.r3, RA.r1 }
+i11: { ALU0: max RA.r0, RA.r0, RA.r1 }
+; output r0 in RA.r2
+; output r1 in RA.r0

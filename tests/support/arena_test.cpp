@@ -1,0 +1,156 @@
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aviv {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndRounded) {
+  Arena arena;
+  void* a = arena.allocate(1);
+  void* b = arena.allocate(17);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % Arena::kQuantum, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % Arena::kQuantum, 0u);
+  const ArenaStats& s = arena.stats();
+  EXPECT_EQ(s.allocCalls, 2u);
+  EXPECT_EQ(s.bytesRequested, 18u);       // raw bytes, pre-rounding
+  EXPECT_EQ(s.inUse, 16u + 32u);          // rounded to the 16-byte quantum
+  EXPECT_EQ(s.highWater, s.inUse);
+}
+
+TEST(Arena, AddressesStayStableAcrossGrowth) {
+  Arena arena(/*firstChunkBytes=*/64);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    int* p = arena.alloc<int>(4);
+    p[0] = i;
+    ptrs.push_back(p);
+  }
+  // Growth allocated new chunks; earlier pointers must still read back.
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(ptrs[i][0], i);
+  EXPECT_GT(arena.stats().chunkBytes, 64u);
+}
+
+TEST(Arena, RewindReleasesAndChunksAreReused) {
+  Arena arena(/*firstChunkBytes=*/64);
+  const Arena::Mark m = arena.mark();
+  (void)arena.allocate(1000);
+  const uint64_t chunksAfterFirst = arena.stats().chunkBytes;
+  arena.rewind(m);
+  EXPECT_EQ(arena.stats().inUse, 0u);
+  (void)arena.allocate(1000);
+  // The second pass runs inside retained chunks: no new heap growth.
+  EXPECT_EQ(arena.stats().chunkBytes, chunksAfterFirst);
+}
+
+TEST(Arena, ScopeRewindsOnExit) {
+  Arena arena;
+  (void)arena.allocate(32);
+  const uint64_t outside = arena.stats().inUse;
+  {
+    const ArenaScope scope(arena);
+    (void)arena.allocate(512);
+    EXPECT_GT(arena.stats().inUse, outside);
+  }
+  EXPECT_EQ(arena.stats().inUse, outside);
+}
+
+TEST(Arena, StatsDeltasIgnoreChunkGeometry) {
+  // The jobs-invariance contract: identical allocation sequences produce
+  // identical (allocCalls, bytesRequested, inUse) regardless of how the
+  // chunks happened to grow — chunk-boundary waste is never charged.
+  Arena small(/*firstChunkBytes=*/32);
+  Arena large(/*firstChunkBytes=*/1 << 16);
+  for (int i = 0; i < 50; ++i) {
+    (void)small.allocate(40);
+    (void)large.allocate(40);
+  }
+  EXPECT_EQ(small.stats().allocCalls, large.stats().allocCalls);
+  EXPECT_EQ(small.stats().bytesRequested, large.stats().bytesRequested);
+  EXPECT_EQ(small.stats().inUse, large.stats().inUse);
+  EXPECT_EQ(small.stats().highWater, large.stats().highWater);
+  EXPECT_NE(small.stats().chunkBytes, large.stats().chunkBytes);
+}
+
+TEST(Arena, ResetHighWaterMeasuresScopedPeaks) {
+  Arena arena;
+  (void)arena.allocate(1024);
+  {
+    const ArenaScope scope(arena);
+    (void)arena.allocate(4096);
+  }
+  arena.resetHighWater();
+  EXPECT_EQ(arena.stats().highWater, arena.stats().inUse);
+  const uint64_t before = arena.stats().inUse;
+  {
+    const ArenaScope scope(arena);
+    (void)arena.allocate(160);
+  }
+  // The per-candidate peak is the scoped growth, not the historic maximum.
+  EXPECT_EQ(arena.stats().highWater - before, 160u);
+}
+
+TEST(Arena, AllocSpanFillsAndAllocCopyCopies) {
+  Arena arena;
+  const Span<int> filled = arena.allocSpan<int>(5, 7);
+  ASSERT_EQ(filled.size(), 5u);
+  for (int v : filled) EXPECT_EQ(v, 7);
+  const int src[] = {1, 2, 3};
+  const Span<int> copied = arena.allocCopy(src, 3);
+  ASSERT_EQ(copied.size(), 3u);
+  EXPECT_EQ(copied[0], 1);
+  EXPECT_EQ(copied[2], 3);
+  // Copies are independent storage.
+  copied[0] = 9;
+  EXPECT_EQ(src[0], 1);
+}
+
+TEST(Arena, MoveTransfersChunksAndKeepsAddresses) {
+  Arena arena;
+  int* p = arena.alloc<int>(1);
+  *p = 41;
+  Arena moved = std::move(arena);
+  EXPECT_EQ(*p, 41);
+  *moved.alloc<int>(1) = 42;
+  EXPECT_EQ(*p, 41);
+}
+
+TEST(FlatPool, AppendVariantsAndSpanStability) {
+  FlatPool<uint32_t> pool;
+  const std::vector<uint32_t> vec = {4, 5, 6};
+  const Span<uint32_t> a = pool.append({1u, 2u, 3u});
+  const Span<uint32_t> b = pool.append(vec);
+  const Span<uint32_t> c = pool.appendFill(4, 9u);
+  EXPECT_EQ(pool.size(), 10u);
+  // Force growth well past the first chunk; earlier spans must survive.
+  for (int i = 0; i < 1000; ++i) (void)pool.appendFill(16, 0u);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[2], 3u);
+  EXPECT_EQ(b[1], 5u);
+  for (uint32_t v : c) EXPECT_EQ(v, 9u);
+}
+
+TEST(FlatPool, EmptyAppendYieldsEmptySpan) {
+  FlatPool<uint32_t> pool;
+  const Span<uint32_t> empty = pool.append(nullptr, 0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(Span, ConvertsToConstAndIndexes) {
+  int raw[] = {10, 20, 30};
+  const Span<int> s(raw, 3);
+  const Span<const int> cs = s;
+  EXPECT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs.front(), 10);
+  EXPECT_EQ(cs.back(), 30);
+  s[1] = 25;
+  EXPECT_EQ(cs[1], 25);
+}
+
+}  // namespace
+}  // namespace aviv

@@ -146,5 +146,132 @@ TEST(DynBitset, RandomizedAgainstReferenceSets) {
   }
 }
 
+// Word-boundary edge cases: sizes straddling the 64-bit word seams are
+// where tail-masking bugs live, and the flattened clique loops (raw-word
+// bits:: helpers, assignWords round-trips) lean on these invariants hard.
+class DynBitsetBoundary : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seams, DynBitsetBoundary,
+                         ::testing::Values(63u, 64u, 65u, 128u, 129u));
+
+TEST_P(DynBitsetBoundary, AllSetPopcountAndTailStaysTrimmed) {
+  const size_t n = GetParam();
+  DynBitset bits(n, true);
+  EXPECT_EQ(bits.count(), n);
+  // The tail bits past n in the last word must be zero, or lexLess /
+  // operator== / assignWords would see phantom bits.
+  const uint64_t last = bits.wordData()[bits.wordCount() - 1];
+  if (n % 64 != 0)
+    EXPECT_EQ(last & ~((uint64_t{1} << (n % 64)) - 1), 0u);
+  bits.setAll();
+  EXPECT_EQ(bits.count(), n);
+}
+
+TEST_P(DynBitsetBoundary, EdgeBitsSetResetFind) {
+  const size_t n = GetParam();
+  DynBitset bits(n);
+  bits.set(0);
+  bits.set(n - 1);
+  if (n > 64) bits.set(63), bits.set(64);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(n - 1));
+  EXPECT_EQ(bits.findFirst(), 0u);
+  EXPECT_EQ(bits.findFirst(n - 1), n - 1);
+  EXPECT_EQ(bits.findFirst(n), n);
+  bits.reset(n - 1);
+  EXPECT_FALSE(bits.test(n - 1));
+  std::vector<size_t> seen;
+  bits.forEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, bits.toIndices());
+}
+
+TEST_P(DynBitsetBoundary, ResizeAcrossTheSeam) {
+  const size_t n = GetParam();
+  DynBitset bits(n);
+  bits.set(n - 1);
+  bits.resize(n + 1, true);  // one past: new bit true, old bits kept
+  EXPECT_TRUE(bits.test(n - 1));
+  EXPECT_TRUE(bits.test(n));
+  EXPECT_EQ(bits.count(), 2u);
+  bits.resize(n - 1);  // shrink back across the seam: tail must re-trim
+  EXPECT_EQ(bits.size(), n - 1);
+  EXPECT_EQ(bits.count(), 0u);
+  bits.setAll();
+  EXPECT_EQ(bits.count(), n - 1);
+}
+
+TEST_P(DynBitsetBoundary, AlgebraSubsetAndIntersectCount) {
+  const size_t n = GetParam();
+  DynBitset odd(n);
+  DynBitset low(n);
+  for (size_t i = 1; i < n; i += 2) odd.set(i);
+  for (size_t i = 0; i < n / 2; ++i) low.set(i);
+  DynBitset d = odd;
+  d.andNot(low);
+  for (size_t i = 0; i < n; ++i)
+    EXPECT_EQ(d.test(i), i % 2 == 1 && i >= n / 2) << i;
+  EXPECT_EQ(odd.intersectCount(low), low.count() / 2);
+  EXPECT_TRUE(d.isSubsetOf(odd));
+  EXPECT_FALSE(odd.isSubsetOf(d));
+  EXPECT_EQ(d.count() + low.count() / 2, odd.count());
+}
+
+TEST_P(DynBitsetBoundary, AssignWordsRoundTripsAndClearAndResize) {
+  const size_t n = GetParam();
+  DynBitset src(n);
+  src.set(0);
+  src.set(n - 1);
+  DynBitset dst;
+  dst.assignWords(n, src.wordData());
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(dst.count(), 2u);
+  dst.clearAndResize(n);
+  EXPECT_EQ(dst.size(), n);
+  EXPECT_TRUE(dst.none());
+}
+
+TEST_P(DynBitsetBoundary, UncheckedAccessorsAgreeWithChecked) {
+  const size_t n = GetParam();
+  DynBitset bits(n);
+  bits.setUnchecked(n - 1);
+  EXPECT_TRUE(bits.testUnchecked(n - 1));
+  EXPECT_TRUE(bits.testChecked(n - 1));
+  bits.resetUnchecked(n - 1);
+  EXPECT_FALSE(bits.test(n - 1));
+  bits.setChecked(0);
+  EXPECT_TRUE(bits.testUnchecked(0));
+}
+
+TEST_P(DynBitsetBoundary, RawWordHelpersMatchDynBitset) {
+  const size_t n = GetParam();
+  DynBitset a(n);
+  DynBitset b(n);
+  for (size_t i = 0; i < n; i += 3) a.set(i);
+  for (size_t i = 0; i < n; i += 2) b.set(i);
+  const size_t words = a.wordCount();
+  std::vector<uint64_t> buf(words);
+  bits::andInto(buf.data(), a.wordData(), b.wordData(), words);
+  DynBitset both = a;
+  both &= b;
+  DynBitset fromRaw;
+  fromRaw.assignWords(n, buf.data());
+  EXPECT_EQ(fromRaw, both);
+  bits::andNotInto(buf.data(), a.wordData(), b.wordData(), words);
+  DynBitset diff = a;
+  diff.andNot(b);
+  fromRaw.assignWords(n, buf.data());
+  EXPECT_EQ(fromRaw, diff);
+  // findFirst over the raw words agrees with the DynBitset walk, including
+  // the limit sentinel at exactly n.
+  size_t expect = both.findFirst();
+  size_t got = bits::findFirst(both.wordData(), 0, n);
+  while (expect != n || got != n) {
+    EXPECT_EQ(got, expect);
+    expect = both.findFirst(expect + 1);
+    got = bits::findFirst(both.wordData(), got + 1, n);
+  }
+  EXPECT_EQ(bits::findFirst(both.wordData(), n, n), n);
+}
+
 }  // namespace
 }  // namespace aviv

@@ -19,6 +19,14 @@ for b in "$BUILD"/bench/*; do
       "$b" --jobs "$JOBS" --stats-json "$STATS/$name.json" \
         > "$OUT/$name.txt" 2>&1
       ;;
+    perf_core)
+      # Core microbenchmarks (google-benchmark): human table to results/,
+      # machine-readable JSON (allocs/op, heapKB/op counters included) to
+      # bench/out/ for diffing against BENCH_cold_compile.json snapshots.
+      "$b" --benchmark_min_time=0.5 \
+        --benchmark_out="$STATS/$name.json" --benchmark_out_format=json \
+        > "$OUT/$name.txt" 2>&1
+      ;;
     *)
       "$b" > "$OUT/$name.txt" 2>&1
       ;;
