@@ -1,9 +1,9 @@
-// avivd — the AVIV batch-compile daemon: one warm process serving many
-// compiles (DESIGN.md System 23). Reads newline-delimited compile requests,
-// dispatches them across the session thread pool with result-cache lookups,
-// and streams one status line per request plus an end-of-pass summary.
+// avivd — the AVIV compile daemon: one warm process serving many compiles
+// (DESIGN.md System 23; server mode §6.7). Two front ends over the same
+// request grammar and dispatch (src/service/request.h):
 //
-//   avivd <requests.txt|-> [options]
+//   avivd <requests.txt|->  [options]          batch mode
+//   avivd --listen <spec>   [options]          compile server (docs/server.md)
 //
 // Request line grammar (whitespace-separated tokens; '#' starts a comment,
 // blank lines are skipped):
@@ -24,23 +24,35 @@
 //   machine=dsp16 block=fir.blk const-pool
 //
 // Malformed request lines are reported (with their 1-based line number) and
-// skipped; the rest of the batch still compiles. A request that fails —
-// compile error, injected fault, anything — only fails that request: the
-// daemon never dies mid-batch. SIGINT/SIGTERM request a graceful shutdown:
-// in-flight requests drain, pending ones report `skipped (shutdown)`, the
-// cache manifest is flushed, and the process exits 130.
+// skipped; the rest of the batch still compiles. A batch whose request
+// lines are ALL malformed reports a parse-errors summary and exits 2 — a
+// config generator emitting garbage must not look like a successful run.
+// A request that fails — compile error, injected fault, anything — only
+// fails that request: the daemon never dies mid-batch. SIGINT/SIGTERM
+// request a graceful shutdown: in-flight requests drain, pending ones
+// report `skipped (shutdown)`, the cache manifest is flushed, and the
+// process exits 130.
 //
-// Options:
+// Server mode (--listen unix:/path.sock | --listen host:port): serves the
+// same grammar over the length-prefixed binary framing in src/net/frame.h,
+// one request line per frame. Responses are typed (ok/hit/degraded/
+// quarantined/error/retry-after) and carry wall/queue timings. Admission
+// control sheds with RETRY_AFTER when --queue-cap requests are already
+// waiting; SIGINT/SIGTERM drains: admitted requests finish, their responses
+// flush, then the listener closes and the daemon exits 0. tools/loadgen is
+// the matching load-generator client.
+//
+// Options (both modes unless noted):
 //   --cache-dir <dir>    on-disk result-cache directory (shared with avivc);
 //                        without it the cache is in-memory only
 //   --no-cache           disable the result cache entirely
 //   --mem-entries <n>    memory-tier capacity in entries (default 1024)
 //   --jobs <n>           worker threads compiling requests concurrently
-//   --repeat <n>         run the whole batch n times in this process
+//   --repeat <n>         batch: run the whole batch n times in this process
 //                        (pass 2+ should be all cache hits)
-//   --expect-all-hits    exit nonzero unless the final pass had 0 misses
-//                        (degraded requests excluded: their results are
-//                        deliberately never cached)
+//   --expect-all-hits    batch: exit nonzero unless the final pass had 0
+//                        misses (degraded requests excluded: their results
+//                        are deliberately never cached)
 //   --default-timeout <sec>  covering budget for requests without their own
 //                        timeout= token (0 = unlimited)
 //   --retries <n>        retry a request hit by a transient fault up to n
@@ -52,7 +64,8 @@
 //   --failpoints <spec>  activate fault-injection points, same grammar as
 //                        the AVIV_FAILPOINTS env var: name[:prob[:count]],
 //                        comma-separated (see src/support/failpoint.h)
-//   --print-asm          print each result's assembly after its status line
+//   --print-asm          batch: print each result's assembly after its
+//                        status line
 //   --stats-json <file>  write the daemon's phase-telemetry tree as JSON
 //   --trace-out <file>   flight-recorder tracing: write the retained events
 //                        as Chrome trace-event JSON at exit (and on the
@@ -60,8 +73,15 @@
 //   --metrics-json <file> metrics registry: write aggregated
 //                        counters/histograms after every pass and on the
 //                        SIGINT drain
+//   --listen <spec>      server: accept framed requests on unix:/path or
+//                        host:port (port 0 = kernel-assigned, printed)
+//   --queue-cap <n>      server: admitted-but-unstarted request bound before
+//                        shedding with RETRY_AFTER (default 256)
+//   --backend <b>        server: event backend auto|epoll|poll
+//   --drain-timeout-ms <n>  server: grace for stalled peers at shutdown
 //
-// Status lines (streamed as requests complete; order varies with --jobs):
+// Batch status lines (streamed as requests complete; order varies with
+// --jobs):
 //   req 3: ok block=ex1 machine=arch1 blocks=1 instrs=7 cache=hit
 //     wall=12.4ms queue=0.1ms
 //   req 4: degraded block=biquad machine=arch2 blocks=1 instrs=9 cache=miss
@@ -80,7 +100,8 @@
 //   avivd: pass 1: 10 requests, 9 ok, 1 degraded, 0 quarantined, 0 failed,
 //   0 skipped
 //   avivd: cache: 10 lookups, 0 hits, 10 misses, 0 corrupt, 0 evictions
-#include <chrono>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <iostream>
@@ -88,16 +109,13 @@
 #include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "driver/codegen.h"
-#include "frontend/minic.h"
-#include "ir/parser.h"
-#include "isdl/parser.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/cache.h"
+#include "service/request.h"
 #include "support/cli.h"
 #include "support/error.h"
 #include "support/failpoint.h"
@@ -110,200 +128,349 @@ namespace {
 
 using namespace aviv;
 
-// Graceful-shutdown flag, flipped by the SIGINT/SIGTERM handler. Workers
-// poll it before starting a request; in-flight compiles drain normally.
+// Graceful-shutdown flag, flipped by the SIGINT/SIGTERM handler. Batch
+// workers poll it before starting a request; server mode additionally gets
+// a byte on the event loop's wake pipe so the poll cuts short.
 volatile std::sig_atomic_t g_shutdownRequested = 0;
+volatile int g_serverWakeFd = -1;
 
-extern "C" void handleShutdownSignal(int) { g_shutdownRequested = 1; }
-
-struct Request {
-  int line = 0;  // 1-based line number in the batch file
-  std::string machineSpec;
-  std::string blockSpec;
-  int regsOverride = 0;  // > 0: resize every register file
-  DriverOptions options;
-};
-
-struct RequestResult {
-  bool ok = false;
-  bool degraded = false;  // ok, but at least one block fell back to baseline
-  // ok, but verification caught a miscompile in at least one block (the
-  // result is the verified baseline; a repro artifact was quarantined).
-  bool quarantined = false;
-  std::string error;
-  std::string statusDetail;  // "block=... machine=... blocks=N instrs=N cache=..."
-  std::string asmText;
-  size_t blocks = 0;
-  size_t cachedBlocks = 0;
-};
-
-Machine resolveMachine(const std::string& spec) {
-  if (endsWith(spec, ".isdl")) return parseMachine(readFile(spec));
-  return loadMachine(spec);
-}
-
-Program resolveProgram(const std::string& spec) {
-  if (endsWith(spec, ".c")) return parseMiniC(readFile(spec)).program;
-  if (endsWith(spec, ".blk")) return parseProgram(readFile(spec), spec);
-  const std::string path = blockPath(spec);
-  return parseProgram(readFile(path), path);
-}
-
-Request parseRequest(const std::string& text, int line,
-                     double defaultTimeout,
-                     const VerifyOptions& defaultVerify) {
-  Request request;
-  request.line = line;
-  request.options.core = CodegenOptions::heuristicsOn();
-  request.options.core.timeLimitSeconds = defaultTimeout;
-  request.options.verify = defaultVerify;
-  std::istringstream tokens(text);
-  std::string token;
-  while (tokens >> token) {
-    if (token[0] == '#') break;
-    const size_t eq = token.find('=');
-    const std::string key = token.substr(0, eq);
-    const std::string value =
-        eq == std::string::npos ? "" : token.substr(eq + 1);
-    if (key == "machine") {
-      request.machineSpec = value;
-    } else if (key == "block") {
-      request.blockSpec = value;
-    } else if (key == "heuristics") {
-      if (value != "on" && value != "off")
-        throw Error("heuristics expects on|off, got '" + value + "'");
-      const int jobs = request.options.core.jobs;
-      const double timeout = request.options.core.timeLimitSeconds;
-      request.options.core = value == "off" ? CodegenOptions::heuristicsOff()
-                                            : CodegenOptions::heuristicsOn();
-      request.options.core.jobs = jobs;
-      request.options.core.timeLimitSeconds = timeout;
-    } else if (key == "timeout") {
-      try {
-        request.options.core.timeLimitSeconds = std::stod(value);
-      } catch (const std::exception&) {
-        throw Error("timeout expects seconds, got '" + value + "'");
-      }
-      if (request.options.core.timeLimitSeconds < 0)
-        throw Error("timeout must be >= 0, got '" + value + "'");
-    } else if (key == "const-pool") {
-      request.options.core.constantsInMemory = true;
-    } else if (key == "outputs-mem") {
-      request.options.core.outputsToMemory = true;
-    } else if (key == "no-peephole") {
-      request.options.runPeephole = false;
-    } else if (key == "verify") {
-      if (value == "off") {
-        request.options.verify.level = VerifyLevel::kOff;
-      } else if (value == "sampled") {
-        request.options.verify.level = VerifyLevel::kSampled;
-      } else if (value == "all") {
-        request.options.verify.level = VerifyLevel::kAll;
-      } else {
-        throw Error("verify expects off|sampled|all, got '" + value + "'");
-      }
-    } else if (key == "regs") {
-      try {
-        request.regsOverride = std::stoi(value);
-      } catch (const std::exception&) {
-        throw Error("regs expects an integer, got '" + value + "'");
-      }
-      if (request.regsOverride < 1 || request.regsOverride > 4096)
-        throw Error("regs must be in [1, 4096], got '" + value + "'");
-    } else {
-      throw Error("unknown request token '" + token + "'");
-    }
+extern "C" void handleShutdownSignal(int) {
+  g_shutdownRequested = 1;
+  const int fd = g_serverWakeFd;
+  if (fd >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
   }
-  if (request.machineSpec.empty() || request.blockSpec.empty())
-    throw Error("request needs machine=... and block=...");
-  request.options.core.jobs = 1;  // daemon parallelism is across requests
-  return request;
 }
 
-Machine materializeMachine(const Request& request) {
-  Machine machine = resolveMachine(request.machineSpec);
-  if (request.regsOverride > 0)
-    machine = machine.withRegisterCount(request.regsOverride);
-  return machine;
+struct DaemonConfig {
+  RequestDefaults defaults;
+  RequestExecConfig exec;
+  int jobs = 1;
+  std::string statsJson;
+  std::string metricsJson;
+  std::string traceOut;
+};
+
+void dumpMetricsTo(const std::string& path) {
+  if (!path.empty()) writeFile(path, metrics::Registry::instance().toJson());
 }
 
-RequestResult runRequestOnce(const Request& request,
-                             const std::shared_ptr<ResultCache>& cache,
-                             bool wantAsm, TelemetryNode& tel) {
-  RequestResult result;
-  // Fault-injection site standing in for any transient dispatch failure
-  // (worker wedged, resource briefly unavailable). Fires before compile
-  // work so the retry loop re-runs the whole request.
-  FailPoints::instance().maybeThrow("avivd-dispatch");
-  const Machine machine = materializeMachine(request);
-  const Program program = resolveProgram(request.blockSpec);
-  DriverOptions options = request.options;
-  options.cache = cache;
-  CodeGenerator generator(machine, options);
+void dumpTraceTo(const std::string& path) {
+  if (!path.empty())
+    writeFile(path, trace::Tracer::instance().exportJson());
+}
 
-  int instrs = 0;
-  std::string asmText;
-  if (program.numBlocks() > 1) {
-    const CompiledProgram compiled = generator.compileProgram(program);
-    instrs = compiled.totalInstructions();
-    result.blocks = compiled.blocks.size();
-    for (const CompiledBlock& block : compiled.blocks) {
-      if (block.fromCache) ++result.cachedBlocks;
-      if (block.degraded) result.degraded = true;
-      if (block.quarantined) result.quarantined = true;
-      if (wantAsm) asmText += block.image.asmText(machine) + "\n";
-    }
+// --- batch mode -----------------------------------------------------------
+
+int runBatch(const CliFlags& flagsIn, const DaemonConfig& daemon,
+             const std::string& batchPath, int repeat, bool expectAllHits,
+             bool printAsm) {
+  (void)flagsIn;
+  // Read and parse the whole batch up front. A malformed line is reported
+  // with its 1-based line:column and skipped — one typo must not take down
+  // the rest of the batch.
+  std::string batchText;
+  if (batchPath == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    batchText = buffer.str();
   } else {
-    SymbolTable symbols;
-    const CompiledBlock block =
-        generator.compileBlock(program.block(0), symbols);
-    instrs = block.numInstructions();
-    result.blocks = 1;
-    if (block.fromCache) ++result.cachedBlocks;
-    if (block.degraded) result.degraded = true;
-    if (block.quarantined) result.quarantined = true;
-    if (wantAsm) asmText = block.image.asmText(machine) + "\n";
+    batchText = readFile(batchPath);
   }
-  tel.merge(generator.telemetry());
-
-  const char* cacheState =
-      cache == nullptr ? "off"
-      : result.cachedBlocks == result.blocks ? "hit"
-      : result.cachedBlocks == 0             ? "miss"
-                                             : "partial";
-  result.ok = true;
-  result.asmText = std::move(asmText);
-  result.statusDetail = "block=" + request.blockSpec +
-                        " machine=" + machine.name() +
-                        " blocks=" + std::to_string(result.blocks) +
-                        " instrs=" + std::to_string(instrs) +
-                        " cache=" + cacheState;
-  return result;
-}
-
-// Per-request isolation: every failure mode — parse, compile, injected
-// fault — lands in RequestResult::error; nothing escapes to kill the
-// daemon. Transient faults are retried with exponential backoff.
-RequestResult runRequest(const Request& request,
-                         const std::shared_ptr<ResultCache>& cache,
-                         bool wantAsm, int retries, TelemetryNode& tel) {
-  RequestResult result;
-  for (int attempt = 0;; ++attempt) {
-    try {
-      return runRequestOnce(request, cache, wantAsm, tel);
-    } catch (const TransientError& e) {
-      if (attempt >= retries) {
-        result.error = e.what();
-        return result;
+  std::vector<std::shared_ptr<const ParsedRequest>> requests;
+  int parseErrors = 0;
+  int requestLines = 0;
+  {
+    std::istringstream lines(batchText);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+      ++lineNo;
+      const std::string_view stripped = trim(line);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      ++requestLines;
+      const RequestParse parse =
+          parseRequestLine(stripped, lineNo, daemon.defaults);
+      if (parse.ok()) {
+        requests.push_back(parse.request);
+      } else {
+        ++parseErrors;
+        std::printf("avivd: request line %s: %s (skipped)\n",
+                    parse.diagnostic.loc.str().c_str(),
+                    parse.diagnostic.message.c_str());
       }
-      tel.addCounter("dispatchRetries", 1);
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          1.0 * static_cast<double>(1 << attempt)));
-    } catch (const std::exception& e) {
-      result.error = e.what();
-      return result;
     }
   }
+  if (requests.empty()) {
+    if (parseErrors > 0) {
+      // Every request line was malformed: this is a broken batch, not a
+      // successful no-op — summarize and exit distinctly nonzero.
+      std::printf(
+          "avivd: parse-errors: all %d request line%s malformed, "
+          "0 requests run\n",
+          parseErrors, parseErrors == 1 ? "" : "s");
+      std::fflush(stdout);
+      return 2;
+    }
+    (void)requestLines;
+    throw Error("batch contains no valid requests");
+  }
+
+  TelemetryNode root("avivd");
+  ThreadPool pool(daemon.jobs);
+  std::mutex outMu;
+  bool allOk = true;
+  int64_t finalPassMisses = 0;
+  int64_t finalPassDegradedMisses = 0;
+  int64_t finalPassQuarantinedMisses = 0;
+  bool shutdown = false;
+  const std::shared_ptr<ResultCache>& cache = daemon.exec.cache;
+
+  for (int pass = 1; pass <= repeat && !shutdown; ++pass) {
+    TelemetryNode& passTel = root.child("pass:" + std::to_string(pass));
+    // Pre-create one disjoint telemetry subtree per request before the
+    // fan-out (TelemetryNode is not thread-safe).
+    std::vector<TelemetryNode*> requestTel;
+    requestTel.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i)
+      requestTel.push_back(&passTel.child("req:" + std::to_string(i)));
+
+    const CacheStats before = cache != nullptr ? cache->stats() : CacheStats{};
+    size_t okCount = 0;
+    size_t degradedCount = 0;
+    size_t quarantinedCount = 0;
+    size_t skippedCount = 0;
+    // Misses attributable to degraded/quarantined requests: their results
+    // are deliberately never cached, so --expect-all-hits must not count
+    // them against the pass.
+    int64_t degradedMisses = 0;
+    int64_t quarantinedMisses = 0;
+    // Queue time = how long the request waited for a ThreadPool slot
+    // after the pass fan-out began; wall time = the compile itself.
+    const WallTimer passTimer;
+    RequestExecConfig exec = daemon.exec;
+    exec.wantAsm = printAsm;
+    pool.parallelFor(requests.size(), [&](size_t i, int) {
+      const double queueMs = passTimer.seconds() * 1e3;
+      if (g_shutdownRequested != 0) {
+        // Drain mode: in-flight requests finish, pending ones skip.
+        std::lock_guard<std::mutex> lock(outMu);
+        ++skippedCount;
+        std::printf("req %zu: skipped (shutdown)\n", i);
+        std::fflush(stdout);
+        return;
+      }
+      trace::Span reqSpan("avivd", "req:", std::to_string(i));
+      const WallTimer reqTimer;
+      const RequestOutcome result =
+          executeRequest(*requests[i], exec, *requestTel[i]);
+      const double wallMs = reqTimer.seconds() * 1e3;
+      if (metrics::on())
+        metrics::Registry::instance()
+            .histogram("avivd.request.us")
+            .record(static_cast<int64_t>(wallMs * 1e3));
+      std::lock_guard<std::mutex> lock(outMu);
+      if (result.ok) {
+        if (result.quarantined) {
+          // Takes precedence over plain degradation: verification caught a
+          // miscompile, the emitted result is the verified baseline.
+          ++quarantinedCount;
+          quarantinedMisses += static_cast<int64_t>(result.blocks) -
+                               static_cast<int64_t>(result.cachedBlocks);
+          std::printf("req %zu: quarantined %s wall=%.1fms queue=%.1fms\n", i,
+                      result.statusDetail.c_str(), wallMs, queueMs);
+        } else if (result.degraded) {
+          ++degradedCount;
+          degradedMisses += static_cast<int64_t>(result.blocks) -
+                            static_cast<int64_t>(result.cachedBlocks);
+          std::printf("req %zu: degraded %s wall=%.1fms queue=%.1fms\n", i,
+                      result.statusDetail.c_str(), wallMs, queueMs);
+        } else {
+          ++okCount;
+          std::printf("req %zu: ok %s wall=%.1fms queue=%.1fms\n", i,
+                      result.statusDetail.c_str(), wallMs, queueMs);
+        }
+        if (printAsm) std::printf("%s", result.asmText.c_str());
+      } else {
+        std::printf("req %zu: error %s wall=%.1fms queue=%.1fms\n", i,
+                    result.error.c_str(), wallMs, queueMs);
+      }
+      std::fflush(stdout);
+    });
+
+    std::printf(
+        "avivd: pass %d: %zu requests, %zu ok, %zu degraded, "
+        "%zu quarantined, %zu failed, %zu skipped\n",
+        pass, requests.size(), okCount, degradedCount, quarantinedCount,
+        requests.size() - okCount - degradedCount - quarantinedCount -
+            skippedCount,
+        skippedCount);
+    if (parseErrors > 0)
+      std::printf("avivd: pass %d: %d parse-errors\n", pass, parseErrors);
+    if (cache != nullptr) {
+      const CacheStats now = cache->stats();
+      std::printf(
+          "avivd: cache: %lld lookups, %lld hits, %lld misses, "
+          "%lld corrupt, %lld write-errors, %lld io-retries, "
+          "%lld evictions\n",
+          static_cast<long long>(now.lookups - before.lookups),
+          static_cast<long long>(now.hits - before.hits),
+          static_cast<long long>(now.misses - before.misses),
+          static_cast<long long>(now.corrupt - before.corrupt),
+          static_cast<long long>(now.writeErrors - before.writeErrors),
+          static_cast<long long>(now.ioRetries - before.ioRetries),
+          static_cast<long long>(now.evictions - before.evictions));
+      finalPassMisses = now.misses - before.misses;
+      finalPassDegradedMisses = degradedMisses;
+      finalPassQuarantinedMisses = quarantinedMisses;
+      recordServiceStats(now, root.child("service"));
+    }
+    if (okCount + degradedCount + quarantinedCount != requests.size())
+      allOk = false;
+    // Periodic metrics flush: one aggregated dump per pass, so a long
+    // --repeat run exposes progress without waiting for exit.
+    dumpMetricsTo(daemon.metricsJson);
+    if (g_shutdownRequested != 0) shutdown = true;
+  }
+
+  if (shutdown) {
+    // Graceful shutdown: in-flight work has drained; persist what we can
+    // and exit with the conventional interrupted status.
+    if (cache != nullptr) cache->flushManifest();
+    if (!daemon.statsJson.empty())
+      writeFile(daemon.statsJson, root.toJson() + "\n");
+    dumpMetricsTo(daemon.metricsJson);
+    dumpTraceTo(daemon.traceOut);
+    std::printf("avivd: shutdown requested, exiting\n");
+    return 130;
+  }
+  if (!daemon.statsJson.empty())
+    writeFile(daemon.statsJson, root.toJson() + "\n");
+  dumpMetricsTo(daemon.metricsJson);
+  dumpTraceTo(daemon.traceOut);
+  if (!allOk) return 1;
+  if (expectAllHits &&
+      (cache == nullptr || finalPassMisses - finalPassDegradedMisses -
+                                   finalPassQuarantinedMisses >
+                               0)) {
+    std::fprintf(stderr,
+                 "avivd: --expect-all-hits: final pass had %lld misses "
+                 "(%lld from degraded and %lld from quarantined requests, "
+                 "excluded)\n",
+                 static_cast<long long>(finalPassMisses),
+                 static_cast<long long>(finalPassDegradedMisses),
+                 static_cast<long long>(finalPassQuarantinedMisses));
+    return 2;
+  }
+  return 0;
+}
+
+// --- server mode ----------------------------------------------------------
+
+int runServer(const DaemonConfig& daemon, const std::string& listenSpec,
+              int queueCap, const std::string& backendName,
+              int drainTimeoutMs) {
+  net::ServerConfig config;
+  config.listen = net::parseEndpoint(listenSpec);
+  config.queueCapacity = queueCap;
+  if (drainTimeoutMs > 0) config.drainTimeoutMs = drainTimeoutMs;
+  if (backendName == "epoll") {
+    config.backend = net::EventLoop::Backend::kEpoll;
+  } else if (backendName == "poll") {
+    config.backend = net::EventLoop::Backend::kPoll;
+  } else if (backendName != "auto") {
+    throw Error("--backend expects auto|epoll|poll, got '" + backendName +
+                "'");
+  }
+
+  TelemetryNode root("avivd");
+  TelemetryNode& serverTel = root.child("server");
+  std::mutex telMu;
+  ThreadPool pool(daemon.jobs);
+
+  // The handler runs on ThreadPool workers: parse (line 0 — requests are
+  // not lines of a file), execute with per-request isolation, and map the
+  // outcome onto the wire's typed responses.
+  auto handler = [&](const net::NetRequest& netRequest) -> net::NetResponse {
+    net::NetResponse response;
+    const RequestParse parse =
+        parseRequestLine(netRequest.line, 0, daemon.defaults);
+    if (!parse.ok()) {
+      response.type = net::FrameType::kError;
+      response.detail = parse.diagnostic.message;
+      return response;
+    }
+    RequestExecConfig exec = daemon.exec;
+    exec.wantAsm = netRequest.wantAsm;
+    TelemetryNode local("req");
+    const RequestOutcome outcome = executeRequest(*parse.request, exec, local);
+    {
+      std::lock_guard<std::mutex> lock(telMu);
+      serverTel.merge(local);
+    }
+    if (!outcome.ok) {
+      response.type = net::FrameType::kError;
+      response.detail = outcome.error;
+      return response;
+    }
+    if (outcome.quarantined) {
+      response.type = net::FrameType::kQuarantined;
+    } else if (outcome.degraded) {
+      response.type = net::FrameType::kDegraded;
+    } else if (outcome.allCached()) {
+      response.type = net::FrameType::kHit;
+    } else {
+      response.type = net::FrameType::kOk;
+    }
+    response.detail = outcome.statusDetail;
+    response.body = outcome.asmText;
+    return response;
+  };
+
+  net::CompileServer server(config, pool, handler);
+  const net::Endpoint bound = server.start();
+  g_serverWakeFd = server.wakeupFd();
+  std::printf("avivd: listening on %s (queue-cap %d, jobs %d)\n",
+              bound.str().c_str(), config.queueCapacity, daemon.jobs);
+  std::fflush(stdout);
+
+  server.serve(&g_shutdownRequested);
+  g_serverWakeFd = -1;
+
+  const net::ServerStats stats = server.stats();
+  std::printf(
+      "avivd: server: %lld conns, %lld requests, %lld ok, %lld hits, "
+      "%lld degraded, %lld quarantined, %lld errors, %lld shed, "
+      "%lld responses, %lld dropped\n",
+      static_cast<long long>(stats.accepted),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.ok), static_cast<long long>(stats.hits),
+      static_cast<long long>(stats.degraded),
+      static_cast<long long>(stats.quarantined),
+      static_cast<long long>(stats.errors),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.responses),
+      static_cast<long long>(stats.droppedResponses));
+  if (daemon.exec.cache != nullptr) {
+    const CacheStats cs = daemon.exec.cache->stats();
+    std::printf(
+        "avivd: cache: %lld lookups, %lld hits, %lld misses, %lld corrupt, "
+        "%lld write-errors, %lld io-retries, %lld evictions\n",
+        static_cast<long long>(cs.lookups), static_cast<long long>(cs.hits),
+        static_cast<long long>(cs.misses), static_cast<long long>(cs.corrupt),
+        static_cast<long long>(cs.writeErrors),
+        static_cast<long long>(cs.ioRetries),
+        static_cast<long long>(cs.evictions));
+    daemon.exec.cache->flushManifest();
+    recordServiceStats(cs, root.child("service"));
+  }
+  if (!daemon.statsJson.empty())
+    writeFile(daemon.statsJson, root.toJson() + "\n");
+  dumpMetricsTo(daemon.metricsJson);
+  dumpTraceTo(daemon.traceOut);
+  std::printf("avivd: drained, exiting\n");
+  return 0;
 }
 
 }  // namespace
@@ -311,244 +478,70 @@ RequestResult runRequest(const Request& request,
 int main(int argc, char** argv) {
   try {
     CliFlags flags(argc, argv);
-    if (flags.positional().size() != 1)
+    const std::string listenSpec = flags.getString("listen", "");
+    if (listenSpec.empty() ? flags.positional().size() != 1
+                           : !flags.positional().empty())
       throw Error(
           "usage: avivd <requests.txt|-> [--cache-dir DIR] [--no-cache] "
           "[--mem-entries N] [--jobs N] [--repeat N] [--expect-all-hits] "
           "[--default-timeout SEC] [--retries N] [--failpoints SPEC] "
           "[--verify off|sampled|all] [--quarantine-dir DIR] "
           "[--print-asm] [--stats-json out.json] [--trace-out out.json] "
-          "[--metrics-json out.json]");
-    const std::string batchPath = flags.positional()[0];
+          "[--metrics-json out.json]\n"
+          "       avivd --listen <unix:PATH|HOST:PORT> [--queue-cap N] "
+          "[--backend auto|epoll|poll] [--drain-timeout-ms N] "
+          "[common options]");
+    DaemonConfig daemon;
     const std::string cacheDir = flags.getString("cache-dir", "");
     const bool noCache = flags.getBool("no-cache", false);
     const auto memEntries =
         static_cast<size_t>(flags.getInt("mem-entries", 1024));
-    const int jobs = static_cast<int>(flags.getInt("jobs", 1));
+    daemon.jobs = static_cast<int>(flags.getInt("jobs", 1));
     const int repeat = static_cast<int>(flags.getInt("repeat", 1));
     const bool expectAllHits = flags.getBool("expect-all-hits", false);
-    const double defaultTimeout = flags.getDouble("default-timeout", 0.0);
-    const int retries = static_cast<int>(flags.getInt("retries", 2));
-    VerifyOptions defaultVerify;
+    daemon.defaults.timeoutSeconds = flags.getDouble("default-timeout", 0.0);
+    daemon.exec.retries = static_cast<int>(flags.getInt("retries", 2));
     const std::string verifyMode = flags.getString("verify", "off");
     if (verifyMode == "sampled") {
-      defaultVerify.level = VerifyLevel::kSampled;
+      daemon.defaults.verify.level = VerifyLevel::kSampled;
     } else if (verifyMode == "all") {
-      defaultVerify.level = VerifyLevel::kAll;
+      daemon.defaults.verify.level = VerifyLevel::kAll;
     } else if (verifyMode != "off") {
       throw Error("--verify expects off|sampled|all, got '" + verifyMode +
                   "'");
     }
-    defaultVerify.quarantineDir = flags.getString("quarantine-dir", "");
+    daemon.defaults.verify.quarantineDir =
+        flags.getString("quarantine-dir", "");
     const std::string failpoints = flags.getString("failpoints", "");
     const bool printAsm = flags.getBool("print-asm", false);
-    const std::string statsJson = flags.getString("stats-json", "");
-    const std::string traceOut = flags.getString("trace-out", "");
-    const std::string metricsJson = flags.getString("metrics-json", "");
+    daemon.statsJson = flags.getString("stats-json", "");
+    daemon.traceOut = flags.getString("trace-out", "");
+    daemon.metricsJson = flags.getString("metrics-json", "");
+    const int queueCap = static_cast<int>(flags.getInt("queue-cap", 256));
+    const std::string backendName = flags.getString("backend", "auto");
+    const int drainTimeoutMs =
+        static_cast<int>(flags.getInt("drain-timeout-ms", 0));
     flags.finish();
     if (!failpoints.empty()) FailPoints::instance().configure(failpoints);
-    if (!traceOut.empty()) trace::Tracer::instance().enable();
-    if (!metricsJson.empty()) metrics::Registry::instance().enable();
-
-    // Best-effort observability dumps, shared by the per-pass flush, the
-    // graceful-shutdown drain, and normal exit.
-    auto dumpMetrics = [&] {
-      if (!metricsJson.empty())
-        writeFile(metricsJson, metrics::Registry::instance().toJson());
-    };
-    auto dumpTrace = [&] {
-      if (!traceOut.empty())
-        writeFile(traceOut, trace::Tracer::instance().exportJson());
-    };
+    if (!daemon.traceOut.empty()) trace::Tracer::instance().enable();
+    if (!daemon.metricsJson.empty()) metrics::Registry::instance().enable();
 
     std::signal(SIGINT, handleShutdownSignal);
     std::signal(SIGTERM, handleShutdownSignal);
+    std::signal(SIGPIPE, SIG_IGN);
 
-    // Read and parse the whole batch up front. A malformed line is
-    // reported with its 1-based line number and skipped — one typo must
-    // not take down the rest of the batch.
-    std::string batchText;
-    if (batchPath == "-") {
-      std::ostringstream buffer;
-      buffer << std::cin.rdbuf();
-      batchText = buffer.str();
-    } else {
-      batchText = readFile(batchPath);
-    }
-    std::vector<Request> requests;
-    int parseErrors = 0;
-    {
-      std::istringstream lines(batchText);
-      std::string line;
-      int lineNo = 0;
-      while (std::getline(lines, line)) {
-        ++lineNo;
-        const std::string_view stripped = trim(line);
-        if (stripped.empty() || stripped[0] == '#') continue;
-        try {
-          requests.push_back(parseRequest(std::string(stripped), lineNo,
-                                          defaultTimeout, defaultVerify));
-        } catch (const Error& e) {
-          ++parseErrors;
-          std::printf("avivd: request line %d: %s (skipped)\n", lineNo,
-                      e.what());
-        }
-      }
-    }
-    if (requests.empty()) throw Error("batch contains no valid requests");
-
-    std::shared_ptr<ResultCache> cache;
     if (!noCache) {
       CacheConfig cacheConfig;
       cacheConfig.dir = cacheDir;
       cacheConfig.memoryEntries = memEntries;
-      cache = std::make_shared<ResultCache>(cacheConfig);
+      daemon.exec.cache = std::make_shared<ResultCache>(cacheConfig);
     }
 
-    TelemetryNode root("avivd");
-    ThreadPool pool(jobs);
-    std::mutex outMu;
-    bool allOk = true;
-    int64_t finalPassMisses = 0;
-    int64_t finalPassDegradedMisses = 0;
-    int64_t finalPassQuarantinedMisses = 0;
-    bool shutdown = false;
-
-    for (int pass = 1; pass <= repeat && !shutdown; ++pass) {
-      TelemetryNode& passTel = root.child("pass:" + std::to_string(pass));
-      // Pre-create one disjoint telemetry subtree per request before the
-      // fan-out (TelemetryNode is not thread-safe).
-      std::vector<TelemetryNode*> requestTel;
-      requestTel.reserve(requests.size());
-      for (size_t i = 0; i < requests.size(); ++i)
-        requestTel.push_back(&passTel.child("req:" + std::to_string(i)));
-
-      const CacheStats before =
-          cache != nullptr ? cache->stats() : CacheStats{};
-      size_t okCount = 0;
-      size_t degradedCount = 0;
-      size_t quarantinedCount = 0;
-      size_t skippedCount = 0;
-      // Misses attributable to degraded/quarantined requests: their results
-      // are deliberately never cached, so --expect-all-hits must not count
-      // them against the pass.
-      int64_t degradedMisses = 0;
-      int64_t quarantinedMisses = 0;
-      // Queue time = how long the request waited for a ThreadPool slot
-      // after the pass fan-out began; wall time = the compile itself.
-      const WallTimer passTimer;
-      pool.parallelFor(requests.size(), [&](size_t i, int) {
-        const double queueMs = passTimer.seconds() * 1e3;
-        if (g_shutdownRequested != 0) {
-          // Drain mode: in-flight requests finish, pending ones skip.
-          std::lock_guard<std::mutex> lock(outMu);
-          ++skippedCount;
-          std::printf("req %zu: skipped (shutdown)\n", i);
-          std::fflush(stdout);
-          return;
-        }
-        trace::Span reqSpan("avivd", "req:", std::to_string(i));
-        const WallTimer reqTimer;
-        const RequestResult result =
-            runRequest(requests[i], cache, printAsm, retries, *requestTel[i]);
-        const double wallMs = reqTimer.seconds() * 1e3;
-        if (metrics::on())
-          metrics::Registry::instance()
-              .histogram("avivd.request.us")
-              .record(static_cast<int64_t>(wallMs * 1e3));
-        std::lock_guard<std::mutex> lock(outMu);
-        if (result.ok) {
-          if (result.quarantined) {
-            // Takes precedence over plain degradation: verification caught a
-            // miscompile, the emitted result is the verified baseline.
-            ++quarantinedCount;
-            quarantinedMisses += static_cast<int64_t>(result.blocks) -
-                                 static_cast<int64_t>(result.cachedBlocks);
-            std::printf("req %zu: quarantined %s wall=%.1fms queue=%.1fms\n",
-                        i, result.statusDetail.c_str(), wallMs, queueMs);
-          } else if (result.degraded) {
-            ++degradedCount;
-            degradedMisses += static_cast<int64_t>(result.blocks) -
-                              static_cast<int64_t>(result.cachedBlocks);
-            std::printf("req %zu: degraded %s wall=%.1fms queue=%.1fms\n", i,
-                        result.statusDetail.c_str(), wallMs, queueMs);
-          } else {
-            ++okCount;
-            std::printf("req %zu: ok %s wall=%.1fms queue=%.1fms\n", i,
-                        result.statusDetail.c_str(), wallMs, queueMs);
-          }
-          if (printAsm) std::printf("%s", result.asmText.c_str());
-        } else {
-          std::printf("req %zu: error %s wall=%.1fms queue=%.1fms\n", i,
-                      result.error.c_str(), wallMs, queueMs);
-        }
-        std::fflush(stdout);
-      });
-
-      std::printf(
-          "avivd: pass %d: %zu requests, %zu ok, %zu degraded, "
-          "%zu quarantined, %zu failed, %zu skipped\n",
-          pass, requests.size(), okCount, degradedCount, quarantinedCount,
-          requests.size() - okCount - degradedCount - quarantinedCount -
-              skippedCount,
-          skippedCount);
-      if (parseErrors > 0)
-        std::printf("avivd: pass %d: %d parse-errors\n", pass, parseErrors);
-      if (cache != nullptr) {
-        const CacheStats now = cache->stats();
-        std::printf(
-            "avivd: cache: %lld lookups, %lld hits, %lld misses, "
-            "%lld corrupt, %lld write-errors, %lld io-retries, "
-            "%lld evictions\n",
-            static_cast<long long>(now.lookups - before.lookups),
-            static_cast<long long>(now.hits - before.hits),
-            static_cast<long long>(now.misses - before.misses),
-            static_cast<long long>(now.corrupt - before.corrupt),
-            static_cast<long long>(now.writeErrors - before.writeErrors),
-            static_cast<long long>(now.ioRetries - before.ioRetries),
-            static_cast<long long>(now.evictions - before.evictions));
-        finalPassMisses = now.misses - before.misses;
-        finalPassDegradedMisses = degradedMisses;
-        finalPassQuarantinedMisses = quarantinedMisses;
-        recordServiceStats(now, root.child("service"));
-      }
-      if (okCount + degradedCount + quarantinedCount != requests.size())
-        allOk = false;
-      // Periodic metrics flush: one aggregated dump per pass, so a long
-      // --repeat run exposes progress without waiting for exit.
-      dumpMetrics();
-      if (g_shutdownRequested != 0) shutdown = true;
-    }
-
-    if (shutdown) {
-      // Graceful shutdown: in-flight work has drained; persist what we can
-      // and exit with the conventional interrupted status.
-      if (cache != nullptr) cache->flushManifest();
-      if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
-      dumpMetrics();
-      dumpTrace();
-      std::printf("avivd: shutdown requested, exiting\n");
-      return 130;
-    }
-    if (!statsJson.empty()) writeFile(statsJson, root.toJson() + "\n");
-    dumpMetrics();
-    dumpTrace();
-    if (!allOk) return 1;
-    if (expectAllHits &&
-        (cache == nullptr ||
-         finalPassMisses - finalPassDegradedMisses -
-                 finalPassQuarantinedMisses >
-             0)) {
-      std::fprintf(stderr,
-                   "avivd: --expect-all-hits: final pass had %lld misses "
-                   "(%lld from degraded and %lld from quarantined requests, "
-                   "excluded)\n",
-                   static_cast<long long>(finalPassMisses),
-                   static_cast<long long>(finalPassDegradedMisses),
-                   static_cast<long long>(finalPassQuarantinedMisses));
-      return 2;
-    }
-    return 0;
+    if (!listenSpec.empty())
+      return runServer(daemon, listenSpec, queueCap, backendName,
+                       drainTimeoutMs);
+    return runBatch(flags, daemon, flags.positional()[0], repeat,
+                    expectAllHits, printAsm);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "avivd: %s\n", e.what());
     return 1;

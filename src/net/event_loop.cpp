@@ -1,0 +1,219 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define AVIV_NET_HAVE_EPOLL 1
+#else
+#define AVIV_NET_HAVE_EPOLL 0
+#endif
+
+#include "support/error.h"
+
+namespace aviv::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Backend backend) {
+#if AVIV_NET_HAVE_EPOLL
+  usingEpoll_ = backend != Backend::kPoll;
+#else
+  if (backend == Backend::kEpoll)
+    throw Error("event loop: epoll backend unavailable on this platform");
+  usingEpoll_ = false;
+#endif
+#if AVIV_NET_HAVE_EPOLL
+  if (usingEpoll_) {
+    epollFd_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epollFd_.valid()) throwErrno("epoll_create1");
+  }
+#endif
+  int pipeFds[2];
+  if (::pipe(pipeFds) < 0) throwErrno("pipe");
+  wakePipe_[0] = Fd(pipeFds[0]);
+  wakePipe_[1] = Fd(pipeFds[1]);
+  setNonBlocking(wakePipe_[0].get());
+  setNonBlocking(wakePipe_[1].get());
+  // The wake pipe is a plain watched fd; its callback just drains it.
+  add(wakePipe_[0].get(), kRead, [this](uint32_t) { drainWakePipe(); });
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, uint32_t interest, Callback callback) {
+  AVIV_CHECK(fd >= 0);
+  AVIV_CHECK(entries_.find(fd) == entries_.end());
+  Entry entry;
+  entry.interest = interest;
+  entry.generation = nextGeneration_++;
+  entry.callback = std::move(callback);
+  entries_.emplace(fd, std::move(entry));
+  backendAdd(fd, interest);
+}
+
+void EventLoop::modify(int fd, uint32_t interest) {
+  auto it = entries_.find(fd);
+  AVIV_CHECK(it != entries_.end());
+  if (it->second.interest == interest) return;
+  it->second.interest = interest;
+  backendModify(fd, interest);
+}
+
+void EventLoop::remove(int fd) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  backendRemove(fd);
+  entries_.erase(it);
+}
+
+void EventLoop::wakeup() {
+  const char byte = 0;
+  // Best effort: a full pipe already guarantees a pending wake.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wakePipe_[1].get(), &byte, 1);
+}
+
+void EventLoop::drainWakePipe() {
+  char buf[256];
+  while (::read(wakePipe_[0].get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::backendAdd(int fd, uint32_t interest) {
+#if AVIV_NET_HAVE_EPOLL
+  if (usingEpoll_) {
+    epoll_event ev{};
+    ev.events = (interest & kRead ? EPOLLIN : 0u) |
+                (interest & kWrite ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0)
+      throwErrno("epoll_ctl(ADD)");
+  }
+#else
+  (void)fd;
+  (void)interest;
+#endif
+}
+
+void EventLoop::backendModify(int fd, uint32_t interest) {
+#if AVIV_NET_HAVE_EPOLL
+  if (usingEpoll_) {
+    epoll_event ev{};
+    ev.events = (interest & kRead ? EPOLLIN : 0u) |
+                (interest & kWrite ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0)
+      throwErrno("epoll_ctl(MOD)");
+  }
+#else
+  (void)fd;
+  (void)interest;
+#endif
+}
+
+void EventLoop::backendRemove(int fd) {
+#if AVIV_NET_HAVE_EPOLL
+  if (usingEpoll_) {
+    epoll_event ev{};  // non-null for pre-2.6.9 kernels, per the man page
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, &ev);
+  }
+#else
+  (void)fd;
+#endif
+}
+
+int EventLoop::waitReady(int timeoutMs,
+                         std::vector<std::pair<int, uint32_t>>* ready) {
+#if AVIV_NET_HAVE_EPOLL
+  if (usingEpoll_) {
+    static constexpr int kMaxEvents = 256;
+    epoll_event events[kMaxEvents];
+    const int n = ::epoll_wait(epollFd_.get(), events, kMaxEvents, timeoutMs);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throwErrno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      uint32_t bits = 0;
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0)
+        bits |= kRead;
+      if ((events[i].events & EPOLLOUT) != 0) bits |= kWrite;
+      const int fd = events[i].data.fd;
+      if (bits != 0) ready->emplace_back(fd, bits);
+    }
+    return n;
+  }
+#endif
+  // poll fallback: rebuild the pollfd set from the registry every wait.
+  // O(fds) per call, which is fine for the fallback path; epoll carries
+  // the thousand-connection runs.
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const auto& [fd, entry] : entries_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>((entry.interest & kRead ? POLLIN : 0) |
+                                  (entry.interest & kWrite ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeoutMs);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throwErrno("poll");
+  }
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    uint32_t bits = 0;
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0)
+      bits |= kRead;
+    if ((p.revents & POLLOUT) != 0) bits |= kWrite;
+    if (bits != 0) ready->emplace_back(p.fd, bits);
+  }
+  return n;
+}
+
+int EventLoop::runOnce(int timeoutMs) {
+  std::vector<std::pair<int, uint32_t>> ready;
+  waitReady(timeoutMs, &ready);
+
+  // Re-validate before each dispatch: an earlier callback this round may
+  // have removed the fd (or removed + re-added it, changing generation).
+  struct Pending {
+    int fd;
+    uint32_t bits;
+    uint64_t generation;
+  };
+  std::vector<Pending> snapshot;
+  snapshot.reserve(ready.size());
+  for (const auto& [fd, bits] : ready) {
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) continue;
+    snapshot.push_back({fd, bits, it->second.generation});
+  }
+  int dispatched = 0;
+  for (const Pending& pending : snapshot) {
+    auto it = entries_.find(pending.fd);
+    if (it == entries_.end() || it->second.generation != pending.generation)
+      continue;
+    ++dispatched;
+    // Invoke through a copy: the callback may remove its own registration,
+    // which would otherwise destroy the std::function mid-call.
+    const Callback callback = it->second.callback;
+    callback(pending.bits);
+  }
+  return dispatched;
+}
+
+}  // namespace aviv::net

@@ -1,0 +1,160 @@
+#include "net/frame.h"
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/serial.h"
+
+namespace aviv::net {
+
+const char* frameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kOk: return "ok";
+    case FrameType::kHit: return "hit";
+    case FrameType::kDegraded: return "degraded";
+    case FrameType::kQuarantined: return "quarantined";
+    case FrameType::kError: return "error";
+    case FrameType::kRetryAfter: return "retry-after";
+  }
+  return "unknown";
+}
+
+bool isResponseType(FrameType type) {
+  switch (type) {
+    case FrameType::kOk:
+    case FrameType::kHit:
+    case FrameType::kDegraded:
+    case FrameType::kQuarantined:
+    case FrameType::kError:
+    case FrameType::kRetryAfter:
+      return true;
+    case FrameType::kRequest:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+bool validType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(FrameType::kRequest) &&
+         raw <= static_cast<uint8_t>(FrameType::kRetryAfter);
+}
+
+}  // namespace
+
+std::string encodeFrame(FrameType type, std::string_view payload) {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u16(kFrameVersion);
+  w.u8(static_cast<uint8_t>(type));
+  w.u8(0);  // reserved
+  w.u64(payload.size());
+  w.u64(hash64(payload.data(), payload.size()));
+  std::string out = w.take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, size_t n) {
+  if (poisoned_) return;  // the connection is dead; stop buffering
+  // Compact the consumed prefix before it can dominate the buffer.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame* out) {
+  if (poisoned_) return Status::kError;
+  if (buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+
+  ByteReader header(std::string_view(buf_).substr(pos_, kFrameHeaderBytes));
+  const uint32_t magic = header.u32();
+  const uint16_t version = header.u16();
+  const uint8_t rawType = header.u8();
+  const uint8_t reserved = header.u8();
+  const uint64_t payloadSize = header.u64();
+  const uint64_t checksum = header.u64();
+
+  auto poison = [&](const std::string& message) {
+    poisoned_ = true;
+    error_ = message;
+    buf_.clear();
+    pos_ = 0;
+    return Status::kError;
+  };
+
+  if (magic != kFrameMagic) return poison("frame: bad magic");
+  if (version != kFrameVersion)
+    return poison("frame: unsupported version " + std::to_string(version));
+  if (!validType(rawType))
+    return poison("frame: unknown type " + std::to_string(rawType));
+  if (reserved != 0) return poison("frame: nonzero reserved byte");
+  // The cap check uses only the 24 header bytes: an attacker declaring a
+  // huge payload is rejected before one payload byte is buffered, let
+  // alone allocated.
+  if (payloadSize > maxPayload_)
+    return poison("frame: declared payload " + std::to_string(payloadSize) +
+                  " exceeds cap " + std::to_string(maxPayload_));
+
+  if (buffered() < kFrameHeaderBytes + payloadSize) return Status::kNeedMore;
+
+  const std::string_view payload =
+      std::string_view(buf_).substr(pos_ + kFrameHeaderBytes,
+                                    static_cast<size_t>(payloadSize));
+  if (hash64(payload.data(), payload.size()) != checksum)
+    return poison("frame: payload checksum mismatch");
+
+  out->type = static_cast<FrameType>(rawType);
+  out->payload.assign(payload.data(), payload.size());
+  pos_ += kFrameHeaderBytes + static_cast<size_t>(payloadSize);
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+std::string encodeRequestPayload(const RequestPayload& p) {
+  ByteWriter w;
+  w.u64(p.id);
+  w.u8(p.wantAsm ? 1 : 0);
+  w.str(p.line);
+  return w.take();
+}
+
+RequestPayload decodeRequestPayload(std::string_view data) {
+  ByteReader r(data);
+  RequestPayload p;
+  p.id = r.u64();
+  p.wantAsm = r.u8() != 0;
+  p.line = r.str();
+  if (!r.atEnd()) throw Error("request payload: trailing bytes");
+  return p;
+}
+
+std::string encodeResponsePayload(const ResponsePayload& p) {
+  ByteWriter w;
+  w.u64(p.id);
+  w.u64(p.wallMicros);
+  w.u64(p.queueMicros);
+  w.str(p.detail);
+  w.str(p.body);
+  return w.take();
+}
+
+ResponsePayload decodeResponsePayload(std::string_view data) {
+  ByteReader r(data);
+  ResponsePayload p;
+  p.id = r.u64();
+  p.wallMicros = r.u64();
+  p.queueMicros = r.u64();
+  p.detail = r.str();
+  p.body = r.str();
+  if (!r.atEnd()) throw Error("response payload: trailing bytes");
+  return p;
+}
+
+}  // namespace aviv::net

@@ -1,0 +1,191 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace aviv::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcpAddr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  std::string host = endpoint.host;
+  if (host == "localhost" || host.empty()) host = "127.0.0.1";
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw Error("listen: bad IPv4 host '" + endpoint.host + "'");
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::str() const {
+  if (isUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parseEndpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (startsWith(spec, "unix:")) {
+    endpoint.isUnix = true;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty())
+      throw Error("endpoint 'unix:' needs a socket path");
+    return endpoint;
+  }
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos)
+    throw Error("endpoint '" + spec +
+                "' must be unix:PATH or HOST:PORT (e.g. 127.0.0.1:7070)");
+  if (colon > 0) endpoint.host = spec.substr(0, colon);
+  const std::string portText = spec.substr(colon + 1);
+  try {
+    const int port = std::stoi(portText);
+    if (port < 0 || port > 65535) throw std::out_of_range("port");
+    endpoint.port = static_cast<uint16_t>(port);
+  } catch (const std::exception&) {
+    throw Error("endpoint '" + spec + "': bad port '" + portText + "'");
+  }
+  return endpoint;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void setNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throwErrno("fcntl(O_NONBLOCK)");
+}
+
+Fd listenOn(const Endpoint& endpoint, int backlog, Endpoint* bound) {
+  Fd fd(::socket(endpoint.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throwErrno("socket");
+  if (endpoint.isUnix) {
+    ::unlink(endpoint.path.c_str());  // stale file from a crashed server
+    const sockaddr_un addr = unixAddr(endpoint.path);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      throwErrno("bind " + endpoint.str());
+  } else {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcpAddr(endpoint);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      throwErrno("bind " + endpoint.str());
+  }
+  if (::listen(fd.get(), backlog) < 0) throwErrno("listen " + endpoint.str());
+  setNonBlocking(fd.get());
+  if (bound != nullptr) {
+    *bound = endpoint;
+    if (!endpoint.isUnix) {
+      sockaddr_in actual{};
+      socklen_t len = sizeof(actual);
+      if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual),
+                        &len) == 0)
+        bound->port = ntohs(actual.sin_port);
+    }
+  }
+  return fd;
+}
+
+Fd connectTo(const Endpoint& endpoint) {
+  Fd fd(::socket(endpoint.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throwErrno("socket");
+  int rc;
+  if (endpoint.isUnix) {
+    const sockaddr_un addr = unixAddr(endpoint.path);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = tcpAddr(endpoint);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc < 0) throwErrno("connect " + endpoint.str());
+  return fd;
+}
+
+IoResult readSome(int fd, char* buf, size_t cap) {
+  IoResult result;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) {
+      result.n = n;
+      return result;
+    }
+    if (n == 0) {
+      result.eof = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.wouldBlock = true;
+      return result;
+    }
+    result.error = errno;
+    return result;
+  }
+}
+
+IoResult writeSome(int fd, const char* buf, size_t n) {
+  IoResult result;
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t written = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (written >= 0) {
+      result.n = written;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.wouldBlock = true;
+      return result;
+    }
+    result.error = errno;
+    return result;
+  }
+}
+
+uint64_t raiseFdLimit() {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  if (limit.rlim_cur < limit.rlim_max) {
+    rlimit raised = limit;
+    raised.rlim_cur = limit.rlim_max;
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) return raised.rlim_cur;
+  }
+  return limit.rlim_cur;
+}
+
+}  // namespace aviv::net

@@ -1,0 +1,86 @@
+// Thin POSIX socket helpers shared by the compile server (src/net/server.h)
+// and its clients (tools/loadgen.cpp, tests). Std + POSIX only; every
+// failure surfaces as aviv::Error (never errno-checking left to callers).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace aviv::net {
+
+// An endpoint spec: "unix:/path/to.sock" or "host:port" ("127.0.0.1:7070";
+// host defaults to 127.0.0.1 when omitted, as in ":7070"; port 0 asks the
+// kernel for an ephemeral port — the bound address reports the real one).
+struct Endpoint {
+  bool isUnix = false;
+  std::string path;              // unix sockets
+  std::string host = "127.0.0.1";  // TCP; numeric IPv4 or "localhost"
+  uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+// Throws aviv::Error on a malformed spec.
+[[nodiscard]] Endpoint parseEndpoint(const std::string& spec);
+
+// Move-only owning fd.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds + listens on `endpoint` (non-blocking listener). Unix paths are
+// unlinked first so a stale socket file from a crashed server cannot block
+// restart. `bound` (optional) receives the actual endpoint — for TCP port
+// 0 this is how callers learn the kernel-assigned port.
+[[nodiscard]] Fd listenOn(const Endpoint& endpoint, int backlog,
+                          Endpoint* bound);
+
+// Blocking connect; throws aviv::Error on failure.
+[[nodiscard]] Fd connectTo(const Endpoint& endpoint);
+
+void setNonBlocking(int fd);
+
+// Result of one non-blocking read()/write() attempt.
+struct IoResult {
+  ssize_t n = 0;          // bytes moved (0 with eof=false: wouldBlock)
+  bool wouldBlock = false;
+  bool eof = false;       // read: peer closed
+  int error = 0;          // errno on hard failure; 0 otherwise
+};
+
+[[nodiscard]] IoResult readSome(int fd, char* buf, size_t cap);
+[[nodiscard]] IoResult writeSome(int fd, const char* buf, size_t n);
+
+// Best-effort bump of RLIMIT_NOFILE's soft limit toward the hard limit so
+// thousand-connection runs don't die on accept(EMFILE). Returns the soft
+// limit in effect afterwards.
+uint64_t raiseFdLimit();
+
+}  // namespace aviv::net

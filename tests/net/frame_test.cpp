@@ -1,0 +1,229 @@
+// Wire-framing tests: round-trips for every frame type, incremental
+// (dribbled) decoding, and the hostile-input battery — truncated headers,
+// oversized declared payloads (rejected from the header alone, before any
+// payload is buffered), checksum corruption, bad magic/version/type, torn
+// mid-frame closes, and truncated payload codecs.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.h"
+
+namespace aviv::net {
+namespace {
+
+Frame decodeOne(FrameDecoder& decoder, const std::string& bytes) {
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kFrame);
+  return frame;
+}
+
+TEST(NetFrame, RoundTripsEveryType) {
+  for (const FrameType type :
+       {FrameType::kRequest, FrameType::kOk, FrameType::kHit,
+        FrameType::kDegraded, FrameType::kQuarantined, FrameType::kError,
+        FrameType::kRetryAfter}) {
+    const std::string payload = "payload for " + std::string(frameTypeName(type));
+    FrameDecoder decoder;
+    const Frame frame = decodeOne(decoder, encodeFrame(type, payload));
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(decoder.buffered(), 0u);
+    EXPECT_FALSE(decoder.midFrame());
+  }
+}
+
+TEST(NetFrame, RoundTripsEmptyPayload) {
+  FrameDecoder decoder;
+  const Frame frame = decodeOne(decoder, encodeFrame(FrameType::kOk, ""));
+  EXPECT_EQ(frame.type, FrameType::kOk);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetFrame, DecodesByteByByte) {
+  const std::string bytes = encodeFrame(FrameType::kRequest, "dribble");
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed(&bytes[i], 1);
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kNeedMore);
+    EXPECT_TRUE(decoder.midFrame());
+  }
+  decoder.feed(&bytes[bytes.size() - 1], 1);
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.payload, "dribble");
+}
+
+TEST(NetFrame, DecodesMultipleFramesFromOneFeed) {
+  const std::string bytes = encodeFrame(FrameType::kOk, "one") +
+                            encodeFrame(FrameType::kHit, "two") +
+                            encodeFrame(FrameType::kError, "three");
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.payload, "one");
+  ASSERT_EQ(decoder.next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.payload, "two");
+  ASSERT_EQ(decoder.next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.payload, "three");
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(NetFrame, TruncatedHeaderNeedsMore) {
+  const std::string bytes = encodeFrame(FrameType::kOk, "x");
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), kFrameHeaderBytes - 1);
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_TRUE(decoder.midFrame());
+}
+
+TEST(NetFrame, TornMidPayloadIsDetectable) {
+  const std::string bytes = encodeFrame(FrameType::kRequest, "torn payload");
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 4);
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kNeedMore);
+  // An EOF now is a torn, mid-frame close: midFrame() is the server's
+  // signal to count the connection as torn rather than cleanly finished.
+  EXPECT_TRUE(decoder.midFrame());
+}
+
+TEST(NetFrame, BadMagicPoisons) {
+  std::string bytes = encodeFrame(FrameType::kOk, "x");
+  bytes[0] = 'Z';
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("bad magic"), std::string::npos);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned decoders stay poisoned: more bytes are discarded.
+  const std::string good = encodeFrame(FrameType::kOk, "y");
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(NetFrame, UnsupportedVersionPoisons) {
+  std::string bytes = encodeFrame(FrameType::kOk, "x");
+  bytes[4] = static_cast<char>(0x7f);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("version"), std::string::npos);
+}
+
+TEST(NetFrame, UnknownTypePoisons) {
+  std::string bytes = encodeFrame(FrameType::kOk, "x");
+  bytes[6] = static_cast<char>(0x63);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("unknown type"), std::string::npos);
+}
+
+TEST(NetFrame, NonzeroReservedBytePoisons) {
+  std::string bytes = encodeFrame(FrameType::kOk, "x");
+  bytes[7] = 1;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("reserved"), std::string::npos);
+}
+
+TEST(NetFrame, ChecksumMismatchPoisons) {
+  std::string bytes = encodeFrame(FrameType::kRequest, "checksummed");
+  bytes[bytes.size() - 1] ^= 0x01;  // flip one payload bit
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("checksum"), std::string::npos);
+}
+
+TEST(NetFrame, OversizedDeclaredPayloadRejectedFromHeaderAlone) {
+  // A header declaring a payload over the cap must poison the decoder
+  // while ONLY the 24 header bytes are buffered — the attack costs the
+  // server no payload memory.
+  FrameDecoder decoder(/*maxPayload=*/1024);
+  std::string huge = encodeFrame(FrameType::kRequest, std::string(2048, 'a'));
+  decoder.feed(huge.data(), kFrameHeaderBytes);
+  EXPECT_EQ(decoder.buffered(), kFrameHeaderBytes);
+  Frame frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("exceeds cap"), std::string::npos);
+  // Post-poison feeds are discarded, so the remaining 2048 payload bytes
+  // never accumulate either.
+  decoder.feed(huge.data() + kFrameHeaderBytes,
+               huge.size() - kFrameHeaderBytes);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(NetFrame, PayloadAtCapIsAccepted) {
+  FrameDecoder decoder(/*maxPayload=*/64);
+  const std::string payload(64, 'b');
+  const Frame frame =
+      decodeOne(decoder, encodeFrame(FrameType::kOk, payload));
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(NetFrame, RequestPayloadRoundTrips) {
+  RequestPayload in;
+  in.id = 0x1122334455667788ull;
+  in.wantAsm = true;
+  in.line = "machine=arch1 block=ex1 timeout=0.5";
+  const RequestPayload out = decodeRequestPayload(encodeRequestPayload(in));
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.wantAsm, in.wantAsm);
+  EXPECT_EQ(out.line, in.line);
+}
+
+TEST(NetFrame, ResponsePayloadRoundTrips) {
+  ResponsePayload in;
+  in.id = 42;
+  in.wallMicros = 123456;
+  in.queueMicros = 789;
+  in.detail = "block=ex1 machine=Arch1 blocks=1 instrs=6 cache=hit";
+  in.body = "r1 = add r2, r3\n";
+  const ResponsePayload out =
+      decodeResponsePayload(encodeResponsePayload(in));
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.wallMicros, in.wallMicros);
+  EXPECT_EQ(out.queueMicros, in.queueMicros);
+  EXPECT_EQ(out.detail, in.detail);
+  EXPECT_EQ(out.body, in.body);
+}
+
+TEST(NetFrame, TruncatedPayloadCodecsThrowError) {
+  const std::string request = encodeRequestPayload({7, true, "line"});
+  EXPECT_THROW(decodeRequestPayload(
+                   std::string_view(request).substr(0, request.size() - 2)),
+               Error);
+  ResponsePayload response;
+  response.detail = "detail";
+  const std::string encoded = encodeResponsePayload(response);
+  EXPECT_THROW(decodeResponsePayload(
+                   std::string_view(encoded).substr(0, encoded.size() - 3)),
+               Error);
+  // Trailing garbage is rejected too — payload length is load-bearing.
+  EXPECT_THROW(decodeRequestPayload(request + "zz"), Error);
+}
+
+TEST(NetFrame, TypeNamesAndResponsePredicate) {
+  EXPECT_STREQ(frameTypeName(FrameType::kRetryAfter), "retry-after");
+  EXPECT_FALSE(isResponseType(FrameType::kRequest));
+  EXPECT_TRUE(isResponseType(FrameType::kHit));
+  EXPECT_TRUE(isResponseType(FrameType::kRetryAfter));
+}
+
+}  // namespace
+}  // namespace aviv::net
