@@ -34,8 +34,10 @@ std::vector<PatternMatch> matchComplexPatterns(const BlockDag& ir,
         const NodeId mul = n.operands[static_cast<size_t>(mulSide)];
         const NodeId other = n.operands[static_cast<size_t>(1 - mulSide)];
         if (ir.node(mul).op != Op::kMul || !fusable(mul, id)) continue;
-        if (mulSide == 1 && n.operands[0] == n.operands[1])
-          continue;  // add(m, m): both sides match the same fusion
+        // add(m, m): the addend operand would be the covered multiply
+        // itself, which no longer exists as a value once fused (users is
+        // deduplicated, so fusable() alone does not catch the double use).
+        if (other == mul) continue;
         PatternMatch m;
         m.machineOp = Op::kMac;
         m.root = id;
@@ -49,7 +51,8 @@ std::vector<PatternMatch> matchComplexPatterns(const BlockDag& ir,
       // MSU r = x - a*b: only the subtrahend may be the multiply.
       const NodeId mul = n.operands[1];
       const NodeId other = n.operands[0];
-      if (ir.node(mul).op == Op::kMul && fusable(mul, id)) {
+      // other != mul: sub(m, m) must not fuse — see the MAC case above.
+      if (ir.node(mul).op == Op::kMul && fusable(mul, id) && other != mul) {
         PatternMatch m;
         m.machineOp = Op::kMsu;
         m.root = id;

@@ -36,6 +36,30 @@ void dumpFlightRecord(const std::string& dir, const std::string& tag) {
       (std::filesystem::path(dir) / (name + ".flight.json")).string());
 }
 
+// The sequential baseline with the driver's outputs-to-memory retry: the
+// shared engine body behind both the degradation ladder's last rung and the
+// first-class baseline engine (DriverOptions::engine == Engine::kBaseline).
+CoreResult runSequentialBaseline(const BlockDag& ir, const Machine& machine,
+                                 const MachineDatabases& dbs,
+                                 const CodegenOptions& options,
+                                 bool outputsToMemoryFallback) {
+  BaselineResult base = [&] {
+    try {
+      return sequentialCodegen(ir, machine, dbs, options);
+    } catch (const Error&) {
+      if (options.outputsToMemory || !outputsToMemoryFallback) throw;
+      CodegenOptions retry = options;
+      retry.outputsToMemory = true;
+      return sequentialCodegen(ir, machine, dbs, retry);
+    }
+  }();
+  CoreResult core{std::move(base.assignment), std::move(base.graph),
+                  std::move(base.schedule), {}};
+  core.stats.irNodes = ir.size();
+  core.stats.cover.spillsInserted = base.spillsInserted;
+  return core;
+}
+
 }  // namespace
 
 int CompiledProgram::totalInstructions() const {
@@ -87,26 +111,15 @@ CoreResult CodeGenerator::baselineCore(const BlockDag& ir,
   baseOptions.maxSndNodes = 0;
   baseOptions.maxSndBytes = 0;
   baseOptions.maxTotalCliques = 0;
-  BaselineResult base = [&] {
+  CoreResult core = [&] {
     try {
-      try {
-        return sequentialCodegen(ir, ctx_.machine(), ctx_.databases(),
-                                 baseOptions);
-      } catch (const Error&) {
-        if (baseOptions.outputsToMemory || !options_.outputsToMemoryFallback)
-          throw;
-        CodegenOptions retry = baseOptions;
-        retry.outputsToMemory = true;
-        return sequentialCodegen(ir, ctx_.machine(), ctx_.databases(), retry);
-      }
+      return runSequentialBaseline(ir, ctx_.machine(), ctx_.databases(),
+                                   baseOptions,
+                                   options_.outputsToMemoryFallback);
     } catch (const Error& e) {
       throw Error(why + "; baseline fallback also failed: " + e.what());
     }
   }();
-  CoreResult core{std::move(base.assignment), std::move(base.graph),
-                  std::move(base.schedule), {}};
-  core.stats.irNodes = ir.size();
-  core.stats.cover.spillsInserted = base.spillsInserted;
   tel.setCounter("degraded", 1);
   return core;
 }
@@ -115,7 +128,11 @@ CompiledBlock CodeGenerator::compileBlockWith(
     const BlockDag& ir, SymbolScope& symbols,
     const CodegenOptions& coreOptions, TelemetryNode& tel) {
   trace::Span compileSpan("driver", "compile:", ir.name());
-  ResultCache* cache = options_.cache.get();
+  // The baseline engine's output is not the covering flow's: it must never
+  // populate (or be served from) the shared result cache.
+  ResultCache* cache = options_.engine == Engine::kBaseline
+                           ? nullptr
+                           : options_.cache.get();
   const bool verifyThis = shouldVerifyBlock(options_.verify, ir.name());
 
   // One differential verification, counted under the block's "verify"
@@ -192,6 +209,10 @@ CompiledBlock CodeGenerator::compileBlockWith(
         checkDataMemoryFits(block.image, symbols, ctx_.machine());
         block.fromCache = true;
         block.cachedStatsJson = entry->statsJson;
+        if (options_.recordSymbolNames) {
+          block.symbolNames = entry->symbolNames;
+          block.portableImage = entry->image;
+        }
         tel.addCounter("cacheHits", 1);
         trace::instant("driver", "cache.hit:", ir.name());
         if (metrics::on())
@@ -237,6 +258,15 @@ CompiledBlock CodeGenerator::compileBlockWith(
       metrics::Registry::instance().counter("driver.degraded").add(1);
   };
   CoreResult core = [&] {
+    if (options_.engine == Engine::kBaseline) {
+      // First-class baseline engine: the sequential generator IS rung 1.
+      // Ceilings stay as configured (a trip is a recoverable rejection, not
+      // a reason to fall anywhere — there is no rung below this one).
+      PhaseScope ph(tel, "baseline");
+      return runSequentialBaseline(ir, ctx_.machine(), ctx_.databases(),
+                                   coreOptions,
+                                   options_.outputsToMemoryFallback);
+    }
     if (!options_.baselineFallback) return coverWithRetry();
     try {
       return coverWithRetry();
@@ -279,7 +309,7 @@ CompiledBlock CodeGenerator::compileBlockWith(
   // deterministic output, not whatever a starved run managed to produce.
   const bool wantCache =
       cache != nullptr && !block.degraded && !block.core.stats.timedOut;
-  if (!wantCache && !verifyThis) {
+  if (!wantCache && !verifyThis && !options_.recordSymbolNames) {
     PhaseScope ph(tel, "encode");
     block.image =
         encodeBlock(block.core.graph, block.core.schedule, block.regs, symbols);
@@ -313,7 +343,8 @@ CompiledBlock CodeGenerator::compileBlockWith(
     if (!report.passed) {
       quarantine(block.image, recording.recorded(), report);
       block.quarantined = true;
-      if (block.degraded || !options_.baselineFallback)
+      if (block.degraded || !options_.baselineFallback ||
+          options_.engine == Engine::kBaseline)
         throw Error("verification failed for block '" + ir.name() + "': " +
                     report.detail());
       // Degradation ladder: replace the miscompiled covering result with
@@ -342,6 +373,10 @@ CompiledBlock CodeGenerator::compileBlockWith(
     entry.verifierVersion = verifyThis ? options_.verify.verifierVersion : 0;
     entry.image = block.image;
     cache->store(cacheKey, std::move(entry));
+  }
+  if (options_.recordSymbolNames) {
+    block.symbolNames = recording.recorded();
+    block.portableImage = block.image;
   }
   rebindSymbols(block.image, recording.recorded(), symbols);
   checkDataMemoryFits(block.image, symbols, ctx_.machine());

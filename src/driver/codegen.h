@@ -12,7 +12,9 @@
 // terminators with trivial jump/branch patterns.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "asmgen/encode.h"
 #include "core/codegen.h"
@@ -26,8 +28,23 @@ namespace aviv {
 
 class ResultCache;  // src/service/cache.h
 
+// Which code-generation engine the driver runs as rung 1. The heuristic
+// engine is the paper's covering flow; the baseline engine is the
+// phase-ordered sequential generator (src/baseline) promoted from fallback
+// rung to first-class engine so differential harnesses (src/fuzz) can
+// compile the same input on both and compare.
+enum class Engine : uint8_t {
+  kHeuristic,  // split-node assignment exploration + clique covering
+  kBaseline,   // sequential selection -> list scheduling -> spills
+};
+
 struct DriverOptions {
   CodegenOptions core;
+  // Engine selection. kBaseline bypasses the result cache entirely (its
+  // output is not the covering flow's, so it must never be mistaken for a
+  // cacheable covering result) and has no further degradation rung: a
+  // verification failure throws instead of falling back.
+  Engine engine = Engine::kHeuristic;
   bool runPeephole = true;
   // When a block's outputs cannot all stay register-resident within the
   // register limits (e.g. two outputs pinned to one tiny bank), retry with
@@ -59,6 +76,12 @@ struct DriverOptions {
   // never share keys with non-verifying ones and a verifier bump forces
   // fresh compiles. Level kOff preserves pre-verification behaviour.
   VerifyOptions verify;
+  // Record the image's first-use-order symbol list into
+  // CompiledBlock::symbolNames (forcing the scope-independent recording
+  // encode even when neither cache nor verification needs it). External
+  // verification harnesses need the list to rebind the image into a
+  // private scope (verifyCompiledBlock / writeQuarantineArtifact).
+  bool recordSymbolNames = false;
 };
 
 struct CompiledBlock {
@@ -84,6 +107,13 @@ struct CompiledBlock {
   // verified baseline replacement (degraded is also set); a repro artifact
   // was quarantined if a quarantine dir is configured. Never cached.
   bool quarantined = false;
+  // Scope-independent form of the compile, recorded only under
+  // DriverOptions::recordSymbolNames: `portableImage` carries provisional
+  // symbol ordinals whose i-th entry names symbolNames[i] (the cache-entry
+  // shape). Feed the pair to verifyCompiledBlock / writeQuarantineArtifact;
+  // `image` itself is already rebound into the consumer's scope.
+  std::vector<std::string> symbolNames;
+  CodeImage portableImage;
 
   [[nodiscard]] int numInstructions() const {
     return image.numInstructions();

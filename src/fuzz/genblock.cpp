@@ -1,0 +1,132 @@
+#include "fuzz/genblock.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/emit.h"
+#include "ir/parser.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace aviv {
+
+namespace {
+
+std::string blockName(uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "fzb_%06llx",
+                static_cast<unsigned long long>(seed & 0xffffff));
+  return buf;
+}
+
+}  // namespace
+
+BlockDag generateBlock(const Machine& machine, const BlockGenSpec& spec) {
+  Rng rng(spec.seed ^ 0xb10cb10cb10cb10cull);
+
+  // The op pool: everything some unit implements with arity <= 2, so every
+  // generated node has at least one legal (unit, op) selection.
+  std::set<Op> poolSet;
+  for (const FunctionalUnit& unit : machine.units())
+    for (const UnitOp& uop : unit.ops)
+      if (opArity(uop.op) <= 2) poolSet.insert(uop.op);
+  if (poolSet.empty())
+    throw Error("machine '" + machine.name() +
+                "' implements no arity<=2 ops; cannot generate blocks");
+  const std::vector<Op> pool(poolSet.begin(), poolSet.end());
+
+  // Capacity shaping: blocks must always compile on the baseline engine (a
+  // generator-caused rejection would make every differential verdict on the
+  // pair vacuous). The spiller can relieve any pressure EXCEPT live-outs
+  // (never evicted) and reload slots past the respill cap, so machines with
+  // minimum-size banks get narrower, shorter, chain-shaped blocks, and the
+  // live-out count is budgeted against the smallest bank below.
+  int minBankRegs = machine.regFile(0).numRegs;
+  for (const RegFile& rf : machine.regFiles())
+    minBankRegs = std::min(minBankRegs, rf.numRegs);
+  const bool tight = minBankRegs <= 3;
+
+  BlockDag dag(blockName(spec.seed));
+  std::vector<NodeId> nodes;
+  const int numInputs = static_cast<int>(rng.intIn(2, 5));
+  for (int i = 0; i < numInputs; ++i)
+    nodes.push_back(dag.addInput("v" + std::to_string(i)));
+  const int numConsts = static_cast<int>(rng.intIn(1, 2));
+  for (int i = 0; i < numConsts; ++i)
+    nodes.push_back(dag.addConst(rng.intIn(-9, 9)));
+
+  // Operand picks are recency-biased so the DAG grows depth, not just a
+  // flat fan of leaf pairs; CSE on insert may merge duplicate draws. Tight
+  // machines chain on the newest value almost always, keeping the count of
+  // simultaneously-live temporaries near one.
+  auto pickOperand = [&] {
+    if (tight && !nodes.empty() && rng.chance(0.5)) return nodes.back();
+    if (nodes.size() > 4 && rng.chance(0.6))
+      return nodes[nodes.size() - 1 - rng.below(4)];
+    return nodes[rng.below(nodes.size())];
+  };
+  const int maxOps = tight ? std::min(spec.maxOps, 12) : spec.maxOps;
+  const int targetOps = static_cast<int>(
+      rng.intIn(std::min(spec.minOps, maxOps), maxOps));
+  for (int i = 0; i < targetOps; ++i) {
+    const Op op = pool[rng.below(pool.size())];
+    std::vector<NodeId> operands;
+    for (int a = 0; a < opArity(op); ++a) operands.push_back(pickOperand());
+    nodes.push_back(dag.addOp(op, std::move(operands)));
+  }
+
+  // Live-outs must stay register-resident to the end of the block, and in
+  // the worst case the engine computes them all in the machine's smallest
+  // bank — so the output count is budgeted to leave that bank at least one
+  // working slot. Excess sinks are folded into combining binary ops (never
+  // dropped: the back end expects dead-code-free blocks).
+  const size_t outputBudget =
+      static_cast<size_t>(std::max(1, minBankRegs - 1));
+
+  std::vector<Op> binaryPool;
+  for (Op op : pool)
+    if (opArity(op) == 2) binaryPool.push_back(op);
+  // ensureCoreOps guarantees ADD on every generated machine.
+  AVIV_CHECK(!binaryPool.empty());
+
+  auto collectSinks = [&] {
+    std::vector<NodeId> sinks;
+    const auto users = dag.computeUsers();
+    for (NodeId id = 0; id < dag.size(); ++id)
+      if (!isLeafOp(dag.node(id).op) && users[id].empty())
+        sinks.push_back(id);
+    return sinks;
+  };
+  std::vector<NodeId> sinks = collectSinks();
+  while (sinks.size() > outputBudget) {
+    const Op op = binaryPool[rng.below(binaryPool.size())];
+    dag.addOp(op, {sinks[sinks.size() - 2], sinks[sinks.size() - 1]});
+    sinks = collectSinks();  // CSE may merge the fold with an existing node
+  }
+
+  // Every sink becomes a live-out, plus occasionally an interior node (so
+  // multi-use outputs get exercised) while the budget allows.
+  int out = 0;
+  std::set<NodeId> outputNodes(sinks.begin(), sinks.end());
+  for (NodeId id : sinks) dag.markOutput("o" + std::to_string(out++), id);
+  for (NodeId id = 0; id < dag.size(); ++id) {
+    if (static_cast<size_t>(out) >= outputBudget) break;
+    if (isLeafOp(dag.node(id).op) || outputNodes.count(id)) continue;
+    if (rng.chance(0.15)) {
+      dag.markOutput("o" + std::to_string(out++), id);
+      outputNodes.insert(id);
+    }
+  }
+
+  // Round-trip through the block language twice: parse-time CSE can merge
+  // duplicate draws, leaving gaps in the builder's node IDs that the
+  // emitter's _tN names expose. The second parse renumbers densely, so the
+  // returned DAG's emission is a fixpoint — the block.blk a repro bundle
+  // records re-parses AND re-emits to itself byte for byte.
+  return parseBlock(emitBlockText(parseBlock(emitBlockText(dag))));
+}
+
+}  // namespace aviv

@@ -1,0 +1,36 @@
+// Generative block fuzzing — seeded, deterministic emission of random
+// *valid* BlockDags tailored to a machine: every op node draws from the ops
+// some functional unit of that machine implements (arity <= 2; complex ops
+// like MAC enter coverings through pattern matching, exactly as a real front
+// end would hand them over), so generated blocks always have a legal
+// covering and the property suite can require them to compile on the
+// baseline engine.
+//
+// Unlike makeRandomDag (src/ir/random_dag.h, sized for allocator benchmarks)
+// this generator emits constant leaves, comparison/shift/division ops, and
+// multi-output blocks, and round-trips its result through emitBlockText /
+// parseBlock before returning — the DAG a fuzz iteration compiles is
+// bit-for-bit the DAG a quarantined block.blk re-parses to.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/dag.h"
+#include "isdl/machine.h"
+
+namespace aviv {
+
+struct BlockGenSpec {
+  uint64_t seed = 1;
+  // Number of op nodes drawn (before CSE merges duplicates).
+  int minOps = 3;
+  int maxOps = 24;
+};
+
+// Deterministic in (machine op repertoire, spec). The block's name encodes
+// the seed; all dead op nodes are marked live-out so the DAG is
+// dead-code-free by construction.
+[[nodiscard]] BlockDag generateBlock(const Machine& machine,
+                                     const BlockGenSpec& spec);
+
+}  // namespace aviv

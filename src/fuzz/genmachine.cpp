@@ -1,0 +1,361 @@
+#include "fuzz/genmachine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace aviv {
+
+namespace {
+
+// Ops a generated unit may implement. Complex ops (MAC/MSU) are included so
+// the pattern matcher gets exercised; the block generator never emits them
+// directly (they enter coverings through matching, like in real front ends).
+const Op kBinaryOps[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv, Op::kMod,
+                         Op::kAnd, Op::kOr,  Op::kXor, Op::kShl, Op::kShr,
+                         Op::kMin, Op::kMax, Op::kEq,  Op::kNe,  Op::kLt,
+                         Op::kLe,  Op::kGt,  Op::kGe};
+const Op kUnaryOps[] = {Op::kNeg, Op::kCompl, Op::kAbs};
+const Op kComplexOps[] = {Op::kMac, Op::kMsu};
+
+struct FamilyInfo {
+  MachineFamily family;
+  const char* name;
+};
+const FamilyInfo kFamilies[] = {
+    {MachineFamily::kWideVliw, "wide"},
+    {MachineFamily::kTinyBanks, "tiny"},
+    {MachineFamily::kAsymmetricNet, "asym"},
+    {MachineFamily::kBufferedUnit, "buffered"},
+    {MachineFamily::kConstrained, "constrained"},
+    {MachineFamily::kMinimal, "minimal"},
+};
+
+std::string seedTag(uint64_t seed) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06llx",
+                static_cast<unsigned long long>(seed & 0xffffff));
+  return buf;
+}
+
+// Draws a unit's op repertoire: `count` distinct ops, mostly binary with a
+// sprinkle of unary/complex. `mustHave` (if not kConst) is always included.
+std::vector<UnitOp> drawOps(Rng& rng, int count, Op mustHave,
+                            bool allowComplex) {
+  std::set<Op> chosen;
+  if (mustHave != Op::kConst) chosen.insert(mustHave);
+  while (static_cast<int>(chosen.size()) < count) {
+    const uint64_t roll = rng.below(10);
+    Op op;
+    if (roll < 7) {
+      op = kBinaryOps[rng.below(std::size(kBinaryOps))];
+    } else if (roll < 9) {
+      op = kUnaryOps[rng.below(std::size(kUnaryOps))];
+    } else if (allowComplex) {
+      op = kComplexOps[rng.below(std::size(kComplexOps))];
+    } else {
+      op = kBinaryOps[rng.below(std::size(kBinaryOps))];
+    }
+    chosen.insert(op);
+  }
+  std::vector<UnitOp> ops;
+  for (Op op : chosen) ops.push_back({op, toLower(opName(op)), 1});
+  return ops;
+}
+
+// Every machine implements the {ADD, SUB, MUL} workhorse trio somewhere:
+// the shipped paper kernels (and most generated blocks) lean on them, and a
+// zoo member that rejects every kernel with "no unit implements MUL" would
+// only ever exercise the error path. Missing ops land on random units.
+void ensureCoreOps(std::vector<FunctionalUnit>& units, Rng& rng) {
+  for (Op op : {Op::kAdd, Op::kSub, Op::kMul}) {
+    bool have = false;
+    for (const FunctionalUnit& u : units)
+      if (u.findOp(op)) have = true;
+    if (have) continue;
+    FunctionalUnit& u = units[rng.below(units.size())];
+    u.ops.push_back({op, toLower(opName(op)), 1});
+  }
+}
+
+// Hub topology: every bank <-> data memory over `bus` (inter-bank traffic
+// routes through memory, two hops).
+void addHubTransfers(Machine& machine, MemoryId dm, BusId bus) {
+  for (size_t i = 0; i < machine.regFiles().size(); ++i) {
+    const Loc rf = Loc::regFile(static_cast<RegFileId>(i));
+    machine.addTransfer({rf, Loc::memory(dm), bus});
+    machine.addTransfer({Loc::memory(dm), rf, bus});
+  }
+}
+
+// Complete topology: every storage pair connected over `bus` (arch1's
+// "transfer complete" form).
+void addCompleteTransfers(Machine& machine, BusId bus) {
+  std::vector<Loc> locs;
+  for (size_t i = 0; i < machine.regFiles().size(); ++i)
+    locs.push_back(Loc::regFile(static_cast<RegFileId>(i)));
+  for (size_t i = 0; i < machine.memories().size(); ++i)
+    locs.push_back(Loc::memory(static_cast<MemoryId>(i)));
+  for (const Loc& from : locs)
+    for (const Loc& to : locs)
+      if (!(from == to)) machine.addTransfer({from, to, bus});
+}
+
+// 0..maxCount random illegal-combination constraints over implemented ops.
+// Every OpSel pair is distinct, so no constraint degenerates to banning a
+// single op outright (groupings stay schedulable one-op-per-instruction).
+void addRandomConstraints(Machine& machine, Rng& rng, int maxCount) {
+  if (machine.units().size() < 2 || maxCount <= 0) return;
+  const int count = static_cast<int>(rng.below(maxCount + 1));
+  for (int c = 0; c < count; ++c) {
+    Constraint constraint;
+    constraint.note = "fz" + std::to_string(c);
+    std::set<std::pair<UnitId, int>> used;
+    const int width = rng.chance(0.3) ? 3 : 2;
+    for (int s = 0; s < width; ++s) {
+      const UnitId unit =
+          static_cast<UnitId>(rng.below(machine.units().size()));
+      const auto& ops = machine.unit(unit).ops;
+      const int opIdx = static_cast<int>(rng.below(ops.size()));
+      if (!used.insert({unit, opIdx}).second) continue;
+      constraint.together.push_back({unit, ops[opIdx].op});
+    }
+    if (constraint.together.size() >= 2)
+      machine.addConstraint(std::move(constraint));
+  }
+}
+
+Machine genWideVliw(Rng& rng, uint64_t seed) {
+  Machine machine("FzWide_" + seedTag(seed));
+  const int numBanks = static_cast<int>(rng.intIn(2, 4));
+  const int regs = static_cast<int>(rng.intIn(4, 8));
+  for (int b = 0; b < numBanks; ++b)
+    machine.addRegFile({"RF" + std::to_string(b), regs});
+  const MemoryId dm = machine.addMemory({"DM", 256, true});
+  const int numUnits = static_cast<int>(rng.intIn(6, 10));
+  std::vector<FunctionalUnit> units;
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = static_cast<RegFileId>(u % numBanks);
+    unit.ops = drawOps(rng, static_cast<int>(rng.intIn(2, 6)),
+                       u == 0 ? Op::kAdd : Op::kConst, /*allowComplex=*/true);
+    units.push_back(std::move(unit));
+  }
+  ensureCoreOps(units, rng);
+  for (FunctionalUnit& unit : units) machine.addUnit(std::move(unit));
+  const BusId b0 = machine.addBus({"B0", static_cast<int>(rng.intIn(1, 2))});
+  if (rng.chance(0.5)) {
+    addCompleteTransfers(machine, b0);
+  } else {
+    addHubTransfers(machine, dm, b0);
+    // A second bus with direct bank-to-bank chords relieves the hub.
+    const BusId b1 = machine.addBus({"B1", 1});
+    for (int b = 0; b + 1 < numBanks; ++b) {
+      machine.addTransfer({Loc::regFile(static_cast<RegFileId>(b)),
+                           Loc::regFile(static_cast<RegFileId>(b + 1)), b1});
+      machine.addTransfer({Loc::regFile(static_cast<RegFileId>(b + 1)),
+                           Loc::regFile(static_cast<RegFileId>(b)), b1});
+    }
+  }
+  addRandomConstraints(machine, rng, 2);
+  return machine;
+}
+
+Machine genTinyBanks(Rng& rng, uint64_t seed) {
+  Machine machine("FzTiny_" + seedTag(seed));
+  const int numUnits = static_cast<int>(rng.intIn(2, 5));
+  // 3 registers is the floor a sequential binary op needs (two pinned
+  // operands + a result slot); 2-reg banks make the baseline's spiller
+  // reject legitimately, which would turn every verdict into noise.
+  for (int u = 0; u < numUnits; ++u)
+    machine.addRegFile({"RF" + std::to_string(u), 3});
+  const MemoryId dm =
+      machine.addMemory({"DM", static_cast<int>(rng.intIn(64, 128)), true});
+  std::vector<FunctionalUnit> units;
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = static_cast<RegFileId>(u);
+    unit.ops = drawOps(rng, static_cast<int>(rng.intIn(2, 5)),
+                       u == 0 ? Op::kAdd : Op::kConst, /*allowComplex=*/false);
+    units.push_back(std::move(unit));
+  }
+  ensureCoreOps(units, rng);
+  for (FunctionalUnit& unit : units) machine.addUnit(std::move(unit));
+  const BusId bus = machine.addBus({"B0", 1});
+  addHubTransfers(machine, dm, bus);
+  return machine;
+}
+
+Machine genAsymmetricNet(Rng& rng, uint64_t seed) {
+  Machine machine("FzAsym_" + seedTag(seed));
+  const int numBanks = static_cast<int>(rng.intIn(3, 6));
+  for (int b = 0; b < numBanks; ++b)
+    machine.addRegFile(
+        {"RF" + std::to_string(b), static_cast<int>(rng.intIn(3, 6))});
+  const MemoryId dm = machine.addMemory({"DM", 256, true});
+  const int numUnits = static_cast<int>(rng.intIn(numBanks, numBanks + 2));
+  std::vector<FunctionalUnit> units;
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = static_cast<RegFileId>(u % numBanks);
+    unit.ops = drawOps(rng, static_cast<int>(rng.intIn(2, 5)),
+                       u == 0 ? Op::kAdd : Op::kConst, /*allowComplex=*/true);
+    units.push_back(std::move(unit));
+  }
+  ensureCoreOps(units, rng);
+  for (FunctionalUnit& unit : units) machine.addUnit(std::move(unit));
+  const BusId bx = machine.addBus({"BX", 1});
+  const BusId by = machine.addBus({"BY", static_cast<int>(rng.intIn(1, 2))});
+  // Directed ring RF0 -> RF1 -> ... -> RF(n-1) -> RF0; direction matters,
+  // most bank-to-bank routes are multi-hop.
+  for (int b = 0; b < numBanks; ++b) {
+    const Loc from = Loc::regFile(static_cast<RegFileId>(b));
+    const Loc to = Loc::regFile(static_cast<RegFileId>((b + 1) % numBanks));
+    machine.addTransfer({from, to, b % 2 == 0 ? bx : by});
+  }
+  // The memory is spliced into the ring at one entry and one exit point:
+  // DM -> RF0 and RF(exit) -> DM. Everything stays reachable via the ring.
+  const int exitBank = static_cast<int>(rng.below(numBanks));
+  machine.addTransfer({Loc::memory(dm), Loc::regFile(0), bx});
+  machine.addTransfer(
+      {Loc::regFile(static_cast<RegFileId>(exitBank)), Loc::memory(dm), by});
+  // Occasional chord shortcutting part of the ring: route diversity.
+  if (numBanks >= 4 && rng.chance(0.6)) {
+    const int from = static_cast<int>(rng.below(numBanks));
+    const int to = (from + 2) % numBanks;
+    machine.addTransfer({Loc::regFile(static_cast<RegFileId>(from)),
+                         Loc::regFile(static_cast<RegFileId>(to)), by});
+  }
+  addRandomConstraints(machine, rng, 1);
+  return machine;
+}
+
+Machine genBufferedUnit(Rng& rng, uint64_t seed) {
+  Machine machine("FzBuf_" + seedTag(seed));
+  const int numUnits = static_cast<int>(rng.intIn(3, 6));
+  for (int u = 0; u < numUnits; ++u)
+    machine.addRegFile({"B" + std::to_string(u), 3});
+  const MemoryId dm = machine.addMemory({"DM", 128, true});
+  std::vector<FunctionalUnit> units;
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = static_cast<RegFileId>(u);
+    // Buffered units are specialists: 1..3 ops each.
+    unit.ops = drawOps(rng, static_cast<int>(rng.intIn(1, 3)),
+                       u == 0 ? Op::kAdd : Op::kConst, /*allowComplex=*/false);
+    units.push_back(std::move(unit));
+  }
+  ensureCoreOps(units, rng);
+  for (FunctionalUnit& unit : units) machine.addUnit(std::move(unit));
+  // Exposed datapath: one private point-to-point link bus per producer ->
+  // consumer edge (a closed ring of buffers), and only unit 0's buffer
+  // talks to memory — every operand load and result store funnels through
+  // that one port.
+  for (int u = 0; u < numUnits; ++u) {
+    const BusId link = machine.addBus({"L" + std::to_string(u), 1});
+    machine.addTransfer({Loc::regFile(static_cast<RegFileId>(u)),
+                         Loc::regFile(static_cast<RegFileId>(
+                             (u + 1) % numUnits)),
+                         link});
+  }
+  const BusId mport = machine.addBus({"MP", 1});
+  machine.addTransfer({Loc::memory(dm), Loc::regFile(0), mport});
+  machine.addTransfer({Loc::regFile(0), Loc::memory(dm), mport});
+  return machine;
+}
+
+Machine genConstrained(Rng& rng, uint64_t seed) {
+  Machine machine("FzCstr_" + seedTag(seed));
+  const int numBanks = static_cast<int>(rng.intIn(2, 3));
+  for (int b = 0; b < numBanks; ++b)
+    machine.addRegFile({"RF" + std::to_string(b), 4});
+  machine.addMemory({"DM", 256, true});
+  const int numUnits = static_cast<int>(rng.intIn(3, 5));
+  std::vector<FunctionalUnit> units;
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = static_cast<RegFileId>(u % numBanks);
+    unit.ops = drawOps(rng, static_cast<int>(rng.intIn(3, 6)),
+                       u == 0 ? Op::kAdd : Op::kConst, /*allowComplex=*/true);
+    units.push_back(std::move(unit));
+  }
+  ensureCoreOps(units, rng);
+  for (FunctionalUnit& unit : units) machine.addUnit(std::move(unit));
+  const BusId bus = machine.addBus({"B0", 1});
+  addCompleteTransfers(machine, bus);
+  // The family's point: a thicket of illegal combinations for the clique
+  // splitter to carve around.
+  addRandomConstraints(machine, rng, 8);
+  return machine;
+}
+
+Machine genMinimal(Rng& rng, uint64_t seed) {
+  Machine machine("FzMin_" + seedTag(seed));
+  machine.addRegFile({"RF0", static_cast<int>(rng.intIn(3, 4))});
+  const MemoryId dm = machine.addMemory({"DM", 64, true});
+  const int numUnits = static_cast<int>(rng.intIn(1, 2));
+  std::vector<FunctionalUnit> units;
+  for (int u = 0; u < numUnits; ++u) {
+    FunctionalUnit unit;
+    unit.name = "U" + std::to_string(u);
+    unit.regFile = 0;  // both units share the single bank
+    unit.ops = drawOps(rng, static_cast<int>(rng.intIn(2, 4)),
+                       u == 0 ? Op::kAdd : Op::kConst, /*allowComplex=*/false);
+    units.push_back(std::move(unit));
+  }
+  ensureCoreOps(units, rng);
+  for (FunctionalUnit& unit : units) machine.addUnit(std::move(unit));
+  const BusId bus = machine.addBus({"B0", 1});
+  addHubTransfers(machine, dm, bus);
+  return machine;
+}
+
+}  // namespace
+
+const char* familyName(MachineFamily family) {
+  for (const FamilyInfo& info : kFamilies)
+    if (info.family == family) return info.name;
+  return "?";
+}
+
+MachineFamily familyFromName(const std::string& name) {
+  for (const FamilyInfo& info : kFamilies)
+    if (name == info.name) return info.family;
+  throw Error("unknown machine family '" + name +
+              "' (wide, tiny, asym, buffered, constrained, minimal)");
+}
+
+Machine generateMachine(const MachineGenSpec& spec) {
+  // Salt the stream with the family so family F at seed S and family G at
+  // seed S draw independent machines.
+  Rng rng(spec.seed * 0x100 + static_cast<uint64_t>(spec.family) + 1);
+  Machine machine = [&] {
+    switch (spec.family) {
+      case MachineFamily::kWideVliw: return genWideVliw(rng, spec.seed);
+      case MachineFamily::kTinyBanks: return genTinyBanks(rng, spec.seed);
+      case MachineFamily::kAsymmetricNet:
+        return genAsymmetricNet(rng, spec.seed);
+      case MachineFamily::kBufferedUnit:
+        return genBufferedUnit(rng, spec.seed);
+      case MachineFamily::kConstrained: return genConstrained(rng, spec.seed);
+      case MachineFamily::kMinimal: return genMinimal(rng, spec.seed);
+    }
+    throw Error("unknown machine family");
+  }();
+  machine.validate();
+  return machine;
+}
+
+}  // namespace aviv

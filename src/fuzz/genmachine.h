@@ -1,0 +1,68 @@
+// Generative machine fuzzing — seeded, deterministic emission of random
+// *valid* ISDL machines drawn from parameterized stress families (DESIGN.md
+// System 28). Each family caricatures an architecture shape the covering /
+// assignment / scheduling engine must survive but that the five shipped
+// machines never exhibit:
+//
+//   kWideVliw    — 6..10 functional units over a few shared banks: wide
+//                  instruction words, large clique sets, dense parallelism.
+//   kTinyBanks   — every unit owns a 3-register bank (the floor for one
+//                  binary op's two operands + result): constant spill
+//                  pressure, outputs-to-memory retries, Fig 9 machinery.
+//   kAsymmetricNet — banks connected in a directed ring with the data
+//                  memory spliced in: most operand routes are multi-hop
+//                  and direction matters (stresses route selection).
+//   kBufferedUnit — exposed-datapath shape (cf. the ASP work, 1804.10998):
+//                  tiny per-unit buffer banks, point-to-point producer ->
+//                  consumer links instead of a shared bus, one
+//                  memory-attached unit.
+//   kConstrained — a moderate machine plus many random illegal-combination
+//                  constraints: clique splitting under hostile ISDL rules.
+//   kMinimal     — 1..2 units, one bank, one bus: the degenerate serial
+//                  end of the spectrum.
+//
+// Generated machines are valid by construction — Machine::validate()
+// passes, and every unit's bank can reach and be reached from the data
+// memory (the connectivity the covering flow needs to load operands and
+// store results). A property test re-checks both across seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isdl/machine.h"
+
+namespace aviv {
+
+enum class MachineFamily : uint8_t {
+  kWideVliw,
+  kTinyBanks,
+  kAsymmetricNet,
+  kBufferedUnit,
+  kConstrained,
+  kMinimal,
+};
+
+inline constexpr int kNumMachineFamilies =
+    static_cast<int>(MachineFamily::kMinimal) + 1;
+
+// Short stable name used in machine names, repro metadata, and the
+// --families CLI flag ("wide", "tiny", "asym", "buffered", "constrained",
+// "minimal").
+[[nodiscard]] const char* familyName(MachineFamily family);
+
+// Inverse of familyName; throws aviv::Error on unknown names.
+[[nodiscard]] MachineFamily familyFromName(const std::string& name);
+
+struct MachineGenSpec {
+  MachineFamily family = MachineFamily::kWideVliw;
+  uint64_t seed = 1;
+};
+
+// Deterministic in the spec: the same (family, seed) always yields the
+// same machine, and the machine's name encodes both so artifacts are
+// self-describing. The result validates and is fully connected (see file
+// comment); it round-trips through emitMachineText / parseMachine.
+[[nodiscard]] Machine generateMachine(const MachineGenSpec& spec);
+
+}  // namespace aviv

@@ -248,6 +248,32 @@ TEST(PatternMatch, MsuOnlyMatchesSubtrahendMultiply) {
   EXPECT_TRUE(matchComplexPatterns(bad, dbs.ops).empty());
 }
 
+TEST(PatternMatch, DoubledMultiplyOperandNotFused) {
+  // y = m + m (and y = m - m) where m = a * b: users[m] is deduplicated,
+  // so m looks single-consumer and fusable — but the non-multiply operand
+  // IS the covered multiply, which stops existing as a value once fused.
+  // Found by generative fuzzing: matching here aborted materialization
+  // with "operand has no producer".
+  Env env("arch4");
+  const BlockDag add = parseBlock(
+      "block t { input a, b; output y; m = a * b; y = m + m; }");
+  EXPECT_TRUE(matchComplexPatterns(add, env.dbs.ops).empty());
+
+  const Machine msuMachine = parseMachine(R"(
+    machine M {
+      regfile A size 4;
+      memory DM size 64 data;
+      bus X;
+      unit U regfile A { op SUB; op MUL; op MSU; op ADD; }
+      transfer complete bus X;
+    }
+  )");
+  const MachineDatabases msuDbs(msuMachine);
+  const BlockDag sub = parseBlock(
+      "block t { input a, b; output y; m = a * b; y = m - m; }");
+  EXPECT_TRUE(matchComplexPatterns(sub, msuDbs.ops).empty());
+}
+
 TEST(PatternMatch, MacAlternativeAppearsInSplitNodeDag) {
   Env env("arch4");
   const BlockDag dag = parseBlock(

@@ -78,13 +78,21 @@ struct DeterminismCase {
 
 class ParallelDeterminism : public ::testing::TestWithParam<DeterminismCase> {};
 
+// Machine params may name a subdirectory ("zoo/wide"); golden file names
+// and gtest case names flatten the separator.
+std::string flat(std::string name) {
+  for (char& c : name)
+    if (c == '/') c = '_';
+  return name;
+}
+
 // The frozen outcome for one (block, machine) pair: the assembly text for
 // successful compiles, "ERROR: <message>\n" for expected failures. Empty
 // optional when no golden file exists (a newly added data file).
 std::optional<std::string> goldenOutcome(const std::string& block,
                                          const std::string& machine) {
   const fs::path path =
-      fs::path(AVIV_GOLDEN_DIR) / (block + "_" + machine + ".asm");
+      fs::path(AVIV_GOLDEN_DIR) / (block + "_" + flat(machine) + ".asm");
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::ostringstream text;
@@ -119,13 +127,22 @@ std::vector<DeterminismCase> allCases() {
   for (const std::string& machine : stemsWithExtension(machineDir(), ".isdl"))
     for (const std::string& block : stemsWithExtension(blockDir(), ".blk"))
       cases.push_back({block, machine});
+  // The fuzzer's stress-architecture zoo (machines/zoo, regenerable with
+  // `fuzz_gen --emit-zoo`) rides the same matrix: the hostile shapes the
+  // generator produces stay pinned at jobs=1 == jobs=4 == golden forever.
+  const std::string zooDir = machineDir() + "/zoo";
+  if (fs::exists(zooDir))
+    for (const std::string& machine : stemsWithExtension(zooDir, ".isdl"))
+      for (const std::string& block : stemsWithExtension(blockDir(), ".blk"))
+        cases.push_back({block, "zoo/" + machine});
   return cases;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBlocksAllMachines, ParallelDeterminism,
                          ::testing::ValuesIn(allCases()),
                          [](const auto& info) {
-                           return info.param.block + "_" + info.param.machine;
+                           return flat(info.param.block + "_" +
+                                       info.param.machine);
                          });
 
 // Program-level: parallel block compilation must merge its private symbol

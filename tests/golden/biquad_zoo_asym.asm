@@ -1,0 +1,34 @@
+; block biquad on FzAsym_0007e8 — 28 instructions
+i0: { BX: mov RF0.r0, DM[6]{b1} }
+i1: { BX: mov RF0.r1, DM[1]{x1} }
+i2: { U6: mul RF0.r3, RF0.r0, RF0.r1 | BX: mov RF0.r2, DM[5]{b0} }
+i3: { BX: mov RF0.r0, DM[0]{x} }
+i4: { U0: mac RF0.r3, RF0.r2, RF0.r0, RF0.r3 | BX: mov RF0.r2, DM[7]{b2} }
+i5: { BX: mov RF1.r0, RF0.r1 }
+i6: { BX: mov RF1.r0, RF0.r0 | BY: mov RF2.r0, RF1.r0 }
+i7: { BX: mov RF0.r0, DM[3]{y1} | BY: mov RF2.r0, RF1.r0 | BY: mov DM[10]{x2n}, RF2.r0 }
+i8: { BY: mov DM[11]{x1n}, RF2.r0 | BX: mov RF1.r0, RF0.r0 }
+i9: { BX: mov RF0.r1, DM[8]{a1} | BY: mov RF2.r0, RF1.r0 }
+i10: { U6: mul RF0.r0, RF0.r1, RF0.r0 | BX: mov RF0.r1, DM[2]{x2} | BY: mov DM[12]{y2n}, RF2.r0 }
+i11: { U0: mac RF0.r0, RF0.r2, RF0.r1, RF0.r3 | BX: mov RF1.r0, RF0.r0 }
+i12: { BX: mov RF1.r0, RF0.r0 | BY: mov RF2.r0, RF1.r0 }
+i13: { BY: mov RF2.r1, RF1.r0 | BX: mov RF3.r0, RF2.r0 }
+i14: { BX: mov RF0.r0, DM[9]{a2} }
+i15: { BX: mov RF1.r0, RF0.r0 }
+i16: { BY: mov RF2.r0, RF1.r0 | BX: mov RF0.r0, DM[4]{y2} }
+i17: { BX: mov RF1.r0, RF0.r0 }
+i18: { BX: mov RF3.r1, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i19: { BX: mov RF3.r2, RF2.r1 }
+i20: { U3: sub RF3.r2, RF3.r2, RF3.r0 | BX: mov RF3.r0, RF2.r0 }
+i21: { U3: msu RF3.r0, RF3.r1, RF3.r0, RF3.r2 }
+i22: { BY: mov RF5.r1, RF3.r0 | BY: mov RF5.r0, RF3.r0 }
+i23: { BY: mov RF0.r1, RF5.r1 | BY: mov RF0.r0, RF5.r0 }
+i24: { BX: mov RF1.r0, RF0.r1 }
+i25: { BY: mov RF2.r0, RF1.r0 | BX: mov RF1.r0, RF0.r0 }
+i26: { BY: mov DM[13]{y}, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i27: { BY: mov DM[14]{y1n}, RF2.r0 }
+; output x1n in DM[0]
+; output x2n in DM[1]
+; output y in DM[13]
+; output y1n in DM[14]
+; output y2n in DM[3]

@@ -1,0 +1,33 @@
+; block biquad on FzBuf_0007e8 — 27 instructions
+i0: { MP: mov B0.r0, DM[6]{b1} }
+i1: { MP: mov B0.r1, DM[0]{x} | L0: mov B1.r0, B0.r0 }
+i2: { MP: mov B0.r0, DM[5]{b0} | L0: mov B1.r0, B0.r1 | L1: mov B2.r1, B1.r0 }
+i3: { L0: mov B1.r0, B0.r0 | L1: mov B2.r0, B1.r0 | MP: mov B0.r2, DM[1]{x1} }
+i4: { L1: mov B2.r2, B1.r0 | L0: mov B1.r0, B0.r2 | MP: mov B0.r0, DM[7]{b2} }
+i5: { U2: mul B2.r2, B2.r2, B2.r0 | L1: mov B2.r0, B1.r0 | L0: mov B1.r0, B0.r0 | MP: mov DM[10]{x1n}, B0.r1 }
+i6: { U2: mul B2.r0, B2.r1, B2.r0 | L2: mov B3.r0, B2.r2 | L1: mov B2.r1, B1.r0 | MP: mov B0.r0, DM[2]{x2} }
+i7: { L3: mov B0.r1, B3.r0 | L2: mov B3.r0, B2.r0 | L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[8]{a1} }
+i8: { L1: mov B2.r0, B1.r0 | L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[3]{y1} }
+i9: { U2: mul B2.r0, B2.r1, B2.r0 | L3: mov B0.r2, B3.r0 | L1: mov B2.r1, B1.r0 | L0: mov B1.r0, B0.r0 | MP: mov DM[11]{x2n}, B0.r2 }
+i10: { U0: add B0.r2, B0.r1, B0.r2 | L2: mov B3.r0, B2.r0 | L1: mov B2.r0, B1.r0 | MP: mov DM[12]{y2n}, B0.r0 }
+i11: { U2: mul B2.r0, B2.r1, B2.r0 | L3: mov B0.r1, B3.r0 | MP: mov B0.r0, DM[9]{a2} }
+i12: { U0: add B0.r1, B0.r2, B0.r1 | L2: mov B3.r0, B2.r0 | L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[4]{y2} }
+i13: { L0: mov B1.r1, B0.r1 | L3: mov B0.r1, B3.r0 | L1: mov B2.r1, B1.r0 }
+i14: { L0: mov B1.r0, B0.r1 }
+i15: { U1: sub B1.r1, B1.r1, B1.r0 | L0: mov B1.r0, B0.r0 }
+i16: { L1: mov B2.r0, B1.r0 }
+i17: { U2: mul B2.r0, B2.r1, B2.r0 }
+i18: { L2: mov B3.r0, B2.r0 }
+i19: { L3: mov B0.r0, B3.r0 }
+i20: { L0: mov B1.r0, B0.r0 }
+i21: { U1: sub B1.r0, B1.r1, B1.r0 }
+i22: { L1: mov B2.r0, B1.r0 }
+i23: { L1: mov B2.r0, B1.r0 | L2: mov B3.r0, B2.r0 }
+i24: { L2: mov B3.r0, B2.r0 | L3: mov B0.r0, B3.r0 }
+i25: { L3: mov B0.r0, B3.r0 | MP: mov DM[13]{y1n}, B0.r0 }
+i26: { MP: mov DM[14]{y}, B0.r0 }
+; output x1n in DM[0]
+; output x2n in DM[1]
+; output y in DM[14]
+; output y1n in DM[13]
+; output y2n in DM[3]

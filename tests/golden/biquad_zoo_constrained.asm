@@ -1,0 +1,19 @@
+; block biquad on FzCstr_0007e8 — 13 instructions
+i0: { B0: mov RF0.r0, DM[5]{b0} }
+i1: { B0: mov RF0.r2, DM[0]{x} }
+i2: { U2: mul RF0.r3, RF0.r0, RF0.r2 | B0: mov RF0.r0, DM[6]{b1} }
+i3: { B0: mov RF0.r1, DM[1]{x1} }
+i4: { U2: mul RF0.r0, RF0.r0, RF0.r1 | B0: mov RF1.r2, DM[8]{a1} }
+i5: { U0: add RF0.r0, RF0.r3, RF0.r0 | B0: mov RF0.r3, DM[7]{b2} }
+i6: { B0: mov RF1.r3, RF0.r0 }
+i7: { B0: mov RF0.r0, DM[2]{x2} }
+i8: { U2: mul RF0.r0, RF0.r3, RF0.r0 | B0: mov RF1.r0, DM[3]{y1} }
+i9: { B0: mov RF1.r1, RF0.r0 }
+i10: { U1: add RF1.r3, RF1.r3, RF1.r1 | B0: mov RF1.r1, DM[9]{a2} }
+i11: { U1: msu RF1.r2, RF1.r2, RF1.r0, RF1.r3 | B0: mov RF1.r0, DM[4]{y2} }
+i12: { U1: msu RF1.r0, RF1.r1, RF1.r0, RF1.r2 | B0: mov RF0.r0, DM[3]{y1} }
+; output x1n in RF0.r2
+; output x2n in RF0.r1
+; output y in RF1.r0
+; output y1n in RF1.r0
+; output y2n in RF0.r0

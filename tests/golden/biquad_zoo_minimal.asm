@@ -1,0 +1,22 @@
+; block biquad on FzMin_0007e8 — 16 instructions
+i0: { B0: mov RF0.r0, DM[5]{b0} }
+i1: { B0: mov RF0.r3, DM[0]{x} }
+i2: { U1: mul RF0.r1, RF0.r0, RF0.r3 | B0: mov RF0.r0, DM[6]{b1} }
+i3: { B0: mov RF0.r2, DM[1]{x1} }
+i4: { U1: mul RF0.r0, RF0.r0, RF0.r2 | B0: mov DM[10]{x1n}, RF0.r3 }
+i5: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov RF0.r3, DM[7]{b2} }
+i6: { B0: mov RF0.r0, DM[2]{x2} }
+i7: { U1: mul RF0.r3, RF0.r3, RF0.r0 | B0: mov RF0.r0, DM[8]{a1} }
+i8: { U0: add RF0.r1, RF0.r1, RF0.r3 | B0: mov RF0.r3, DM[3]{y1} }
+i9: { U1: mul RF0.r0, RF0.r0, RF0.r3 | B0: mov DM[11]{x2n}, RF0.r2 }
+i10: { U0: sub RF0.r2, RF0.r1, RF0.r0 | B0: mov RF0.r1, DM[9]{a2} }
+i11: { B0: mov RF0.r0, DM[4]{y2} }
+i12: { U1: mul RF0.r0, RF0.r1, RF0.r0 | B0: mov DM[12]{y2n}, RF0.r3 }
+i13: { U0: sub RF0.r0, RF0.r2, RF0.r0 }
+i14: { B0: mov DM[13]{y}, RF0.r0 }
+i15: { B0: mov DM[14]{y1n}, RF0.r0 }
+; output x1n in DM[0]
+; output x2n in DM[1]
+; output y in DM[13]
+; output y1n in DM[14]
+; output y2n in DM[3]

@@ -1,0 +1,31 @@
+; block biquad on FzTiny_0007e8 — 25 instructions
+i0: { B0: mov RF2.r1, DM[5]{b0} }
+i1: { B0: mov RF2.r0, DM[0]{x} }
+i2: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov RF2.r2, DM[6]{b1} }
+i3: { B0: mov RF2.r1, DM[1]{x1} }
+i4: { U2: mul RF2.r2, RF2.r2, RF2.r1 | B0: mov RF2.r1, DM[7]{b2} }
+i5: { B0: mov DM[79]{spill0}, RF2.r0 }
+i6: { B0: mov RF2.r0, DM[2]{x2} }
+i7: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov DM[80]{spill1}, RF2.r2 }
+i8: { B0: mov RF0.r1, DM[79]{scratch0} }
+i9: { B0: mov RF0.r0, DM[80]{scratch1} }
+i10: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov DM[81]{spill2}, RF2.r0 }
+i11: { B0: mov RF0.r0, DM[81]{scratch2} }
+i12: { U0: add RF0.r0, RF0.r1, RF0.r0 | B0: mov RF2.r1, DM[8]{a1} }
+i13: { B0: mov RF2.r0, DM[3]{y1} }
+i14: { U2: mul RF2.r2, RF2.r1, RF2.r0 | B0: mov RF2.r1, DM[9]{a2} }
+i15: { B0: mov RF2.r0, DM[4]{y2} }
+i16: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov DM[83]{spill4}, RF2.r2 }
+i17: { B0: mov RF1.r0, DM[83]{scratch4} }
+i18: { B0: mov DM[82]{spill3}, RF0.r0 }
+i19: { B0: mov DM[84]{spill5}, RF2.r0 }
+i20: { B0: mov RF1.r1, DM[82]{scratch3} }
+i21: { U1: sub RF1.r1, RF1.r1, RF1.r0 | B0: mov RF1.r0, DM[84]{scratch5} }
+i22: { U1: sub RF1.r0, RF1.r1, RF1.r0 | B0: mov RF0.r2, DM[0]{x} }
+i23: { B0: mov RF0.r1, DM[1]{x1} }
+i24: { B0: mov RF0.r0, DM[3]{y1} }
+; output x1n in RF0.r2
+; output x2n in RF0.r1
+; output y in RF1.r0
+; output y1n in RF1.r0
+; output y2n in RF0.r0

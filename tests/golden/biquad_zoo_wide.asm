@@ -1,0 +1,16 @@
+; block biquad on FzWide_0007e8 — 10 instructions
+i0: { B0: mov RF1.r1, DM[6]{b1} | B0: mov RF1.r0, DM[1]{x1} }
+i1: { U5: mul RF1.r2, RF1.r1, RF1.r0 | B0: mov RF1.r1, DM[5]{b0} | B0: mov RF1.r0, DM[0]{x} }
+i2: { U1: mac RF1.r3, RF1.r1, RF1.r0, RF1.r2 | B0: mov RF1.r1, DM[7]{b2} | B0: mov RF1.r0, DM[2]{x2} }
+i3: { U5: mul RF1.r2, RF1.r1, RF1.r0 | B0: mov RF1.r1, DM[9]{a2} | B0: mov RF1.r0, DM[4]{y2} }
+i4: { U3: add RF1.r3, RF1.r3, RF1.r2 | U5: mul RF1.r0, RF1.r1, RF1.r0 | B0: mov RF1.r2, DM[8]{a1} | B0: mov RF1.r1, DM[3]{y1} }
+i5: { U5: mul RF1.r0, RF1.r2, RF1.r1 | B1: mov RF0.r3, RF1.r0 | B0: mov RF0.r2, DM[0]{x} | B0: mov RF0.r1, DM[1]{x1} }
+i6: { B1: mov RF0.r4, RF1.r0 | B0: mov RF0.r0, DM[3]{y1} }
+i7: { B1: mov RF0.r5, RF1.r3 }
+i8: { U2: sub RF0.r4, RF0.r5, RF0.r4 }
+i9: { U2: sub RF0.r3, RF0.r4, RF0.r3 }
+; output x1n in RF0.r2
+; output x2n in RF0.r1
+; output y in RF0.r3
+; output y1n in RF0.r3
+; output y2n in RF0.r0

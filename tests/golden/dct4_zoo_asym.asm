@@ -1,0 +1,33 @@
+; block dct4 on FzAsym_0007e8 — 28 instructions
+i0: { BX: mov RF0.r0, DM[3]{s3} }
+i1: { BX: mov RF1.r0, RF0.r0 }
+i2: { BX: mov RF0.r0, DM[0]{s0} | BY: mov RF2.r1, RF1.r0 }
+i3: { BX: mov RF1.r0, RF0.r0 }
+i4: { BY: mov RF2.r0, RF1.r0 | BX: mov RF0.r0, DM[1]{s1} }
+i5: { BX: mov RF1.r0, RF0.r0 }
+i6: { BX: mov RF3.r1, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i7: { BX: mov RF3.r0, RF2.r1 }
+i8: { U3: sub RF3.r0, RF3.r1, RF3.r0 | BX: mov RF3.r1, RF2.r0 }
+i9: { BX: mov RF0.r0, DM[2]{s2} | BY: mov RF5.r0, RF3.r0 }
+i10: { BX: mov RF1.r0, RF0.r0 | BY: mov RF0.r1, RF5.r0 }
+i11: { BX: mov RF0.r2, DM[0]{s0} | BY: mov RF2.r0, RF1.r0 }
+i12: { BX: mov RF3.r0, RF2.r0 }
+i13: { U3: sub RF3.r3, RF3.r1, RF3.r0 | BX: mov RF0.r0, DM[3]{s3} }
+i14: { U0: add RF0.r2, RF0.r2, RF0.r0 | BY: mov RF5.r0, RF3.r3 | BX: mov RF0.r3, DM[5]{c2} }
+i15: { U6: mul RF0.r0, RF0.r1, RF0.r3 | BX: mov RF1.r0, RF0.r2 }
+i16: { BY: mov RF2.r1, RF1.r0 | BY: mov RF0.r0, RF5.r0 | BX: mov RF1.r0, RF0.r0 }
+i17: { U6: mul RF0.r3, RF0.r0, RF0.r3 | BX: mov RF0.r0, DM[4]{c1} | BY: mov RF2.r0, RF1.r0 }
+i18: { U0: mac RF0.r1, RF0.r1, RF0.r0, RF0.r3 | BX: mov RF3.r0, RF2.r0 }
+i19: { BX: mov RF0.r3, DM[1]{s1} }
+i20: { BX: mov RF0.r0, DM[2]{s2} }
+i21: { U0: add RF0.r0, RF0.r3, RF0.r0 | BX: mov RF3.r2, RF2.r1 }
+i22: { U0: add RF0.r2, RF0.r2, RF0.r0 | BX: mov RF1.r0, RF0.r0 }
+i23: { BY: mov RF2.r0, RF1.r0 | BX: mov RF0.r0, DM[4]{c1} }
+i24: { BX: mov RF1.r0, RF0.r0 }
+i25: { BX: mov RF3.r1, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i26: { U3: sub RF3.r2, RF3.r2, RF3.r1 | BX: mov RF3.r1, RF2.r0 }
+i27: { U3: msu RF3.r0, RF3.r3, RF3.r1, RF3.r0 }
+; output t0 in RF0.r2
+; output t1 in RF0.r1
+; output t2 in RF3.r2
+; output t3 in RF3.r0

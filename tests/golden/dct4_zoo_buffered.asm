@@ -1,0 +1,29 @@
+; block dct4 on FzBuf_0007e8 — 24 instructions
+i0: { MP: mov B0.r0, DM[3]{s3} }
+i1: { MP: mov B0.r0, DM[0]{s0} | L0: mov B1.r0, B0.r0 }
+i2: { L0: mov B1.r1, B0.r0 | MP: mov B0.r0, DM[1]{s1} }
+i3: { U1: sub B1.r0, B1.r1, B1.r0 | L0: mov B1.r1, B0.r0 | MP: mov B0.r0, DM[2]{s2} }
+i4: { L0: mov B1.r0, B0.r0 | L1: mov B2.r0, B1.r0 | MP: mov B0.r0, DM[5]{c2} }
+i5: { U1: sub B1.r2, B1.r1, B1.r0 | MP: mov B0.r0, DM[4]{c1} | L0: mov B1.r0, B0.r0 | L2: mov B3.r0, B2.r0 }
+i6: { MP: mov B0.r1, DM[0]{s0} | L0: mov B1.r0, B0.r0 | L1: mov B2.r1, B1.r0 }
+i7: { MP: mov B0.r0, DM[3]{s3} | L1: mov B2.r2, B1.r0 }
+i8: { U0: add B0.r1, B0.r1, B0.r0 | MP: mov B0.r2, DM[1]{s1} }
+i9: { MP: mov B0.r0, DM[2]{s2} | L0: mov B1.r1, B0.r1 }
+i10: { U0: add B0.r2, B0.r2, B0.r0 | L3: mov B0.r0, B3.r0 }
+i11: { U0: add B0.r1, B0.r1, B0.r2 | L0: mov B1.r0, B0.r2 | MP: mov DM[127]{spill0}, B0.r0 }
+i12: { U1: sub B1.r1, B1.r1, B1.r0 | MP: mov B0.r0, DM[127]{spill0} }
+i13: { L0: mov B1.r0, B0.r0 }
+i14: { L0: mov B1.r0, B0.r0 | L1: mov B2.r0, B1.r0 }
+i15: { U2: mul B2.r0, B2.r0, B2.r1 }
+i16: { L2: mov B3.r0, B2.r0 | L1: mov B2.r0, B1.r0 }
+i17: { U2: mul B2.r0, B2.r0, B2.r2 | L3: mov B0.r0, B3.r0 }
+i18: { L1: mov B2.r0, B1.r2 | L2: mov B3.r0, B2.r0 | L0: mov B1.r2, B0.r0 }
+i19: { U2: mul B2.r2, B2.r0, B2.r2 | L3: mov B0.r2, B3.r0 }
+i20: { U2: mul B2.r0, B2.r0, B2.r1 | L2: mov B3.r0, B2.r2 }
+i21: { L2: mov B3.r0, B2.r0 | L3: mov B0.r0, B3.r0 }
+i22: { L3: mov B0.r0, B3.r0 | L0: mov B1.r0, B0.r0 }
+i23: { U0: add B0.r0, B0.r2, B0.r0 | U1: sub B1.r0, B1.r2, B1.r0 }
+; output t0 in B0.r1
+; output t1 in B0.r0
+; output t2 in B1.r1
+; output t3 in B1.r0

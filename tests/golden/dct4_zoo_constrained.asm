@@ -1,0 +1,18 @@
+; block dct4 on FzCstr_0007e8 — 13 instructions
+i0: { B0: mov RF0.r1, DM[0]{s0} }
+i1: { B0: mov RF0.r0, DM[3]{s3} }
+i2: { U0: add RF0.r1, RF0.r1, RF0.r0 | U2: sub RF0.r3, RF0.r1, RF0.r0 | B0: mov RF0.r2, DM[5]{c2} }
+i3: { U2: mul RF0.r0, RF0.r3, RF0.r2 | B0: mov RF1.r1, DM[4]{c1} }
+i4: { B0: mov RF1.r0, RF0.r0 }
+i5: { B0: mov RF0.r0, DM[4]{c1} }
+i6: { U2: mul RF0.r0, RF0.r3, RF0.r0 | B0: mov RF0.r3, DM[1]{s1} }
+i7: { B0: mov DM[255]{spill0}, RF0.r0 }
+i8: { B0: mov RF0.r0, DM[2]{s2} }
+i9: { U0: add RF0.r0, RF0.r3, RF0.r0 | U2: sub RF0.r3, RF0.r3, RF0.r0 }
+i10: { U0: add RF0.r2, RF0.r1, RF0.r0 | U2: mul RF0.r3, RF0.r3, RF0.r2 | B0: mov RF1.r2, RF0.r3 }
+i11: { U2: sub RF0.r1, RF0.r1, RF0.r0 | U1: msu RF1.r0, RF1.r2, RF1.r1, RF1.r0 | B0: mov RF0.r0, DM[255]{spill0} }
+i12: { U0: add RF0.r0, RF0.r0, RF0.r3 }
+; output t0 in RF0.r2
+; output t1 in RF0.r0
+; output t2 in RF0.r1
+; output t3 in RF1.r0

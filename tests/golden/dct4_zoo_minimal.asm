@@ -1,0 +1,26 @@
+; block dct4 on FzMin_0007e8 — 21 instructions
+i0: { B0: mov RF0.r1, DM[1]{s1} }
+i1: { B0: mov RF0.r0, DM[2]{s2} }
+i2: { U0: sub RF0.r3, RF0.r1, RF0.r0 | B0: mov RF0.r2, DM[5]{c2} }
+i3: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov RF0.r0, DM[0]{s0} }
+i4: { B0: mov DM[60]{spill0}, RF0.r0 }
+i5: { B0: mov RF0.r0, DM[60]{spill0} }
+i6: { U1: mul RF0.r1, RF0.r3, RF0.r2 | B0: mov DM[61]{spill1}, RF0.r1 }
+i7: { B0: mov DM[62]{spill2}, RF0.r3 }
+i8: { B0: mov RF0.r3, DM[3]{s3} }
+i9: { U0: sub RF0.r0, RF0.r0, RF0.r3 | B0: mov DM[63]{spill3}, RF0.r3 }
+i10: { U1: mul RF0.r3, RF0.r0, RF0.r2 | B0: mov RF0.r2, DM[4]{c1} }
+i11: { U1: mul RF0.r0, RF0.r0, RF0.r2 }
+i12: { U0: add RF0.r0, RF0.r0, RF0.r1 | B0: mov RF0.r1, DM[62]{spill2} }
+i13: { U1: mul RF0.r1, RF0.r1, RF0.r2 | B0: mov RF0.r2, DM[60]{spill0} }
+i14: { U0: sub RF0.r3, RF0.r3, RF0.r1 | B0: mov RF0.r1, DM[61]{spill1} }
+i15: { B0: mov DM[6]{t1}, RF0.r0 }
+i16: { B0: mov RF0.r0, DM[63]{spill3} }
+i17: { U0: add RF0.r2, RF0.r2, RF0.r0 | B0: mov DM[7]{t3}, RF0.r3 }
+i18: { U0: add RF0.r0, RF0.r2, RF0.r1 }
+i19: { U0: sub RF0.r0, RF0.r2, RF0.r1 | B0: mov DM[8]{t0}, RF0.r0 }
+i20: { B0: mov DM[9]{t2}, RF0.r0 }
+; output t0 in DM[8]
+; output t1 in DM[6]
+; output t2 in DM[9]
+; output t3 in DM[7]

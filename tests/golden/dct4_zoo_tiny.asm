@@ -1,0 +1,32 @@
+; block dct4 on FzTiny_0007e8 — 27 instructions
+i0: { B0: mov RF1.r1, DM[0]{s0} }
+i1: { B0: mov RF1.r0, DM[3]{s3} }
+i2: { U1: sub RF1.r2, RF1.r1, RF1.r0 | B0: mov RF1.r1, DM[1]{s1} }
+i3: { B0: mov RF1.r0, DM[2]{s2} }
+i4: { U1: sub RF1.r0, RF1.r1, RF1.r0 | B0: mov DM[79]{spill2}, RF1.r2 }
+i5: { B0: mov DM[80]{spill3}, RF1.r0 }
+i6: { B0: mov RF0.r1, DM[0]{s0} }
+i7: { B0: mov RF0.r0, DM[3]{s3} }
+i8: { U0: add RF0.r2, RF0.r1, RF0.r0 | B0: mov RF0.r1, DM[1]{s1} }
+i9: { B0: mov RF0.r0, DM[2]{s2} }
+i10: { U0: add RF0.r0, RF0.r1, RF0.r0 | B0: mov RF2.r2, DM[79]{scratch2} }
+i11: { U0: add RF0.r2, RF0.r2, RF0.r0 | B0: mov DM[77]{spill0}, RF0.r2 }
+i12: { B0: mov RF2.r0, DM[4]{c1} }
+i13: { U2: mul RF2.r1, RF2.r2, RF2.r0 | B0: mov DM[78]{spill1}, RF0.r0 }
+i14: { B0: mov DM[81]{spill4}, RF2.r1 }
+i15: { B0: mov RF2.r1, DM[80]{scratch3} }
+i16: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov RF1.r1, DM[77]{scratch0} }
+i17: { B0: mov RF1.r0, DM[78]{scratch1} }
+i18: { U1: sub RF1.r2, RF1.r1, RF1.r0 | B0: mov DM[84]{spill7}, RF2.r0 }
+i19: { B0: mov RF2.r0, DM[5]{c2} }
+i20: { U2: mul RF2.r1, RF2.r1, RF2.r0 | B0: mov RF0.r1, DM[81]{scratch4} }
+i21: { U2: mul RF2.r0, RF2.r2, RF2.r0 | B0: mov DM[82]{spill5}, RF2.r1 }
+i22: { B0: mov RF0.r0, DM[82]{scratch5} }
+i23: { U0: add RF0.r0, RF0.r1, RF0.r0 | B0: mov DM[83]{spill6}, RF2.r0 }
+i24: { B0: mov RF1.r1, DM[83]{scratch6} }
+i25: { B0: mov RF1.r0, DM[84]{scratch7} }
+i26: { U1: sub RF1.r0, RF1.r1, RF1.r0 }
+; output t0 in RF0.r2
+; output t1 in RF0.r0
+; output t2 in RF1.r2
+; output t3 in RF1.r0

@@ -1,0 +1,11 @@
+; block dct4 on FzWide_0007e8 — 6 instructions
+i0: { B0: mov RF0.r1, DM[0]{s0} | B0: mov RF0.r0, DM[3]{s3} }
+i1: { U0: add RF0.r3, RF0.r1, RF0.r0 | U2: sub RF0.r0, RF0.r1, RF0.r0 | B0: mov RF0.r2, DM[1]{s1} | B0: mov RF0.r1, DM[2]{s2} }
+i2: { U0: add RF0.r1, RF0.r2, RF0.r1 | U2: sub RF0.r0, RF0.r2, RF0.r1 | B1: mov RF1.r2, RF0.r0 | B0: mov RF1.r3, DM[4]{c1} | B0: mov RF1.r0, DM[5]{c2} }
+i3: { U0: add RF0.r1, RF0.r3, RF0.r1 | U2: sub RF0.r0, RF0.r3, RF0.r1 | U5: mul RF1.r4, RF1.r2, RF1.r3 | B1: mov RF1.r1, RF0.r0 }
+i4: { U1: mac RF1.r2, RF1.r1, RF1.r0, RF1.r4 | U5: mul RF1.r0, RF1.r2, RF1.r0 }
+i5: { U1: msu RF1.r0, RF1.r1, RF1.r3, RF1.r0 }
+; output t0 in RF0.r1
+; output t1 in RF1.r2
+; output t2 in RF0.r0
+; output t3 in RF1.r0

@@ -1,0 +1,12 @@
+; block ex1 on FzAsym_0007e8 — 10 instructions
+i0: { BX: mov RF0.r1, DM[0]{a} }
+i1: { BX: mov RF0.r0, DM[1]{b} }
+i2: { U0: add RF0.r2, RF0.r1, RF0.r0 | BX: mov RF0.r1, DM[2]{c} }
+i3: { BX: mov RF0.r0, DM[3]{d} }
+i4: { U0: mac RF0.r1, RF0.r2, RF0.r1, RF0.r0 | BX: mov RF0.r0, DM[1]{b} }
+i5: { BX: mov RF1.r0, RF0.r0 }
+i6: { BX: mov RF1.r0, RF0.r1 | BY: mov RF2.r0, RF1.r0 }
+i7: { BY: mov RF2.r0, RF1.r0 | BX: mov RF3.r0, RF2.r0 }
+i8: { BX: mov RF3.r1, RF2.r0 }
+i9: { U3: sub RF3.r0, RF3.r1, RF3.r0 }
+; output y in RF3.r0

@@ -1,0 +1,15 @@
+; block ex1 on FzBuf_0007e8 — 13 instructions
+i0: { MP: mov B0.r0, DM[2]{c} }
+i1: { MP: mov B0.r1, DM[0]{a} | L0: mov B1.r0, B0.r0 }
+i2: { MP: mov B0.r0, DM[1]{b} | L1: mov B2.r0, B1.r0 }
+i3: { U0: add B0.r2, B0.r1, B0.r0 | MP: mov B0.r0, DM[1]{b} }
+i4: { MP: mov B0.r1, DM[3]{d} | L0: mov B1.r0, B0.r0 }
+i5: { L0: mov B1.r1, B0.r2 }
+i6: { L1: mov B2.r1, B1.r1 }
+i7: { U2: mul B2.r0, B2.r1, B2.r0 }
+i8: { L2: mov B3.r0, B2.r0 }
+i9: { L3: mov B0.r0, B3.r0 }
+i10: { U0: add B0.r0, B0.r1, B0.r0 }
+i11: { L0: mov B1.r1, B0.r0 }
+i12: { U1: sub B1.r0, B1.r1, B1.r0 }
+; output y in B1.r0

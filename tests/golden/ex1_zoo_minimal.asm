@@ -1,0 +1,8 @@
+; block ex1 on FzMin_0007e8 — 6 instructions
+i0: { B0: mov RF0.r0, DM[0]{a} }
+i1: { B0: mov RF0.r1, DM[1]{b} }
+i2: { U0: add RF0.r2, RF0.r0, RF0.r1 | B0: mov RF0.r0, DM[2]{c} }
+i3: { U1: mul RF0.r2, RF0.r2, RF0.r0 | B0: mov RF0.r0, DM[3]{d} }
+i4: { U0: add RF0.r0, RF0.r0, RF0.r2 }
+i5: { U0: sub RF0.r0, RF0.r0, RF0.r1 }
+; output y in RF0.r0

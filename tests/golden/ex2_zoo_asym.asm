@@ -1,0 +1,10 @@
+; block ex2 on FzAsym_0007e8 — 8 instructions
+i0: { BX: mov RF0.r2, DM[1]{x0} }
+i1: { BX: mov RF0.r1, DM[2]{c0} }
+i2: { BX: mov RF0.r0, DM[0]{acc} }
+i3: { U0: mac RF0.r2, RF0.r2, RF0.r1, RF0.r0 | BX: mov RF0.r1, DM[3]{x1} }
+i4: { BX: mov RF0.r0, DM[4]{c1} }
+i5: { U0: mac RF0.r2, RF0.r1, RF0.r0, RF0.r2 | BX: mov RF0.r1, DM[5]{x2} }
+i6: { BX: mov RF0.r0, DM[6]{c2} }
+i7: { U0: mac RF0.r0, RF0.r1, RF0.r0, RF0.r2 }
+; output y in RF0.r0

@@ -1,0 +1,14 @@
+; block ex2 on FzBuf_0007e8 — 12 instructions
+i0: { MP: mov B0.r0, DM[2]{c0} }
+i1: { MP: mov B0.r0, DM[1]{x0} | L0: mov B1.r0, B0.r0 }
+i2: { L0: mov B1.r0, B0.r0 | L1: mov B2.r0, B1.r0 | MP: mov B0.r0, DM[3]{x1} }
+i3: { L1: mov B2.r1, B1.r0 | L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[4]{c1} }
+i4: { U2: mul B2.r0, B2.r1, B2.r0 | L1: mov B2.r1, B1.r0 | L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[5]{x2} }
+i5: { L2: mov B3.r0, B2.r0 | L1: mov B2.r0, B1.r0 | L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[6]{c2} }
+i6: { U2: mul B2.r0, B2.r1, B2.r0 | MP: mov B0.r1, DM[0]{acc} | L3: mov B0.r0, B3.r0 | L1: mov B2.r1, B1.r0 | L0: mov B1.r0, B0.r0 }
+i7: { U0: add B0.r1, B0.r1, B0.r0 | L2: mov B3.r0, B2.r0 | L1: mov B2.r0, B1.r0 }
+i8: { U2: mul B2.r0, B2.r1, B2.r0 | L3: mov B0.r0, B3.r0 }
+i9: { U0: add B0.r1, B0.r1, B0.r0 | L2: mov B3.r0, B2.r0 }
+i10: { L3: mov B0.r0, B3.r0 }
+i11: { U0: add B0.r0, B0.r1, B0.r0 }
+; output y in B0.r0

@@ -1,0 +1,11 @@
+; block ex2 on FzMin_0007e8 — 9 instructions
+i0: { B0: mov RF0.r1, DM[1]{x0} }
+i1: { B0: mov RF0.r0, DM[2]{c0} }
+i2: { U1: mul RF0.r1, RF0.r1, RF0.r0 | B0: mov RF0.r0, DM[0]{acc} }
+i3: { U0: add RF0.r2, RF0.r0, RF0.r1 | B0: mov RF0.r1, DM[3]{x1} }
+i4: { B0: mov RF0.r0, DM[4]{c1} }
+i5: { U1: mul RF0.r0, RF0.r1, RF0.r0 | B0: mov RF0.r1, DM[5]{x2} }
+i6: { U0: add RF0.r2, RF0.r2, RF0.r0 | B0: mov RF0.r0, DM[6]{c2} }
+i7: { U1: mul RF0.r0, RF0.r1, RF0.r0 }
+i8: { U0: add RF0.r0, RF0.r2, RF0.r0 }
+; output y in RF0.r0

@@ -1,0 +1,16 @@
+; block ex2 on FzTiny_0007e8 — 14 instructions
+i0: { B0: mov RF2.r1, DM[1]{x0} }
+i1: { B0: mov RF2.r0, DM[2]{c0} }
+i2: { U2: mul RF2.r2, RF2.r1, RF2.r0 | B0: mov RF2.r1, DM[3]{x1} }
+i3: { B0: mov RF2.r0, DM[4]{c1} }
+i4: { U2: mul RF2.r2, RF2.r1, RF2.r0 | B0: mov DM[82]{spill0}, RF2.r2 }
+i5: { B0: mov RF2.r1, DM[5]{x2} }
+i6: { B0: mov RF2.r0, DM[6]{c2} }
+i7: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov RF0.r1, DM[0]{acc} }
+i8: { B0: mov RF0.r0, DM[82]{scratch0} }
+i9: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov DM[83]{spill1}, RF2.r2 }
+i10: { B0: mov RF0.r0, DM[83]{scratch1} }
+i11: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov DM[84]{spill2}, RF2.r0 }
+i12: { B0: mov RF0.r0, DM[84]{scratch2} }
+i13: { U0: add RF0.r0, RF0.r1, RF0.r0 }
+; output y in RF0.r0

@@ -1,0 +1,9 @@
+; block ex2 on FzWide_0007e8 — 7 instructions
+i0: { B0: mov RF1.r6, DM[1]{x0} | B0: mov RF1.r5, DM[2]{c0} }
+i1: { B0: mov RF1.r3, DM[3]{x1} | B0: mov RF1.r2, DM[4]{c1} }
+i2: { B0: mov RF1.r1, DM[5]{x2} | B0: mov RF1.r0, DM[6]{c2} }
+i3: { B0: mov RF1.r4, DM[0]{acc} }
+i4: { U1: mac RF1.r4, RF1.r6, RF1.r5, RF1.r4 }
+i5: { U1: mac RF1.r2, RF1.r3, RF1.r2, RF1.r4 }
+i6: { U1: mac RF1.r0, RF1.r1, RF1.r0, RF1.r2 }
+; output y in RF1.r0

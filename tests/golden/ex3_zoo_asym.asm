@@ -1,0 +1,20 @@
+; block ex3 on FzAsym_0007e8 — 17 instructions
+i0: { BX: mov RF0.r1, DM[1]{a0} }
+i1: { BX: mov RF0.r0, DM[2]{b0} }
+i2: { U0: add RF0.r0, RF0.r1, RF0.r0 | BX: mov RF0.r2, DM[0]{k} }
+i3: { U6: mul RF0.r3, RF0.r0, RF0.r2 | BX: mov RF0.r1, DM[3]{a1} }
+i4: { BX: mov RF0.r0, DM[4]{b1} }
+i5: { U0: add RF0.r0, RF0.r1, RF0.r0 | BX: mov RF0.r1, DM[2]{b0} }
+i6: { U6: mul RF0.r0, RF0.r0, RF0.r2 | BX: mov RF1.r0, RF0.r3 }
+i7: { BY: mov RF2.r0, RF1.r0 | BX: mov RF1.r0, RF0.r0 }
+i8: { BX: mov RF3.r1, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i9: { BX: mov RF1.r0, RF0.r1 }
+i10: { BY: mov RF2.r1, RF1.r0 | BX: mov RF0.r0, DM[4]{b1} }
+i11: { BX: mov RF3.r0, RF2.r1 }
+i12: { U3: sub RF3.r2, RF3.r1, RF3.r0 | BX: mov RF3.r1, RF2.r0 }
+i13: { BX: mov RF1.r0, RF0.r0 }
+i14: { BY: mov RF2.r0, RF1.r0 }
+i15: { BX: mov RF3.r0, RF2.r0 }
+i16: { U3: sub RF3.r0, RF3.r1, RF3.r0 }
+; output y0 in RF3.r2
+; output y1 in RF3.r0

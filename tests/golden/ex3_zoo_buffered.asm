@@ -1,0 +1,16 @@
+; block ex3 on FzBuf_0007e8 — 13 instructions
+i0: { MP: mov B0.r0, DM[0]{k} }
+i1: { MP: mov B0.r1, DM[1]{a0} | L0: mov B1.r0, B0.r0 }
+i2: { MP: mov B0.r0, DM[2]{b0} | L1: mov B2.r1, B1.r0 }
+i3: { U0: add B0.r0, B0.r1, B0.r0 | MP: mov B0.r1, DM[3]{a1} }
+i4: { L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[4]{b1} }
+i5: { U0: add B0.r1, B0.r1, B0.r0 | L1: mov B2.r0, B1.r0 | MP: mov B0.r0, DM[4]{b1} }
+i6: { U2: mul B2.r0, B2.r0, B2.r1 | MP: mov B0.r1, DM[2]{b0} | L0: mov B1.r0, B0.r1 }
+i7: { L2: mov B3.r0, B2.r0 | L1: mov B2.r0, B1.r0 | L0: mov B1.r0, B0.r0 }
+i8: { U2: mul B2.r0, B2.r0, B2.r1 | L3: mov B0.r0, B3.r0 | L0: mov B1.r1, B0.r1 }
+i9: { L0: mov B1.r2, B0.r0 | L2: mov B3.r0, B2.r0 }
+i10: { U1: sub B1.r2, B1.r2, B1.r1 | L3: mov B0.r0, B3.r0 }
+i11: { L0: mov B1.r1, B0.r0 }
+i12: { U1: sub B1.r0, B1.r1, B1.r0 }
+; output y0 in B1.r2
+; output y1 in B1.r0

@@ -1,0 +1,11 @@
+; block ex3 on FzMin_0007e8 — 8 instructions
+i0: { B0: mov RF0.r0, DM[1]{a0} }
+i1: { B0: mov RF0.r2, DM[2]{b0} }
+i2: { U0: add RF0.r0, RF0.r0, RF0.r2 | B0: mov RF0.r3, DM[0]{k} }
+i3: { U1: mul RF0.r1, RF0.r0, RF0.r3 | B0: mov RF0.r0, DM[3]{a1} }
+i4: { U0: sub RF0.r2, RF0.r1, RF0.r2 | B0: mov RF0.r1, DM[4]{b1} }
+i5: { U0: add RF0.r0, RF0.r0, RF0.r1 }
+i6: { U1: mul RF0.r0, RF0.r0, RF0.r3 }
+i7: { U0: sub RF0.r0, RF0.r0, RF0.r1 }
+; output y0 in RF0.r2
+; output y1 in RF0.r0

@@ -1,0 +1,19 @@
+; block ex3 on FzTiny_0007e8 — 16 instructions
+i0: { B0: mov RF0.r1, DM[1]{a0} }
+i1: { B0: mov RF0.r0, DM[2]{b0} }
+i2: { U0: add RF0.r2, RF0.r1, RF0.r0 | B0: mov RF0.r1, DM[3]{a1} }
+i3: { B0: mov RF0.r0, DM[4]{b1} }
+i4: { U0: add RF0.r0, RF0.r1, RF0.r0 | B0: mov DM[81]{spill0}, RF0.r2 }
+i5: { B0: mov DM[83]{spill2}, RF0.r0 }
+i6: { B0: mov RF2.r1, DM[0]{k} }
+i7: { B0: mov RF2.r0, DM[81]{scratch0} }
+i8: { U2: mul RF2.r2, RF2.r0, RF2.r1 | B0: mov RF2.r0, DM[83]{scratch2} }
+i9: { U2: mul RF2.r0, RF2.r0, RF2.r1 | B0: mov DM[82]{spill1}, RF2.r2 }
+i10: { B0: mov DM[84]{spill3}, RF2.r0 }
+i11: { B0: mov RF1.r1, DM[82]{scratch1} }
+i12: { B0: mov RF1.r0, DM[2]{b0} }
+i13: { U1: sub RF1.r2, RF1.r1, RF1.r0 | B0: mov RF1.r1, DM[84]{scratch3} }
+i14: { B0: mov RF1.r0, DM[4]{b1} }
+i15: { U1: sub RF1.r0, RF1.r1, RF1.r0 }
+; output y0 in RF1.r2
+; output y1 in RF1.r0

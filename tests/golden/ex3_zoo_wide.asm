@@ -1,0 +1,10 @@
+; block ex3 on FzWide_0007e8 — 7 instructions
+i0: { B0: mov RF0.r0, DM[1]{a0} | B0: mov RF0.r2, DM[2]{b0} }
+i1: { U0: add RF0.r0, RF0.r0, RF0.r2 | B0: mov RF1.r2, DM[0]{k} | B0: mov RF1.r1, DM[3]{a1} }
+i2: { B1: mov RF1.r3, RF0.r0 | B0: mov RF1.r0, DM[4]{b1} | B0: mov RF0.r0, DM[4]{b1} }
+i3: { U5: mul RF1.r1, RF1.r3, RF1.r2 | U3: add RF1.r0, RF1.r1, RF1.r0 }
+i4: { U5: mul RF1.r0, RF1.r0, RF1.r2 | B1: mov RF0.r1, RF1.r1 }
+i5: { U2: sub RF0.r2, RF0.r1, RF0.r2 | B1: mov RF0.r1, RF1.r0 }
+i6: { U2: sub RF0.r0, RF0.r1, RF0.r0 }
+; output y0 in RF0.r2
+; output y1 in RF0.r0

@@ -1,0 +1,22 @@
+; block ex4 on FzAsym_0007e8 — 19 instructions
+i0: { BX: mov RF0.r0, DM[3]{a1} }
+i1: { BX: mov RF1.r0, RF0.r0 }
+i2: { BX: mov RF0.r0, DM[2]{b0} | BY: mov RF2.r0, RF1.r0 }
+i3: { BX: mov RF1.r0, RF0.r0 }
+i4: { BX: mov RF0.r0, DM[1]{a0} | BY: mov RF2.r1, RF1.r0 }
+i5: { BX: mov RF1.r0, RF0.r0 }
+i6: { BY: mov RF2.r2, RF1.r0 | BX: mov RF0.r0, DM[4]{b1} }
+i7: { BX: mov RF1.r0, RF0.r0 }
+i8: { BX: mov RF3.r1, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i9: { BX: mov RF3.r0, RF2.r0 }
+i10: { U3: sub RF3.r0, RF3.r1, RF3.r0 | BX: mov RF3.r1, RF2.r2 }
+i11: { BX: mov RF3.r0, RF2.r1 | BY: mov RF5.r0, RF3.r0 }
+i12: { U3: sub RF3.r0, RF3.r1, RF3.r0 | BX: mov RF0.r2, DM[0]{k} | BY: mov RF0.r0, RF5.r0 }
+i13: { BY: mov RF5.r0, RF3.r0 | BX: mov RF0.r1, DM[3]{a1} }
+i14: { U6: mul RF0.r3, RF0.r1, RF0.r2 | BX: mov RF0.r1, DM[4]{b1} }
+i15: { U0: add RF0.r3, RF0.r3, RF0.r1 | BX: mov RF0.r1, DM[1]{a0} }
+i16: { U0: mac RF0.r0, RF0.r3, RF0.r0, RF0.r2 | BX: mov RF0.r3, DM[2]{b0} }
+i17: { U0: mac RF0.r3, RF0.r1, RF0.r2, RF0.r3 | BY: mov RF0.r1, RF5.r0 }
+i18: { U0: mac RF0.r1, RF0.r3, RF0.r1, RF0.r2 }
+; output y0 in RF0.r1
+; output y1 in RF0.r0

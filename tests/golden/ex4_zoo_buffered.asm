@@ -1,0 +1,22 @@
+; block ex4 on FzBuf_0007e8 — 19 instructions
+i0: { MP: mov B0.r0, DM[3]{a1} }
+i1: { MP: mov B0.r1, DM[0]{k} | L0: mov B1.r1, B0.r0 }
+i2: { MP: mov B0.r0, DM[1]{a0} | L0: mov B1.r0, B0.r1 | L1: mov B2.r0, B1.r1 }
+i3: { L0: mov B1.r2, B0.r0 | L1: mov B2.r1, B1.r0 | MP: mov B0.r0, DM[4]{b1} }
+i4: { U2: mul B2.r0, B2.r0, B2.r1 | L1: mov B2.r2, B1.r2 }
+i5: { U2: mul B2.r0, B2.r2, B2.r1 | L2: mov B3.r0, B2.r0 }
+i6: { L2: mov B3.r0, B2.r0 | L3: mov B0.r2, B3.r0 }
+i7: { U0: add B0.r0, B0.r2, B0.r0 | L3: mov B0.r2, B3.r0 }
+i8: { MP: mov B0.r0, DM[2]{b0} | L0: mov B1.r0, B0.r0 }
+i9: { U0: add B0.r2, B0.r2, B0.r0 | MP: mov B0.r0, DM[2]{b0} | L1: mov B2.r1, B1.r0 }
+i10: { L0: mov B1.r0, B0.r0 | MP: mov B0.r0, DM[4]{b1} }
+i11: { U1: sub B1.r2, B1.r2, B1.r0 | L0: mov B1.r0, B0.r0 }
+i12: { U1: sub B1.r0, B1.r1, B1.r0 | L0: mov B1.r1, B0.r2 | L1: mov B2.r2, B1.r2 }
+i13: { L1: mov B2.r0, B1.r0 }
+i14: { U2: mul B2.r0, B2.r1, B2.r0 | L1: mov B2.r1, B1.r1 }
+i15: { U2: mul B2.r0, B2.r1, B2.r2 | L2: mov B3.r0, B2.r0 }
+i16: { L2: mov B3.r0, B2.r0 | L3: mov B0.r0, B3.r0 }
+i17: { U0: add B0.r0, B0.r0, B0.r1 | L3: mov B0.r2, B3.r0 }
+i18: { U0: add B0.r1, B0.r2, B0.r1 }
+; output y0 in B0.r1
+; output y1 in B0.r0

@@ -1,0 +1,13 @@
+; block ex4 on FzCstr_0007e8 — 10 instructions
+i0: { B0: mov RF0.r2, DM[3]{a1} }
+i1: { B0: mov RF0.r1, DM[0]{k} }
+i2: { U2: mul RF0.r3, RF0.r2, RF0.r1 | B0: mov RF0.r0, DM[4]{b1} }
+i3: { U0: add RF0.r3, RF0.r3, RF0.r0 | U2: sub RF0.r0, RF0.r2, RF0.r0 | B0: mov RF0.r2, DM[1]{a0} }
+i4: { U2: mul RF0.r0, RF0.r3, RF0.r0 | B0: mov RF0.r3, DM[2]{b0} }
+i5: { U2: mul RF0.r1, RF0.r2, RF0.r1 | B0: mov RF1.r1, DM[0]{k} }
+i6: { U0: add RF0.r1, RF0.r1, RF0.r3 | U2: sub RF0.r0, RF0.r2, RF0.r3 | B0: mov RF1.r0, RF0.r0 }
+i7: { U2: mul RF0.r0, RF0.r1, RF0.r0 | U1: add RF1.r0, RF1.r0, RF1.r1 }
+i8: { B0: mov RF1.r2, RF0.r0 }
+i9: { U1: add RF1.r1, RF1.r2, RF1.r1 }
+; output y0 in RF1.r1
+; output y1 in RF1.r0

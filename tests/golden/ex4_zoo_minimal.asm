@@ -1,0 +1,19 @@
+; block ex4 on FzMin_0007e8 — 16 instructions
+i0: { B0: mov RF0.r0, DM[3]{a1} }
+i1: { B0: mov RF0.r1, DM[0]{k} }
+i2: { U1: mul RF0.r2, RF0.r0, RF0.r1 | B0: mov RF0.r3, DM[1]{a0} }
+i3: { U1: mul RF0.r2, RF0.r3, RF0.r1 | B0: mov DM[60]{spill0}, RF0.r2 }
+i4: { B0: mov DM[61]{spill1}, RF0.r2 }
+i5: { B0: mov RF0.r2, DM[4]{b1} }
+i6: { U0: sub RF0.r3, RF0.r0, RF0.r2 | B0: mov DM[62]{spill2}, RF0.r3 }
+i7: { B0: mov RF0.r0, DM[60]{spill0} }
+i8: { U0: add RF0.r0, RF0.r0, RF0.r2 | B0: mov RF0.r2, DM[62]{spill2} }
+i9: { U1: mul RF0.r3, RF0.r0, RF0.r3 | B0: mov RF0.r0, DM[61]{spill1} }
+i10: { U0: add RF0.r1, RF0.r3, RF0.r1 | B0: mov DM[63]{spill3}, RF0.r1 }
+i11: { B0: mov RF0.r3, DM[2]{b0} }
+i12: { U0: sub RF0.r2, RF0.r2, RF0.r3 }
+i13: { U0: add RF0.r3, RF0.r0, RF0.r3 | B0: mov RF0.r0, DM[63]{spill3} }
+i14: { U1: mul RF0.r2, RF0.r3, RF0.r2 }
+i15: { U0: add RF0.r0, RF0.r2, RF0.r0 }
+; output y0 in RF0.r0
+; output y1 in RF0.r1

@@ -1,0 +1,30 @@
+; block ex4 on FzTiny_0007e8 — 27 instructions
+i0: { B0: mov RF2.r0, DM[1]{a0} }
+i1: { B0: mov RF2.r1, DM[0]{k} }
+i2: { U2: mul RF2.r2, RF2.r0, RF2.r1 | B0: mov RF2.r0, DM[3]{a1} }
+i3: { U2: mul RF2.r0, RF2.r0, RF2.r1 | B0: mov DM[77]{spill0}, RF2.r2 }
+i4: { B0: mov DM[81]{spill4}, RF2.r0 }
+i5: { B0: mov RF0.r0, DM[2]{b0} }
+i6: { B0: mov RF0.r1, DM[77]{scratch0} }
+i7: { U0: add RF0.r2, RF0.r1, RF0.r0 | B0: mov RF0.r1, DM[81]{scratch4} }
+i8: { B0: mov RF0.r0, DM[4]{b1} }
+i9: { U0: add RF0.r0, RF0.r1, RF0.r0 | B0: mov DM[78]{spill1}, RF0.r2 }
+i10: { B0: mov RF1.r1, DM[1]{a0} }
+i11: { B0: mov RF1.r0, DM[2]{b0} }
+i12: { U1: sub RF1.r2, RF1.r1, RF1.r0 | B0: mov RF1.r1, DM[3]{a1} }
+i13: { B0: mov RF1.r0, DM[4]{b1} }
+i14: { U1: sub RF1.r0, RF1.r1, RF1.r0 | B0: mov DM[79]{spill2}, RF1.r2 }
+i15: { B0: mov DM[82]{spill5}, RF0.r0 }
+i16: { B0: mov DM[83]{spill6}, RF1.r0 }
+i17: { B0: mov RF2.r0, DM[79]{scratch2} }
+i18: { B0: mov RF2.r1, DM[78]{scratch1} }
+i19: { U2: mul RF2.r2, RF2.r1, RF2.r0 | B0: mov RF2.r1, DM[82]{scratch5} }
+i20: { B0: mov RF2.r0, DM[83]{scratch6} }
+i21: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov DM[80]{spill3}, RF2.r2 }
+i22: { B0: mov DM[84]{spill7}, RF2.r0 }
+i23: { B0: mov RF0.r0, DM[80]{scratch3} }
+i24: { B0: mov RF0.r2, DM[0]{k} }
+i25: { U0: add RF0.r1, RF0.r0, RF0.r2 | B0: mov RF0.r0, DM[84]{scratch7} }
+i26: { U0: add RF0.r0, RF0.r0, RF0.r2 }
+; output y0 in RF0.r1
+; output y1 in RF0.r0

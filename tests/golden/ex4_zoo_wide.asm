@@ -1,0 +1,9 @@
+; block ex4 on FzWide_0007e8 — 6 instructions
+i0: { B0: mov RF0.r2, DM[3]{a1} | B0: mov RF0.r1, DM[4]{b1} }
+i1: { U2: sub RF0.r0, RF0.r2, RF0.r1 | B0: mov RF0.r5, DM[1]{a0} | B0: mov RF0.r4, DM[2]{b0} }
+i2: { U2: sub RF0.r3, RF0.r5, RF0.r4 | B0: mov RF0.r6, DM[0]{k} | B1: mov RF1.r1, RF0.r0 | B0: mov RF1.r0, DM[0]{k} }
+i3: { U2: mac RF0.r0, RF0.r2, RF0.r6, RF0.r1 }
+i4: { U2: mac RF0.r0, RF0.r5, RF0.r6, RF0.r4 | B1: mov RF1.r2, RF0.r0 }
+i5: { U2: mac RF0.r0, RF0.r0, RF0.r3, RF0.r6 | U1: mac RF1.r0, RF1.r2, RF1.r1, RF1.r0 }
+; output y0 in RF0.r0
+; output y1 in RF1.r0

@@ -1,0 +1,22 @@
+; block ex5 on FzAsym_0007e8 — 18 instructions
+i0: { BX: mov RF0.r1, DM[0]{ar} }
+i1: { BX: mov RF0.r3, DM[2]{br} }
+i2: { U6: mul RF0.r2, RF0.r1, RF0.r3 | BX: mov RF0.r0, DM[1]{ai} }
+i3: { U6: mul RF0.r0, RF0.r0, RF0.r3 | BX: mov RF1.r0, RF0.r0 }
+i4: { BY: mov RF2.r0, RF1.r0 | BX: mov RF1.r0, RF0.r2 }
+i5: { BX: mov RF3.r2, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i6: { BX: mov RF0.r3, DM[4]{cr} }
+i7: { BX: mov RF0.r2, DM[3]{bi} }
+i8: { U0: mac RF0.r1, RF0.r1, RF0.r2, RF0.r0 | BX: mov RF0.r0, DM[5]{ci} }
+i9: { U0: add RF0.r1, RF0.r1, RF0.r0 | BX: mov RF1.r0, RF0.r2 }
+i10: { BY: mov RF2.r0, RF1.r0 | BX: mov RF3.r0, RF2.r0 }
+i11: { BX: mov RF3.r1, RF2.r0 }
+i12: { U3: msu RF3.r0, RF3.r2, RF3.r1, RF3.r0 }
+i13: { BY: mov RF5.r0, RF3.r0 }
+i14: { BY: mov RF0.r0, RF5.r0 }
+i15: { U0: add RF0.r2, RF0.r0, RF0.r3 }
+i16: { U0: add RF0.r0, RF0.r2, RF0.r1 }
+i17: { U6: mul RF0.r0, RF0.r0, RF0.r3 }
+; output e in RF0.r0
+; output yi in RF0.r1
+; output yr in RF0.r2

@@ -1,0 +1,32 @@
+; block ex5 on FzBuf_0007e8 — 28 instructions
+i0: { MP: mov B0.r0, DM[1]{ai} }
+i1: { MP: mov B0.r0, DM[2]{br} | L0: mov B1.r0, B0.r0 }
+i2: { MP: mov B0.r0, DM[0]{ar} | L0: mov B1.r0, B0.r0 | L1: mov B2.r1, B1.r0 }
+i3: { L0: mov B1.r0, B0.r0 | L1: mov B2.r2, B1.r0 | MP: mov B0.r0, DM[3]{bi} }
+i4: { L1: mov B2.r0, B1.r0 | L0: mov B1.r2, B0.r0 | MP: mov B0.r2, DM[4]{cr} }
+i5: { MP: mov B0.r1, DM[5]{ci} | L2: mov B3.r0, B2.r0 }
+i6: { MP: mov B0.r0, DM[4]{cr} }
+i7: { L0: mov B1.r1, B0.r0 | L3: mov B0.r0, B3.r0 | MP: mov DM[127]{spill3}, B0.r2 }
+i8: { MP: mov DM[124]{spill0}, B0.r0 }
+i9: { MP: mov B0.r0, DM[124]{spill0} }
+i10: { L0: mov B1.r0, B0.r0 }
+i11: { L1: mov B2.r0, B1.r0 | L0: mov B1.r0, B0.r0 }
+i12: { U2: mul B2.r0, B2.r0, B2.r2 }
+i13: { U2: mul B2.r2, B2.r1, B2.r2 | L2: mov B3.r0, B2.r0 | L1: mov B2.r0, B1.r0 }
+i14: { L1: mov B2.r2, B1.r2 | L3: mov B0.r0, B3.r0 | L2: mov B3.r0, B2.r2 }
+i15: { U2: mul B2.r1, B2.r1, B2.r2 | L0: mov B1.r2, B0.r0 | L3: mov B0.r0, B3.r0 }
+i16: { U2: mul B2.r1, B2.r0, B2.r2 | L2: mov B3.r0, B2.r1 | L1: mov B2.r0, B1.r1 | MP: mov DM[126]{spill2}, B0.r0 }
+i17: { L3: mov B0.r2, B3.r0 | L2: mov B3.r0, B2.r1 | MP: mov B0.r0, DM[126]{spill2} }
+i18: { L0: mov B1.r0, B0.r2 | L3: mov B0.r2, B3.r0 }
+i19: { U1: sub B1.r0, B1.r2, B1.r0 | MP: mov DM[125]{spill1}, B0.r2 }
+i20: { L1: mov B2.r1, B1.r0 | MP: mov B0.r2, DM[125]{spill1} }
+i21: { U0: add B0.r2, B0.r2, B0.r0 | L2: mov B3.r0, B2.r1 | MP: mov B0.r0, DM[127]{spill3} }
+i22: { U0: add B0.r1, B0.r2, B0.r1 | L3: mov B0.r2, B3.r0 }
+i23: { U0: add B0.r2, B0.r2, B0.r0 }
+i24: { U0: add B0.r0, B0.r2, B0.r1 }
+i25: { L0: mov B1.r0, B0.r0 }
+i26: { L1: mov B2.r1, B1.r0 }
+i27: { U2: mul B2.r0, B2.r1, B2.r0 }
+; output e in B2.r0
+; output yi in B0.r1
+; output yr in B0.r2

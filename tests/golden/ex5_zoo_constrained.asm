@@ -1,0 +1,16 @@
+; block ex5 on FzCstr_0007e8 — 12 instructions
+i0: { B0: mov RF0.r3, DM[2]{br} }
+i1: { B0: mov RF0.r1, DM[1]{ai} }
+i2: { U2: mul RF0.r0, RF0.r1, RF0.r3 | B0: mov RF0.r2, DM[0]{ar} }
+i3: { U2: mul RF0.r3, RF0.r2, RF0.r3 | B0: mov RF1.r1, RF0.r0 }
+i4: { B0: mov RF0.r0, DM[3]{bi} }
+i5: { U0: msu RF0.r1, RF0.r1, RF0.r0, RF0.r3 | U2: mul RF0.r0, RF0.r2, RF0.r0 | B0: mov RF1.r0, DM[5]{ci} }
+i6: { B0: mov RF1.r2, RF0.r0 }
+i7: { U1: add RF1.r1, RF1.r2, RF1.r1 | B0: mov RF0.r2, DM[4]{cr} }
+i8: { U0: add RF0.r1, RF0.r1, RF0.r2 | U1: add RF1.r0, RF1.r1, RF1.r0 }
+i9: { B0: mov RF0.r0, RF1.r0 }
+i10: { U0: add RF0.r0, RF0.r1, RF0.r0 }
+i11: { U2: mul RF0.r0, RF0.r0, RF0.r2 }
+; output e in RF0.r0
+; output yi in RF1.r0
+; output yr in RF0.r1

@@ -1,0 +1,16 @@
+; block ex5 on FzMin_0007e8 — 12 instructions
+i0: { B0: mov RF0.r1, DM[0]{ar} }
+i1: { B0: mov RF0.r0, DM[2]{br} }
+i2: { U1: mul RF0.r2, RF0.r1, RF0.r0 | B0: mov RF0.r3, DM[1]{ai} }
+i3: { U1: mul RF0.r0, RF0.r3, RF0.r0 | B0: mov DM[63]{spill0}, RF0.r2 }
+i4: { B0: mov RF0.r2, DM[3]{bi} }
+i5: { U1: mul RF0.r1, RF0.r1, RF0.r2 }
+i6: { U1: mul RF0.r2, RF0.r3, RF0.r2 | U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov RF0.r0, DM[5]{ci} }
+i7: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov RF0.r0, DM[63]{spill0} }
+i8: { U0: sub RF0.r0, RF0.r0, RF0.r2 | B0: mov RF0.r3, DM[4]{cr} }
+i9: { U0: add RF0.r2, RF0.r0, RF0.r3 }
+i10: { U0: add RF0.r0, RF0.r2, RF0.r1 }
+i11: { U1: mul RF0.r0, RF0.r0, RF0.r3 }
+; output e in RF0.r0
+; output yi in RF0.r1
+; output yr in RF0.r2

@@ -1,0 +1,36 @@
+; block ex5 on FzTiny_0007e8 — 32 instructions
+i0: { B0: mov RF2.r0, DM[0]{ar} }
+i1: { B0: mov RF2.r2, DM[2]{br} }
+i2: { B0: mov RF0.r0, DM[4]{cr} }
+i3: { B0: mov RF0.r2, DM[5]{ci} }
+i4: { B0: mov RF2.r1, DM[4]{cr} }
+i5: { B0: mov DM[80]{spill6}, RF2.r1 }
+i6: { B0: mov RF2.r1, DM[80]{spill6} }
+i7: { U2: mul RF2.r0, RF2.r0, RF2.r2 | B0: mov DM[81]{spill7}, RF2.r0 }
+i8: { B0: mov DM[74]{spill0}, RF2.r0 }
+i9: { B0: mov RF2.r0, DM[1]{ai} }
+i10: { U2: mul RF2.r2, RF2.r0, RF2.r2 | B0: mov RF1.r1, DM[74]{scratch0} }
+i11: { B0: mov DM[77]{spill3}, RF2.r2 }
+i12: { B0: mov RF2.r2, DM[3]{bi} }
+i13: { U2: mul RF2.r0, RF2.r0, RF2.r2 | B0: mov RF0.r1, DM[77]{scratch3} }
+i14: { B0: mov DM[75]{spill1}, RF2.r0 }
+i15: { B0: mov RF2.r0, DM[81]{spill7} }
+i16: { U2: mul RF2.r0, RF2.r0, RF2.r2 | B0: mov RF1.r0, DM[75]{scratch1} }
+i17: { U1: sub RF1.r0, RF1.r1, RF1.r0 | B0: mov DM[76]{spill2}, RF2.r0 }
+i18: { B0: mov DM[78]{spill4}, RF1.r0 }
+i19: { B0: mov DM[82]{spill8}, RF0.r1 }
+i20: { B0: mov RF0.r1, DM[76]{scratch2} }
+i21: { B0: mov DM[83]{spill9}, RF0.r1 }
+i22: { B0: mov RF0.r1, DM[78]{scratch4} }
+i23: { U0: add RF0.r1, RF0.r1, RF0.r0 | B0: mov RF0.r0, DM[83]{spill9} }
+i24: { B0: mov DM[84]{spill10}, RF0.r2 }
+i25: { B0: mov RF0.r2, DM[82]{spill8} }
+i26: { U0: add RF0.r2, RF0.r0, RF0.r2 | B0: mov RF0.r0, DM[84]{spill10} }
+i27: { U0: add RF0.r2, RF0.r2, RF0.r0 }
+i28: { U0: add RF0.r0, RF0.r1, RF0.r2 }
+i29: { B0: mov DM[79]{spill5}, RF0.r0 }
+i30: { B0: mov RF2.r0, DM[79]{scratch5} }
+i31: { U2: mul RF2.r0, RF2.r0, RF2.r1 }
+; output e in RF2.r0
+; output yi in RF0.r2
+; output yr in RF0.r1

@@ -1,0 +1,11 @@
+; block ex5 on FzWide_0007e8 — 7 instructions
+i0: { B0: mov RF1.r5, DM[0]{ar} | B0: mov RF1.r1, DM[2]{br} }
+i1: { U5: mul RF1.r2, RF1.r5, RF1.r1 | B0: mov RF1.r0, DM[1]{ai} | B0: mov RF1.r3, DM[3]{bi} }
+i2: { U1: msu RF1.r4, RF1.r0, RF1.r3, RF1.r2 | U5: mul RF1.r1, RF1.r0, RF1.r1 | B0: mov RF1.r2, DM[4]{cr} | B0: mov RF1.r0, DM[5]{ci} }
+i3: { U1: mac RF1.r1, RF1.r5, RF1.r3, RF1.r1 | U3: add RF1.r3, RF1.r4, RF1.r2 }
+i4: { U3: add RF1.r1, RF1.r1, RF1.r0 }
+i5: { U3: add RF1.r0, RF1.r3, RF1.r1 }
+i6: { U5: mul RF1.r0, RF1.r0, RF1.r2 }
+; output e in RF1.r0
+; output yi in RF1.r1
+; output yr in RF1.r3

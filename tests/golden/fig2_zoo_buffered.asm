@@ -1,0 +1,11 @@
+; block fig2 on FzBuf_0007e8 — 9 instructions
+i0: { MP: mov B0.r0, DM[3]{d} }
+i1: { MP: mov B0.r0, DM[2]{c} | L0: mov B1.r0, B0.r0 }
+i2: { MP: mov B0.r1, DM[0]{a} | L0: mov B1.r0, B0.r0 | L1: mov B2.r0, B1.r0 }
+i3: { MP: mov B0.r0, DM[1]{b} | L1: mov B2.r1, B1.r0 }
+i4: { U0: add B0.r0, B0.r1, B0.r0 | U2: mul B2.r0, B2.r1, B2.r0 }
+i5: { L0: mov B1.r1, B0.r0 | L2: mov B3.r0, B2.r0 }
+i6: { L3: mov B0.r0, B3.r0 }
+i7: { L0: mov B1.r0, B0.r0 }
+i8: { U1: sub B1.r0, B1.r1, B1.r0 }
+; output y in B1.r0

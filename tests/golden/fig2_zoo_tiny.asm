@@ -1,0 +1,11 @@
+; block fig2 on FzTiny_0007e8 — 9 instructions
+i0: { B0: mov RF0.r1, DM[0]{a} }
+i1: { B0: mov RF0.r0, DM[1]{b} }
+i2: { U0: add RF0.r0, RF0.r1, RF0.r0 | B0: mov RF2.r1, DM[2]{c} }
+i3: { B0: mov RF2.r0, DM[3]{d} }
+i4: { U2: mul RF2.r0, RF2.r1, RF2.r0 | B0: mov DM[83]{spill0}, RF0.r0 }
+i5: { B0: mov DM[84]{spill1}, RF2.r0 }
+i6: { B0: mov RF1.r1, DM[83]{scratch0} }
+i7: { B0: mov RF1.r0, DM[84]{scratch1} }
+i8: { U1: sub RF1.r0, RF1.r1, RF1.r0 }
+; output y in RF1.r0

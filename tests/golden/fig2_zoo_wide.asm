@@ -1,0 +1,5 @@
+; block fig2 on FzWide_0007e8 — 3 instructions
+i0: { B0: mov RF0.r1, DM[0]{a} | B0: mov RF0.r0, DM[1]{b} }
+i1: { U0: add RF0.r2, RF0.r1, RF0.r0 | B0: mov RF0.r1, DM[2]{c} | B0: mov RF0.r0, DM[3]{d} }
+i2: { U0: msu RF0.r0, RF0.r1, RF0.r0, RF0.r2 }
+; output y in RF0.r0

@@ -1,0 +1,13 @@
+; block fig6 on FzAsym_0007e8 — 11 instructions
+i0: { BX: mov RF0.r1, DM[0]{a} }
+i1: { BX: mov RF0.r0, DM[1]{b} }
+i2: { U0: add RF0.r2, RF0.r1, RF0.r0 | BX: mov RF0.r1, DM[2]{c} }
+i3: { BX: mov RF0.r0, DM[3]{d} }
+i4: { U6: mul RF0.r0, RF0.r1, RF0.r0 | BX: mov RF1.r0, RF0.r2 }
+i5: { BY: mov RF2.r0, RF1.r0 | BX: mov RF1.r0, RF0.r0 }
+i6: { BX: mov RF3.r1, RF2.r0 | BY: mov RF2.r0, RF1.r0 }
+i7: { BX: mov RF3.r0, RF2.r0 }
+i8: { U3: sub RF3.r0, RF3.r1, RF3.r0 }
+i9: { BY: mov RF4.r0, RF3.r0 }
+i10: { U4: compl RF4.r0, RF4.r0 }
+; output y in RF4.r0

@@ -1,0 +1,1 @@
+ERROR: no functional unit of machine 'FzMin_0007e8' implements COMPL (required by n7:COMPL(n6) in block 'fig6')

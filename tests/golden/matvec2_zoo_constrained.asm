@@ -1,0 +1,1 @@
+ERROR: no functional unit of machine 'FzCstr_0007e8' implements MIN (required by n14:MIN(n10,n7) in block 'matvec2')

@@ -1,0 +1,10 @@
+; block matvec2 on FzWide_0007e8 — 7 instructions
+i0: { B0: mov RF1.r0, DM[1]{m01} | B0: mov RF1.r1, DM[5]{v1} }
+i1: { U5: mul RF1.r2, RF1.r0, RF1.r1 | B0: mov RF1.r0, DM[0]{m00} | B0: mov RF1.r4, DM[4]{v0} }
+i2: { U1: mac RF1.r5, RF1.r0, RF1.r4, RF1.r2 | B0: mov RF1.r0, DM[3]{m11} | B0: mov RF1.r2, DM[2]{m10} }
+i3: { U5: mul RF1.r3, RF1.r0, RF1.r1 | B0: mov RF1.r0, DM[7]{hi} | B0: mov RF1.r1, DM[6]{lo} }
+i4: { U1: mac RF1.r3, RF1.r2, RF1.r4, RF1.r3 | U3: min RF1.r2, RF1.r5, RF1.r0 }
+i5: { U1: max RF1.r2, RF1.r2, RF1.r1 | U3: min RF1.r0, RF1.r3, RF1.r0 }
+i6: { U5: max RF1.r0, RF1.r0, RF1.r1 }
+; output r0 in RF1.r2
+; output r1 in RF1.r0

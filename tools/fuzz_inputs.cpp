@@ -14,10 +14,12 @@
 //     ladder must hold (degraded results are fine, crashes are not).
 //
 // All randomness comes from one SplitMix64 seed, so any failure reproduces
-// from the command line alone; the offending source is also written next
-// to the CWD as fuzz-failure-<iteration>.txt.
+// from the command line alone; the offending source is also written as
+// fuzz-failure-<iteration>.txt under --out-dir (default: the corpus
+// directory, so CI collects every fuzz artifact from one place).
 //
 //   fuzz_inputs --corpus <dir> [--iterations N] [--seed S] [--compile]
+//               [--out-dir <dir>]
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -219,10 +221,12 @@ int main(int argc, char** argv) {
     const int iterations = static_cast<int>(flags.getInt("iterations", 500));
     const uint64_t seed = static_cast<uint64_t>(flags.getInt("seed", 1));
     const bool compile = flags.getBool("compile", false);
+    const std::string outDir = flags.getString("out-dir", corpusDir);
     flags.finish();
     if (corpusDir.empty())
       throw Error("usage: fuzz_inputs --corpus <dir> [--iterations N] "
-                  "[--seed S] [--compile]");
+                  "[--seed S] [--compile] [--out-dir <dir>]");
+    fs::create_directories(outDir);
 
     const std::vector<SeedInput> corpus = loadCorpus(corpusDir);
     if (corpus.empty())
@@ -250,7 +254,8 @@ int main(int argc, char** argv) {
       const Outcome outcome = exercise(base.lang, mutant, compile, machine);
       if (outcome.failed) {
         const std::string dump =
-            "fuzz-failure-" + std::to_string(i) + ".txt";
+            (fs::path(outDir) / ("fuzz-failure-" + std::to_string(i) + ".txt"))
+                .string();
         writeFile(dump, mutant);
         std::fprintf(stderr,
                      "fuzz_inputs: FAILURE at iteration %d (seed %llu, "
