@@ -64,6 +64,22 @@
 //   --failpoints <spec>  activate fault-injection points, same grammar as
 //                        the AVIV_FAILPOINTS env var: name[:prob[:count]],
 //                        comma-separated (see src/support/failpoint.h)
+//   --failpoint-seed <n> seed for probabilistic fail-point draws, so a
+//                        randomized soak run is reproducible from its seed
+//   --isolate-workers <n>  compile in n supervised, crash-isolated worker
+//                        processes (src/proc): a SIGSEGV, OOM, or hang
+//                        takes down one worker, never the daemon; the
+//                        request is retried once on a healthy worker
+//   --worker-deadline-ms <n>  hard per-request ceiling before a worker is
+//                        SIGKILLed (default 30000; 0 = none)
+//   --worker-rss-mb <n>  per-worker RLIMIT_AS cap in MB (0 = inherit)
+//   --worker-cpu-s <n>   per-worker RLIMIT_CPU cap in seconds (0 = inherit)
+//   --crash-dir <dir>    write every worker crash as a standalone repro
+//                        bundle under this directory (replayable with
+//                        `fuzz_gen --replay <bundle>`)
+//   --crash-loop-k <n>   crash-loop breaker: n crashes of one request line
+//                        within the window blacklist it to an in-process
+//                        baseline compile (default 3)
 //   --print-asm          batch: print each result's assembly after its
 //                        status line
 //   --stats-json <file>  write the daemon's phase-telemetry tree as JSON
@@ -113,6 +129,7 @@
 
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "proc/pool.h"
 #include "obs/trace.h"
 #include "service/cache.h"
 #include "service/request.h"
@@ -150,7 +167,37 @@ struct DaemonConfig {
   std::string statsJson;
   std::string metricsJson;
   std::string traceOut;
+  // --isolate-workers: requests run in supervised worker processes
+  // (src/proc) instead of in-process; null = classic in-process dispatch.
+  std::shared_ptr<proc::WorkerPool> pool;
 };
+
+// Per-pass delta of the pool's supervision counters, printed like the
+// cache summary line.
+void printPoolSummary(const proc::WorkerPool& pool,
+                      const proc::PoolStats& before) {
+  const proc::PoolStats now = pool.stats();
+  std::printf(
+      "avivd: workers: %llu crashes, %llu deadline-kills, "
+      "%llu heartbeat-kills, %llu respawns, %llu crash-retried, "
+      "%llu crash-failed, %llu breaker-opens, %llu breaker-served, "
+      "%llu repro-bundles\n",
+      static_cast<unsigned long long>(now.crashes - before.crashes),
+      static_cast<unsigned long long>(now.deadlineKills -
+                                      before.deadlineKills),
+      static_cast<unsigned long long>(now.heartbeatKills -
+                                      before.heartbeatKills),
+      static_cast<unsigned long long>(now.respawns - before.respawns),
+      static_cast<unsigned long long>(now.crashRetried -
+                                      before.crashRetried),
+      static_cast<unsigned long long>(now.crashFailed - before.crashFailed),
+      static_cast<unsigned long long>(now.breakerOpens -
+                                      before.breakerOpens),
+      static_cast<unsigned long long>(now.breakerServed -
+                                      before.breakerServed),
+      static_cast<unsigned long long>(now.reproBundles -
+                                      before.reproBundles));
+}
 
 void dumpMetricsTo(const std::string& path) {
   if (!path.empty()) writeFile(path, metrics::Registry::instance().toJson());
@@ -179,6 +226,10 @@ int runBatch(const CliFlags& flagsIn, const DaemonConfig& daemon,
     batchText = readFile(batchPath);
   }
   std::vector<std::shared_ptr<const ParsedRequest>> requests;
+  // Raw text of each valid request line, same indexing as `requests`:
+  // isolated workers (--isolate-workers) parse for themselves, so the pool
+  // dispatch ships the line, not the parse.
+  std::vector<std::string> rawLines;
   int parseErrors = 0;
   int requestLines = 0;
   {
@@ -194,6 +245,7 @@ int runBatch(const CliFlags& flagsIn, const DaemonConfig& daemon,
           parseRequestLine(stripped, lineNo, daemon.defaults);
       if (parse.ok()) {
         requests.push_back(parse.request);
+        rawLines.emplace_back(stripped);
       } else {
         ++parseErrors;
         std::printf("avivd: request line %s: %s (skipped)\n",
@@ -237,10 +289,16 @@ int runBatch(const CliFlags& flagsIn, const DaemonConfig& daemon,
       requestTel.push_back(&passTel.child("req:" + std::to_string(i)));
 
     const CacheStats before = cache != nullptr ? cache->stats() : CacheStats{};
+    const proc::PoolStats poolBefore =
+        daemon.pool != nullptr ? daemon.pool->stats() : proc::PoolStats{};
     size_t okCount = 0;
     size_t degradedCount = 0;
     size_t quarantinedCount = 0;
     size_t skippedCount = 0;
+    // Isolated-worker mode: kOk responses (at least one cold block) stand
+    // in for cache misses, since the workers' cache stats live in other
+    // processes.
+    size_t coldOkCount = 0;
     // Misses attributable to degraded/quarantined requests: their results
     // are deliberately never cached, so --expect-all-hits must not count
     // them against the pass.
@@ -263,6 +321,45 @@ int runBatch(const CliFlags& flagsIn, const DaemonConfig& daemon,
       }
       trace::Span reqSpan("avivd", "req:", std::to_string(i));
       const WallTimer reqTimer;
+      if (daemon.pool != nullptr) {
+        // Supervised dispatch: the worker process parses and executes; the
+        // typed result comes back over the socketpair. wall= is the
+        // supervisor-side time, so it includes any crash retry.
+        const proc::WorkerResult wr = daemon.pool->execute(rawLines[i],
+                                                           printAsm);
+        const double poolWallMs = reqTimer.seconds() * 1e3;
+        if (metrics::on())
+          metrics::Registry::instance()
+              .histogram("avivd.request.us")
+              .record(static_cast<int64_t>(poolWallMs * 1e3));
+        std::lock_guard<std::mutex> lock(outMu);
+        switch (wr.type) {
+          case net::FrameType::kQuarantined:
+            ++quarantinedCount;
+            std::printf("req %zu: quarantined %s wall=%.1fms queue=%.1fms\n",
+                        i, wr.detail.c_str(), poolWallMs, queueMs);
+            break;
+          case net::FrameType::kDegraded:
+            ++degradedCount;
+            std::printf("req %zu: degraded %s wall=%.1fms queue=%.1fms\n", i,
+                        wr.detail.c_str(), poolWallMs, queueMs);
+            break;
+          case net::FrameType::kHit:
+          case net::FrameType::kOk:
+            ++okCount;
+            if (wr.type == net::FrameType::kOk) ++coldOkCount;
+            std::printf("req %zu: ok %s wall=%.1fms queue=%.1fms\n", i,
+                        wr.detail.c_str(), poolWallMs, queueMs);
+            break;
+          default:
+            std::printf("req %zu: error %s wall=%.1fms queue=%.1fms\n", i,
+                        wr.detail.c_str(), poolWallMs, queueMs);
+            break;
+        }
+        if (printAsm) std::printf("%s", wr.body.c_str());
+        std::fflush(stdout);
+        return;
+      }
       const RequestOutcome result =
           executeRequest(*requests[i], exec, *requestTel[i]);
       const double wallMs = reqTimer.seconds() * 1e3;
@@ -325,6 +422,15 @@ int runBatch(const CliFlags& flagsIn, const DaemonConfig& daemon,
       finalPassDegradedMisses = degradedMisses;
       finalPassQuarantinedMisses = quarantinedMisses;
       recordServiceStats(now, root.child("service"));
+    }
+    if (daemon.pool != nullptr) {
+      printPoolSummary(*daemon.pool, poolBefore);
+      // The supervisor's cache stats never see worker compiles; cold (kOk)
+      // responses are the pass's misses, and degraded/quarantined are
+      // already excluded by type.
+      finalPassMisses = static_cast<int64_t>(coldOkCount);
+      finalPassDegradedMisses = 0;
+      finalPassQuarantinedMisses = 0;
     }
     if (okCount + degradedCount + quarantinedCount != requests.size())
       allOk = false;
@@ -394,6 +500,18 @@ int runServer(const DaemonConfig& daemon, const std::string& listenSpec,
   // outcome onto the wire's typed responses.
   auto handler = [&](const net::NetRequest& netRequest) -> net::NetResponse {
     net::NetResponse response;
+    if (daemon.pool != nullptr) {
+      // Supervised dispatch: the request runs in a sandboxed worker
+      // process. A worker crash is retried once on a healthy worker, then
+      // typed kError — the connection always gets its response.
+      const proc::WorkerResult wr =
+          daemon.pool->execute(netRequest.line, netRequest.wantAsm);
+      response.type = wr.type;
+      response.detail = wr.detail;
+      response.body = wr.body;
+      response.crashRetries = wr.crashes;
+      return response;
+    }
     const RequestParse parse =
         parseRequestLine(netRequest.line, 0, daemon.defaults);
     if (!parse.ok()) {
@@ -442,7 +560,7 @@ int runServer(const DaemonConfig& daemon, const std::string& listenSpec,
   std::printf(
       "avivd: server: %lld conns, %lld requests, %lld ok, %lld hits, "
       "%lld degraded, %lld quarantined, %lld errors, %lld shed, "
-      "%lld responses, %lld dropped\n",
+      "%lld responses, %lld dropped, %lld crash-retried\n",
       static_cast<long long>(stats.accepted),
       static_cast<long long>(stats.requests),
       static_cast<long long>(stats.ok), static_cast<long long>(stats.hits),
@@ -451,7 +569,10 @@ int runServer(const DaemonConfig& daemon, const std::string& listenSpec,
       static_cast<long long>(stats.errors),
       static_cast<long long>(stats.shed),
       static_cast<long long>(stats.responses),
-      static_cast<long long>(stats.droppedResponses));
+      static_cast<long long>(stats.droppedResponses),
+      static_cast<long long>(stats.crashRetried));
+  if (daemon.pool != nullptr)
+    printPoolSummary(*daemon.pool, proc::PoolStats{});
   if (daemon.exec.cache != nullptr) {
     const CacheStats cs = daemon.exec.cache->stats();
     std::printf(
@@ -485,12 +606,17 @@ int main(int argc, char** argv) {
           "usage: avivd <requests.txt|-> [--cache-dir DIR] [--no-cache] "
           "[--mem-entries N] [--jobs N] [--repeat N] [--expect-all-hits] "
           "[--default-timeout SEC] [--retries N] [--failpoints SPEC] "
+          "[--failpoint-seed N] "
           "[--verify off|sampled|all] [--quarantine-dir DIR] "
           "[--print-asm] [--stats-json out.json] [--trace-out out.json] "
           "[--metrics-json out.json]\n"
           "       avivd --listen <unix:PATH|HOST:PORT> [--queue-cap N] "
           "[--backend auto|epoll|poll] [--drain-timeout-ms N] "
-          "[common options]");
+          "[common options]\n"
+          "       common: --isolate-workers N [--worker-deadline-ms N] "
+          "[--worker-rss-mb N] [--worker-cpu-s N] [--crash-dir DIR] "
+          "[--crash-loop-k N] — compile in supervised, crash-isolated "
+          "worker processes");
     DaemonConfig daemon;
     const std::string cacheDir = flags.getString("cache-dir", "");
     const bool noCache = flags.getBool("no-cache", false);
@@ -513,6 +639,8 @@ int main(int argc, char** argv) {
     daemon.defaults.verify.quarantineDir =
         flags.getString("quarantine-dir", "");
     const std::string failpoints = flags.getString("failpoints", "");
+    const auto failpointSeed =
+        static_cast<uint64_t>(flags.getInt("failpoint-seed", 0));
     const bool printAsm = flags.getBool("print-asm", false);
     daemon.statsJson = flags.getString("stats-json", "");
     daemon.traceOut = flags.getString("trace-out", "");
@@ -521,8 +649,19 @@ int main(int argc, char** argv) {
     const std::string backendName = flags.getString("backend", "auto");
     const int drainTimeoutMs =
         static_cast<int>(flags.getInt("drain-timeout-ms", 0));
+    const int isolateWorkers =
+        static_cast<int>(flags.getInt("isolate-workers", 0));
+    const int workerDeadlineMs =
+        static_cast<int>(flags.getInt("worker-deadline-ms", 30000));
+    const auto workerRssMb =
+        static_cast<uint64_t>(flags.getInt("worker-rss-mb", 0));
+    const auto workerCpuS =
+        static_cast<uint64_t>(flags.getInt("worker-cpu-s", 0));
+    const std::string crashDir = flags.getString("crash-dir", "");
+    const int crashLoopK = static_cast<int>(flags.getInt("crash-loop-k", 3));
     flags.finish();
-    if (!failpoints.empty()) FailPoints::instance().configure(failpoints);
+    if (!failpoints.empty())
+      FailPoints::instance().configure(failpoints, failpointSeed);
     if (!daemon.traceOut.empty()) trace::Tracer::instance().enable();
     if (!daemon.metricsJson.empty()) metrics::Registry::instance().enable();
 
@@ -535,6 +674,39 @@ int main(int argc, char** argv) {
       cacheConfig.dir = cacheDir;
       cacheConfig.memoryEntries = memEntries;
       daemon.exec.cache = std::make_shared<ResultCache>(cacheConfig);
+    }
+
+    if (isolateWorkers > 0) {
+      // Crash isolation: compile in supervised worker processes. Built
+      // after the cache so its startup sweep has already run — workers
+      // opening the same store sweep age-gated only.
+      proc::PoolConfig poolConfig;
+      poolConfig.workers = isolateWorkers;
+      poolConfig.hardDeadlineMs = workerDeadlineMs;
+      poolConfig.crashLoopK = crashLoopK;
+      poolConfig.crashDir = crashDir;
+      poolConfig.env.defaults = daemon.defaults;
+      poolConfig.env.cacheDir = cacheDir;
+      poolConfig.env.cacheEnabled = !noCache;
+      poolConfig.env.memEntries = memEntries;
+      poolConfig.env.transientRetries = daemon.exec.retries;
+      poolConfig.env.rssLimitBytes = workerRssMb << 20;
+      poolConfig.env.cpuLimitSeconds = workerCpuS;
+      if (daemon.exec.cache != nullptr) {
+        // A worker SIGKILLed mid-store leaves a torn *.tmp in the shared
+        // disk store; re-sweep (age-gated: live sibling writers keep
+        // their in-progress temps) after every crash, not just startup.
+        const std::shared_ptr<ResultCache> cache = daemon.exec.cache;
+        poolConfig.onCrash = [cache] { cache->sweepStaleTemps(5.0); };
+      }
+      daemon.pool = std::make_shared<proc::WorkerPool>(poolConfig);
+      std::printf(
+          "avivd: %d isolated compile worker%s (deadline %dms, rss-cap "
+          "%lluMB, cpu-cap %llus)\n",
+          isolateWorkers, isolateWorkers == 1 ? "" : "s", workerDeadlineMs,
+          static_cast<unsigned long long>(workerRssMb),
+          static_cast<unsigned long long>(workerCpuS));
+      std::fflush(stdout);
     }
 
     if (!listenSpec.empty())

@@ -15,6 +15,7 @@ const char* frameTypeName(FrameType type) {
     case FrameType::kQuarantined: return "quarantined";
     case FrameType::kError: return "error";
     case FrameType::kRetryAfter: return "retry-after";
+    case FrameType::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }
@@ -29,6 +30,7 @@ bool isResponseType(FrameType type) {
     case FrameType::kRetryAfter:
       return true;
     case FrameType::kRequest:
+    case FrameType::kHeartbeat:
       return false;
   }
   return false;
@@ -38,7 +40,7 @@ namespace {
 
 bool validType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(FrameType::kRequest) &&
-         raw <= static_cast<uint8_t>(FrameType::kRetryAfter);
+         raw <= static_cast<uint8_t>(FrameType::kHeartbeat);
 }
 
 }  // namespace

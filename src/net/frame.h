@@ -40,6 +40,11 @@ enum class FrameType : uint8_t {
   kQuarantined = 5, // verification caught a miscompile; baseline emitted
   kError = 6,       // request failed (parse, compile, protocol)
   kRetryAfter = 7,  // shed by admission control; retry later
+  // Liveness beat on the supervisor<->worker socketpair (src/proc): a busy
+  // worker emits one every heartbeat interval so the supervisor can tell
+  // "slow compile" from "wedged process". Never sent on client-facing
+  // sockets; empty payload.
+  kHeartbeat = 8,
 };
 
 [[nodiscard]] const char* frameTypeName(FrameType type);

@@ -297,6 +297,7 @@ void CompileServer::workerLoop() {
       }
       wallSeconds = timer.seconds();
     }
+    if (response.crashRetries > 0) bumpStat(&ServerStats::crashRetried);
     if (metrics::on()) {
       auto& registry = metrics::Registry::instance();
       registry.histogram("net.request.wall.us")

@@ -84,6 +84,9 @@ struct NetResponse {
   FrameType type = FrameType::kError;
   std::string detail;
   std::string body;
+  // Worker crashes consumed producing this response (handler running over
+  // a src/proc pool); surfaces in ServerStats::crashRetried.
+  int crashRetries = 0;
 };
 
 // Runs on a ThreadPool worker; must be thread-safe and must not throw
@@ -102,6 +105,10 @@ struct ServerStats {
   int64_t degraded = 0;
   int64_t quarantined = 0;
   int64_t errors = 0;          // kError responses produced
+  // Responses that consumed at least one compile-worker crash (retried on
+  // a healthy worker or answered by the crash-loop breaker) — only nonzero
+  // under --isolate-workers.
+  int64_t crashRetried = 0;
   int64_t readErrors = 0;
   int64_t writeErrors = 0;     // transient write failures (retried)
   int64_t frameErrors = 0;     // protocol violations (connection dropped)

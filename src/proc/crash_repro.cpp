@@ -1,0 +1,279 @@
+#include "proc/crash_repro.h"
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "isdl/emit.h"
+#include "isdl/parser.h"
+#include "proc/worker.h"
+#include "service/request.h"
+#include "support/error.h"
+#include "support/failpoint.h"
+#include "support/io.h"
+#include "support/strings.h"
+#include "support/telemetry.h"
+
+namespace aviv::proc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string oneLine(std::string s) {
+  for (char& c : s)
+    if (c == '\n' || c == '\r') c = ' ';
+  return s;
+}
+
+// Directory-name-safe cause tag ("worker-segv", "sig9", "exit3").
+std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '-';
+  return s.empty() ? std::string("unknown") : s;
+}
+
+// Resolved machine text, standalone: path specs copy the file verbatim,
+// built-in names round-trip through the ISDL emitter (the same guarantee
+// the fuzz bundles rely on).
+std::string resolveMachineText(const std::string& spec) {
+  if (endsWith(spec, ".isdl")) return readFile(spec);
+  return emitMachineText(loadMachine(spec));
+}
+
+// Resolved block source plus the bundle-local file name that keeps its
+// format (a .c block must replay through the Mini-C front end).
+std::pair<std::string, std::string> resolveBlockText(const std::string& spec) {
+  if (endsWith(spec, ".c")) return {readFile(spec), "block.c"};
+  if (endsWith(spec, ".blk")) return {readFile(spec), "block.blk"};
+  const std::string path = blockPath(spec);
+  return {readFile(path), "block.blk"};
+}
+
+// Rewrites machine=/block= values in a request line (whitespace-separated
+// tokens) so the bundle replays against its own copies wherever it lives.
+std::string rewriteLine(const std::string& line, const std::string& dir,
+                        const std::string& blockFile) {
+  std::vector<std::string> tokens;
+  for (size_t i = 0; i < line.size();) {
+    if (std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) == 0)
+      ++i;
+    tokens.push_back(line.substr(start, i - start));
+  }
+  std::string out;
+  for (const std::string& token : tokens) {
+    if (!out.empty()) out += ' ';
+    if (startsWith(token, "machine=")) {
+      out += "machine=" + dir + "/machine.isdl";
+    } else if (startsWith(token, "block=")) {
+      out += "block=" + dir + "/" + blockFile;
+    } else {
+      out += token;
+    }
+  }
+  return out;
+}
+
+// The replay child's whole life. Only _exit()s — this is a fork child.
+[[noreturn]] void runReplayChild(const CrashRepro& repro) {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!repro.failpointSite.empty())
+    FailPoints::instance().configure(repro.failpointSite);
+  // A worker-oom replay with no recorded cap would eat the machine; give
+  // the child a ceiling regardless.
+  uint64_t rss = repro.rssLimitBytes;
+  if (rss == 0 && repro.failpointSite == "worker-oom") rss = 512ull << 20;
+  applyWorkerLimits(rss, repro.cpuLimitSeconds);
+
+  evalWorkerCrashPoints("");  // fires the recorded site, if any
+  try {
+    const RequestParse parse = parseRequestLine(repro.requestLine, 0, {});
+    if (!parse.ok()) ::_exit(0);  // request invalid: nothing crashed
+    RequestExecConfig exec;
+    exec.wantAsm = repro.wantAsm;
+    exec.retries = 0;
+    TelemetryNode tel("replay");
+    (void)executeRequest(*parse.request, exec, tel);
+  } catch (...) {
+    ::_exit(0);  // a caught failure is not a crash
+  }
+  // Torn-write crashes fire after the compile, on the respond path.
+  if (FailPoints::instance().shouldFail("worker-torn-write")) ::_exit(3);
+  ::_exit(0);
+}
+
+}  // namespace
+
+std::string writeCrashRepro(const CrashCapture& capture) {
+  if (capture.crashDir.empty()) return "";
+  try {
+    std::string cause;
+    if (!capture.failpointSite.empty()) {
+      cause = capture.failpointSite;
+    } else if (capture.killedByDeadline) {
+      cause = "kill";
+    } else if (WIFSIGNALED(capture.exitStatus)) {
+      cause = "sig" + std::to_string(WTERMSIG(capture.exitStatus));
+    } else {
+      cause = "exit" + std::to_string(WEXITSTATUS(capture.exitStatus));
+    }
+    const std::string dir = capture.crashDir + "/crash-" +
+                            std::to_string(capture.sequence) + "-" +
+                            sanitize(cause);
+    fs::create_directories(dir);
+    writeFile(dir + "/request.txt", capture.requestLine + "\n");
+
+    // Best-effort source copies: a line too mangled to parse still gets a
+    // bundle (request + meta), just not a standalone one.
+    std::string blockFile;
+    const RequestParse parse = parseRequestLine(capture.requestLine, 0, {});
+    if (parse.ok()) {
+      try {
+        writeFile(dir + "/machine.isdl",
+                  resolveMachineText(parse.request->machineSpec));
+        auto block = resolveBlockText(parse.request->blockSpec);
+        blockFile = block.second;
+        writeFile(dir + "/" + blockFile, block.first);
+      } catch (const std::exception&) {
+        blockFile.clear();  // sources unavailable; bundle stays partial
+      }
+    }
+
+    if (!capture.flightRecordPath.empty() &&
+        fs::exists(capture.flightRecordPath)) {
+      std::error_code ec;
+      fs::rename(capture.flightRecordPath, dir + "/flight.json", ec);
+    }
+
+    std::ostringstream meta;
+    meta << "kind=" << (capture.killedByDeadline ? "kill" : "crash") << "\n";
+    meta << "exit=" << describeExitStatus(capture.exitStatus) << "\n";
+    meta << "wantAsm=" << (capture.wantAsm ? 1 : 0) << "\n";
+    meta << "blockFile=" << blockFile << "\n";
+    meta << "failpoints=" << capture.failpointSite << "\n";
+    meta << "rssLimitBytes=" << capture.rssLimitBytes << "\n";
+    meta << "cpuLimitSeconds=" << capture.cpuLimitSeconds << "\n";
+    meta << "deadlineMs=" << capture.deadlineMs << "\n";
+    meta << "line=" << oneLine(capture.requestLine) << "\n";
+    meta << "replay=fuzz_gen --replay " << dir << "\n";
+    writeFile(dir + "/meta.txt", meta.str());
+    return dir;
+  } catch (const std::exception&) {
+    return "";  // capture is best-effort; the response still flows
+  }
+}
+
+CrashRepro loadCrashRepro(const std::string& dir) {
+  CrashRepro repro;
+  repro.dir = dir;
+  std::string blockFile;
+  for (const std::string& line : split(readFile(dir + "/meta.txt"), '\n')) {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "kind") repro.kind = value;
+      if (key == "exit") repro.exitDesc = value;
+      if (key == "wantAsm") repro.wantAsm = value == "1";
+      if (key == "blockFile") blockFile = value;
+      if (key == "failpoints") repro.failpointSite = value;
+      if (key == "rssLimitBytes") repro.rssLimitBytes = std::stoull(value);
+      if (key == "cpuLimitSeconds") repro.cpuLimitSeconds = std::stoull(value);
+      if (key == "deadlineMs") repro.deadlineMs = std::stoi(value);
+    } catch (const std::exception&) {
+      throw Error("crash repro meta.txt: bad value for '" + key + "'");
+    }
+  }
+  if (repro.kind != "crash" && repro.kind != "kill")
+    throw Error("crash repro meta.txt: missing kind=crash|kill");
+  const std::string original =
+      std::string(trim(readFile(dir + "/request.txt")));
+  if (blockFile.empty()) {
+    // Partial bundle (sources were unresolvable at capture): replay the
+    // original line as-is and hope its specs still resolve here.
+    repro.requestLine = original;
+  } else {
+    repro.requestLine = rewriteLine(original, dir, blockFile);
+  }
+  return repro;
+}
+
+bool isCrashRepro(const std::string& dir) {
+  try {
+    const std::string meta = readFile(dir + "/meta.txt");
+    for (const std::string& line : split(meta, '\n'))
+      if (line == "kind=crash" || line == "kind=kill") return true;
+  } catch (const std::exception&) {
+  }
+  return false;
+}
+
+CrashReplayResult replayCrashRepro(const CrashRepro& repro) {
+  CrashReplayResult result;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.detail = "fork failed";
+    return result;
+  }
+  if (pid == 0) runReplayChild(repro);
+
+  // kill bundles reproduce by OUTLIVING the recorded deadline; crash
+  // bundles by dying before a generous cap.
+  const int deadlineMs = repro.deadlineMs > 0 ? repro.deadlineMs : 2000;
+  const int capMs =
+      repro.kind == "kill" ? deadlineMs + 250 : deadlineMs + 30000;
+  int status = 0;
+  int waitedMs = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      if (repro.kind == "kill") {
+        result.reproduced = false;
+        result.detail = "child finished before the recorded deadline (" +
+                        describeExitStatus(status) + ")";
+      } else {
+        const bool abnormal =
+            WIFSIGNALED(status) || (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+        result.reproduced = abnormal;
+        result.detail = "child " + describeExitStatus(status);
+      }
+      return result;
+    }
+    if (r < 0) {
+      result.detail = "waitpid failed";
+      return result;
+    }
+    if (waitedMs >= capMs) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    waitedMs += 10;
+  }
+  ::kill(pid, SIGKILL);
+  (void)::waitpid(pid, &status, 0);
+  if (repro.kind == "kill") {
+    result.reproduced = true;
+    result.detail = "child still running at the recorded deadline; killed";
+  } else {
+    result.reproduced = false;
+    result.detail = "replay child hung; killed";
+  }
+  return result;
+}
+
+}  // namespace aviv::proc

@@ -192,7 +192,7 @@ ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
     if (ec)
       throw Error("cannot create cache directory '" + config_.dir +
                   "': " + ec.message());
-    sweepTempFiles();
+    sweepTempFiles(config_.sweepMinAgeSeconds);
     writeManifest();
   }
 }
@@ -200,19 +200,36 @@ ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
 // A writer that crashed (or was killed) between writeFile and rename leaves
 // a *.tmp<N> file behind. They are dead weight — no reader ever opens them
 // and no writer reuses their names — so each startup clears them out.
-void ResultCache::sweepTempFiles() {
+void ResultCache::sweepTempFiles(double minAgeSeconds) {
   std::error_code ec;
   const fs::path objects = fs::path(config_.dir) / "objects";
   fs::recursive_directory_iterator it(objects, ec), end;
+  const auto now = fs::file_time_type::clock::now();
   while (!ec && it != end) {
     std::error_code fileEc;
     if (it->is_regular_file(fileEc) && !fileEc &&
         it->path().filename().string().find(".tmp") != std::string::npos) {
-      fs::remove(it->path(), fileEc);
-      if (!fileEc) tmpSwept_.fetch_add(1, std::memory_order_relaxed);
+      bool oldEnough = true;
+      if (minAgeSeconds > 0) {
+        const fs::file_time_type mtime = fs::last_write_time(it->path(), fileEc);
+        // An unreadable mtime (file already renamed/removed) is not a
+        // reason to sweep: leave it for the next pass.
+        oldEnough = !fileEc &&
+                    std::chrono::duration<double>(now - mtime).count() >=
+                        minAgeSeconds;
+      }
+      if (oldEnough) {
+        fs::remove(it->path(), fileEc);
+        if (!fileEc) tmpSwept_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     it.increment(ec);
   }
+}
+
+void ResultCache::sweepStaleTemps(double minAgeSeconds) {
+  if (config_.dir.empty()) return;
+  sweepTempFiles(minAgeSeconds);
 }
 
 void ResultCache::retryTransient(const std::function<void()>& fn) const {

@@ -93,6 +93,12 @@ struct CacheConfig {
   // AVIV_FAILPOINTS) are retried up to this many times with exponential
   // backoff before the operation is abandoned. 0 disables retries.
   int ioRetries = 2;
+  // Minimum age for the constructor's torn-write sweep. The default (0)
+  // sweeps everything — right for a daemon opening its store first. A
+  // respawned compile worker (src/proc) opening the SAME store while
+  // siblings are writing sets this so the startup sweep cannot remove a
+  // live sibling's in-progress temp.
+  double sweepMinAgeSeconds = 0.0;
   // Backoff before the first retry, doubling per attempt.
   double retryBackoffMs = 1.0;
 };
@@ -127,6 +133,17 @@ class ResultCache {
   // caches; never throws.
   void flushManifest() const;
 
+  // Removes stale `*.tmp` files under objects/ — the startup torn-write
+  // sweep, callable again mid-run. A compile worker SIGKILLed between
+  // writeFile and rename (src/proc) leaves a fresh temp behind, so the
+  // supervisor re-sweeps after every worker crash; `minAgeSeconds` skips
+  // temps younger than that, so a sweep racing a *live* writer's
+  // in-progress temp leaves it alone (and even a misjudged removal is
+  // recoverable: the writer's rename failure is a counted writeError, the
+  // entry is simply not cached). Counts into stats().tmpSwept; never
+  // throws. No-op for memory-only caches.
+  void sweepStaleTemps(double minAgeSeconds = 0.0);
+
  private:
   struct Shard {
     std::mutex mu;
@@ -147,8 +164,9 @@ class ResultCache {
       const Hash128& key);
   void diskStore(const Hash128& key, const CacheEntry& entry);
   void writeManifest() const;
-  // Removes temp files a crashed/killed writer left under objects/.
-  void sweepTempFiles();
+  // Removes temp files a crashed/killed writer left under objects/, aged
+  // at least `minAgeSeconds`.
+  void sweepTempFiles(double minAgeSeconds = 0.0);
   // Runs `fn`, retrying TransientError up to config_.ioRetries times with
   // exponential backoff; the final failure propagates to the caller.
   void retryTransient(const std::function<void()>& fn) const;

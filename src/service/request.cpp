@@ -204,10 +204,15 @@ RequestOutcome executeRequest(const ParsedRequest& request,
   RequestOutcome result;
   for (int attempt = 0;; ++attempt) {
     try {
-      return runOnce(request, config, tel);
+      RequestOutcome outcome = runOnce(request, config, tel);
+      outcome.retries = attempt;
+      if (attempt > 0)
+        outcome.statusDetail += " retries=" + std::to_string(attempt);
+      return outcome;
     } catch (const TransientError& e) {
       if (attempt >= config.retries) {
         result.error = e.what();
+        result.retries = attempt;
         return result;
       }
       tel.addCounter("dispatchRetries", 1);
@@ -215,6 +220,7 @@ RequestOutcome executeRequest(const ParsedRequest& request,
           1.0 * static_cast<double>(1 << attempt)));
     } catch (const std::exception& e) {
       result.error = e.what();
+      result.retries = attempt;
       return result;
     }
   }

@@ -71,6 +71,12 @@ struct RequestOutcome {
   std::string asmText;       // filled when RequestExecConfig::wantAsm
   size_t blocks = 0;
   size_t cachedBlocks = 0;
+  // Transient-fault retries this outcome consumed (0 = clean first try).
+  // Nonzero retries also append a " retries=N" token to statusDetail so
+  // batch status lines and the smoke scripts can tell a retried success
+  // from a clean one (crash-retried requests additionally carry
+  // " crashed=K", appended by the src/proc supervisor).
+  int retries = 0;
 
   // True when every compiled block was served from the result cache.
   [[nodiscard]] bool allCached() const {

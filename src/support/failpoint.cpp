@@ -1,6 +1,9 @@
 #include "support/failpoint.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <new>
+#include <thread>
 
 #include "support/error.h"
 #include "support/strings.h"
@@ -91,6 +94,38 @@ bool FailPoints::shouldFail(const char* site) {
 void FailPoints::maybeThrow(const char* site) {
   if (shouldFail(site))
     throw TransientError(std::string("fail point '") + site + "' fired");
+}
+
+void FailPoints::maybeCrash(const char* site, CrashAction action) {
+  if (!shouldFail(site)) return;
+  switch (action) {
+    case CrashAction::kSegv: {
+      // Write through a volatile null pointer the optimizer cannot elide.
+      volatile int* target = nullptr;
+      *target = 42;
+      break;
+    }
+    case CrashAction::kAbort:
+      std::abort();
+    case CrashAction::kOom: {
+      // Grow until allocation fails — with a worker RLIMIT_AS cap that is
+      // the cap, without one it is the machine — then die the way the
+      // kernel OOM-killer would leave the process: abruptly. Memory is
+      // touched so the pages are really committed, and deliberately
+      // leaked: the process is about to die.
+      for (;;) {
+        constexpr size_t kChunk = 16u << 20;
+        char* chunk = new (std::nothrow) char[kChunk];
+        if (chunk == nullptr) std::abort();
+        for (size_t i = 0; i < kChunk; i += 4096) chunk[i] = 1;
+      }
+    }
+    case CrashAction::kHang:
+      // Wedged worker: alive (heartbeats would need a live thread, but the
+      // spinner never reaches the responder), unkillable by anything but a
+      // real signal. sleep keeps a 1-CPU CI box responsive.
+      for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 }
 
 int64_t FailPoints::fires(const char* site) const {

@@ -47,6 +47,17 @@ class FailPoints {
   // should fail; the standard way to instrument an injection site.
   void maybeThrow(const char* site);
 
+  // Crash-class action: when the site fires, the process dies (or hangs)
+  // the way real covering bugs kill a compile worker — a SIGSEGV, an
+  // abort(), memory growth until the rlimit blocks it, or a wedged spin.
+  // Only ever placed on code paths that run inside a sandboxed worker
+  // process (src/proc) or a replay child: firing one in the supervisor
+  // would defeat the isolation it exists to test. kHang spins until an
+  // external SIGKILL, which is exactly what the supervisor's hard
+  // per-request deadline must handle.
+  enum class CrashAction { kSegv, kAbort, kOom, kHang };
+  void maybeCrash(const char* site, CrashAction action);
+
   // Total fires of `site` since the last configure (for tests).
   [[nodiscard]] int64_t fires(const char* site) const;
 

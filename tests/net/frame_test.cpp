@@ -25,7 +25,7 @@ TEST(NetFrame, RoundTripsEveryType) {
   for (const FrameType type :
        {FrameType::kRequest, FrameType::kOk, FrameType::kHit,
         FrameType::kDegraded, FrameType::kQuarantined, FrameType::kError,
-        FrameType::kRetryAfter}) {
+        FrameType::kRetryAfter, FrameType::kHeartbeat}) {
     const std::string payload = "payload for " + std::string(frameTypeName(type));
     FrameDecoder decoder;
     const Frame frame = decodeOne(decoder, encodeFrame(type, payload));
@@ -34,6 +34,20 @@ TEST(NetFrame, RoundTripsEveryType) {
     EXPECT_EQ(decoder.buffered(), 0u);
     EXPECT_FALSE(decoder.midFrame());
   }
+}
+
+TEST(NetFrame, HeartbeatIsALivenessFrameNotAResponse) {
+  // kHeartbeat is the worker-pool liveness beat (src/proc): it round-trips
+  // through the codec but must never be mistaken for a client-facing
+  // response type by the supervisor's dispatch loop.
+  FrameDecoder decoder;
+  const Frame frame =
+      decodeOne(decoder, encodeFrame(FrameType::kHeartbeat, ""));
+  EXPECT_EQ(frame.type, FrameType::kHeartbeat);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_STREQ(frameTypeName(FrameType::kHeartbeat), "heartbeat");
+  EXPECT_FALSE(isResponseType(FrameType::kHeartbeat));
+  EXPECT_TRUE(isResponseType(FrameType::kOk));
 }
 
 TEST(NetFrame, RoundTripsEmptyPayload) {

@@ -1,0 +1,107 @@
+#!/bin/sh
+# crash_soak.sh — zero-lost-responses soak for the crash-isolated compile
+# server (docs/server.md "Crash model and worker isolation"), run by ctest
+# and the CI crash-soak job.
+#
+#   crash_soak.sh <avivd> <loadgen> <fuzz_gen> <batch.txt> [conns] [reqs]
+#
+# Starts `avivd --listen --isolate-workers 4` with a randomized-but-printed
+# fixed seed driving probabilistic crash-class fail points (SIGSEGV, abort,
+# torn mid-frame writes, hangs cut down by the hard deadline), then drives
+# it with a many-connection closed-loop burst. Asserts:
+#   1. Zero lost responses: the client gets exactly one typed response per
+#      request — a worker crash surfaces as a retried success, a breaker
+#      answer, or a typed error, NEVER a missing or torn reply.
+#   2. The daemon survives: crashes happened (the seed is rejected if the
+#      mix never fired), workers respawned, and SIGTERM still drains with
+#      0 dropped responses and exit 0.
+#   3. Every crash left a repro bundle, and a sampled bundle replays
+#      standalone via `fuzz_gen --replay`.
+#
+# AVIV_CRASH_SOAK_SEED pins the seed for reproducing a CI failure locally.
+# AVIV_CRASH_SOAK_KEEP=<dir> copies the server log, client JSON, and every
+# crash bundle there on exit, so CI can upload them from a red run.
+set -eu
+
+AVIVD=$1
+LOADGEN=$2
+FUZZ_GEN=$3
+BATCH=$4
+CONNS=${5:-50}
+REQS=${6:-600}
+SEED=${AVIV_CRASH_SOAK_SEED:-$(date +%s)}
+
+WORK=$(mktemp -d /tmp/aviv_crash_soak.XXXXXX)
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ]; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  if [ -n "${AVIV_CRASH_SOAK_KEEP:-}" ]; then
+    mkdir -p "$AVIV_CRASH_SOAK_KEEP"
+    cp "$WORK"/*.log "$WORK"/*.json "$AVIV_CRASH_SOAK_KEEP/" 2>/dev/null || true
+    [ -d "$WORK/crashes" ] && cp -r "$WORK/crashes" "$AVIV_CRASH_SOAK_KEEP/" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$WORK/avivd.sock"
+CRASHES="$WORK/crashes"
+# Crash mix: frequent instant deaths, occasional torn writes, rare hangs
+# (each hang costs one hard deadline of wall clock).
+FAILPOINTS="worker-segv:0.05,worker-abort:0.03,worker-torn-write:0.03,worker-hang:0.004"
+
+echo "crash_soak: seed=$SEED (rerun with AVIV_CRASH_SOAK_SEED=$SEED)"
+
+json_int() {  # json_int FILE KEY -> integer value
+  sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+"$AVIVD" --listen "unix:$SOCK" --jobs 8 --cache-dir "$WORK/cache" \
+  --isolate-workers 4 --worker-deadline-ms 1500 --worker-rss-mb 1024 \
+  --crash-dir "$CRASHES" --crash-loop-k 4 \
+  --failpoints "$FAILPOINTS" --failpoint-seed "$SEED" \
+  > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+i=0
+while ! grep -q "listening on" "$WORK/server.log" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "FAIL: server never started"; cat "$WORK/server.log"; exit 1; }
+  sleep 0.1
+done
+
+echo "== 1. $CONNS-connection burst against 4 crashing workers =="
+"$LOADGEN" --connect "unix:$SOCK" --batch "$BATCH" --connections "$CONNS" \
+  --requests "$REQS" --pipeline 2 --stall-timeout-ms 60000 \
+  --json "$WORK/soak.json" 2> "$WORK/loadgen.log" || {
+  echo "FAIL: loadgen aborted (stall or transport failure)"
+  cat "$WORK/loadgen.log"; cat "$WORK/server.log"; exit 1
+}
+RESPONSES=$(json_int "$WORK/soak.json" responses)
+LOST=$(json_int "$WORK/soak.json" lost)
+[ "$RESPONSES" -eq "$REQS" ] || { echo "FAIL: $RESPONSES/$REQS responses (seed $SEED)"; cat "$WORK/server.log"; exit 1; }
+[ "$LOST" -eq 0 ] || { echo "FAIL: $LOST lost responses (seed $SEED)"; exit 1; }
+echo "ok: $RESPONSES/$REQS responses, 0 lost"
+
+echo "== 2. daemon survived; drain still loses nothing =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: server exit nonzero after crash soak"; cat "$WORK/server.log"; exit 1; }
+SERVER_PID=""
+grep -q " 0 dropped" "$WORK/server.log" || { echo "FAIL: server dropped responses"; cat "$WORK/server.log"; exit 1; }
+CRASH_COUNT=$(sed -n 's/avivd: workers: \([0-9][0-9]*\) crashes.*/\1/p' "$WORK/server.log" | tail -n 1)
+[ -n "$CRASH_COUNT" ] || { echo "FAIL: no worker summary in server log"; cat "$WORK/server.log"; exit 1; }
+[ "$CRASH_COUNT" -gt 0 ] || { echo "FAIL: the crash mix never fired (seed $SEED) — soak proved nothing"; exit 1; }
+grep "avivd: workers:" "$WORK/server.log" | tail -n 1
+echo "ok: $CRASH_COUNT worker crashes, daemon exit 0, 0 dropped"
+
+echo "== 3. crash bundles exist and replay standalone =="
+BUNDLE=$(find "$CRASHES" -maxdepth 1 -name 'crash-*' -type d | sort | head -n 1)
+[ -n "$BUNDLE" ] || { echo "FAIL: $CRASH_COUNT crashes but no repro bundle"; exit 1; }
+# Relocatability is part of the contract: replay a MOVED copy.
+cp -r "$BUNDLE" "$WORK/moved-bundle"
+"$FUZZ_GEN" --replay "$WORK/moved-bundle" || { echo "FAIL: bundle $BUNDLE did not replay (seed $SEED)"; exit 1; }
+echo "ok: $(find "$CRASHES" -maxdepth 1 -name 'crash-*' -type d | wc -l) bundles, sampled bundle reproduced"
+
+echo "crash_soak: PASS (seed $SEED)"

@@ -19,7 +19,12 @@
 //            [--time-limit SECS] [--failpoints SPEC] [--auto-minimize]
 //       generate + differential loop; exit 1 when any failure was found
 //   fuzz_gen --replay DIR
-//       re-run a repro bundle; exit 0 iff the recorded signature reproduces
+//       re-run a repro bundle; exit 0 iff the recorded signature reproduces.
+//       Also accepts worker-crash bundles captured by avivd
+//       --isolate-workers (src/proc/crash_repro.h): those replay the
+//       recorded request in a sandboxed fork and reproduce iff the child
+//       dies the recorded way (kind=crash) or outlives the recorded hard
+//       deadline (kind=kill)
 //   fuzz_gen --minimize DIR
 //       shrink a repro bundle; writes DIR/minimized/<machine>-<block>/
 //   fuzz_gen --emit-zoo DIR
@@ -37,6 +42,7 @@
 #include "fuzz/minimize.h"
 #include "fuzz/repro.h"
 #include "isdl/emit.h"
+#include "proc/crash_repro.h"
 #include "support/cli.h"
 #include "support/error.h"
 #include "support/failpoint.h"
@@ -91,6 +97,17 @@ std::string minimizeBundle(const std::string& dir, const FuzzRepro& repro) {
 }
 
 int runReplay(const std::string& dir) {
+  // Worker-crash bundles (src/proc/crash_repro.h, kind=crash|kill in
+  // meta.txt) replay in a sandboxed fork; fuzz bundles replay in-process.
+  if (proc::isCrashRepro(dir)) {
+    const proc::CrashRepro repro = proc::loadCrashRepro(dir);
+    const proc::CrashReplayResult replay = proc::replayCrashRepro(repro);
+    std::printf("fuzz_gen: replay %s: %s (recorded: %s, kind=%s) — %s\n",
+                dir.c_str(), replay.detail.c_str(), repro.exitDesc.c_str(),
+                repro.kind.c_str(),
+                replay.reproduced ? "reproduced" : "DID NOT REPRODUCE");
+    return replay.reproduced ? 0 : 1;
+  }
   const FuzzReplayResult replay = replayFuzzRepro(dir);
   std::printf("fuzz_gen: replay %s: signature %s — %s\n", dir.c_str(),
               replay.result.signature.c_str(),
